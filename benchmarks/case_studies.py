@@ -1,0 +1,31 @@
+"""Shared helpers for the case-study benchmarks (§6.2-§6.5).
+
+Thin re-exports of :mod:`repro.core.evaluation`, kept so the benches read
+naturally; ``sweep_primary_site`` narrows the sweep to an explicit
+candidate tuple (the figures compare fixed candidate sets).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import CaseStudyApp
+from repro.containers.registry import DSKind
+from repro.core.evaluation import (
+    brainy_selection,
+    improvement,
+    measure_with_selection,
+    sweep_site,
+)
+from repro.machine.configs import MachineConfig
+
+__all__ = [
+    "brainy_selection",
+    "improvement",
+    "measure_with_selection",
+    "sweep_primary_site",
+]
+
+
+def sweep_primary_site(app: CaseStudyApp, arch: MachineConfig,
+                       candidates: tuple[DSKind, ...]) -> dict[DSKind, int]:
+    """Cycles per candidate kind at the app's primary site."""
+    return sweep_site(app, arch, candidates=candidates)

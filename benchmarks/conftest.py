@@ -1,0 +1,80 @@
+"""Shared fixtures for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures.  Model
+suites are trained once per (machine, scale) and cached on disk under
+``.cache/suites`` — the paper's install-time training model — so only the
+first run pays the training cost.  Each benchmark writes its reproduced
+rows to ``.cache/results/<experiment>.txt`` (and prints them, visible with
+``pytest -s`` or on failure).
+
+Scale is controlled with ``REPRO_SCALE`` (tiny/small/default/large).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.appgen.config import GeneratorConfig
+from repro.machine.configs import ATOM, CORE2
+from repro.models.cache import CACHE_DIR, current_scale, get_or_train_suite
+from repro.models.perflint import PerflintModel
+
+RESULTS_DIR = CACHE_DIR / "results"
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return current_scale()
+
+
+@pytest.fixture(scope="session")
+def gen_config():
+    return GeneratorConfig()
+
+
+@pytest.fixture(scope="session")
+def suite_core2(scale):
+    return get_or_train_suite(CORE2, scale)
+
+
+@pytest.fixture(scope="session")
+def suite_atom(scale):
+    return get_or_train_suite(ATOM, scale)
+
+
+@pytest.fixture(scope="session")
+def suites(suite_core2, suite_atom):
+    return {"core2": suite_core2, "atom": suite_atom}
+
+
+@pytest.fixture(scope="session")
+def perflint():
+    return PerflintModel.fit_synthetic(CORE2, n_apps=45)
+
+
+@pytest.fixture(scope="session")
+def archs():
+    return {"core2": CORE2, "atom": ATOM}
+
+
+@pytest.fixture
+def report():
+    """Write an experiment's reproduced rows to disk and stdout."""
+
+    def _report(name: str, lines: list[str]) -> Path:
+        RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RESULTS_DIR / f"{name}.txt"
+        text = "\n".join(lines) + "\n"
+        path.write_text(text)
+        print(f"\n===== {name} =====")
+        print(text)
+        return path
+
+    return _report
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,72 @@
+"""Ablation: is the ANN's non-linearity needed? (§5's model choice).
+
+Train a linear softmax classifier and the MLP on the same Phase-II
+training set and compare unseen-app accuracy.  The paper picks an ANN
+because the data mixes linear and non-linear structure; a material gap
+in favour of the MLP supports that choice.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import run_once
+from repro.appgen.generator import generate_app
+from repro.appgen.workload import (
+    best_candidate,
+    collect_features,
+    measure_candidates,
+)
+from repro.containers.registry import MODEL_GROUPS
+from repro.machine.configs import CORE2
+from repro.ml.logistic import SoftmaxRegression
+from repro.ml.scaling import StandardScaler
+from repro.models.brainy import BrainyModel
+from repro.models.cache import get_or_build_dataset
+
+GROUP = "vector_oo"
+
+
+def test_ablation_linear_vs_ann(benchmark, scale, gen_config, report):
+    def compute():
+        dataset = get_or_build_dataset(GROUP, CORE2, scale)
+        ann = BrainyModel.train(dataset, seed=8)
+
+        scaler = StandardScaler().fit(dataset.X)
+        linear = SoftmaxRegression(
+            n_features=dataset.X.shape[1],
+            n_classes=len(dataset.classes),
+            seed=8,
+        ).fit(scaler.transform(dataset.X), dataset.y)
+
+        group = MODEL_GROUPS[GROUP]
+        ann_correct = linear_correct = total = 0
+        for seed in range(660_000, 660_050):
+            app = generate_app(seed, group, gen_config)
+            oracle = best_candidate(measure_candidates(app, CORE2),
+                                    margin=0.05)
+            if oracle is None:
+                continue
+            features = collect_features(app, CORE2)
+            total += 1
+            ann_correct += ann.predict_kind(features) == oracle
+            linear_label = int(linear.predict(
+                scaler.transform(features.reshape(1, -1))
+            )[0])
+            linear_correct += dataset.classes[linear_label] == oracle
+        return ann_correct, linear_correct, total
+
+    ann_correct, linear_correct, total = run_once(benchmark, compute)
+    report("ablation_linear_model", [
+        f"MLP (paper's choice): {ann_correct}/{total} "
+        f"= {100 * ann_correct / total:.1f}%",
+        f"softmax regression:   {linear_correct}/{total} "
+        f"= {100 * linear_correct / total:.1f}%",
+        "(§5: the paper picks an ANN for the mixed linear/non-linear "
+        "structure; at small training scales the linear model can win "
+        "on variance — see EXPERIMENTS.md)",
+    ])
+    assert total >= 20
+    # Both models must clearly beat the 6-class ~17% chance rate; which
+    # one wins flips with training-set size (small sets favour the
+    # lower-variance linear model).
+    assert linear_correct / total > 0.3
+    assert ann_correct / total > 0.3

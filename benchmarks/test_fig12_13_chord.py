@@ -1,0 +1,107 @@
+"""Figures 12/13: the Chord simulator case study (§6.3).
+
+Figure 12: normalised execution times of vector/map/hash_map per input
+per machine.  Figure 13: the structure each scheme selects — including
+the paper's flagship cross-architecture flip on the Large input (vector
+best on Core2, map best on Atom).
+"""
+
+import pytest
+
+from benchmarks.case_studies import brainy_selection, sweep_primary_site
+from benchmarks.conftest import run_once
+from repro.apps.base import run_case_study
+from repro.apps.chord import ChordSimulator
+from repro.containers.registry import DSKind
+from repro.models.oracle import oracle_select
+
+CANDIDATES = (DSKind.VECTOR, DSKind.MAP, DSKind.HASH_MAP)
+INPUTS = ("small", "medium", "large")
+
+
+@pytest.fixture(scope="module")
+def chord_data(suites, archs, perflint):
+    data = {}
+    for input_name in INPUTS:
+        app = ChordSimulator(input_name)
+        profiled = run_case_study(app, archs["core2"], instrument=True)
+        stats = profiled.profiled["pending_messages"].stats
+        per_arch = {}
+        for arch_name, arch in archs.items():
+            runtimes = sweep_primary_site(app, arch, CANDIDATES)
+            per_arch[arch_name] = {
+                "runtimes": runtimes,
+                "oracle": oracle_select(runtimes),
+                "brainy": brainy_selection(
+                    app, arch, suites[arch_name]
+                ).get("pending_messages", DSKind.VECTOR),
+                # Perflint's set suggestion is read as map (keyed usage).
+                "perflint": perflint.suggest(DSKind.VECTOR, stats,
+                                             keyed=True),
+            }
+        data[input_name] = per_arch
+    return data
+
+
+def test_fig12_normalised_runtimes(benchmark, chord_data, report):
+    data = run_once(benchmark, lambda: chord_data)
+
+    lines = [f"{'input':8s} {'arch':6s} " + " ".join(
+        f"{kind.value:>9s}" for kind in CANDIDATES
+    )]
+    for input_name in INPUTS:
+        for arch_name in ("core2", "atom"):
+            runtimes = data[input_name][arch_name]["runtimes"]
+            base = runtimes[DSKind.VECTOR]
+            cells = " ".join(f"{runtimes[k] / base:9.3f}"
+                             for k in CANDIDATES)
+            lines.append(f"{input_name:8s} {arch_name:6s} {cells}")
+    lines.append("(paper: keyed structures win small/medium; Large "
+                 "flips: vector on Core2, map on Atom)")
+    report("fig12_chord_runtimes", lines)
+
+    large_core2 = data["large"]["core2"]["runtimes"]
+    large_atom = data["large"]["atom"]["runtimes"]
+    assert min(large_core2, key=large_core2.get) == DSKind.VECTOR
+    assert min(large_atom, key=large_atom.get) == DSKind.MAP
+    for arch_name in ("core2", "atom"):
+        medium = data["medium"][arch_name]["runtimes"]
+        assert min(medium, key=medium.get) == DSKind.HASH_MAP
+
+
+def test_fig13_selection_schemes(benchmark, chord_data, report):
+    data = run_once(benchmark, lambda: chord_data)
+
+    lines = [f"{'input':8s} {'scheme':10s} {'core2':>10s} {'atom':>10s}"]
+    agreements = cells = 0
+    for input_name in INPUTS:
+        per_arch = data[input_name]
+        rows = {
+            "baseline": (DSKind.VECTOR, DSKind.VECTOR),
+            "perflint": (per_arch["core2"]["perflint"],
+                         per_arch["atom"]["perflint"]),
+            "brainy": (per_arch["core2"]["brainy"],
+                       per_arch["atom"]["brainy"]),
+            "oracle": (per_arch["core2"]["oracle"],
+                       per_arch["atom"]["oracle"]),
+        }
+        for scheme, (core2_kind, atom_kind) in rows.items():
+            lines.append(f"{input_name:8s} {scheme:10s} "
+                         f"{core2_kind.value:>10s} {atom_kind.value:>10s}")
+        for arch_name in ("core2", "atom"):
+            cells += 1
+            agreements += (per_arch[arch_name]["brainy"]
+                           == per_arch[arch_name]["oracle"])
+    lines.append(f"brainy/oracle agreement: {agreements}/{cells} cells "
+                 "(paper: 6/6; our small input prefers hash_map — "
+                 "deviation documented in EXPERIMENTS.md)")
+    report("fig13_chord_selection", lines)
+
+    assert agreements >= 3
+    # Perflint picks one keyed answer for every input — including Large
+    # on Core2, where the Oracle wants vector: the paper's Perflint
+    # failure mode.
+    perflint_large = data["large"]["core2"]["perflint"]
+    oracle_large = data["large"]["core2"]["oracle"]
+    assert oracle_large == DSKind.VECTOR
+    assert perflint_large != oracle_large

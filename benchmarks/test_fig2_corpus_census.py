@@ -1,0 +1,39 @@
+"""Figure 2: container occurrences across a code corpus.
+
+The paper counted static STL container references in Google Code Search
+to pick its targets; vector, map, list and set dominated.  GCS no longer
+exists, so the census runs over the bundled synthetic corpus (whose draw
+weights encode the paper's reported ranking) with the same lexical
+scanner a code-search backend would use.
+"""
+
+from benchmarks.conftest import run_once
+from repro.reporting import bar_chart
+from repro.corpus.scanner import ranked, scan_corpus
+from repro.corpus.synth import generate_corpus
+
+
+def test_fig2_corpus_census(benchmark, report):
+    def compute():
+        corpus = generate_corpus(files=400, declarations_per_file=14,
+                                 seed=2011)
+        return scan_corpus(corpus), len(corpus)
+
+    counts, n_files = run_once(benchmark, compute)
+    order = ranked(counts)
+    total = sum(counts.values())
+    lines = [f"census over {n_files} synthetic files, "
+             f"{total} container references",
+             f"{'container':10s} {'refs':>6s} {'share':>7s}"]
+    for name, count in order:
+        lines.append(f"{name:10s} {count:6d} {100 * count / total:6.1f}%")
+    lines.append("")
+    lines.append(bar_chart({name: float(count)
+                            for name, count in order if count},
+                           width=36, unit=" refs"))
+    lines.append("(paper: vector, list, set, map are the most common)")
+    report("fig2_corpus_census", lines)
+
+    top4 = {name for name, _ in order[:4]}
+    assert top4 == {"vector", "map", "list", "set"}
+    assert order[0][0] == "vector"

@@ -1,0 +1,24 @@
+"""Figure 7: target system configurations."""
+
+from benchmarks.conftest import run_once
+from repro.machine.configs import config_table
+
+
+def test_fig7_system_configs(benchmark, report):
+    rows = run_once(benchmark, config_table)
+
+    lines = []
+    for row in rows:
+        lines.append(f"{row['machine']:12s} {row['frequency_ghz']} GHz  "
+                     f"L1d {row['l1_data']:14s} L2 {row['l2_unified']:16s} "
+                     f"{row['core']:16s} predictor={row['predictor']}")
+    lines.append("(full rows mirror Figure 7; the scaled presets divide "
+                 "each cache level by 16, preserving ratios — see "
+                 "DESIGN.md)")
+    report("fig7_system_configs", lines)
+
+    by_name = {row["machine"]: row for row in rows}
+    assert by_name["core2-full"]["l2_unified"].startswith("4096 KB")
+    assert by_name["atom-full"]["l2_unified"].startswith("512 KB")
+    assert by_name["core2"]["core"] == "4-wide OoO"
+    assert by_name["atom"]["core"] == "2-wide in-order"

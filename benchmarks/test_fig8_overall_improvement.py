@@ -1,0 +1,79 @@
+"""Figure 8: whole-program improvement from Brainy's replacements.
+
+For each case-study application and machine, run the baseline containers,
+ask Brainy for replacements, apply them, and measure the speedup.  Where
+the optimal structure varies across inputs, the paper reports the best
+result Brainy achieved; this bench does the same.  Paper averages: 27 %
+on Core2, 33 % on Atom (up to 77 %).
+"""
+
+import pytest
+
+from benchmarks.case_studies import (
+    brainy_selection,
+    improvement,
+    measure_with_selection,
+)
+from benchmarks.conftest import run_once
+from repro.reporting import bar_chart
+from repro.apps.base import run_case_study
+from repro.apps.chord import ChordSimulator
+from repro.apps.raytrace import Raytracer
+from repro.apps.relipmoc import Relipmoc
+from repro.apps.xalan import XalanStringCache
+
+APPS = {
+    "xalancbmk": [XalanStringCache(name)
+                  for name in ("test", "train", "reference")],
+    "chord": [ChordSimulator(name)
+              for name in ("small", "medium", "large")],
+    "relipmoc": [Relipmoc("default")],
+    "raytrace": [Raytracer("small")],
+}
+
+
+@pytest.fixture(scope="module")
+def improvements(suites, archs):
+    results = {}
+    for app_name, variants in APPS.items():
+        for arch_name, arch in archs.items():
+            best = 0.0
+            for app in variants:
+                baseline = run_case_study(app, arch).cycles
+                selection = brainy_selection(app, arch,
+                                             suites[arch_name])
+                replaced = measure_with_selection(app, arch, selection)
+                best = max(best, improvement(baseline, replaced))
+            results[(app_name, arch_name)] = best
+    return results
+
+
+def test_fig8_overall_improvement(benchmark, improvements, report):
+    results = run_once(benchmark, lambda: improvements)
+
+    lines = [f"{'application':12s} {'core2':>8s} {'atom':>8s}"]
+    sums = {"core2": 0.0, "atom": 0.0}
+    for app_name in APPS:
+        row = []
+        for arch_name in ("core2", "atom"):
+            value = results[(app_name, arch_name)]
+            sums[arch_name] += value
+            row.append(f"{100 * value:7.1f}%")
+        lines.append(f"{app_name:12s} {row[0]:>8s} {row[1]:>8s}")
+    n_apps = len(APPS)
+    lines.append(f"{'AVERAGE':12s} {100 * sums['core2'] / n_apps:7.1f}% "
+                 f"{100 * sums['atom'] / n_apps:7.1f}%")
+    lines.append("")
+    lines.append(bar_chart(
+        {f"{app} ({arch})": round(100 * results[(app, arch)], 1)
+         for app in APPS for arch in ("core2", "atom")},
+        width=36, unit="%"))
+    lines.append("(paper: averages 27% / 33%, up to 77%)")
+    report("fig8_overall_improvement", lines)
+
+    # Shape: every app improves somewhere; the averages are material.
+    for app_name in APPS:
+        assert max(results[(app_name, "core2")],
+                   results[(app_name, "atom")]) > 0.02, app_name
+    assert sums["core2"] / n_apps > 0.08
+    assert sums["atom"] / n_apps > 0.08

@@ -1,0 +1,64 @@
+"""Figure 9: accuracy of each data-structure selection model.
+
+The paper validates every per-DS model against 1000 freshly generated,
+never-seen applications per microarchitecture: 80-90 % accuracy on Core2,
+70-80 % on Atom.  This bench regenerates the experiment at the configured
+scale (fresh seeded apps, 5 % margin oracle, prediction from the
+original-kind instrumented run) and also prints each model's confusion
+matrix.
+"""
+
+from benchmarks.conftest import run_once
+from repro.containers.registry import MODEL_GROUPS
+from repro.models.validation import validate_model
+
+
+def test_fig9_model_accuracy(benchmark, suites, archs, gen_config, scale,
+                             report):
+    n_apps = scale.validation_apps
+
+    def compute():
+        results = {}
+        for arch_name, arch in archs.items():
+            for group_name, group in MODEL_GROUPS.items():
+                results[(arch_name, group_name)] = validate_model(
+                    suites[arch_name][group_name], group, gen_config,
+                    arch, n_apps, seed_base=500_000,
+                )
+        return results
+
+    results = run_once(benchmark, compute)
+
+    lines = [f"validation: {n_apps} fresh apps per model "
+             f"(margin-filtered)",
+             f"{'model':12s} {'core2':>12s} {'atom':>12s}"]
+    averages = {"core2": [], "atom": []}
+    for group_name in MODEL_GROUPS:
+        cells = []
+        for arch_name in ("core2", "atom"):
+            outcome = results[(arch_name, group_name)]
+            if outcome.total:
+                averages[arch_name].append(outcome.accuracy)
+                cells.append(f"{outcome.correct:3d}/{outcome.total:3d}"
+                             f"={100 * outcome.accuracy:3.0f}%")
+            else:
+                cells.append("   n/a")
+        lines.append(f"{group_name:12s} {cells[0]:>12s} {cells[1]:>12s}")
+    mean_core2 = sum(averages["core2"]) / len(averages["core2"])
+    mean_atom = sum(averages["atom"]) / len(averages["atom"])
+    lines.append(f"{'MEAN':12s} {100 * mean_core2:11.0f}% "
+                 f"{100 * mean_atom:11.0f}%")
+    lines.append("(paper: 80-90% on Core2, 70-80% on Atom)")
+    lines.append("")
+    for group_name in ("vector_oo", "set", "map"):
+        outcome = results[("core2", group_name)]
+        lines.append(f"confusion matrix, {group_name} on core2 "
+                     "(rows = oracle, cols = predicted):")
+        lines.append(outcome.format_confusion())
+        lines.append("")
+    report("fig9_model_accuracy", lines)
+
+    # Shape: clearly better than chance on both machines.  Chance for the
+    # 6-class models is ~17%, for 3-class ~33%.
+    assert mean_core2 > 0.5
+    assert mean_atom > 0.45

@@ -1,0 +1,91 @@
+"""Simulator performance micro-benchmarks.
+
+Unlike the figure regenerators (which run once), these use
+pytest-benchmark's repeated timing to track the *simulator's own* hot
+paths: memory-access simulation, container operations, app generation.
+Useful as a regression harness when optimising the machine model.
+"""
+
+import random
+
+from repro.appgen.config import GeneratorConfig
+from repro.appgen.generator import generate_app
+from repro.containers.registry import DSKind, MODEL_GROUPS, make_container
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+def test_perf_machine_access_stream(benchmark):
+    machine = Machine(CORE2)
+    base = machine.allocator.malloc(64 * 1024)
+
+    def run():
+        for offset in range(0, 64 * 1024, 64):
+            machine.access(base + offset, 8)
+
+    benchmark(run)
+    assert machine.counters().l1_accesses > 0
+
+
+def test_perf_machine_access_random(benchmark):
+    machine = Machine(CORE2)
+    base = machine.allocator.malloc(64 * 1024)
+    rng = random.Random(0)
+    offsets = [rng.randrange(1024) * 64 for _ in range(1024)]
+
+    def run():
+        for offset in offsets:
+            machine.access(base + offset, 8)
+
+    benchmark(run)
+
+
+def test_perf_vector_churn(benchmark):
+    def run():
+        machine = Machine(CORE2)
+        vector = make_container(DSKind.VECTOR, machine, 8)
+        for value in range(300):
+            vector.push_back(value)
+        for value in range(0, 300, 3):
+            vector.erase(value)
+        return machine.cycles
+
+    assert benchmark(run) > 0
+
+
+def test_perf_rbtree_churn(benchmark):
+    def run():
+        machine = Machine(CORE2)
+        tree = make_container(DSKind.SET, machine, 8)
+        rng = random.Random(1)
+        for _ in range(300):
+            tree.insert(rng.randrange(10_000))
+        for _ in range(150):
+            tree.erase(rng.randrange(10_000))
+        return machine.cycles
+
+    assert benchmark(run) > 0
+
+
+def test_perf_hashtable_churn(benchmark):
+    def run():
+        machine = Machine(CORE2)
+        table = make_container(DSKind.HASH_SET, machine, 8)
+        rng = random.Random(2)
+        for _ in range(300):
+            table.insert(rng.randrange(10_000))
+        for _ in range(300):
+            table.find(rng.randrange(10_000))
+        return machine.cycles
+
+    assert benchmark(run) > 0
+
+
+def test_perf_synthetic_app_run(benchmark):
+    config = GeneratorConfig.small()
+    app = generate_app(7, MODEL_GROUPS["vector_oo"], config)
+
+    def run():
+        return app.run(DSKind.VECTOR, CORE2).cycles
+
+    assert benchmark(run) > 0

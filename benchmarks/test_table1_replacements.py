@@ -1,0 +1,24 @@
+"""Table 1: the replacement legality/benefit matrix."""
+
+from benchmarks.conftest import run_once
+from repro.containers.registry import DSKind, candidates_for, replacement_table
+
+
+def test_table1_replacements(benchmark, report):
+    rows = run_once(benchmark, replacement_table)
+
+    lines = [f"{'DS':8s} {'Alternate DS':14s} {'Benefit':26s} "
+             f"{'Limitation':16s}"]
+    for row in rows:
+        lines.append(f"{row['ds']:8s} {row['alternate_ds']:14s} "
+                     f"{row['benefit']:26s} {row['limitation']:16s}")
+    report("table1_replacements", lines)
+
+    # The paper's matrix: 5 vector rows, 5 list rows, 4 set rows, 2 map.
+    per_target = {}
+    for row in rows:
+        per_target[row["ds"]] = per_target.get(row["ds"], 0) + 1
+    assert per_target == {"vector": 5, "list": 5, "set": 4, "map": 2}
+    # And the order-oblivious widening is what creates the 6-class models.
+    assert len(candidates_for(DSKind.VECTOR, True)) == 6
+    assert len(candidates_for(DSKind.LIST, True)) == 6

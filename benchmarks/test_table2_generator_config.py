@@ -1,0 +1,42 @@
+"""Table 2: the application generator's randomised behaviours."""
+
+from benchmarks.conftest import run_once
+from repro.appgen.config import GeneratorConfig
+from repro.appgen.generator import generate_app
+from repro.containers.registry import MODEL_GROUPS
+
+
+def test_table2_generator_config(benchmark, report):
+    def compute():
+        paper = GeneratorConfig.paper()
+        samples = [
+            generate_app(seed, MODEL_GROUPS["vector_oo"], paper).profile
+            for seed in range(5)
+        ]
+        return paper, samples
+
+    paper, samples = run_once(benchmark, compute)
+
+    lines = ["Table 2 configuration (paper specification example):",
+             f"  TotalInterfCalls = {paper.total_interface_calls}",
+             f"  DataElemSize     = {set(paper.data_elem_sizes)}",
+             f"  MaxInsertVal     = {paper.max_insert_val}",
+             f"  MaxRemoveVal     = {paper.max_remove_val}",
+             f"  MaxSearchVal     = {paper.max_search_val}",
+             f"  MaxIterCount     = {paper.max_iter_count}",
+             "",
+             "Five sampled application behaviours:"]
+    for i, profile in enumerate(samples):
+        mix = ", ".join(f"{op}={w:.2f}"
+                        for op, w in zip(profile.ops, profile.op_weights)
+                        if w > 0)
+        lines.append(f"  app {i}: elem={profile.elem_size}B "
+                     f"insert_pos={profile.insert_position:7s} "
+                     f"prefill={profile.prefill:4d}  mix: {mix}")
+    report("table2_generator_config", lines)
+
+    assert paper.total_interface_calls == 1000
+    assert paper.max_insert_val == 65536
+    # Behaviours genuinely vary across seeds.
+    assert len({s.insert_position for s in samples}
+               | {s.elem_size for s in samples}) >= 3

@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Bring your own application: wrap custom code for Brainy to advise.
+
+This is the adoption path a downstream user follows: subclass
+:class:`~repro.apps.base.CaseStudyApp`, declare the container *sites*
+your program uses, write ``execute`` against the handed-in containers,
+and the whole toolchain — profiling, trace, advisor, candidate sweeps —
+works unchanged.
+
+The example app is a small job scheduler: a run queue of job IDs that is
+polled (find), dispatched from (erase), and topped up (insert), plus a
+completed-set consulted for deduplication — a shape that genuinely
+flips its best containers with load.
+
+Run: ``python examples/custom_app.py``
+"""
+
+import random
+
+from repro import CORE2, DSKind
+from repro.apps.base import CaseStudyApp, Site, run_case_study
+from repro.core.evaluation import evaluate_advice, sweep_site
+from repro.models.cache import get_or_train_suite
+
+
+class JobScheduler(CaseStudyApp):
+    """A toy scheduler whose queues are Brainy-advisable sites."""
+
+    name = "scheduler"
+
+    def __init__(self, jobs: int = 800, backlog: int = 200,
+                 seed: int = 9) -> None:
+        self.jobs = jobs
+        self.backlog = backlog
+        self.seed = seed
+
+    def sites(self):
+        return (
+            # The run queue: searched by job id before dispatch.
+            Site(name="run_queue", default_kind=DSKind.VECTOR,
+                 elem_size=8, order_oblivious=True),
+            # Completed-job set: membership checks only.
+            Site(name="completed", default_kind=DSKind.VECTOR,
+                 elem_size=8, order_oblivious=True),
+        )
+
+    def execute(self, machine, containers):
+        run_queue = containers["run_queue"]
+        completed = containers["completed"]
+        rng = random.Random(self.seed)
+        next_job = 0
+        dispatched = 0
+        duplicates = 0
+
+        # Fill the initial backlog.
+        while next_job < self.backlog:
+            run_queue.push_back(next_job)
+            next_job += 1
+
+        for _ in range(self.jobs):
+            machine.instr(120)  # scheduling bookkeeping
+            # Dedup check: has this job already completed?
+            probe = rng.randrange(max(1, next_job))
+            if completed.find(probe):
+                duplicates += 1
+            # Dispatch a random pending job.
+            if len(run_queue) > 0:
+                victim = rng.randrange(next_job)
+                if run_queue.find(victim):
+                    run_queue.erase(victim)
+                    completed.push_back(victim)
+                    dispatched += 1
+            # Keep the backlog topped up.
+            if len(run_queue) < self.backlog:
+                run_queue.push_back(next_job)
+                next_job += 1
+        return {"dispatched": dispatched, "duplicates": duplicates}
+
+
+def main() -> None:
+    app = JobScheduler()
+    baseline = run_case_study(app, CORE2, instrument=True)
+    print("baseline run:", baseline.output,
+          f"({baseline.cycles:,} cycles)")
+    print("\nper-site candidate sweep (cycles):")
+    for site in app.sites():
+        runtimes = sweep_site(app, CORE2, site_name=site.name)
+        row = "  ".join(f"{kind.value}={cycles:,}"
+                        for kind, cycles in runtimes.items())
+        print(f"  {site.name:10s} {row}")
+
+    suite = get_or_train_suite(CORE2)
+    outcome = evaluate_advice(app, CORE2, suite)
+    print("\nbrainy selection:",
+          {name: kind.value for name, kind in outcome["selection"].items()})
+    print(f"advised run: {outcome['advised_cycles']:,} cycles "
+          f"({outcome['improvement']:.1%} improvement)")
+
+
+if __name__ == "__main__":
+    main()

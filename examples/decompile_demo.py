@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Decompile i386 assembly to C (the RelipmoC substrate, paper §6.4).
+
+Generates a synthetic assembly listing, runs the full decompiler pipeline
+(parse → basic blocks → CFG → dominators/loops/liveness → structure
+recovery → C emission) against the simulated machine, shows a slice of
+the decompiled output, and demonstrates the paper's replacement: the
+basic-block set as a red-black tree versus an AVL tree.
+
+Run: ``python examples/decompile_demo.py``
+"""
+
+from repro import CORE2, ATOM, DSKind
+from repro.apps import Relipmoc
+from repro.apps.base import run_case_study
+from repro.decompiler import generate_assembly, parse_assembly
+
+
+def main() -> None:
+    assembly = generate_assembly(functions=2, nesting=2, seed=42)
+    print("=== input assembly (head) ===")
+    print("\n".join(assembly.splitlines()[:16]))
+    print(f"... ({len(assembly.splitlines())} lines, "
+          f"{len(parse_assembly(assembly))} instructions)")
+
+    app = Relipmoc("small")
+    result = run_case_study(app, CORE2)
+    output = result.output
+    print("\n=== decompilation summary ===")
+    for key in ("functions", "blocks", "loops", "conditionals", "c_lines"):
+        print(f"  {key:12s} {output[key]}")
+    print("\n=== decompiled C (head) ===")
+    print("\n".join(output["c_source"].splitlines()[:18]))
+
+    print("\n=== container replacement: set -> avl_set ===")
+    for arch in (CORE2, ATOM):
+        cycles = {
+            kind.value: run_case_study(
+                app, arch, kinds={"basic_blocks": kind}
+            ).cycles
+            for kind in (DSKind.SET, DSKind.AVL_SET)
+        }
+        improvement = 1 - cycles["avl_set"] / cycles["set"]
+        print(f"  {arch.name:5s} set={cycles['set']:>12,}  "
+              f"avl_set={cycles['avl_set']:>12,}  "
+              f"improvement={improvement:.1%}")
+
+
+if __name__ == "__main__":
+    main()

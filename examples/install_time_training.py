@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Install-time model training (the paper's deployment model, §1/§4).
+
+"The application generator and the configuration file can be distributed
+with the data structure library, and can be used to train the machine
+learning model at install-time for the specific hardware of the system."
+
+This example does exactly that for both simulated machines: train (or
+load from the cache) a full six-model suite per architecture, then print
+each model's validation accuracy on freshly generated, never-seen
+applications — the Figure 9 experiment in miniature.
+
+Run: ``REPRO_SCALE=tiny python examples/install_time_training.py``
+(tiny keeps it to a few minutes; higher scales improve accuracy)
+"""
+
+from repro import CORE2, ATOM, GeneratorConfig
+from repro.containers.registry import MODEL_GROUPS
+from repro.models.cache import current_scale, get_or_train_suite
+from repro.models.validation import validate_model
+
+
+def validate(suite, group, config, machine_config, n_apps: int) -> str:
+    outcome = validate_model(suite[group.name], group, config,
+                             machine_config, n_apps, seed_base=800_000)
+    if outcome.total == 0:
+        return "n/a"
+    return (f"{outcome.correct}/{outcome.total} "
+            f"= {outcome.accuracy:.0%}")
+
+
+def main() -> None:
+    scale = current_scale()
+    config = GeneratorConfig()
+    print(f"Scale tier: {scale.name} "
+          f"(set REPRO_SCALE to tiny/small/default/large)")
+    for machine_config in (CORE2, ATOM):
+        print(f"\n=== training suite for {machine_config.name} ===")
+        suite = get_or_train_suite(machine_config, scale)
+        for group_name in ("vector", "vector_oo", "set", "map"):
+            group = MODEL_GROUPS[group_name]
+            accuracy = validate(suite, group, config, machine_config,
+                                n_apps=max(10, scale.validation_apps // 4))
+            print(f"  {group_name:10s} unseen-app accuracy: {accuracy}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The Xalancbmk case study (paper §6.2, Figures 10/11).
+
+For each program input (test / train / reference) and each simulated
+microarchitecture (Core2 / Atom), measure the string cache's busy list as
+vector, set and hash_set; then compare what the Oracle, Brainy and
+Perflint each select.  The paper's shape: hash_set wins the deep-probing
+test/reference inputs, plain vector wins the shallow-probing train input,
+and Perflint — limited to the vector-to-set comparison — misadvises on
+the train input.
+
+Run: ``python examples/xalan_case_study.py``  (a few minutes; trains a
+small model suite on first use and caches it under .cache/)
+"""
+
+from repro import CORE2, ATOM, DSKind, oracle_select
+from repro.apps import XalanStringCache
+from repro.apps.base import run_case_study
+from repro.core import BrainyAdvisor
+from repro.models import PerflintModel
+from repro.models.cache import get_or_train_suite
+
+CANDIDATES = (DSKind.VECTOR, DSKind.SET, DSKind.HASH_SET)
+
+
+def main() -> None:
+    perflint = PerflintModel.fit_synthetic(CORE2, n_apps=30)
+    for arch in (CORE2, ATOM):
+        print(f"\n=== {arch.name} ===")
+        suite = get_or_train_suite(arch)
+        advisor = BrainyAdvisor(suite)
+        for input_name in ("test", "train", "reference"):
+            app = XalanStringCache(input_name)
+            runtimes = {
+                kind: run_case_study(
+                    app, arch, kinds={"m_busyList": kind}
+                ).cycles
+                for kind in CANDIDATES
+            }
+            base = runtimes[DSKind.VECTOR]
+            normalised = {k.value: round(v / base, 3)
+                          for k, v in runtimes.items()}
+
+            oracle = oracle_select(runtimes)
+            report = advisor.advise_app(app, arch)
+            brainy = report.replacements().get(
+                "xalancbmk:m_busyList", DSKind.VECTOR
+            )
+            baseline_run = run_case_study(app, arch, instrument=True)
+            stats = baseline_run.profiled["m_busyList"].stats
+            perflint_pick = perflint.suggest(DSKind.VECTOR, stats)
+
+            print(f"{input_name:9s} normalised times: {normalised}")
+            print(f"{'':9s} oracle={oracle.value}  brainy={brainy.value}  "
+                  f"perflint={perflint_pick.value}")
+
+
+if __name__ == "__main__":
+    main()

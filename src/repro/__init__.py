@@ -1,0 +1,58 @@
+"""repro — a reproduction of *Brainy: Effective Selection of Data
+Structures* (Jung, Rus, Railing, Clark, Pande; PLDI 2011).
+
+Brainy profiles how a program uses each container — interface mix,
+per-operation costs, and hardware events — and predicts, with one neural
+network per container kind, which alternative implementation would run
+fastest for that program, input, and microarchitecture.
+
+Quickstart::
+
+    from repro import (BrainyAdvisor, BrainySuite, GeneratorConfig,
+                       CORE2)
+
+    suite = BrainySuite.train(CORE2, GeneratorConfig(),
+                              per_class_target=25, max_seeds=250)
+    # ... profile an application, then:
+    # report = BrainyAdvisor(suite).advise_app(app, CORE2)
+
+See ``examples/quickstart.py`` for the end-to-end flow and DESIGN.md for
+the system inventory.
+"""
+
+from repro.appgen import GeneratorConfig, SyntheticApp, generate_app
+from repro.containers import Container, DSKind, make_container
+from repro.core import BrainyAdvisor, Report, Suggestion
+from repro.instrumentation import FEATURE_NAMES, ProfiledContainer
+from repro.machine import ATOM, CORE2, Machine, MachineConfig, PerfCounters
+from repro.models import BrainyModel, BrainySuite, PerflintModel, oracle_select
+from repro.training import TrainingSet, run_phase1, run_phase2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ATOM",
+    "BrainyAdvisor",
+    "BrainyModel",
+    "BrainySuite",
+    "CORE2",
+    "Container",
+    "DSKind",
+    "FEATURE_NAMES",
+    "GeneratorConfig",
+    "Machine",
+    "MachineConfig",
+    "PerfCounters",
+    "PerflintModel",
+    "ProfiledContainer",
+    "Report",
+    "Suggestion",
+    "SyntheticApp",
+    "TrainingSet",
+    "generate_app",
+    "make_container",
+    "oracle_select",
+    "run_phase1",
+    "run_phase2",
+    "__version__",
+]

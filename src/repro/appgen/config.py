@@ -1,0 +1,108 @@
+"""Generator configuration (the paper's Table 2 configuration file).
+
+:class:`GeneratorConfig` fixes the knobs shared by every generated
+application (total interface invocations, the element-size menu, maximum
+insert/remove/search values, maximum iteration count);
+:class:`BehaviorProfile` is the per-application random draw made from a
+seed within those bounds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class GeneratorConfig:
+    """Bounds shared by all generated applications (Table 2)."""
+
+    #: ``TotalInterfCalls``: constant across generated apps.
+    total_interface_calls: int = 400
+    #: ``DataElemSize`` menu.
+    data_elem_sizes: tuple[int, ...] = (4, 8, 16, 32, 64)
+    #: ``MaxInsertVal`` / ``MaxRemoveVal`` / ``MaxSearchVal`` ceilings.
+    max_insert_val: int = 4096
+    max_remove_val: int = 4096
+    max_search_val: int = 4096
+    #: ``MaxIterCount``: ceiling for one iterate call's steps.
+    max_iter_count: int = 256
+    #: Elements optionally inserted before the dispatch loop starts, so
+    #: steady-state sizes vary across apps.
+    max_prefill: int = 256
+    #: Map-payload size menu (map model group only).
+    payload_sizes: tuple[int, ...] = (8, 16, 32)
+    #: Dirichlet-ish concentration for the interface-mix draw; smaller
+    #: values produce more skewed mixes.
+    mix_concentration: float = 0.6
+    #: Probability that any given interface is dropped from an app's mix
+    #: entirely (§4.1: apps may use only a subset of the interface).
+    drop_interface_probability: float = 0.25
+    #: Probability that an app's searches are *skewed* (drawn mostly from
+    #: a small hot set) rather than uniform.  Disabled by default; the
+    #: splay-tree extension experiments enable it.
+    skewed_search_probability: float = 0.0
+    #: Number of hot keys a skewed app concentrates its searches on.
+    hot_set_size: int = 8
+
+    def __post_init__(self) -> None:
+        if self.total_interface_calls <= 0:
+            raise ValueError("total_interface_calls must be positive")
+        if not self.data_elem_sizes:
+            raise ValueError("data_elem_sizes must be non-empty")
+
+    @classmethod
+    def paper(cls) -> "GeneratorConfig":
+        """The specification example from Table 2 (expensive to simulate)."""
+        return cls(
+            total_interface_calls=1000,
+            max_insert_val=65536,
+            max_remove_val=65536,
+            max_search_val=65536,
+            max_iter_count=65536,
+            max_prefill=2048,
+        )
+
+    @classmethod
+    def small(cls) -> "GeneratorConfig":
+        """A fast configuration for unit tests."""
+        return cls(
+            total_interface_calls=120,
+            max_insert_val=512,
+            max_remove_val=512,
+            max_search_val=512,
+            max_iter_count=64,
+            max_prefill=64,
+        )
+
+
+@dataclass(frozen=True)
+class BehaviorProfile:
+    """The per-application random draw (derived from the seed).
+
+    Everything a generated application does is determined by this profile
+    plus the seeded dispatch loop.
+    """
+
+    #: Interface names, aligned with :attr:`op_weights`.
+    ops: tuple[str, ...]
+    #: Invocation-probability weights (sum to 1).
+    op_weights: tuple[float, ...]
+    elem_size: int
+    payload_size: int
+    max_insert_val: int
+    max_remove_val: int
+    max_search_val: int
+    max_iter_count: int
+    #: Position policy for sequence inserts.
+    insert_position: str  # "front" | "back" | "middle" | "uniform"
+    prefill: int
+    total_calls: int
+    #: Fraction of find calls drawn from a small hot set (0 = uniform).
+    search_skew: float = 0.0
+    hot_set_size: int = 8
+
+    def weight_of(self, op: str) -> float:
+        try:
+            return self.op_weights[self.ops.index(op)]
+        except ValueError:
+            return 0.0

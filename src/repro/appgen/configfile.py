@@ -1,0 +1,107 @@
+"""Table 2 configuration-file parsing.
+
+The paper envisions the application generator "and the configuration
+file" being distributed with the data structure library and used at
+install time.  Table 2 shows the file's syntax::
+
+    TotalInterfCalls = 1000
+    DataElemSize     = {4, 8, 64}
+    MaxInsertVal     = 65536
+    MaxRemoveVal     = 65536
+    MaxSearchVal     = 65536
+    MaxIterCount     = 65536
+
+This module reads and writes that format, mapping the paper's key names
+onto :class:`~repro.appgen.config.GeneratorConfig` fields (unknown keys
+are rejected so typos fail loudly).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.appgen.config import GeneratorConfig
+
+#: Paper key -> GeneratorConfig field.
+_KEY_MAP = {
+    "TotalInterfCalls": "total_interface_calls",
+    "DataElemSize": "data_elem_sizes",
+    "MaxInsertVal": "max_insert_val",
+    "MaxRemoveVal": "max_remove_val",
+    "MaxSearchVal": "max_search_val",
+    "MaxIterCount": "max_iter_count",
+    "MaxPrefill": "max_prefill",
+    "PayloadSizes": "payload_sizes",
+    "MixConcentration": "mix_concentration",
+    "DropInterfaceProb": "drop_interface_probability",
+    "SkewedSearchProb": "skewed_search_probability",
+    "HotSetSize": "hot_set_size",
+}
+_FIELD_MAP = {field: key for key, field in _KEY_MAP.items()}
+
+_SET_RE = re.compile(r"^\{(.*)\}$")
+_LINE_RE = re.compile(r"^\s*([A-Za-z]+)\s*=\s*(.+?)\s*$")
+
+
+class ConfigSyntaxError(ValueError):
+    """Raised on malformed configuration input."""
+
+
+def _parse_value(text: str):
+    set_match = _SET_RE.match(text)
+    if set_match:
+        inner = set_match.group(1).strip()
+        if not inner:
+            raise ConfigSyntaxError("empty set value")
+        return tuple(int(part.strip()) for part in inner.split(","))
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ConfigSyntaxError(f"cannot parse value {text!r}") from None
+
+
+def parse_config(text: str) -> GeneratorConfig:
+    """Parse Table 2-style text into a :class:`GeneratorConfig`."""
+    overrides = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].split(";", 1)[0].strip()
+        if not line:
+            continue
+        match = _LINE_RE.match(line)
+        if not match:
+            raise ConfigSyntaxError(f"line {lineno}: cannot parse {raw!r}")
+        key, value_text = match.group(1), match.group(2)
+        if key not in _KEY_MAP:
+            raise ConfigSyntaxError(
+                f"line {lineno}: unknown key {key!r} "
+                f"(known: {sorted(_KEY_MAP)})"
+            )
+        overrides[_KEY_MAP[key]] = _parse_value(value_text)
+    return GeneratorConfig(**overrides)
+
+
+def load_config(path: str | Path) -> GeneratorConfig:
+    """Read a configuration file from disk."""
+    return parse_config(Path(path).read_text())
+
+
+def dump_config(config: GeneratorConfig) -> str:
+    """Render a config in the Table 2 file format."""
+    lines = ["# Brainy application-generator configuration (Table 2)"]
+    for field, key in _FIELD_MAP.items():
+        value = getattr(config, field)
+        if isinstance(value, tuple):
+            rendered = "{" + ", ".join(str(v) for v in value) + "}"
+        else:
+            rendered = str(value)
+        lines.append(f"{key} = {rendered}")
+    return "\n".join(lines) + "\n"
+
+
+def save_config(config: GeneratorConfig, path: str | Path) -> None:
+    Path(path).write_text(dump_config(config))

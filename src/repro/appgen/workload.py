@@ -1,0 +1,53 @@
+"""Phase-I/II measurement helpers over synthetic applications."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.appgen.generator import SyntheticApp
+from repro.containers.registry import DSKind
+from repro.machine.configs import CORE2, MachineConfig
+
+#: Phase I's margin: a data structure is recorded as best only when it is
+#: at least this much faster than every alternative (the paper uses 5 %).
+DEFAULT_MARGIN = 0.05
+
+
+def measure_candidates(app: SyntheticApp,
+                       machine_config: MachineConfig = CORE2,
+                       ) -> dict[DSKind, int]:
+    """Run the app once per legal candidate; return cycles per kind."""
+    return {
+        kind: app.run(kind, machine_config).cycles
+        for kind in app.group.classes
+    }
+
+
+def best_candidate(runtimes: dict[DSKind, int],
+                   margin: float = DEFAULT_MARGIN) -> DSKind | None:
+    """The winning kind, or None when no kind clears the margin.
+
+    The paper records the best data structure only if it is ``margin``
+    faster than *any* other candidate, preventing a barely-best structure
+    from polluting the training set.
+    """
+    if len(runtimes) < 2:
+        raise ValueError("need at least two candidates to compare")
+    ordered = sorted(runtimes.items(), key=lambda item: item[1])
+    (best_kind, best_cycles), (_, second_cycles) = ordered[0], ordered[1]
+    if best_cycles <= 0:
+        return best_kind
+    if second_cycles / best_cycles >= 1.0 + margin:
+        return best_kind
+    return None
+
+
+def collect_features(app: SyntheticApp,
+                     machine_config: MachineConfig = CORE2) -> np.ndarray:
+    """Phase II: replay the app on its *original* kind, instrumented.
+
+    Brainy models how the original data structure behaves (§7), so the
+    feature vector always comes from the original-kind run.
+    """
+    run = app.run(app.group.original, machine_config, instrument=True)
+    return run.features()

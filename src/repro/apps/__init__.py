@@ -1,0 +1,30 @@
+"""The paper's four evaluation applications (§6.2-§6.5), re-implemented.
+
+Each application's container-relevant core runs against the simulated
+machine: its container sites are declared explicitly so the harness can
+swap implementations (Baseline / Perflint / Brainy / Oracle) and measure
+the resulting simulated execution time, while the surrounding application
+work (routing, parsing, shading, ...) also issues machine events and
+pollutes the caches like real interleaved code does.
+"""
+
+from repro.apps.base import AppResult, CaseStudyApp, Site, run_case_study
+from repro.apps.chord import CHORD_INPUTS, ChordSimulator
+from repro.apps.raytrace import RAYTRACE_SCENES, Raytracer
+from repro.apps.relipmoc import RELIPMOC_INPUTS, Relipmoc
+from repro.apps.xalan import XALAN_INPUTS, XalanStringCache
+
+__all__ = [
+    "AppResult",
+    "CHORD_INPUTS",
+    "CaseStudyApp",
+    "ChordSimulator",
+    "RAYTRACE_SCENES",
+    "RELIPMOC_INPUTS",
+    "Raytracer",
+    "Relipmoc",
+    "Site",
+    "XALAN_INPUTS",
+    "XalanStringCache",
+    "run_case_study",
+]

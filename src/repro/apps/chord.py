@@ -1,0 +1,224 @@
+"""Chord distributed-lookup simulator (§6.3).
+
+A real Chord implementation: N nodes on a 2^m identifier ring, each with
+a successor pointer and an m-entry finger table; lookups route greedily
+via the closest-preceding-finger rule.  Every routing hop sends a query
+message whose record is appended to a *pending list of routing messages*;
+when the response arrives the simulator locates the record with
+``std::find_if`` on the message ID and drops it.
+
+That pending list — a vector in the original code — is the experiment's
+container site.  It is *keyed* usage (searched by the ID field), so the
+legal replacements are the map family.  The inputs differ in how many
+messages are in flight and in what order responses return, which controls
+how deep the vector scans probe: the input-dependent behaviour behind
+Figure 12/13's flips between vector, map and hash_map.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.base import CaseStudyApp, Site
+from repro.containers.registry import DSKind
+
+
+@dataclass(frozen=True)
+class ChordInput:
+    """One simulation input (the paper's Small/Medium/Large)."""
+
+    name: str
+    nodes: int
+    id_bits: int
+    lookups: int
+    #: Maximum messages in flight before a response must be consumed.
+    inflight_window: int
+    #: Response arrival order: "fifo" (network delivers in order; the
+    #: searched record sits near the front), "random", or "lifo".
+    response_order: str
+    #: Per-hop routing work (instructions).
+    hop_work: int
+    #: Every this many lookups, sweep the pending list for timed-out
+    #: messages (a full iterate).  0 disables sweeping.
+    sweep_every: int
+
+
+CHORD_INPUTS: dict[str, ChordInput] = {
+    # Small pending list, randomly-ordered responses: keyed lookup wins,
+    # but the hash's per-operation overhead is not yet amortised -> map.
+    "small": ChordInput(
+        name="small", nodes=32, id_bits=12, lookups=400,
+        inflight_window=140, response_order="random", hop_work=60,
+        sweep_every=0,
+    ),
+    # Deep pending list and scattered responses: hash_map territory.
+    "medium": ChordInput(
+        name="medium", nodes=64, id_bits=14, lookups=500,
+        inflight_window=420, response_order="random", hop_work=60,
+        sweep_every=0,
+    ),
+    # Long simulation whose responses mostly return in order, so the
+    # vector finds its record near the head -- cheap predictable scans
+    # that the out-of-order Core2 hides (vector best) but the in-order
+    # Atom does not (map best): the paper's cross-architecture split.
+    "large": ChordInput(
+        name="large", nodes=128, id_bits=16, lookups=1400,
+        inflight_window=80, response_order="random", hop_work=80,
+        sweep_every=2,
+    ),
+}
+
+
+class _Ring:
+    """The Chord ring: sorted node identifiers plus finger tables."""
+
+    def __init__(self, nodes: int, id_bits: int, rng: random.Random) -> None:
+        space = 1 << id_bits
+        self.id_bits = id_bits
+        self.space = space
+        self.ids = sorted(rng.sample(range(space), nodes))
+        self.fingers: dict[int, list[int]] = {
+            node: [self.successor((node + (1 << k)) % space)
+                   for k in range(id_bits)]
+            for node in self.ids
+        }
+
+    def successor(self, key: int) -> int:
+        """First node clockwise from ``key``."""
+        ids = self.ids
+        lo, hi = 0, len(ids)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if ids[mid] < key:
+                lo = mid + 1
+            else:
+                hi = mid
+        return ids[lo % len(ids)]
+
+    def _in_interval(self, x: int, a: int, b: int) -> bool:
+        """x in (a, b) on the ring."""
+        if a < b:
+            return a < x < b
+        return x > a or x < b
+
+    def route(self, start: int, key: int) -> list[int]:
+        """Greedy finger routing; returns the node path (including start)."""
+        path = [start]
+        node = start
+        target = self.successor(key)
+        for _ in range(4 * self.id_bits):  # safety bound
+            if node == target:
+                break
+            nxt = None
+            for finger in reversed(self.fingers[node]):
+                if self._in_interval(finger, node, key) or finger == target:
+                    nxt = finger
+                    break
+            if nxt is None or nxt == node:
+                nxt = self.successor((node + 1) % self.space)
+            path.append(nxt)
+            node = nxt
+        return path
+
+
+class ChordSimulator(CaseStudyApp):
+    """The container-relevant core of the Chord simulator."""
+
+    name = "chord"
+
+    #: A routing-message record: 8-byte ID + payload (source, target,
+    #: hop count, timestamps).
+    _KEY_SIZE = 8
+    _PAYLOAD = 24
+
+    def __init__(self, input_name: str = "small", seed: int = 1993) -> None:
+        if input_name not in CHORD_INPUTS:
+            raise ValueError(
+                f"unknown input {input_name!r}; "
+                f"choose from {sorted(CHORD_INPUTS)}"
+            )
+        self.input = CHORD_INPUTS[input_name]
+        self.seed = seed
+
+    def sites(self) -> tuple[Site, ...]:
+        return (
+            Site(
+                name="pending_messages",
+                default_kind=DSKind.VECTOR,
+                elem_size=self._KEY_SIZE,
+                payload_size=self._PAYLOAD,
+                order_oblivious=True,
+                keyed=True,
+            ),
+        )
+
+    def _completion_index(self, rng: random.Random, outstanding: int) -> int:
+        order = self.input.response_order
+        if order == "fifo":
+            # Mostly in-order delivery with a little network jitter.
+            return min(int(rng.expovariate(1 / 2.0)), outstanding - 1)
+        if order == "lifo":
+            return outstanding - 1 - min(int(rng.expovariate(1 / 2.0)),
+                                         outstanding - 1)
+        if order == "random":
+            return rng.randrange(outstanding)
+        raise AssertionError(order)  # pragma: no cover
+
+    def execute(self, machine, containers) -> dict[str, int]:
+        pending = containers["pending_messages"]
+        spec = self.input
+        rng = random.Random(self.seed)
+        ring = _Ring(spec.nodes, spec.id_bits, rng)
+
+        # The ring's own memory: finger tables the router touches per hop.
+        finger_mem = {
+            node: machine.malloc(spec.id_bits * 8) for node in ring.ids
+        }
+
+        outstanding: list[int] = []  # message ids, send order
+        next_msg_id = 1
+        total_hops = 0
+        failed = 0
+        completed = 0
+
+        def complete_one() -> None:
+            nonlocal completed
+            idx = self._completion_index(rng, len(outstanding))
+            msg_id = outstanding.pop(idx)
+            # The simulator's find_if + erase on the pending list.
+            if pending.find(msg_id):
+                pending.erase(msg_id)
+                completed += 1
+
+        for lookup_index in range(spec.lookups):
+            if spec.sweep_every and lookup_index % spec.sweep_every == 0:
+                # Timeout sweep over the pending list.
+                pending.iterate(len(pending))
+            key = rng.randrange(ring.space)
+            start = rng.choice(ring.ids)
+            path = ring.route(start, key)
+            total_hops += len(path) - 1
+            if ring.successor(key) != path[-1]:
+                failed += 1
+            for node in path[1:] or path[:1]:
+                # Per-hop routing work: finger-table probes + bookkeeping.
+                machine.access(finger_mem[node], spec.id_bits * 8)
+                machine.instr(spec.hop_work)
+                msg_id = next_msg_id
+                next_msg_id += 1
+                pending.insert(msg_id, len(pending))
+                outstanding.append(msg_id)
+                while len(outstanding) > spec.inflight_window:
+                    complete_one()
+
+        while outstanding:
+            complete_one()
+
+        return {
+            "lookups": spec.lookups,
+            "hops": total_hops,
+            "messages": next_msg_id - 1,
+            "failed": failed,
+            "completed": completed,
+        }

@@ -1,0 +1,173 @@
+"""Xalancbmk's string cache (§6.2).
+
+Xalancbmk transforms XML documents with XSLT.  It keeps a two-level
+string cache — ``m_busyList`` and ``m_availableList``, both vectors.
+``XalanDOMStringCache::release`` looks the string up in the busy list
+(``find``), and on success moves it to the available list.  How deep
+those finds probe, and how often the *first* element of the busy list is
+erased, varies dramatically across the test/train/reference inputs
+(Table 4) — which is exactly what makes the best container input-dependent:
+hash_set for the deep-searching test/reference inputs, plain vector for
+the shallow-searching train input.
+
+The driver below regenerates that structure: documents are "transformed"
+(surrounding app work that pollutes the caches), strings are allocated
+into the busy list, and releases pick victims by *insertion age* according
+to the input's search-depth profile, so a vector implementation scans
+exactly as deep as the profile dictates while keyed implementations pay
+their constant lookup costs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.apps.base import CaseStudyApp, Site
+from repro.containers.registry import DSKind
+
+
+@dataclass(frozen=True)
+class XalanInput:
+    """One program input (the SPEC-style test/train/reference trio)."""
+
+    name: str
+    documents: int
+    strings_per_document: int
+    releases_per_document: int
+    #: Victim-age profile: "shallow" releases recently-checked old strings
+    #: (vector finds them immediately), "deep" releases strings far from
+    #: the front, "uniform" is uniform.
+    depth_profile: str
+    #: Probability a release victimises the current head of the busy list
+    #: (the train input's pathological head-erase pattern).
+    head_erase_rate: float
+    #: Probability a release probes for a string that is not cached
+    #: (forcing a full scan in sequence implementations).
+    miss_rate: float
+    #: Per-document surrounding transformation work (instructions).
+    document_work: int
+
+
+XALAN_INPUTS: dict[str, XalanInput] = {
+    # Few finds, but probing deep into a sizeable cache (Table 4: average
+    # of ~870 elements touched per find).
+    "test": XalanInput(
+        name="test", documents=10, strings_per_document=150,
+        releases_per_document=40, depth_profile="deep",
+        head_erase_rate=0.02, miss_rate=0.15, document_work=4000,
+    ),
+    # Many finds that almost all succeed right at the head, plus frequent
+    # head erases ("pretty problematic for vector", yet vector wins).
+    "train": XalanInput(
+        name="train", documents=160, strings_per_document=40,
+        releases_per_document=40, depth_profile="shallow",
+        head_erase_rate=0.45, miss_rate=0.01, document_work=2500,
+    ),
+    # The most finds, probing deepest (Table 4: ~1300 touched per find).
+    "reference": XalanInput(
+        name="reference", documents=220, strings_per_document=60,
+        releases_per_document=55, depth_profile="deep",
+        head_erase_rate=0.03, miss_rate=0.10, document_work=3000,
+    ),
+}
+
+
+class XalanStringCache(CaseStudyApp):
+    """The container-relevant core of Xalancbmk."""
+
+    name = "xalancbmk"
+
+    #: String descriptors are pointer-sized handles.
+    _ELEM_SIZE = 8
+
+    def __init__(self, input_name: str = "test", seed: int = 2011) -> None:
+        if input_name not in XALAN_INPUTS:
+            raise ValueError(
+                f"unknown input {input_name!r}; "
+                f"choose from {sorted(XALAN_INPUTS)}"
+            )
+        self.input = XALAN_INPUTS[input_name]
+        self.seed = seed
+
+    def sites(self) -> tuple[Site, ...]:
+        return (
+            Site(
+                name="m_busyList",
+                default_kind=DSKind.VECTOR,
+                elem_size=self._ELEM_SIZE,
+                order_oblivious=True,  # cache membership, order-free
+            ),
+            Site(
+                name="m_availableList",
+                default_kind=DSKind.VECTOR,
+                elem_size=self._ELEM_SIZE,
+                order_oblivious=True,
+            ),
+        )
+
+    def _pick_victim(self, rng: random.Random, live: list[int]) -> int:
+        """Index into ``live`` (insertion order) per the depth profile."""
+        size = len(live)
+        profile = self.input.depth_profile
+        if profile == "shallow":
+            idx = min(int(rng.expovariate(1 / 4.0)), size - 1)
+        elif profile == "deep":
+            idx = size - 1 - min(int(rng.expovariate(1 / (size * 0.35 + 1))),
+                                 size - 1)
+        elif profile == "uniform":
+            idx = rng.randrange(size)
+        else:  # pragma: no cover - validated at construction
+            raise AssertionError(profile)
+        return idx
+
+    def execute(self, machine, containers) -> dict[str, int]:
+        busy = containers["m_busyList"]
+        avail = containers["m_availableList"]
+        spec = self.input
+        rng = random.Random(self.seed)
+        next_string_id = 1
+        live: list[int] = []  # live string ids in insertion order
+        released = 0
+        reused = 0
+
+        for _ in range(spec.documents):
+            # Parse + transform the document: surrounding application work
+            # that occupies the caches between container calls.
+            machine.instr(spec.document_work)
+            doc_buffer = machine.malloc(2048)
+            machine.access(doc_buffer, 2048)
+
+            # Allocate fresh strings into the cache's busy list, reusing
+            # available entries first (like the real two-level cache, which
+            # always prefers its free list, so it stays near-empty).
+            for _ in range(spec.strings_per_document):
+                if len(avail) > 0:
+                    avail.erase(avail.to_list()[0])
+                    reused += 1
+                string_id = next_string_id
+                next_string_id += 1
+                busy.push_back(string_id)
+                live.append(string_id)
+
+            # Release strings: find in the busy list, move to available.
+            for _ in range(spec.releases_per_document):
+                if not live:
+                    break
+                if rng.random() < spec.miss_rate:
+                    # Probe for a string that was never cached.
+                    busy.find(-rng.randrange(1, 1 << 30))
+                    continue
+                if rng.random() < spec.head_erase_rate:
+                    idx = 0
+                else:
+                    idx = self._pick_victim(rng, live)
+                victim = live.pop(idx)
+                if busy.find(victim):
+                    busy.erase(victim)
+                    avail.push_back(victim)
+                    released += 1
+
+            machine.free(doc_buffer)
+        return {"released": released, "reused": reused,
+                "live": len(live), "allocated": next_string_id - 1}

@@ -1,0 +1,193 @@
+"""Command-line interface.
+
+Five subcommands mirror the tool's lifecycle:
+
+* ``repro train``   — install-time training for a machine (Phase I+II+ANN)
+* ``repro advise``  — profile a case-study app and print the report
+* ``repro census``  — the Figure 2 container census over a corpus
+* ``repro appgen``  — generate one synthetic application's trace summary
+* ``repro validate`` — the Figure 9 protocol for one model group
+
+Run ``python -m repro.cli --help`` (or any subcommand's ``--help``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.appgen.config import GeneratorConfig
+from repro.appgen.configfile import load_config
+from repro.appgen.generator import generate_app
+from repro.appgen.workload import best_candidate, measure_candidates
+from repro.apps import (
+    ChordSimulator,
+    Raytracer,
+    Relipmoc,
+    XalanStringCache,
+)
+from repro.containers.registry import MODEL_GROUPS
+from repro.core.advisor import BrainyAdvisor
+from repro.corpus.scanner import ranked, scan_corpus
+from repro.corpus.synth import generate_corpus
+from repro.machine.configs import ATOM, CORE2, MachineConfig
+from repro.models.cache import SCALES, get_or_train_suite
+from repro.models.validation import validate_model
+from repro.reporting import bar_chart, format_table
+
+_MACHINES: dict[str, MachineConfig] = {"core2": CORE2, "atom": ATOM}
+
+_APPS = {
+    "xalan": (XalanStringCache, ("test", "train", "reference")),
+    "chord": (ChordSimulator, ("small", "medium", "large")),
+    "relipmoc": (Relipmoc, ("small", "default", "large")),
+    "raytrace": (Raytracer, ("small", "default", "large")),
+}
+
+
+def _machine(name: str) -> MachineConfig:
+    return _MACHINES[name]
+
+
+def _load_generator_config(path: str | None) -> GeneratorConfig:
+    if path is None:
+        return GeneratorConfig()
+    return load_config(Path(path))
+
+
+def cmd_train(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    scale = SCALES[args.scale]
+    config = _load_generator_config(args.config)
+    print(f"training suite for {machine.name} at scale {scale.name} ...")
+    suite = get_or_train_suite(machine, scale, config=config,
+                               force=args.force)
+    print(f"models: {', '.join(sorted(suite.models))}")
+    return 0
+
+
+def cmd_advise(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    app_cls, inputs = _APPS[args.app]
+    input_name = args.input or inputs[0]
+    if input_name not in inputs:
+        print(f"error: unknown input {input_name!r}; choose from {inputs}",
+              file=sys.stderr)
+        return 2
+    suite = get_or_train_suite(machine, SCALES[args.scale])
+    advisor = BrainyAdvisor(suite)
+    report = advisor.advise_app(app_cls(input_name), machine)
+    print(report.format())
+    return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    corpus = generate_corpus(files=args.files, seed=args.seed)
+    counts = scan_corpus(corpus)
+    order = dict(ranked(counts))
+    print(bar_chart({name: float(count)
+                     for name, count in order.items() if count}))
+    return 0
+
+
+def cmd_appgen(args: argparse.Namespace) -> int:
+    config = _load_generator_config(args.config)
+    group = MODEL_GROUPS[args.group]
+    machine = _machine(args.machine)
+    app = generate_app(args.seed, group, config)
+    profile = app.profile
+    mix = {op: f"{weight:.2f}"
+           for op, weight in zip(profile.ops, profile.op_weights)}
+    print(f"seed {args.seed}, group {group.name}: elem={profile.elem_size}B "
+          f"prefill={profile.prefill} mix={mix}")
+    runtimes = measure_candidates(app, machine)
+    rows = [[kind.value, f"{cycles:,}"]
+            for kind, cycles in sorted(runtimes.items(),
+                                       key=lambda kv: kv[1])]
+    print(format_table(["candidate", "cycles"], rows, align_right=[1]))
+    best = best_candidate(runtimes)
+    print(f"best (5% margin): {best.value if best else 'none'}")
+    return 0
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    machine = _machine(args.machine)
+    config = _load_generator_config(args.config)
+    suite = get_or_train_suite(machine, SCALES[args.scale])
+    group = MODEL_GROUPS[args.group]
+    outcome = validate_model(suite[group.name], group, config, machine,
+                             args.apps, seed_base=args.seed_base)
+    print(f"{group.name} on {machine.name}: "
+          f"{outcome.correct}/{outcome.total} "
+          f"= {100 * outcome.accuracy:.0f}% "
+          f"({outcome.skipped} apps had no margin winner)")
+    print(outcome.format_confusion())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Brainy (PLDI 2011) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    train = sub.add_parser("train", help="install-time model training")
+    train.add_argument("--machine", choices=sorted(_MACHINES),
+                       default="core2")
+    train.add_argument("--scale", choices=sorted(SCALES), default="small")
+    train.add_argument("--config", help="Table 2 configuration file")
+    train.add_argument("--force", action="store_true",
+                       help="retrain even if cached")
+    train.set_defaults(fn=cmd_train)
+
+    advise = sub.add_parser("advise",
+                            help="advise a case-study application")
+    advise.add_argument("app", choices=sorted(_APPS))
+    advise.add_argument("--input", help="application input set")
+    advise.add_argument("--machine", choices=sorted(_MACHINES),
+                        default="core2")
+    advise.add_argument("--scale", choices=sorted(SCALES),
+                        default="small")
+    advise.set_defaults(fn=cmd_advise)
+
+    census = sub.add_parser("census", help="Figure 2 container census")
+    census.add_argument("--files", type=int, default=200)
+    census.add_argument("--seed", type=int, default=0)
+    census.set_defaults(fn=cmd_census)
+
+    appgen = sub.add_parser("appgen",
+                            help="generate + measure one synthetic app")
+    appgen.add_argument("seed", type=int)
+    appgen.add_argument("--group", choices=sorted(MODEL_GROUPS),
+                        default="vector_oo")
+    appgen.add_argument("--machine", choices=sorted(_MACHINES),
+                        default="core2")
+    appgen.add_argument("--config", help="Table 2 configuration file")
+    appgen.set_defaults(fn=cmd_appgen)
+
+    validate = sub.add_parser(
+        "validate", help="Figure 9 validation for one model group"
+    )
+    validate.add_argument("--group", choices=sorted(MODEL_GROUPS),
+                          default="vector_oo")
+    validate.add_argument("--machine", choices=sorted(_MACHINES),
+                          default="core2")
+    validate.add_argument("--scale", choices=sorted(SCALES),
+                          default="small")
+    validate.add_argument("--apps", type=int, default=40)
+    validate.add_argument("--seed-base", type=int, default=500_000)
+    validate.add_argument("--config", help="Table 2 configuration file")
+    validate.set_defaults(fn=cmd_validate)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    raise SystemExit(main())

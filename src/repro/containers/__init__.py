@@ -1,0 +1,73 @@
+"""From-scratch container implementations (the paper's modified STL).
+
+Nine container kinds mirror the paper's Table 1 universe:
+
+========== =============================================
+kind       implementation
+========== =============================================
+vector     dynamic array, geometric growth
+list       doubly-linked list
+deque      chunked double-ended queue
+set        red-black tree (unique+duplicate values)
+avl_set    AVL tree
+hash_set   separate-chaining hash table
+map        red-black tree keyed with payloads
+avl_map    AVL tree keyed with payloads
+hash_map   separate-chaining hash table with payloads
+========== =============================================
+
+All containers implement the same abstract multiset/map interface
+(:class:`Container`) so a workload can be replayed unchanged against every
+candidate, and all of them execute against a simulated
+:class:`~repro.machine.Machine` so every operation produces realistic
+cache, branch and allocation events.
+"""
+
+from repro.containers.adapters import (
+    AVLMap,
+    AVLSet,
+    HashMap,
+    HashSet,
+    TreeMap,
+    TreeSet,
+)
+from repro.containers.base import Container, OpCost
+from repro.containers.deque import ChunkedDeque
+from repro.containers.linked_list import DoublyLinkedList
+from repro.containers.registry import (
+    DSKind,
+    EXTENDED_REPLACEMENTS,
+    MODEL_GROUPS,
+    REPLACEMENTS,
+    candidates_for,
+    is_map_kind,
+    make_container,
+    replacement_table,
+)
+from repro.containers.sorted_vector import SortedVector
+from repro.containers.splaytree import SplayTree
+from repro.containers.vector import DynamicArray
+
+__all__ = [
+    "AVLMap",
+    "AVLSet",
+    "ChunkedDeque",
+    "Container",
+    "DSKind",
+    "DoublyLinkedList",
+    "DynamicArray",
+    "EXTENDED_REPLACEMENTS",
+    "HashMap",
+    "HashSet",
+    "MODEL_GROUPS",
+    "OpCost",
+    "SortedVector",
+    "SplayTree",
+    "REPLACEMENTS",
+    "TreeMap",
+    "TreeSet",
+    "candidates_for",
+    "is_map_kind",
+    "make_container",
+    "replacement_table",
+]

@@ -1,0 +1,76 @@
+"""Concrete container kinds over the three tree/hash cores.
+
+The set-like kinds store bare values; the map-like kinds store keys with
+``payload_size`` extra bytes per element (defaulting to 8), making node
+and copy footprints larger — which matters to the cache model.  Map kinds
+additionally offer a ``put``/``get``/``remove`` convenience vocabulary.
+"""
+
+from __future__ import annotations
+
+from repro.containers.avltree import AVLTree
+from repro.containers.hashtable import HashTable
+from repro.containers.rbtree import RedBlackTree
+
+_DEFAULT_MAP_PAYLOAD = 8
+
+
+class _MapMixin:
+    """Key/payload vocabulary over a value-keyed container."""
+
+    def put(self, key: int) -> int:
+        return self.insert(key)  # type: ignore[attr-defined]
+
+    def get(self, key: int) -> bool:
+        return self.find(key)  # type: ignore[attr-defined]
+
+    def remove(self, key: int) -> int:
+        return self.erase(key)  # type: ignore[attr-defined]
+
+
+class TreeSet(RedBlackTree):
+    """``std::set``: red-black tree of values."""
+
+    kind = "set"
+
+
+class TreeMap(_MapMixin, RedBlackTree):
+    """``std::map``: red-black tree of keys carrying payloads."""
+
+    kind = "map"
+
+    def __init__(self, machine, elem_size: int = 8,
+                 payload_size: int = _DEFAULT_MAP_PAYLOAD) -> None:
+        super().__init__(machine, elem_size, payload_size)
+
+
+class AVLSet(AVLTree):
+    """``avl_set``: AVL tree of values."""
+
+    kind = "avl_set"
+
+
+class AVLMap(_MapMixin, AVLTree):
+    """``avl_map``: AVL tree of keys carrying payloads."""
+
+    kind = "avl_map"
+
+    def __init__(self, machine, elem_size: int = 8,
+                 payload_size: int = _DEFAULT_MAP_PAYLOAD) -> None:
+        super().__init__(machine, elem_size, payload_size)
+
+
+class HashSet(HashTable):
+    """``hash_set``: chained hash table of values."""
+
+    kind = "hash_set"
+
+
+class HashMap(_MapMixin, HashTable):
+    """``hash_map``: chained hash table of keys carrying payloads."""
+
+    kind = "hash_map"
+
+    def __init__(self, machine, elem_size: int = 8,
+                 payload_size: int = _DEFAULT_MAP_PAYLOAD) -> None:
+        super().__init__(machine, elem_size, payload_size)

@@ -1,0 +1,284 @@
+"""``avl_set``/``avl_map`` core: an AVL tree.
+
+AVL trees keep a stricter balance than red-black trees (height bounded by
+~1.44 log2 n versus ~2 log2 n), so searches touch fewer nodes at the cost
+of more rotations on updates.  That trade is exactly why the paper's
+RelipmoC case study (find-heavy basic-block sets) wins by replacing
+``set`` with ``avl_set`` (§6.4).
+
+Duplicates descend right (multiset semantics), matching the red-black
+implementation.
+"""
+
+from __future__ import annotations
+
+from repro.containers.base import Container
+
+_PC_DIR = 0x51
+_PC_ITER = 0x52
+_PC_BALANCE = 0x53
+
+_INSTR_PER_LEVEL = 3
+_INSTR_ROTATE = 10
+_NODE_OVERHEAD = 24  # left/right pointers + height word
+
+
+class _AVLNode:
+    __slots__ = ("value", "left", "right", "height", "addr")
+
+    def __init__(self, value: int, addr: int) -> None:
+        self.value = value
+        self.left: _AVLNode | None = None
+        self.right: _AVLNode | None = None
+        self.height = 1
+        self.addr = addr
+
+
+def _height(node: _AVLNode | None) -> int:
+    return node.height if node is not None else 0
+
+
+def _balance(node: _AVLNode) -> int:
+    return _height(node.left) - _height(node.right)
+
+
+class AVLTree(Container):
+    """Height-balanced binary search tree."""
+
+    kind = "avl_set"
+
+    def __init__(self, machine, elem_size: int = 8,
+                 payload_size: int = 0) -> None:
+        super().__init__(machine, elem_size, payload_size)
+        self._root: _AVLNode | None = None
+        self._size = 0
+
+    @property
+    def _node_bytes(self) -> int:
+        return _NODE_OVERHEAD + self.element_bytes
+
+    def _touch(self, node: _AVLNode) -> None:
+        self.machine.access(node.addr, self._node_bytes)
+
+    # -- rotations ---------------------------------------------------------
+
+    def _update_height(self, node: _AVLNode) -> None:
+        node.height = 1 + max(_height(node.left), _height(node.right))
+
+    def _rotate_right(self, y: _AVLNode) -> _AVLNode:
+        x = y.left
+        assert x is not None
+        y.left = x.right
+        x.right = y
+        self._update_height(y)
+        self._update_height(x)
+        self._touch(x)
+        self._touch(y)
+        self.machine.instr(_INSTR_ROTATE)
+        return x
+
+    def _rotate_left(self, x: _AVLNode) -> _AVLNode:
+        y = x.right
+        assert y is not None
+        x.right = y.left
+        y.left = x
+        self._update_height(x)
+        self._update_height(y)
+        self._touch(x)
+        self._touch(y)
+        self.machine.instr(_INSTR_ROTATE)
+        return y
+
+    def _rebalance(self, node: _AVLNode) -> _AVLNode:
+        # Recomputing and storing the height dirties the node on the
+        # way back up -- the classic AVL update overhead RB trees avoid.
+        self._update_height(node)
+        self.machine.instr(3)
+        self._touch(node)
+        balance = _balance(node)
+        unbalanced = balance > 1 or balance < -1
+        self.machine.branch(_PC_BALANCE, unbalanced)
+        if not unbalanced:
+            return node
+        if balance > 1:
+            assert node.left is not None
+            if _balance(node.left) < 0:
+                node.left = self._rotate_left(node.left)
+            return self._rotate_right(node)
+        assert node.right is not None
+        if _balance(node.right) > 0:
+            node.right = self._rotate_right(node.right)
+        return self._rotate_left(node)
+
+    # -- insert --------------------------------------------------------------
+
+    def insert(self, value: int, hint: int | None = None) -> int:
+        self._dispatch()
+        touched = 0
+
+        def rec(node: _AVLNode | None) -> _AVLNode:
+            nonlocal touched
+            machine = self.machine
+            if node is None:
+                addr = machine.malloc(self._node_bytes)
+                fresh = _AVLNode(value, addr)
+                machine.access(addr, self._node_bytes)
+                return fresh
+            machine.access(node.addr, self._node_bytes)
+            machine.instr(self._cmp_instr + 1)
+            touched += 1
+            go_left = value < node.value
+            machine.branch(_PC_DIR, go_left)
+            if go_left:
+                node.left = rec(node.left)
+            else:
+                node.right = rec(node.right)
+            return self._rebalance(node)
+
+        self._root = rec(self._root)
+        self._size += 1
+        self.stats.inserts += 1
+        self.stats.insert_cost += touched
+        self.stats.note_size(self._size)
+        return touched
+
+    # -- erase ---------------------------------------------------------------
+
+    def erase(self, value: int) -> int:
+        self._dispatch()
+        touched = 0
+        erased = False
+
+        def pop_min(node: _AVLNode) -> tuple[_AVLNode, _AVLNode | None]:
+            """Remove and return the minimum node of a subtree."""
+            self._touch(node)
+            if node.left is None:
+                return node, node.right
+            minimum, node.left = pop_min(node.left)
+            return minimum, self._rebalance(node)
+
+        def rec(node: _AVLNode | None) -> _AVLNode | None:
+            nonlocal touched, erased
+            machine = self.machine
+            if node is None:
+                return None
+            machine.access(node.addr, self._node_bytes)
+            machine.instr(self._cmp_instr + 1)
+            touched += 1
+            if value == node.value:
+                erased = True
+                machine.free(node.addr)
+                if node.left is None:
+                    return node.right
+                if node.right is None:
+                    return node.left
+                successor, rest = pop_min(node.right)
+                successor.left = node.left
+                successor.right = rest
+                self._touch(successor)
+                return self._rebalance(successor)
+            go_left = value < node.value
+            machine.branch(_PC_DIR, go_left)
+            if go_left:
+                node.left = rec(node.left)
+            else:
+                node.right = rec(node.right)
+            return self._rebalance(node)
+
+        self._root = rec(self._root)
+        if erased:
+            self._size -= 1
+        self.stats.erases += 1
+        self.stats.erase_cost += touched
+        return touched
+
+    # -- queries ---------------------------------------------------------------
+
+    def find(self, value: int) -> bool:
+        self._dispatch()
+        machine = self.machine
+        nb = self._node_bytes
+        node = self._root
+        touched = 0
+        found = False
+        while node is not None:
+            machine.access(node.addr, nb)
+            machine.instr(self._cmp_instr + 1)
+            touched += 1
+            if value == node.value:
+                found = True
+                break
+            go_left = value < node.value
+            machine.branch(_PC_DIR, go_left)
+            node = node.left if go_left else node.right
+        self.stats.finds += 1
+        self.stats.find_cost += touched
+        return found
+
+    def iterate(self, steps: int) -> int:
+        self._dispatch()
+        machine = self.machine
+        nb = self._node_bytes
+        visited = 0
+        stack: list[_AVLNode] = []
+        node = self._root
+        while (stack or node is not None) and visited < steps:
+            while node is not None:
+                machine.access(node.addr, nb)
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            machine.instr(self._cmp_instr + 1)
+            visited += 1
+            node = node.right
+        if visited:
+            machine.loop_branches(_PC_ITER, visited)
+        self.stats.iterates += 1
+        self.stats.iterate_cost += visited
+        return visited
+
+    def __len__(self) -> int:
+        return self._size
+
+    def to_list(self) -> list[int]:
+        out: list[int] = []
+        stack: list[_AVLNode] = []
+        node = self._root
+        while stack or node is not None:
+            while node is not None:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            out.append(node.value)
+            node = node.right
+        return out
+
+    def clear(self) -> None:
+        stack = [self._root] if self._root is not None else []
+        while stack:
+            node = stack.pop()
+            if node.left is not None:
+                stack.append(node.left)
+            if node.right is not None:
+                stack.append(node.right)
+            self.machine.free(node.addr)
+        self._root = None
+        self._size = 0
+
+    # -- invariant checking (test hook) -------------------------------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError on any AVL property violation."""
+
+        def walk(node: _AVLNode | None, lo: float, hi: float) -> int:
+            if node is None:
+                return 0
+            assert lo <= node.value <= hi, "BST ordering violated"
+            left_h = walk(node.left, lo, node.value)
+            right_h = walk(node.right, node.value, hi)
+            assert abs(left_h - right_h) <= 1, "AVL balance violated"
+            assert node.height == 1 + max(left_h, right_h), "stale height"
+            return node.height
+
+        walk(self._root, float("-inf"), float("inf"))
+        assert len(self.to_list()) == self._size

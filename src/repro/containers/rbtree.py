@@ -1,0 +1,419 @@
+"""``set``/``map`` core: a red-black tree.
+
+A full CLRS-style red-black tree with parent pointers, insert/delete
+fixups and rotations.  Values compare as integers; duplicates are allowed
+(equal keys descend right), giving multiset semantics so the logical state
+matches the sequence containers under an identical operation stream.
+
+Machine events: every level of a descent loads one node and resolves one
+data-dependent direction branch (the ~50 %-mispredicting comparisons that
+make tree search branchy on real hardware); rotations and fixups touch the
+nodes they relink.
+"""
+
+from __future__ import annotations
+
+from repro.containers.base import Container
+
+_PC_DIR = 0x41
+_PC_FIXUP = 0x42
+_PC_ITER = 0x43
+
+_INSTR_PER_LEVEL = 3
+_INSTR_ROTATE = 8
+_NODE_OVERHEAD = 32  # left/right/parent pointers + colour word
+
+_RED = True
+_BLACK = False
+
+
+class _RBNode:
+    __slots__ = ("value", "left", "right", "parent", "red", "addr")
+
+    def __init__(self, value: int, addr: int, nil: "_RBNode | None") -> None:
+        self.value = value
+        self.left = nil
+        self.right = nil
+        self.parent = nil
+        self.red = _RED
+        self.addr = addr
+
+
+class RedBlackTree(Container):
+    """Red-black tree (``std::set``/``std::map`` analogue)."""
+
+    kind = "set"
+
+    def __init__(self, machine, elem_size: int = 8,
+                 payload_size: int = 0) -> None:
+        super().__init__(machine, elem_size, payload_size)
+        self._nil = _RBNode(0, 0, None)
+        self._nil.red = _BLACK
+        self._nil.left = self._nil.right = self._nil.parent = self._nil
+        self._root = self._nil
+        self._size = 0
+
+    @property
+    def _node_bytes(self) -> int:
+        return _NODE_OVERHEAD + self.element_bytes
+
+    def _touch(self, node: _RBNode) -> None:
+        if node is not self._nil:
+            self.machine.access(node.addr, self._node_bytes)
+
+    # -- rotations ---------------------------------------------------------
+
+    def _rotate_left(self, x: _RBNode) -> None:
+        machine = self.machine
+        y = x.right
+        x.right = y.left
+        if y.left is not self._nil:
+            y.left.parent = x
+            self._touch(y.left)
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.left:
+            x.parent.left = y
+        else:
+            x.parent.right = y
+        y.left = x
+        x.parent = y
+        self._touch(x)
+        self._touch(y)
+        machine.instr(_INSTR_ROTATE)
+
+    def _rotate_right(self, x: _RBNode) -> None:
+        machine = self.machine
+        y = x.left
+        x.left = y.right
+        if y.right is not self._nil:
+            y.right.parent = x
+            self._touch(y.right)
+        y.parent = x.parent
+        if x.parent is self._nil:
+            self._root = y
+        elif x is x.parent.right:
+            x.parent.right = y
+        else:
+            x.parent.left = y
+        y.right = x
+        x.parent = y
+        self._touch(x)
+        self._touch(y)
+        machine.instr(_INSTR_ROTATE)
+
+    # -- search -------------------------------------------------------------
+
+    def _descend(self, value: int) -> tuple[_RBNode, int]:
+        """Walk from the root towards ``value``.
+
+        Returns ``(node or nil, levels touched)``; stops at the first
+        equal node (like ``std::set::find``).
+        """
+        machine = self.machine
+        nil = self._nil
+        node = self._root
+        touched = 0
+        nb = self._node_bytes
+        while node is not nil:
+            machine.access(node.addr, nb)
+            machine.instr(self._cmp_instr + 1)
+            touched += 1
+            if value == node.value:
+                return node, touched
+            go_left = value < node.value
+            machine.branch(_PC_DIR, go_left)
+            node = node.left if go_left else node.right
+        return nil, touched
+
+    # -- insert --------------------------------------------------------------
+
+    def insert(self, value: int, hint: int | None = None) -> int:
+        self._dispatch()
+        machine = self.machine
+        nil = self._nil
+        parent = nil
+        node = self._root
+        touched = 0
+        nb = self._node_bytes
+        while node is not nil:
+            machine.access(node.addr, nb)
+            machine.instr(self._cmp_instr + 1)
+            touched += 1
+            parent = node
+            go_left = value < node.value
+            machine.branch(_PC_DIR, go_left)
+            node = node.left if go_left else node.right
+        addr = machine.malloc(nb)
+        fresh = _RBNode(value, addr, nil)
+        fresh.parent = parent
+        if parent is nil:
+            self._root = fresh
+        elif value < parent.value:
+            parent.left = fresh
+        else:
+            parent.right = fresh
+        machine.access(addr, nb)  # write the new node
+        if parent is not nil:
+            self._touch(parent)
+        self._insert_fixup(fresh)
+        self._size += 1
+        self.stats.inserts += 1
+        self.stats.insert_cost += touched
+        self.stats.note_size(self._size)
+        return touched
+
+    def _insert_fixup(self, z: _RBNode) -> None:
+        machine = self.machine
+        while z.parent.red:
+            machine.branch(_PC_FIXUP, True)
+            grand = z.parent.parent
+            if z.parent is grand.left:
+                uncle = grand.right
+                self._touch(uncle)
+                if uncle.red:
+                    z.parent.red = _BLACK
+                    uncle.red = _BLACK
+                    grand.red = _RED
+                    self._touch(z.parent)
+                    self._touch(grand)
+                    z = grand
+                else:
+                    if z is z.parent.right:
+                        z = z.parent
+                        self._rotate_left(z)
+                    z.parent.red = _BLACK
+                    grand.red = _RED
+                    self._rotate_right(grand)
+            else:
+                uncle = grand.left
+                self._touch(uncle)
+                if uncle.red:
+                    z.parent.red = _BLACK
+                    uncle.red = _BLACK
+                    grand.red = _RED
+                    self._touch(z.parent)
+                    self._touch(grand)
+                    z = grand
+                else:
+                    if z is z.parent.left:
+                        z = z.parent
+                        self._rotate_right(z)
+                    z.parent.red = _BLACK
+                    grand.red = _RED
+                    self._rotate_left(grand)
+        machine.branch(_PC_FIXUP, False)
+        self._root.red = _BLACK
+
+    # -- erase ---------------------------------------------------------------
+
+    def _transplant(self, u: _RBNode, v: _RBNode) -> None:
+        if u.parent is self._nil:
+            self._root = v
+        elif u is u.parent.left:
+            u.parent.left = v
+        else:
+            u.parent.right = v
+        v.parent = u.parent
+
+    def _minimum(self, node: _RBNode) -> _RBNode:
+        nil = self._nil
+        while node.left is not nil:
+            self._touch(node)
+            node = node.left
+        return node
+
+    def erase(self, value: int) -> int:
+        self._dispatch()
+        z, touched = self._descend(value)
+        self.stats.erases += 1
+        self.stats.erase_cost += touched
+        if z is self._nil:
+            return touched
+        machine = self.machine
+        nil = self._nil
+        y = z
+        y_was_red = y.red
+        if z.left is nil:
+            x = z.right
+            self._transplant(z, z.right)
+        elif z.right is nil:
+            x = z.left
+            self._transplant(z, z.left)
+        else:
+            y = self._minimum(z.right)
+            y_was_red = y.red
+            x = y.right
+            if y.parent is z:
+                x.parent = y
+            else:
+                self._transplant(y, y.right)
+                y.right = z.right
+                y.right.parent = y
+            self._transplant(z, y)
+            y.left = z.left
+            y.left.parent = y
+            y.red = z.red
+            self._touch(y)
+        machine.free(z.addr)
+        if not y_was_red:
+            self._erase_fixup(x)
+        self._size -= 1
+        return touched
+
+    def _erase_fixup(self, x: _RBNode) -> None:
+        machine = self.machine
+        while x is not self._root and not x.red:
+            machine.branch(_PC_FIXUP, True)
+            if x is x.parent.left:
+                w = x.parent.right
+                self._touch(w)
+                if w.red:
+                    w.red = _BLACK
+                    x.parent.red = _RED
+                    self._rotate_left(x.parent)
+                    w = x.parent.right
+                    self._touch(w)
+                if not w.left.red and not w.right.red:
+                    w.red = _RED
+                    x = x.parent
+                else:
+                    if not w.right.red:
+                        w.left.red = _BLACK
+                        w.red = _RED
+                        self._rotate_right(w)
+                        w = x.parent.right
+                        self._touch(w)
+                    w.red = x.parent.red
+                    x.parent.red = _BLACK
+                    w.right.red = _BLACK
+                    self._rotate_left(x.parent)
+                    x = self._root
+            else:
+                w = x.parent.left
+                self._touch(w)
+                if w.red:
+                    w.red = _BLACK
+                    x.parent.red = _RED
+                    self._rotate_right(x.parent)
+                    w = x.parent.left
+                    self._touch(w)
+                if not w.right.red and not w.left.red:
+                    w.red = _RED
+                    x = x.parent
+                else:
+                    if not w.left.red:
+                        w.right.red = _BLACK
+                        w.red = _RED
+                        self._rotate_left(w)
+                        w = x.parent.left
+                        self._touch(w)
+                    w.red = x.parent.red
+                    x.parent.red = _BLACK
+                    w.left.red = _BLACK
+                    self._rotate_right(x.parent)
+                    x = self._root
+        machine.branch(_PC_FIXUP, False)
+        x.red = _BLACK
+
+    # -- queries ---------------------------------------------------------------
+
+    def find(self, value: int) -> bool:
+        self._dispatch()
+        node, touched = self._descend(value)
+        self.stats.finds += 1
+        self.stats.find_cost += touched
+        return node is not self._nil
+
+    def iterate(self, steps: int) -> int:
+        """In-order walk from the minimum, chasing node pointers."""
+        self._dispatch()
+        machine = self.machine
+        nil = self._nil
+        nb = self._node_bytes
+        visited = 0
+        if self._root is not nil and steps > 0:
+            node = self._root
+            while node.left is not nil:
+                machine.access(node.addr, nb)
+                node = node.left
+            while node is not nil and visited < steps:
+                machine.access(node.addr, nb)
+                machine.instr(self._cmp_instr + 1)
+                visited += 1
+                node = self._successor(node)
+            machine.loop_branches(_PC_ITER, visited)
+        self.stats.iterates += 1
+        self.stats.iterate_cost += visited
+        return visited
+
+    def _successor(self, node: _RBNode) -> _RBNode:
+        nil = self._nil
+        machine = self.machine
+        nb = self._node_bytes
+        if node.right is not nil:
+            node = node.right
+            while node.left is not nil:
+                machine.access(node.addr, nb)
+                node = node.left
+            return node
+        parent = node.parent
+        while parent is not nil and node is parent.right:
+            machine.access(parent.addr, nb)
+            node = parent
+            parent = parent.parent
+        return parent
+
+    def __len__(self) -> int:
+        return self._size
+
+    def to_list(self) -> list[int]:
+        out: list[int] = []
+        stack: list[_RBNode] = []
+        node = self._root
+        nil = self._nil
+        while stack or node is not nil:
+            while node is not nil:
+                stack.append(node)
+                node = node.left
+            node = stack.pop()
+            out.append(node.value)
+            node = node.right
+        return out
+
+    def clear(self) -> None:
+        stack = [self._root] if self._root is not self._nil else []
+        nil = self._nil
+        while stack:
+            node = stack.pop()
+            if node.left is not nil:
+                stack.append(node.left)
+            if node.right is not nil:
+                stack.append(node.right)
+            self.machine.free(node.addr)
+        self._root = nil
+        self._size = 0
+
+    # -- invariant checking (test hook; no machine events) -----------------
+
+    def check_invariants(self) -> None:
+        """Raise AssertionError if any red-black property is violated."""
+        nil = self._nil
+        assert not self._root.red, "root must be black"
+        assert not nil.red, "nil must be black"
+
+        def walk(node: _RBNode, lo: float, hi: float) -> int:
+            if node is nil:
+                return 1
+            assert lo <= node.value <= hi, "BST ordering violated"
+            if node.red:
+                assert not node.left.red and not node.right.red, \
+                    "red node with red child"
+            left_bh = walk(node.left, lo, node.value)
+            right_bh = walk(node.right, node.value, hi)
+            assert left_bh == right_bh, "black heights differ"
+            return left_bh + (0 if node.red else 1)
+
+        walk(self._root, float("-inf"), float("inf"))
+        assert len(self.to_list()) == self._size

@@ -1,0 +1,235 @@
+"""Container-kind registry and the paper's Table 1 replacement matrix.
+
+``DSKind`` names the nine kinds, ``REPLACEMENTS`` encodes which kind may
+legally replace which (with the paper's benefit/limitation annotations),
+and ``MODEL_GROUPS`` defines the six per-original-DS model groups of
+Figure 3 / Table 3 — vector and list each get a second, *order-oblivious*
+model whose candidate set widens to the ordered/hashed kinds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.containers.adapters import (
+    AVLMap,
+    AVLSet,
+    HashMap,
+    HashSet,
+    TreeMap,
+    TreeSet,
+)
+from repro.containers.base import Container
+from repro.containers.deque import ChunkedDeque
+from repro.containers.linked_list import DoublyLinkedList
+from repro.containers.sorted_vector import SortedVector
+from repro.containers.splaytree import SplayTree
+from repro.containers.vector import DynamicArray
+from repro.machine.machine import Machine
+
+
+class DSKind(str, Enum):
+    """The nine container kinds of the paper's Table 1."""
+
+    VECTOR = "vector"
+    LIST = "list"
+    DEQUE = "deque"
+    SET = "set"
+    MAP = "map"
+    AVL_SET = "avl_set"
+    AVL_MAP = "avl_map"
+    HASH_SET = "hash_set"
+    HASH_MAP = "hash_map"
+    # Extension kinds (§3: "other implementations could easily be added
+    # to the cost model construction system"); not part of Table 1.
+    SPLAY_SET = "splay_set"
+    SPLAY_MAP = "splay_map"
+    SORTED_VECTOR = "sorted_vector"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class _SplayMap(SplayTree):
+    """Keyed splay tree (extension kind)."""
+
+    kind = "splay_map"
+
+    def __init__(self, machine, elem_size: int = 8,
+                 payload_size: int = 8) -> None:
+        super().__init__(machine, elem_size, payload_size)
+
+
+_CLASSES: dict[DSKind, type[Container]] = {
+    DSKind.VECTOR: DynamicArray,
+    DSKind.LIST: DoublyLinkedList,
+    DSKind.DEQUE: ChunkedDeque,
+    DSKind.SET: TreeSet,
+    DSKind.MAP: TreeMap,
+    DSKind.AVL_SET: AVLSet,
+    DSKind.AVL_MAP: AVLMap,
+    DSKind.HASH_SET: HashSet,
+    DSKind.HASH_MAP: HashMap,
+    DSKind.SPLAY_SET: SplayTree,
+    DSKind.SPLAY_MAP: _SplayMap,
+    DSKind.SORTED_VECTOR: SortedVector,
+}
+
+#: Kinds whose elements carry a mapped payload.
+_MAP_KINDS = frozenset({DSKind.MAP, DSKind.AVL_MAP, DSKind.HASH_MAP,
+                        DSKind.SPLAY_MAP})
+
+
+def is_map_kind(kind: DSKind) -> bool:
+    return kind in _MAP_KINDS
+
+
+_TO_MAP = {
+    DSKind.SET: DSKind.MAP,
+    DSKind.AVL_SET: DSKind.AVL_MAP,
+    DSKind.HASH_SET: DSKind.HASH_MAP,
+    DSKind.SPLAY_SET: DSKind.SPLAY_MAP,
+}
+
+
+def as_map_kind(kind: DSKind) -> DSKind:
+    """Table 1's parenthetical: when a container is used *keyed* (searched
+    by a field, e.g. ``std::find_if`` on an ID), the set-family candidates
+    become their map-family counterparts."""
+    return _TO_MAP.get(kind, kind)
+
+
+@dataclass(frozen=True)
+class Replacement:
+    """One row cell of Table 1."""
+
+    alternate: DSKind
+    benefit: str
+    order_oblivious_only: bool
+
+    @property
+    def limitation(self) -> str:
+        return "Order-oblivious" if self.order_oblivious_only else "None"
+
+
+#: Table 1: replacements considered for each target data structure.
+REPLACEMENTS: dict[DSKind, tuple[Replacement, ...]] = {
+    DSKind.VECTOR: (
+        Replacement(DSKind.LIST, "Fast insertion", False),
+        Replacement(DSKind.DEQUE, "Fast insertion", False),
+        Replacement(DSKind.SET, "Fast search", True),
+        Replacement(DSKind.AVL_SET, "Fast search", True),
+        Replacement(DSKind.HASH_SET, "Fast insertion & search", True),
+    ),
+    DSKind.LIST: (
+        Replacement(DSKind.VECTOR, "Fast iteration", False),
+        Replacement(DSKind.DEQUE, "Fast iteration", False),
+        Replacement(DSKind.SET, "Fast search", True),
+        Replacement(DSKind.AVL_SET, "Fast search", True),
+        Replacement(DSKind.HASH_SET, "Fast search", True),
+    ),
+    DSKind.SET: (
+        Replacement(DSKind.AVL_SET, "Fast search", False),
+        Replacement(DSKind.VECTOR, "Fast iteration", True),
+        Replacement(DSKind.LIST, "Fast insertion & deletion", True),
+        Replacement(DSKind.HASH_SET, "Fast insertion & search", True),
+    ),
+    DSKind.MAP: (
+        Replacement(DSKind.AVL_MAP, "Fast search", False),
+        Replacement(DSKind.HASH_MAP, "Fast insertion & search", True),
+    ),
+}
+
+
+#: Extension replacements beyond Table 1 (evaluated by the
+#: ``test_ext_*`` benches; not used by the trained models).
+EXTENDED_REPLACEMENTS: dict[DSKind, tuple[Replacement, ...]] = {
+    DSKind.SET: (
+        Replacement(DSKind.SPLAY_SET, "Fast skewed search", False),
+        Replacement(DSKind.SORTED_VECTOR,
+                    "Fast search & iteration", False),
+    ),
+    DSKind.MAP: (
+        Replacement(DSKind.SPLAY_MAP, "Fast skewed search", False),
+    ),
+}
+
+
+@dataclass(frozen=True)
+class ModelGroup:
+    """One per-original-DS prediction model (Figure 3)."""
+
+    name: str
+    original: DSKind
+    order_oblivious: bool
+    classes: tuple[DSKind, ...]
+
+
+def candidates_for(kind: DSKind, order_oblivious: bool) -> tuple[DSKind, ...]:
+    """Legal implementation choices (original first) per Table 1."""
+    if kind not in REPLACEMENTS:
+        raise ValueError(f"{kind} is not a replacement target")
+    alternates = tuple(
+        repl.alternate
+        for repl in REPLACEMENTS[kind]
+        if order_oblivious or not repl.order_oblivious_only
+    )
+    return (kind,) + alternates
+
+
+def _group(name: str, original: DSKind, oblivious: bool) -> ModelGroup:
+    return ModelGroup(name, original, oblivious,
+                      candidates_for(original, oblivious))
+
+
+#: The six models of Figure 3 / Table 3, keyed by model name.
+MODEL_GROUPS: dict[str, ModelGroup] = {
+    group.name: group
+    for group in (
+        _group("vector", DSKind.VECTOR, False),
+        _group("vector_oo", DSKind.VECTOR, True),
+        _group("list", DSKind.LIST, False),
+        _group("list_oo", DSKind.LIST, True),
+        _group("set", DSKind.SET, True),
+        _group("map", DSKind.MAP, True),
+    )
+}
+
+
+def model_group_for(kind: DSKind, order_oblivious: bool) -> ModelGroup:
+    """Which model predicts replacements for this usage of ``kind``."""
+    if kind == DSKind.VECTOR:
+        return MODEL_GROUPS["vector_oo" if order_oblivious else "vector"]
+    if kind == DSKind.LIST:
+        return MODEL_GROUPS["list_oo" if order_oblivious else "list"]
+    if kind == DSKind.SET:
+        return MODEL_GROUPS["set"]
+    if kind == DSKind.MAP:
+        return MODEL_GROUPS["map"]
+    raise ValueError(f"{kind} has no prediction model (not a Table 1 target)")
+
+
+def make_container(kind: DSKind, machine: Machine, elem_size: int = 8,
+                   payload_size: int | None = None) -> Container:
+    """Instantiate a container of ``kind`` on ``machine``."""
+    cls = _CLASSES[kind]
+    if payload_size is None:
+        return cls(machine, elem_size)
+    return cls(machine, elem_size, payload_size)
+
+
+def replacement_table() -> list[dict[str, str]]:
+    """Table 1 as printable rows."""
+    rows = []
+    for original, replacements in REPLACEMENTS.items():
+        for repl in replacements:
+            rows.append(
+                {
+                    "ds": original.value,
+                    "alternate_ds": repl.alternate.value,
+                    "benefit": repl.benefit,
+                    "limitation": repl.limitation,
+                }
+            )
+    return rows

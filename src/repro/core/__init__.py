@@ -1,0 +1,22 @@
+"""Brainy's end-to-end advisor: profile → rank → suggest replacements."""
+
+from repro.core.advisor import BrainyAdvisor
+from repro.core.evaluation import (
+    brainy_selection,
+    evaluate_advice,
+    improvement,
+    measure_with_selection,
+    sweep_site,
+)
+from repro.core.report import Report, Suggestion
+
+__all__ = [
+    "BrainyAdvisor",
+    "Report",
+    "Suggestion",
+    "brainy_selection",
+    "evaluate_advice",
+    "improvement",
+    "measure_with_selection",
+    "sweep_site",
+]

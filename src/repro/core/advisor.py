@@ -1,0 +1,80 @@
+"""The Brainy advisor: the tool a developer actually runs.
+
+Pipeline (Figure 3): run the application once with the profiling library,
+sort container instances by attributed execution time, feed each
+instance's feature vector to its per-original-DS model, and report which
+instances should become which alternative implementations — restricted to
+the Table 1 legal candidates for that usage (order-aware usages only see
+order-preserving alternates; keyed usages get map-flavoured suggestions).
+"""
+
+from __future__ import annotations
+
+from repro.apps.base import AppResult, CaseStudyApp, run_case_study
+from repro.containers.registry import (
+    DSKind,
+    as_map_kind,
+    candidates_for,
+    model_group_for,
+)
+from repro.core.report import Report, Suggestion
+from repro.instrumentation.trace import TraceSet
+from repro.machine.configs import MachineConfig
+from repro.models.brainy import BrainySuite
+
+#: Kinds the models can advise on (Table 1 targets).
+_ADVISABLE = frozenset(
+    {DSKind.VECTOR, DSKind.LIST, DSKind.SET, DSKind.MAP}
+)
+
+
+class BrainyAdvisor:
+    """Suggest container replacements using a trained model suite."""
+
+    def __init__(self, suite: BrainySuite) -> None:
+        self.suite = suite
+
+    def advise_trace(self, trace: TraceSet,
+                     keyed_contexts: frozenset[str] = frozenset()
+                     ) -> Report:
+        """Turn a profiled run's trace into a prioritised report."""
+        report = Report(program_cycles=trace.program_cycles)
+        for record in trace:
+            keyed = record.context in keyed_contexts or getattr(
+                record, "keyed", False
+            )
+            if record.kind not in _ADVISABLE:
+                continue
+            group = model_group_for(record.kind, record.order_oblivious)
+            model = self.suite[group.name]
+            legal = candidates_for(record.kind, record.order_oblivious)
+            suggested = model.predict_kind(record.features, legal=legal)
+            if keyed:
+                suggested = as_map_kind(suggested)
+            report.suggestions.append(
+                Suggestion(
+                    context=record.context,
+                    original=record.kind,
+                    suggested=suggested,
+                    relative_time=record.relative_time(
+                        trace.program_cycles
+                    ),
+                    order_oblivious=record.order_oblivious,
+                    keyed=keyed,
+                    allocated_bytes=record.allocated_bytes,
+                )
+            )
+        return report
+
+    def advise_app(self, app: CaseStudyApp,
+                   machine_config: MachineConfig) -> Report:
+        """Profile a case-study app with its baseline containers and
+        report replacements."""
+        result = run_case_study(app, machine_config, instrument=True)
+        return self.advise_result(app, result)
+
+    def advise_result(self, app: CaseStudyApp, result: AppResult) -> Report:
+        keyed = frozenset(
+            f"{app.name}:{site.name}" for site in app.sites() if site.keyed
+        )
+        return self.advise_trace(result.trace(), keyed_contexts=keyed)

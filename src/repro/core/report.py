@@ -1,0 +1,71 @@
+"""Advisor output: a prioritised list of replacement suggestions.
+
+The paper's runtime sorts profiled data structures "by relative execution
+time and calling context ... to provide developers with a prioritized
+list of which data structures are most important to change" (§3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.containers.registry import DSKind
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One container instance's verdict."""
+
+    context: str
+    original: DSKind
+    suggested: DSKind
+    relative_time: float
+    order_oblivious: bool
+    keyed: bool = False
+    #: Simulated heap bytes the instance allocated (memory-bloat signal).
+    allocated_bytes: int = 0
+
+    @property
+    def is_replacement(self) -> bool:
+        return self.suggested != self.original
+
+
+@dataclass
+class Report:
+    """All suggestions for one profiled program run, hottest first."""
+
+    program_cycles: int
+    suggestions: list[Suggestion] = field(default_factory=list)
+
+    def replacements(self) -> dict[str, DSKind]:
+        """Context -> suggested kind, for sites worth changing."""
+        return {
+            s.context: s.suggested
+            for s in self.suggestions
+            if s.is_replacement
+        }
+
+    def __iter__(self):
+        return iter(self.suggestions)
+
+    def __len__(self) -> int:
+        return len(self.suggestions)
+
+    def format(self) -> str:
+        """Human-readable table (the developer-facing trace report)."""
+        lines = [
+            f"Brainy report — {self.program_cycles:,} simulated cycles",
+            f"{'context':40s} {'time%':>6s} {'mem':>8s} {'current':>9s} "
+            f"{'suggested':>9s}",
+        ]
+        for s in self.suggestions:
+            arrow = "->" if s.is_replacement else "=="
+            memory = (f"{s.allocated_bytes // 1024}K"
+                      if s.allocated_bytes >= 1024
+                      else f"{s.allocated_bytes}B")
+            lines.append(
+                f"{s.context[:40]:40s} {100 * s.relative_time:5.1f}% "
+                f"{memory:>8s} "
+                f"{s.original.value:>9s} {arrow} {s.suggested.value:>9s}"
+            )
+        return "\n".join(lines)

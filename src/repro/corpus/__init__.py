@@ -1,0 +1,25 @@
+"""Container-usage census (the paper's Figure 2).
+
+The paper surveyed Google Code Search for static references to each STL
+container to decide which structures to target.  GCS is long gone, so
+this package ships a synthetic C++ corpus generator whose draw
+distribution follows the paper's reported ranking, plus the lexical
+scanner that counts references — reproducing the figure end-to-end.
+"""
+
+from repro.corpus.scanner import (
+    CONTAINER_TOKENS,
+    count_references,
+    ranked,
+    scan_corpus,
+)
+from repro.corpus.synth import CORPUS_WEIGHTS, generate_corpus
+
+__all__ = [
+    "CONTAINER_TOKENS",
+    "CORPUS_WEIGHTS",
+    "count_references",
+    "generate_corpus",
+    "ranked",
+    "scan_corpus",
+]

@@ -1,0 +1,52 @@
+"""Lexical C++ scanner counting static container references.
+
+A lightweight analogue of querying Google Code Search: count
+``std::vector<...>`` (and friends) occurrences across a corpus of
+sources, skipping comments and string literals so commented-out code does
+not inflate the census.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: Containers the census tracks, longest-first so ``multimap`` is not
+#: double-counted as ``map``.
+CONTAINER_TOKENS: tuple[str, ...] = (
+    "multimap", "multiset", "vector", "bitset", "deque", "queue",
+    "stack", "list", "map", "set",
+)
+
+_COMMENT_RE = re.compile(r"//[^\n]*|/\*.*?\*/", re.DOTALL)
+_STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+def _strip_noise(source: str) -> str:
+    source = _COMMENT_RE.sub(" ", source)
+    return _STRING_RE.sub('""', source)
+
+
+def count_references(source: str) -> dict[str, int]:
+    """Count ``std::<container>`` references in one translation unit."""
+    cleaned = _strip_noise(source)
+    counts = {token: 0 for token in CONTAINER_TOKENS}
+    pattern = re.compile(
+        r"\bstd\s*::\s*(" + "|".join(CONTAINER_TOKENS) + r")\b"
+    )
+    for match in pattern.finditer(cleaned):
+        counts[match.group(1)] += 1
+    return counts
+
+
+def scan_corpus(corpus: dict[str, str]) -> dict[str, int]:
+    """Aggregate reference counts across ``filename -> source``."""
+    totals = {token: 0 for token in CONTAINER_TOKENS}
+    for source in corpus.values():
+        for token, count in count_references(source).items():
+            totals[token] += count
+    return totals
+
+
+def ranked(counts: dict[str, int]) -> list[tuple[str, int]]:
+    """Containers sorted by decreasing reference count."""
+    return sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))

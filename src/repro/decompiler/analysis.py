@@ -1,0 +1,147 @@
+"""Data-flow and control-flow analyses over the CFG.
+
+* **Liveness**: iterative backward may-analysis over registers
+  (``live_in = use ∪ (live_out - def)``).
+* **Dominators**: iterative forward analysis per function entry.
+* **Natural loops**: back edges (``head dominates tail``) and their loop
+  bodies, collected by the standard reverse-reachability walk.
+
+Every analysis consults the decompiler's *block set* container for
+membership ("does this address belong to a block / to this construct?"),
+which is what makes the decompiler find-and-iterate heavy — the usage
+pattern behind the paper's §6.4 set→avl_set result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decompiler.cfg import ControlFlowGraph
+
+
+@dataclass
+class LivenessResult:
+    live_in: dict[int, frozenset[str]]
+    live_out: dict[int, frozenset[str]]
+    iterations: int
+
+
+def block_def_use(cfg: ControlFlowGraph,
+                  addr: int) -> tuple[frozenset[str], frozenset[str]]:
+    """(defs, upward-exposed uses) of one block."""
+    defined: set[str] = set()
+    used: set[str] = set()
+    for instr in cfg.blocks[addr].instructions:
+        for reg in instr.used_registers():
+            if reg not in defined:
+                used.add(reg)
+        dst = instr.defined_register()
+        if dst is not None:
+            defined.add(dst)
+    return frozenset(defined), frozenset(used)
+
+
+def compute_liveness(cfg: ControlFlowGraph,
+                     block_set=None) -> LivenessResult:
+    """Backward fixpoint liveness over registers."""
+    addrs = cfg.block_addresses()
+    defs: dict[int, frozenset[str]] = {}
+    uses: dict[int, frozenset[str]] = {}
+    for addr in addrs:
+        defs[addr], uses[addr] = block_def_use(cfg, addr)
+
+    live_in = {addr: frozenset() for addr in addrs}
+    live_out = {addr: frozenset() for addr in addrs}
+    iterations = 0
+    changed = True
+    while changed:
+        changed = False
+        iterations += 1
+        for addr in reversed(addrs):
+            if block_set is not None:
+                # "Does this successor belong to a known block?" probes.
+                for succ in cfg.successors(addr):
+                    block_set.find(succ)
+            out: frozenset[str] = frozenset().union(
+                *(live_in[s] for s in cfg.successors(addr))
+            ) if cfg.successors(addr) else frozenset()
+            inn = uses[addr] | (out - defs[addr])
+            if out != live_out[addr] or inn != live_in[addr]:
+                live_out[addr] = out
+                live_in[addr] = inn
+                changed = True
+    return LivenessResult(live_in=live_in, live_out=live_out,
+                          iterations=iterations)
+
+
+def compute_dominators(cfg: ControlFlowGraph, entry: int,
+                       block_set=None) -> dict[int, frozenset[int]]:
+    """Iterative dominator sets for blocks reachable from ``entry``."""
+    reachable = _reachable_from(cfg, entry)
+    universe = frozenset(reachable)
+    dom = {addr: universe for addr in reachable}
+    dom[entry] = frozenset({entry})
+    order = sorted(reachable)
+    changed = True
+    while changed:
+        changed = False
+        for addr in order:
+            if addr == entry:
+                continue
+            preds = [p for p in cfg.predecessors(addr) if p in dom]
+            if block_set is not None:
+                for pred in preds:
+                    block_set.find(pred)
+            if not preds:
+                continue
+            new = frozenset({addr}).union(
+                frozenset.intersection(*(dom[p] for p in preds))
+            )
+            if new != dom[addr]:
+                dom[addr] = new
+                changed = True
+    return dom
+
+
+def _reachable_from(cfg: ControlFlowGraph, entry: int) -> set[int]:
+    seen: set[int] = set()
+    stack = [entry]
+    while stack:
+        addr = stack.pop()
+        if addr in seen:
+            continue
+        seen.add(addr)
+        stack.extend(cfg.successors(addr))
+    return seen
+
+
+@dataclass(frozen=True)
+class NaturalLoop:
+    head: int
+    tail: int
+    body: frozenset[int]
+
+
+def find_natural_loops(cfg: ControlFlowGraph, entry: int,
+                       block_set=None) -> list[NaturalLoop]:
+    """Back edges + their natural-loop bodies, sorted by head address."""
+    dom = compute_dominators(cfg, entry, block_set=block_set)
+    loops: list[NaturalLoop] = []
+    for tail in sorted(dom):
+        for head in cfg.successors(tail):
+            if head in dom.get(tail, frozenset()):
+                # tail -> head is a back edge; walk predecessors from tail.
+                body = {head, tail}
+                stack = [tail]
+                while stack:
+                    node = stack.pop()
+                    for pred in cfg.predecessors(node):
+                        if block_set is not None:
+                            block_set.find(pred)
+                        if pred in dom and pred not in body:
+                            body.add(pred)
+                            stack.append(pred)
+                loops.append(NaturalLoop(head=head, tail=tail,
+                                         body=frozenset(body)))
+    loops.sort(key=lambda lp: (lp.head, lp.tail))
+    return loops

@@ -1,0 +1,134 @@
+"""Basic blocks and control-flow graph construction.
+
+Classic leader analysis: a leader is the first instruction, any branch
+target, and any instruction following a branch or return.  Blocks are
+keyed by start address.  ``build_cfg`` optionally registers every block
+address into a caller-supplied *block set* container — the decompiler's
+central data structure and the experiment's replacement site — and the
+analyses consult that container for membership checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.decompiler.isa import Instruction, label_addresses
+
+
+@dataclass
+class BasicBlock:
+    """A maximal straight-line instruction run."""
+
+    start: int
+    instructions: list[Instruction] = field(default_factory=list)
+    successors: list[int] = field(default_factory=list)
+    predecessors: list[int] = field(default_factory=list)
+
+    @property
+    def end(self) -> int:
+        return self.instructions[-1].addr if self.instructions else self.start
+
+    @property
+    def terminator(self) -> Instruction | None:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+
+@dataclass
+class ControlFlowGraph:
+    """Blocks by start address plus per-function entry points."""
+
+    blocks: dict[int, BasicBlock]
+    entries: dict[str, int]  # function label -> entry block address
+    labels: dict[str, int]
+
+    def block_addresses(self) -> list[int]:
+        return sorted(self.blocks)
+
+    def successors(self, addr: int) -> list[int]:
+        return self.blocks[addr].successors
+
+    def predecessors(self, addr: int) -> list[int]:
+        return self.blocks[addr].predecessors
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+
+def find_leaders(instructions: list[Instruction]) -> set[int]:
+    """Addresses where basic blocks begin."""
+    if not instructions:
+        return set()
+    labels = label_addresses(instructions)
+    leaders = {instructions[0].addr}
+    for i, instr in enumerate(instructions):
+        if instr.label is not None:
+            leaders.add(instr.addr)
+        if instr.is_jump:
+            target = instr.target_label
+            if target in labels:
+                leaders.add(labels[target])
+        if instr.is_terminator and i + 1 < len(instructions):
+            leaders.add(instructions[i + 1].addr)
+    return leaders
+
+
+def build_cfg(instructions: list[Instruction],
+              block_set=None) -> ControlFlowGraph:
+    """Partition into blocks and wire successor/predecessor edges.
+
+    ``block_set`` (any object with ``insert``/``find``) receives every
+    block start address; edge wiring then *checks membership through it*,
+    mirroring how the real decompiler keeps asking "is this address a
+    known block?".
+    """
+    labels = label_addresses(instructions)
+    leaders = find_leaders(instructions)
+
+    blocks: dict[int, BasicBlock] = {}
+    current: BasicBlock | None = None
+    for instr in instructions:
+        if instr.addr in leaders:
+            current = BasicBlock(start=instr.addr)
+            blocks[instr.addr] = current
+            if block_set is not None:
+                block_set.insert(instr.addr, len(block_set))
+        assert current is not None
+        current.instructions.append(instr)
+
+    ordered = sorted(blocks)
+    next_block = {
+        addr: (ordered[i + 1] if i + 1 < len(ordered) else None)
+        for i, addr in enumerate(ordered)
+    }
+
+    for addr, block in blocks.items():
+        term = block.terminator
+        succs: list[int] = []
+        if term is None or term.mnemonic not in ("jmp", "ret"):
+            # Fallthrough edge.
+            fall = next_block[addr]
+            if fall is not None:
+                succs.append(fall)
+        if term is not None and term.is_jump:
+            target = labels.get(term.target_label or "")
+            if target is not None:
+                succs.append(target)
+        # Membership checks through the container under study.
+        if block_set is not None:
+            succs = [s for s in succs if block_set.find(s)]
+        block.successors = succs
+    for addr, block in blocks.items():
+        for succ in block.successors:
+            blocks[succ].predecessors.append(addr)
+
+    entries = {
+        instr.label: instr.addr
+        for instr in instructions
+        if instr.label is not None and not instr.label.startswith(".")
+    }
+    return ControlFlowGraph(blocks=blocks, entries=entries, labels=labels)

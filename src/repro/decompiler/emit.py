@@ -1,0 +1,145 @@
+"""C code emission.
+
+Walks each function's blocks in address order (iteration over the block
+set), rendering recovered constructs as ``while``/``if`` and everything
+else as labelled statements with ``goto``.  Expressions are recovered
+instruction-by-instruction: ``mov``/ALU chains become C assignments, and
+``cmp`` + ``jcc`` pairs fold into the controlling condition.
+"""
+
+from __future__ import annotations
+
+from repro.decompiler.cfg import ControlFlowGraph
+from repro.decompiler.isa import ALU_OPS, Instruction, JCC_OPERATOR
+from repro.decompiler.structure import StructureResult
+
+_ALU_C_OP = {
+    "add": "+", "sub": "-", "imul": "*", "and": "&", "or": "|", "xor": "^",
+}
+
+
+def render_instruction(instr: Instruction) -> str | None:
+    """One instruction as a C statement (None when folded elsewhere)."""
+    m = instr.mnemonic
+    ops = instr.operands
+    if m == "mov":
+        return f"{ops[0]} = {ops[1]};"
+    if m == "lea":
+        return f"{ops[0]} = &{ops[1]};"
+    if m in ALU_OPS:
+        return f"{ops[0]} = {ops[0]} {_ALU_C_OP[m]} {ops[1]};"
+    if m == "inc":
+        return f"{ops[0]}++;"
+    if m == "dec":
+        return f"{ops[0]}--;"
+    if m == "neg":
+        return f"{ops[0]} = -{ops[0]};"
+    if m == "not":
+        return f"{ops[0]} = ~{ops[0]};"
+    if m == "push":
+        return f"stack_push({ops[0]});"
+    if m == "pop":
+        return f"{ops[0]} = stack_pop();"
+    if m == "call":
+        return f"eax = {ops[0]}();"
+    if m == "ret":
+        return "return eax;"
+    if m in ("cmp", "test", "nop") or instr.is_jump:
+        return None  # folded into conditions / control flow
+    raise ValueError(f"cannot render {m!r}")
+
+
+def _block_condition(cfg: ControlFlowGraph, addr: int) -> str | None:
+    """The C condition controlling a block's conditional terminator."""
+    block = cfg.blocks[addr]
+    term = block.terminator
+    if term is None or not term.is_conditional_jump:
+        return None
+    # Find the controlling cmp/test.
+    for instr in reversed(block.instructions[:-1]):
+        if instr.mnemonic == "cmp":
+            op = JCC_OPERATOR[term.mnemonic]
+            return f"{instr.operands[0]} {op} {instr.operands[1]}"
+        if instr.mnemonic == "test":
+            op = "!=" if term.mnemonic == "jne" else "=="
+            return f"({instr.operands[0]} & {instr.operands[1]}) {op} 0"
+    return f"flags_{term.mnemonic}()"
+
+
+def emit_c(cfg: ControlFlowGraph, structures: dict[str, StructureResult],
+           block_iter=None, fold_expressions: bool = False) -> str:
+    """Emit the whole program as C source.
+
+    ``block_iter`` — when given, a callable performing an ``iterate`` over
+    the block-set container per function, modelling the decompiler
+    walking blocks in address order during emission.
+
+    ``fold_expressions`` — recover compound expressions per block (see
+    :mod:`repro.decompiler.expressions`) instead of one statement per
+    instruction; liveness bounds which registers must be materialised.
+    """
+    live_out: dict[int, frozenset[str]] = {}
+    if fold_expressions:
+        from repro.decompiler.analysis import compute_liveness
+        live_out = compute_liveness(cfg).live_out
+    lines: list[str] = ["/* decompiled by repro-relipmoc */",
+                        "int eax, ebx, ecx, edx, esi, edi, ebp, esp;", ""]
+    ordered_entries = sorted(cfg.entries.items(), key=lambda kv: kv[1])
+    bounds = [addr for _, addr in ordered_entries] + [1 << 62]
+
+    for idx, (name, entry) in enumerate(ordered_entries):
+        limit = bounds[idx + 1]
+        fn_blocks = [addr for addr in cfg.block_addresses()
+                     if entry <= addr < limit]
+        if block_iter is not None:
+            block_iter(len(fn_blocks))
+        structure = structures.get(name)
+        loop_heads = {}
+        cond_heads = {}
+        if structure is not None:
+            loop_heads = {c.head: c for c in structure.loops()}
+            cond_heads = {c.head: c for c in structure.conditionals()}
+
+        lines.append(f"int {name}(void) {{")
+        for addr in fn_blocks:
+            block = cfg.blocks[addr]
+            indent = "    "
+            label = f"L_{addr:x}"
+            lines.append(f"{indent}{label}:;")
+            construct = loop_heads.get(addr) or cond_heads.get(addr)
+            condition = _block_condition(cfg, addr)
+            if construct is not None and condition is not None:
+                keyword = ("while" if construct.kind == "while" else "if")
+                lines.append(
+                    f"{indent}/* {construct.kind}, nesting "
+                    f"{construct.nesting} */"
+                )
+                lines.append(f"{indent}{keyword} (!({condition})) {{ }}")
+            if fold_expressions:
+                from repro.decompiler.expressions import (
+                    fold_block_expressions,
+                )
+                folded = fold_block_expressions(
+                    block, live_out.get(addr, frozenset())
+                    | {"eax"},  # the return register is always observable
+                )
+                for stmt in folded:
+                    lines.append(f"{indent}{stmt}")
+            else:
+                for instr in block.instructions:
+                    stmt = render_instruction(instr)
+                    if stmt is not None:
+                        lines.append(f"{indent}{stmt}")
+            term = block.terminator
+            if term is not None and term.is_jump:
+                target = cfg.labels.get(term.target_label or "")
+                if target is not None:
+                    if term.is_conditional_jump and condition is not None:
+                        lines.append(
+                            f"{indent}if ({condition}) goto L_{target:x};"
+                        )
+                    elif term.mnemonic == "jmp":
+                        lines.append(f"{indent}goto L_{target:x};")
+        lines.append("}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,166 @@
+"""Expression recovery: fold instruction chains into compound C expressions.
+
+``render_instruction`` emits one statement per instruction; real
+decompilers go further and rebuild source-level expressions — the paper
+describes RelipmoC "extract[ing] high level expressions".  This pass does
+that within a basic block: it builds symbolic expression trees for each
+register, substitutes single-use temporaries, and emits only the
+assignments that are observable (register live-out, memory, calls).
+
+Example::
+
+    mov eax, ebx        eax = (ebx + 4) * ecx;
+    add eax, 4     =>
+    imul eax, ecx
+
+The pass is purely syntactic (no reassociation), so emitted C preserves
+evaluation order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.decompiler.cfg import BasicBlock
+from repro.decompiler.isa import ALU_OPS, REGISTERS, UNARY_OPS
+
+_ALU_C_OP = {
+    "add": "+", "sub": "-", "imul": "*", "and": "&", "or": "|", "xor": "^",
+}
+
+#: Expression tree: either a leaf (register/immediate string) or a node.
+Expr = object
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str  # "-", "~", "++", "--"
+    operand: Expr
+
+
+@dataclass(frozen=True)
+class Call:
+    name: str
+
+
+def render_expr(expr: Expr, parent_precedence: int = 0) -> str:
+    """Expression tree -> C source with minimal parentheses."""
+    precedence = {"*": 3, "+": 2, "-": 2, "&": 1, "^": 1, "|": 1}
+    if isinstance(expr, str):
+        return expr
+    if isinstance(expr, Call):
+        return f"{expr.name}()"
+    if isinstance(expr, UnOp):
+        inner = render_expr(expr.operand, 4)
+        if expr.op in ("++", "--"):
+            return f"{inner} {expr.op[0]} 1"
+        return f"{expr.op}{inner}"
+    assert isinstance(expr, BinOp)
+    my_precedence = precedence[expr.op]
+    text = (f"{render_expr(expr.left, my_precedence)} {expr.op} "
+            f"{render_expr(expr.right, my_precedence + 1)}")
+    if my_precedence < parent_precedence:
+        return f"({text})"
+    return text
+
+
+def _leaf(operand: str, env: dict[str, Expr]) -> Expr:
+    if operand in REGISTERS:
+        return env.get(operand, operand)
+    return operand
+
+
+def _expr_size(expr: Expr) -> int:
+    if isinstance(expr, (str, Call)):
+        return 1
+    if isinstance(expr, UnOp):
+        return 1 + _expr_size(expr.operand)
+    assert isinstance(expr, BinOp)
+    return 1 + _expr_size(expr.left) + _expr_size(expr.right)
+
+
+#: Stop substituting once an expression gets this big; emit it instead.
+_MAX_EXPR_SIZE = 9
+
+
+def fold_block_expressions(block: BasicBlock,
+                           live_out: frozenset[str] = frozenset(REGISTERS),
+                           ) -> list[str]:
+    """Emit one block's body as C with folded compound expressions.
+
+    ``live_out``: registers whose final values must be materialised
+    (defaults to all registers — always safe).
+    """
+    env: dict[str, Expr] = {}
+    statements: list[str] = []
+
+    def flush(reg: str) -> None:
+        if reg in env:
+            statements.append(f"{reg} = {render_expr(env.pop(reg))};")
+
+    def flush_all() -> None:
+        for reg in list(env):
+            flush(reg)
+
+    for instr in block.instructions:
+        m = instr.mnemonic
+        ops = instr.operands
+        if m == "mov" and ops[0] in REGISTERS:
+            env[ops[0]] = _leaf(ops[1], env)
+        elif m in ALU_OPS and ops[0] in REGISTERS:
+            expr = BinOp(_ALU_C_OP[m], _leaf(ops[0], env),
+                         _leaf(ops[1], env))
+            if _expr_size(expr) > _MAX_EXPR_SIZE:
+                flush(ops[0])
+                expr = BinOp(_ALU_C_OP[m], ops[0], _leaf(ops[1], env))
+            env[ops[0]] = expr
+        elif m in UNARY_OPS and ops[0] in REGISTERS:
+            base = _leaf(ops[0], env)
+            if m == "inc":
+                env[ops[0]] = BinOp("+", base, "1")
+            elif m == "dec":
+                env[ops[0]] = BinOp("-", base, "1")
+            elif m == "neg":
+                env[ops[0]] = UnOp("-", base)
+            else:  # not
+                env[ops[0]] = UnOp("~", base)
+        elif m == "push":
+            statements.append(
+                f"stack_push({render_expr(_leaf(ops[0], env))});"
+            )
+        elif m == "pop":
+            env.pop(ops[0], None)
+            statements.append(f"{ops[0]} = stack_pop();")
+        elif m == "call":
+            # Calls observe machine state: materialise everything first.
+            flush_all()
+            env["eax"] = Call(ops[0])
+            flush("eax")
+        elif m == "ret":
+            # Only the return register is observable past a return.
+            flush("eax")
+            env.clear()
+            statements.append("return eax;")
+        elif m in ("cmp", "test"):
+            # Comparison operands must be materialised for the condition.
+            for operand in ops:
+                if operand in REGISTERS:
+                    flush(operand)
+        elif m == "nop" or instr.is_jump:
+            pass
+        else:  # pragma: no cover - exhaustive over the ISA subset
+            raise ValueError(f"cannot fold {m!r}")
+    # Materialise whatever is observable after the block.
+    for reg in list(env):
+        if reg in live_out:
+            flush(reg)
+        else:
+            env.pop(reg)
+    return statements

@@ -1,0 +1,157 @@
+"""The i386 subset: instruction representation and assembly parsing.
+
+Supported mnemonics cover what the generator emits and what a small
+compiler-produced function typically contains: data movement (``mov``,
+``push``, ``pop``, ``lea``), ALU ops (``add``, ``sub``, ``imul``, ``and``,
+``or``, ``xor``, ``neg``, ``inc``, ``dec``), comparison (``cmp``,
+``test``), control flow (``jmp``, conditional jumps, ``call``, ``ret``)
+and ``nop``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+REGISTERS = ("eax", "ebx", "ecx", "edx", "esi", "edi", "ebp", "esp")
+
+ALU_OPS = {"add", "sub", "imul", "and", "or", "xor"}
+UNARY_OPS = {"neg", "inc", "dec", "not"}
+CONDITIONAL_JUMPS = {
+    "je", "jne", "jg", "jge", "jl", "jle", "ja", "jb", "js", "jns",
+}
+#: C comparison operator for each conditional jump (signed reading).
+JCC_OPERATOR = {
+    "je": "==", "jne": "!=", "jg": ">", "jge": ">=",
+    "jl": "<", "jle": "<=", "ja": ">", "jb": "<", "js": "<", "jns": ">=",
+}
+
+
+@dataclass
+class Instruction:
+    """One decoded instruction."""
+
+    addr: int
+    mnemonic: str
+    operands: tuple[str, ...] = ()
+    label: str | None = None  # label defined at this address
+
+    @property
+    def is_conditional_jump(self) -> bool:
+        return self.mnemonic in CONDITIONAL_JUMPS
+
+    @property
+    def is_jump(self) -> bool:
+        return self.mnemonic == "jmp" or self.is_conditional_jump
+
+    @property
+    def is_terminator(self) -> bool:
+        return self.is_jump or self.mnemonic == "ret"
+
+    @property
+    def target_label(self) -> str | None:
+        if self.is_jump or self.mnemonic == "call":
+            return self.operands[0]
+        return None
+
+    def defined_register(self) -> str | None:
+        """Register written by this instruction, if any."""
+        m = self.mnemonic
+        if m in ("mov", "lea") or m in ALU_OPS:
+            dst = self.operands[0]
+            return dst if dst in REGISTERS else None
+        if m in UNARY_OPS or m == "pop":
+            dst = self.operands[0]
+            return dst if dst in REGISTERS else None
+        if m == "call":
+            return "eax"  # return value
+        return None
+
+    def used_registers(self) -> tuple[str, ...]:
+        """Registers read by this instruction."""
+        m = self.mnemonic
+        used: list[str] = []
+        if m == "mov" or m == "lea":
+            src = self.operands[1]
+            used.extend(_registers_in(src))
+        elif m in ALU_OPS:
+            used.extend(_registers_in(self.operands[0]))
+            used.extend(_registers_in(self.operands[1]))
+        elif m in UNARY_OPS:
+            used.extend(_registers_in(self.operands[0]))
+        elif m in ("cmp", "test"):
+            used.extend(_registers_in(self.operands[0]))
+            used.extend(_registers_in(self.operands[1]))
+        elif m == "push":
+            used.extend(_registers_in(self.operands[0]))
+        elif m == "ret":
+            used.append("eax")
+        return tuple(dict.fromkeys(used))
+
+    def render(self) -> str:
+        ops = ", ".join(self.operands)
+        return f"{self.mnemonic} {ops}".strip()
+
+
+def _registers_in(operand: str) -> list[str]:
+    """Registers mentioned by an operand (register, imm, or memory)."""
+    return [r for r in REGISTERS
+            if re.search(rf"\b{r}\b", operand)]
+
+
+_LABEL_RE = re.compile(r"^\s*([A-Za-z_.$][\w.$]*):\s*$")
+_INSTR_RE = re.compile(r"^\s*([a-z]+)\s*(.*?)\s*(?:[;#].*)?$")
+
+
+class AsmSyntaxError(ValueError):
+    """Raised on malformed assembly input."""
+
+
+def parse_assembly(text: str) -> list[Instruction]:
+    """Parse AT&T-flavoured-ish (mnemonic dst, src) assembly text.
+
+    Labels occupy their own lines; comments start with ``;`` or ``#``.
+    Instruction addresses are assigned sequentially (4 bytes each), which
+    is all the block-level analyses need.
+    """
+    instructions: list[Instruction] = []
+    pending_label: str | None = None
+    addr = 0x1000
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith((";", "#")):
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            if pending_label is not None:
+                # Two labels for one address: emit a nop to anchor the first.
+                instructions.append(
+                    Instruction(addr, "nop", (), label=pending_label)
+                )
+                addr += 4
+            pending_label = label_match.group(1)
+            continue
+        instr_match = _INSTR_RE.match(line)
+        if not instr_match:
+            raise AsmSyntaxError(f"line {lineno}: cannot parse {raw!r}")
+        mnemonic = instr_match.group(1)
+        rest = instr_match.group(2)
+        operands = tuple(part.strip() for part in rest.split(",")) \
+            if rest else ()
+        instructions.append(
+            Instruction(addr, mnemonic, operands, label=pending_label)
+        )
+        pending_label = None
+        addr += 4
+    if pending_label is not None:
+        instructions.append(Instruction(addr, "nop", (), label=pending_label))
+    return instructions
+
+
+def label_addresses(instructions: list[Instruction]) -> dict[str, int]:
+    """Map label name -> address of the labelled instruction."""
+    return {
+        instr.label: instr.addr
+        for instr in instructions
+        if instr.label is not None
+    }

@@ -1,0 +1,257 @@
+"""Machine-level optimisation passes over the decompiled CFG.
+
+Decompilers clean the recovered code up before emission; these passes do
+that at the instruction level, CFG-wide where safe:
+
+* **constant propagation** — forward data-flow computing which registers
+  hold known constants at each block entry (meet = agree-or-unknown);
+* **constant folding** — rewrite ALU ops whose operands are known into
+  plain ``mov reg, imm``;
+* **copy propagation** — replace uses of a register with its still-valid
+  copy source within a block;
+* **dead-code elimination** — drop instructions that define a register
+  nobody reads (backwards, liveness-driven), keeping everything with side
+  effects (stores, calls, stack ops, flags feeding a conditional jump).
+
+All passes mutate the CFG in place and return the number of rewrites, so
+``optimize_cfg`` can iterate to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.decompiler.analysis import compute_liveness
+from repro.decompiler.cfg import ControlFlowGraph
+from repro.decompiler.isa import (
+    ALU_OPS,
+    Instruction,
+    REGISTERS,
+    UNARY_OPS,
+)
+
+_FOLDABLE = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "imul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+    "xor": lambda a, b: a ^ b,
+}
+
+_UNARY_FOLD = {
+    "inc": lambda a: a + 1,
+    "dec": lambda a: a - 1,
+    "neg": lambda a: -a,
+    "not": lambda a: ~a,
+}
+
+#: The lattice: missing key = unknown (top is "any constant possible").
+ConstMap = dict[str, int]
+
+
+def _is_immediate(operand: str) -> bool:
+    try:
+        int(operand)
+        return True
+    except ValueError:
+        return False
+
+
+def _transfer(consts: ConstMap, instr: Instruction) -> ConstMap:
+    """Apply one instruction to a constant environment."""
+    out = dict(consts)
+    m = instr.mnemonic
+    if m == "mov":
+        dst, src = instr.operands
+        if dst in REGISTERS:
+            if _is_immediate(src):
+                out[dst] = int(src)
+            elif src in REGISTERS and src in out:
+                out[dst] = out[src]
+            else:
+                out.pop(dst, None)
+        return out
+    if m in ALU_OPS:
+        dst, src = instr.operands
+        if dst in REGISTERS:
+            src_val = (int(src) if _is_immediate(src)
+                       else out.get(src) if src in REGISTERS else None)
+            if dst in out and src_val is not None and m in _FOLDABLE:
+                out[dst] = _FOLDABLE[m](out[dst], src_val)
+            else:
+                out.pop(dst, None)
+        return out
+    if m in UNARY_OPS:
+        (dst,) = instr.operands
+        if dst in REGISTERS:
+            if dst in out and m in _UNARY_FOLD:
+                out[dst] = _UNARY_FOLD[m](out[dst])
+            else:
+                out.pop(dst, None)
+        return out
+    defined = instr.defined_register()
+    if defined is not None:
+        out.pop(defined, None)
+    return out
+
+
+def constants_at_entry(cfg: ControlFlowGraph) -> dict[int, ConstMap]:
+    """Forward data-flow: register constants known at each block entry."""
+    addrs = cfg.block_addresses()
+    entry_consts: dict[int, ConstMap] = {addr: {} for addr in addrs}
+    # Blocks with no predecessors start from the empty (unknown) map, and
+    # so does everything until the fixpoint settles.
+    changed = True
+    first_visit = set(addrs)
+    while changed:
+        changed = False
+        for addr in addrs:
+            preds = cfg.predecessors(addr)
+            if preds:
+                merged: ConstMap | None = None
+                for pred in preds:
+                    out = dict(entry_consts[pred])
+                    for instr in cfg.blocks[pred].instructions:
+                        out = _transfer(out, instr)
+                    if merged is None:
+                        merged = out
+                    else:
+                        merged = {reg: val for reg, val in merged.items()
+                                  if out.get(reg) == val}
+            else:
+                merged = {}
+            if addr in first_visit or merged != entry_consts[addr]:
+                first_visit.discard(addr)
+                if merged != entry_consts[addr]:
+                    entry_consts[addr] = merged or {}
+                    changed = True
+    return entry_consts
+
+
+def fold_constants(cfg: ControlFlowGraph) -> int:
+    """Rewrite constant-valued ALU/unary ops into ``mov reg, imm``."""
+    entry_consts = constants_at_entry(cfg)
+    rewrites = 0
+    for addr, block in cfg.blocks.items():
+        consts = dict(entry_consts[addr])
+        new_instructions = []
+        for instr in block.instructions:
+            next_consts = _transfer(consts, instr)
+            m = instr.mnemonic
+            dst = instr.operands[0] if instr.operands else None
+            rewrite_to_const = (
+                dst in next_consts
+                and (m in ALU_OPS or m in UNARY_OPS
+                     or (m == "mov" and instr.operands[1] in REGISTERS))
+            )
+            if rewrite_to_const:
+                new_instructions.append(
+                    Instruction(instr.addr, "mov",
+                                (dst, str(next_consts[dst])),
+                                label=instr.label)
+                )
+                rewrites += 1
+            else:
+                new_instructions.append(instr)
+            consts = next_consts
+        block.instructions = new_instructions
+    return rewrites
+
+
+def propagate_copies(cfg: ControlFlowGraph) -> int:
+    """Within-block copy propagation: after ``mov a, b``, uses of ``a``
+    in ALU source positions become ``b`` until either is redefined."""
+    rewrites = 0
+    for block in cfg.blocks.values():
+        copies: dict[str, str] = {}
+        for i, instr in enumerate(block.instructions):
+            m = instr.mnemonic
+            if m in ALU_OPS or m in ("cmp", "test") or (
+                    m == "mov" and len(instr.operands) == 2
+                    and instr.operands[1] in REGISTERS
+                    and instr.operands[0] != instr.operands[1]):
+                dst, src = instr.operands
+                if src in copies and copies[src] != dst:
+                    block.instructions[i] = Instruction(
+                        instr.addr, m, (dst, copies[src]),
+                        label=instr.label,
+                    )
+                    rewrites += 1
+            # Kill copies invalidated by this definition.
+            defined = block.instructions[i].defined_register()
+            if defined is not None:
+                copies = {a: b for a, b in copies.items()
+                          if a != defined and b != defined}
+            # Record fresh register-to-register copies.
+            latest = block.instructions[i]
+            if (latest.mnemonic == "mov"
+                    and latest.operands[1] in REGISTERS
+                    and latest.operands[0] in REGISTERS
+                    and latest.operands[0] != latest.operands[1]):
+                copies[latest.operands[0]] = latest.operands[1]
+    return rewrites
+
+
+_SIDE_EFFECTS = {"push", "pop", "call", "ret", "jmp", "nop"}
+
+
+def eliminate_dead_code(cfg: ControlFlowGraph) -> int:
+    """Remove pure register definitions that nothing reads."""
+    liveness = compute_liveness(cfg)
+    removed = 0
+    for addr, block in cfg.blocks.items():
+        live = set(liveness.live_out[addr])
+        kept_reversed: list[Instruction] = []
+        needs_flags = False
+        for instr in reversed(block.instructions):
+            m = instr.mnemonic
+            if instr.is_conditional_jump:
+                needs_flags = True
+                kept_reversed.append(instr)
+                continue
+            if m in ("cmp", "test"):
+                if needs_flags:
+                    needs_flags = False
+                    for reg in instr.used_registers():
+                        live.add(reg)
+                    kept_reversed.append(instr)
+                else:
+                    removed += 1
+                continue
+            defined = instr.defined_register()
+            is_pure = (m == "mov" or m == "lea" or m in ALU_OPS
+                       or m in UNARY_OPS)
+            if is_pure and defined is not None and defined not in live:
+                removed += 1
+                if instr.label is not None:
+                    # Keep the jump target anchored: dead labelled
+                    # instructions become nops.
+                    kept_reversed.append(
+                        Instruction(instr.addr, "nop", (),
+                                    label=instr.label)
+                    )
+                continue
+            if defined is not None:
+                live.discard(defined)
+            for reg in instr.used_registers():
+                live.add(reg)
+            if m in _SIDE_EFFECTS or instr.is_jump:
+                pass
+            kept_reversed.append(instr)
+        block.instructions = list(reversed(kept_reversed))
+    return removed
+
+
+def optimize_cfg(cfg: ControlFlowGraph, max_rounds: int = 8) -> dict:
+    """Iterate all passes to a fixpoint; returns rewrite statistics."""
+    totals = {"folded": 0, "copies": 0, "dead": 0, "rounds": 0}
+    for _ in range(max_rounds):
+        folded = fold_constants(cfg)
+        copies = propagate_copies(cfg)
+        dead = eliminate_dead_code(cfg)
+        totals["folded"] += folded
+        totals["copies"] += copies
+        totals["dead"] += dead
+        totals["rounds"] += 1
+        if folded + copies + dead == 0:
+            break
+    return totals

@@ -1,0 +1,160 @@
+"""CFG simplification: the clean-up passes that run after optimisation.
+
+Three standard transformations, kept conservative so the emitted C's
+semantics never change:
+
+* **unreachable-block removal** — drop blocks no function entry reaches;
+* **jump threading** — retarget jumps whose destination block is just an
+  unconditional ``jmp`` (or a lone ``nop`` falling through);
+* **block merging** — absorb a block into its unique predecessor when
+  that predecessor's only successor is the block (straightening the
+  chains that constant folding and DCE leave behind).
+
+All passes mutate the CFG in place and return a change count;
+:func:`simplify_cfg` runs them to a fixpoint.
+"""
+
+from __future__ import annotations
+
+from repro.decompiler.cfg import ControlFlowGraph
+from repro.decompiler.isa import Instruction
+
+
+def remove_unreachable_blocks(cfg: ControlFlowGraph) -> int:
+    """Drop blocks not reachable from any function entry."""
+    reachable: set[int] = set()
+    stack = list(cfg.entries.values())
+    while stack:
+        addr = stack.pop()
+        if addr in reachable:
+            continue
+        reachable.add(addr)
+        stack.extend(cfg.blocks[addr].successors)
+    doomed = [addr for addr in cfg.blocks if addr not in reachable]
+    for addr in doomed:
+        del cfg.blocks[addr]
+    # Rebuild predecessor lists without the dead blocks.
+    for block in cfg.blocks.values():
+        block.successors = [s for s in block.successors
+                            if s in cfg.blocks]
+        block.predecessors = [p for p in block.predecessors
+                              if p in cfg.blocks]
+    # Labels pointing into removed blocks are dropped too.
+    dead_labels = [name for name, addr in cfg.labels.items()
+                   if addr in set(doomed)]
+    for name in dead_labels:
+        del cfg.labels[name]
+    return len(doomed)
+
+
+def _is_trivial_trampoline(cfg: ControlFlowGraph, addr: int) -> int | None:
+    """If ``addr`` only forwards control (nops + one jmp / fallthrough),
+    return its destination."""
+    block = cfg.blocks[addr]
+    if len(block.successors) != 1:
+        return None
+    body = [i for i in block.instructions if i.mnemonic != "nop"]
+    if not body:
+        return block.successors[0]
+    if len(body) == 1 and body[0].mnemonic == "jmp":
+        return block.successors[0]
+    return None
+
+
+def thread_jumps(cfg: ControlFlowGraph) -> int:
+    """Retarget edges that pass through trivial trampoline blocks."""
+    forwards: dict[int, int] = {}
+    for addr in cfg.block_addresses():
+        destination = _is_trivial_trampoline(cfg, addr)
+        if destination is not None and destination != addr:
+            forwards[addr] = destination
+
+    def resolve(addr: int) -> int:
+        seen = set()
+        while addr in forwards and addr not in seen:
+            seen.add(addr)
+            addr = forwards[addr]
+        return addr
+
+    changed = 0
+    for block in cfg.blocks.values():
+        new_successors = []
+        for succ in block.successors:
+            target = resolve(succ)
+            if target != succ:
+                changed += 1
+                # Point the terminator's label at the final target.
+                term = block.terminator
+                if term is not None and term.is_jump:
+                    for name, labelled in cfg.labels.items():
+                        if labelled == target:
+                            block.instructions[-1] = Instruction(
+                                term.addr, term.mnemonic, (name,),
+                                label=term.label,
+                            )
+                            break
+            new_successors.append(target)
+        block.successors = new_successors
+    _rebuild_predecessors(cfg)
+    return changed
+
+
+def merge_straightline_blocks(cfg: ControlFlowGraph) -> int:
+    """Absorb single-predecessor blocks into their predecessor."""
+    merged = 0
+    changed = True
+    while changed:
+        changed = False
+        for addr in cfg.block_addresses():
+            block = cfg.blocks.get(addr)
+            if block is None:
+                continue
+            if len(block.successors) != 1:
+                continue
+            succ_addr = block.successors[0]
+            if succ_addr == addr or succ_addr not in cfg.blocks:
+                continue
+            succ = cfg.blocks[succ_addr]
+            if len(succ.predecessors) != 1:
+                continue
+            if succ_addr in cfg.entries.values():
+                continue  # keep function entries addressable
+            # Drop the connecting jmp, splice the successor's body in.
+            if (block.instructions
+                    and block.instructions[-1].mnemonic == "jmp"):
+                block.instructions.pop()
+            block.instructions.extend(succ.instructions)
+            block.successors = list(succ.successors)
+            del cfg.blocks[succ_addr]
+            for name in [n for n, labelled in cfg.labels.items()
+                         if labelled == succ_addr]:
+                del cfg.labels[name]
+            merged += 1
+            changed = True
+        _rebuild_predecessors(cfg)
+    return merged
+
+
+def _rebuild_predecessors(cfg: ControlFlowGraph) -> None:
+    for block in cfg.blocks.values():
+        block.predecessors = []
+    for addr, block in cfg.blocks.items():
+        for succ in block.successors:
+            if succ in cfg.blocks:
+                cfg.blocks[succ].predecessors.append(addr)
+
+
+def simplify_cfg(cfg: ControlFlowGraph, max_rounds: int = 6) -> dict:
+    """Run all clean-up passes to a fixpoint; returns change counts."""
+    totals = {"unreachable": 0, "threaded": 0, "merged": 0, "rounds": 0}
+    for _ in range(max_rounds):
+        unreachable = remove_unreachable_blocks(cfg)
+        threaded = thread_jumps(cfg)
+        merged = merge_straightline_blocks(cfg)
+        totals["unreachable"] += unreachable
+        totals["threaded"] += threaded
+        totals["merged"] += merged
+        totals["rounds"] += 1
+        if unreachable + threaded + merged == 0:
+            break
+    return totals

@@ -1,0 +1,117 @@
+"""Control-structure recovery.
+
+Maps CFG shapes back to source constructs: natural loops become ``while``
+loops, two-way branches whose arms rejoin become ``if``/``else``
+diamonds, and whatever cannot be matched stays a labelled ``goto``
+target.  Nesting levels are derived from loop-body containment, which the
+paper's description of RelipmoC calls out ("recover program constructs,
+e.g., loops and conditional statements, along with the information about
+their nesting level").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.decompiler.analysis import NaturalLoop, find_natural_loops
+from repro.decompiler.cfg import ControlFlowGraph
+
+
+@dataclass
+class Construct:
+    """One recovered source-level construct."""
+
+    kind: str  # "while" | "if_else" | "if_then"
+    head: int
+    blocks: frozenset[int]
+    nesting: int = 0
+
+
+@dataclass
+class StructureResult:
+    constructs: list[Construct] = field(default_factory=list)
+    #: Blocks not absorbed into any construct (straight-line / goto code).
+    unstructured: frozenset[int] = frozenset()
+
+    def loops(self) -> list[Construct]:
+        return [c for c in self.constructs if c.kind == "while"]
+
+    def conditionals(self) -> list[Construct]:
+        return [c for c in self.constructs if c.kind != "while"]
+
+
+def _loop_constructs(loops: list[NaturalLoop]) -> list[Construct]:
+    constructs = [
+        Construct(kind="while", head=loop.head, blocks=loop.body)
+        for loop in loops
+    ]
+    # Nesting: a loop nested inside another has a strictly-contained body.
+    for construct in constructs:
+        construct.nesting = sum(
+            1 for other in constructs
+            if other is not construct
+            and construct.blocks < other.blocks
+        )
+    return constructs
+
+
+def _diamond_at(cfg: ControlFlowGraph, head: int,
+                block_set=None) -> Construct | None:
+    """Recognise ``if (c) A else B; join`` or ``if (c) A; join`` at head."""
+    succs = cfg.successors(head)
+    if len(succs) != 2:
+        return None
+    left, right = succs
+    if block_set is not None:
+        block_set.find(left)
+        block_set.find(right)
+    left_succs = cfg.successors(left)
+    right_succs = cfg.successors(right)
+    # if/else: both arms fall into the same join block.
+    if (len(left_succs) == 1 and len(right_succs) == 1
+            and left_succs[0] == right_succs[0]
+            and left not in (head, right) and right != head):
+        return Construct(kind="if_else", head=head,
+                         blocks=frozenset({head, left, right}))
+    # if-then: one arm is the join itself.
+    if len(left_succs) == 1 and left_succs[0] == right and left != head:
+        return Construct(kind="if_then", head=head,
+                         blocks=frozenset({head, left}))
+    if len(right_succs) == 1 and right_succs[0] == left and right != head:
+        return Construct(kind="if_then", head=head,
+                         blocks=frozenset({head, right}))
+    return None
+
+
+def recover_structure(cfg: ControlFlowGraph, entry: int,
+                      block_set=None) -> StructureResult:
+    """Recover loops and conditionals for one function."""
+    loops = find_natural_loops(cfg, entry, block_set=block_set)
+    constructs = _loop_constructs(loops)
+    loop_heads = {c.head for c in constructs}
+
+    claimed: set[int] = set()
+    for construct in constructs:
+        claimed.update(construct.blocks)
+
+    # Scan blocks in address order for conditional diamonds; membership
+    # checks go through the block-set container.
+    for head in cfg.block_addresses():
+        if block_set is not None:
+            block_set.find(head)
+        if head in loop_heads:
+            continue
+        diamond = _diamond_at(cfg, head, block_set=block_set)
+        if diamond is None:
+            continue
+        # Nesting relative to enclosing loops.
+        diamond.nesting = sum(
+            1 for loop in constructs
+            if loop.kind == "while" and head in loop.blocks
+        )
+        constructs.append(diamond)
+        claimed.update(diamond.blocks)
+
+    unstructured = frozenset(set(cfg.blocks) - claimed)
+    constructs.sort(key=lambda c: (c.head, c.kind))
+    return StructureResult(constructs=constructs, unstructured=unstructured)

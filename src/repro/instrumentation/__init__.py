@@ -1,0 +1,29 @@
+"""Container instrumentation: the paper's modified-STL profiling layer.
+
+A :class:`ProfiledContainer` wraps any container, snapshotting the
+machine's performance counters around every interface call so hardware
+events are attributed to the container rather than to surrounding
+application code, and summarising the run into the fixed feature vector
+the models consume.
+"""
+
+from repro.instrumentation.features import (
+    FEATURE_NAMES,
+    PAPER_FEATURE_LABELS,
+    feature_vector,
+    features_as_dict,
+    num_features,
+)
+from repro.instrumentation.profiler import ProfiledContainer
+from repro.instrumentation.trace import TraceRecord, TraceSet
+
+__all__ = [
+    "FEATURE_NAMES",
+    "PAPER_FEATURE_LABELS",
+    "ProfiledContainer",
+    "TraceRecord",
+    "TraceSet",
+    "feature_vector",
+    "features_as_dict",
+    "num_features",
+]

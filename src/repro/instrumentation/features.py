@@ -1,0 +1,127 @@
+"""The feature vector fed to the models (§5.1).
+
+Software features come from the containers' own operation counters
+(invocation mix and per-operation costs); hardware features come from the
+machine's performance counters, attributed to the container by the
+profiler.  All features are normalised to be input-scale invariant —
+fractions of total interface calls, per-call averages, rates — so a model
+trained on 1 000-call synthetic apps generalises to 60-million-call real
+runs (the paper's Xalancbmk case).
+
+The full set deliberately includes features the paper reports discarding
+(L2 miss rate, TLB miss rate): the genetic feature selection of §5.1 is
+what demotes them, and the Table 3 bench demonstrates exactly that.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.containers.base import OpCost
+from repro.machine.events import PerfCounters
+
+#: Canonical feature order.  Everything downstream (scalers, ANN weights,
+#: GA chromosomes) is indexed against this list.
+FEATURE_NAMES: tuple[str, ...] = (
+    # Software: interface mix.
+    "insert_frac",
+    "erase_frac",
+    "find_frac",
+    "iterate_frac",
+    "push_back_frac",
+    "push_front_frac",
+    # Software: per-invocation costs.
+    "insert_cost_avg",
+    "erase_cost_avg",
+    "find_cost_avg",
+    "iterate_cost_avg",
+    # Software: structural.
+    "resize_rate",
+    "max_size_log",
+    "data_per_block",
+    # Hardware.
+    "l1_miss_rate",
+    "l2_miss_rate",
+    "tlb_miss_rate",
+    "branch_miss_rate",
+    "ipc",
+    "cycles_per_call_log",
+    "allocs_per_call",
+)
+
+#: Mapping from our feature names to the labels used in the paper's
+#: Table 3, for the bench that reproduces it.
+PAPER_FEATURE_LABELS: dict[str, str] = {
+    "insert_frac": "insert",
+    "erase_frac": "erase",
+    "find_frac": "find",
+    "iterate_frac": "iterate",
+    "push_back_frac": "push_back",
+    "push_front_frac": "push_front",
+    "insert_cost_avg": "insert_cost",
+    "erase_cost_avg": "erase_cost",
+    "find_cost_avg": "find_cost",
+    "iterate_cost_avg": "iterate_cost",
+    "resize_rate": "resizing",
+    "max_size_log": "max_size",
+    "data_per_block": "data-size / cache block-size",
+    "l1_miss_rate": "L1 miss",
+    "l2_miss_rate": "L2 miss",
+    "tlb_miss_rate": "TLB miss",
+    "branch_miss_rate": "br miss",
+    "ipc": "IPC",
+    "cycles_per_call_log": "cycles / call",
+    "allocs_per_call": "allocs / call",
+}
+
+
+def num_features() -> int:
+    return len(FEATURE_NAMES)
+
+
+def feature_vector(stats: OpCost, hardware: PerfCounters,
+                   element_bytes: int, line_bytes: int = 64) -> np.ndarray:
+    """Summarise one container's profiled run into the canonical vector."""
+    calls = max(1, stats.total_calls)
+    inserts = max(1, stats.inserts)
+    erases = max(1, stats.erases)
+    finds = max(1, stats.finds)
+    iterates = max(1, stats.iterates)
+    values = (
+        stats.inserts / calls,
+        stats.erases / calls,
+        stats.finds / calls,
+        stats.iterates / calls,
+        stats.push_backs / calls,
+        stats.push_fronts / calls,
+        math.log1p(stats.insert_cost / inserts),
+        math.log1p(stats.erase_cost / erases),
+        math.log1p(stats.find_cost / finds),
+        math.log1p(stats.iterate_cost / iterates),
+        stats.resizes / calls,
+        math.log1p(stats.max_size),
+        element_bytes / line_bytes,
+        hardware.l1_miss_rate,
+        hardware.l2_miss_rate,
+        (hardware.tlb_misses / hardware.l1_accesses
+         if hardware.l1_accesses else 0.0),
+        hardware.branch_miss_rate,
+        hardware.ipc,
+        math.log1p(hardware.cycles / calls),
+        hardware.allocations / calls,
+    )
+    vec = np.asarray(values, dtype=np.float64)
+    if vec.shape[0] != len(FEATURE_NAMES):
+        raise AssertionError("feature vector out of sync with FEATURE_NAMES")
+    return vec
+
+
+def features_as_dict(vec: np.ndarray) -> dict[str, float]:
+    """Name → value view of a feature vector (reports and debugging)."""
+    if len(vec) != len(FEATURE_NAMES):
+        raise ValueError(
+            f"expected {len(FEATURE_NAMES)} features, got {len(vec)}"
+        )
+    return {name: float(v) for name, v in zip(FEATURE_NAMES, vec)}

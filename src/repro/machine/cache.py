@@ -1,0 +1,84 @@
+"""Set-associative cache with LRU replacement.
+
+The model is a classic tag store: an address maps to a set by its line
+index, each set holds up to ``assoc`` line tags ordered most-recently-used
+first.  Only hit/miss behaviour is modelled (no dirty/writeback state),
+which is all the cost model needs.
+"""
+
+from __future__ import annotations
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class Cache:
+    """A set-associative, LRU cache over line addresses.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.  Must be a power-of-two multiple of
+        ``assoc * line_bytes``.
+    assoc:
+        Number of ways per set.
+    line_bytes:
+        Cache-line size; must be a power of two.
+    """
+
+    __slots__ = ("size_bytes", "assoc", "line_bytes", "num_sets", "_sets",
+                 "accesses", "misses")
+
+    def __init__(self, size_bytes: int, assoc: int, line_bytes: int) -> None:
+        if not _is_pow2(line_bytes):
+            raise ValueError(f"line_bytes must be a power of two: {line_bytes}")
+        num_sets = size_bytes // (assoc * line_bytes)
+        if num_sets * assoc * line_bytes != size_bytes or not _is_pow2(num_sets):
+            raise ValueError(
+                f"cache geometry invalid: {size_bytes}B / {assoc}-way / "
+                f"{line_bytes}B lines gives {num_sets} sets"
+            )
+        self.size_bytes = size_bytes
+        self.assoc = assoc
+        self.line_bytes = line_bytes
+        self.num_sets = num_sets
+        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, line: int) -> bool:
+        """Access one cache line (by line address); return True on hit."""
+        self.accesses += 1
+        ways = self._sets[line & (self.num_sets - 1)]
+        if line in ways:
+            if ways[0] != line:
+                ways.remove(line)
+                ways.insert(0, line)
+            return True
+        self.misses += 1
+        ways.insert(0, line)
+        if len(ways) > self.assoc:
+            ways.pop()
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Non-mutating lookup (does not touch LRU state or counters)."""
+        return line in self._sets[line & (self.num_sets - 1)]
+
+    def flush(self) -> None:
+        """Invalidate the entire cache (counters are preserved)."""
+        for ways in self._sets:
+            ways.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Cache({self.size_bytes}B, {self.assoc}-way, "
+            f"{self.line_bytes}B lines, miss_rate={self.miss_rate:.3f})"
+        )

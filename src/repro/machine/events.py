@@ -1,0 +1,74 @@
+"""Performance-counter snapshots.
+
+:class:`PerfCounters` is the simulated analogue of a PAPI counter read: an
+immutable snapshot of every event the machine model tracks.  Differences of
+snapshots (``after - before``) delimit the events attributable to a region
+of execution, which is how the profiling containers attribute hardware
+features to individual interface calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass(frozen=True)
+class PerfCounters:
+    """A snapshot of simulated hardware event counts."""
+
+    cycles: int = 0
+    instructions: int = 0
+    l1_accesses: int = 0
+    l1_misses: int = 0
+    l2_accesses: int = 0
+    l2_misses: int = 0
+    tlb_misses: int = 0
+    branches: int = 0
+    branch_mispredicts: int = 0
+    allocations: int = 0
+    allocated_bytes: int = 0
+
+    def __sub__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) - getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    def __add__(self, other: "PerfCounters") -> "PerfCounters":
+        return PerfCounters(
+            **{
+                f.name: getattr(self, f.name) + getattr(other, f.name)
+                for f in fields(self)
+            }
+        )
+
+    @property
+    def l1_miss_rate(self) -> float:
+        """L1 data-cache miss rate; 0.0 when there were no accesses."""
+        if self.l1_accesses == 0:
+            return 0.0
+        return self.l1_misses / self.l1_accesses
+
+    @property
+    def l2_miss_rate(self) -> float:
+        if self.l2_accesses == 0:
+            return 0.0
+        return self.l2_misses / self.l2_accesses
+
+    @property
+    def branch_miss_rate(self) -> float:
+        """Conditional-branch misprediction rate."""
+        if self.branches == 0:
+            return 0.0
+        return self.branch_mispredicts / self.branches
+
+    @property
+    def ipc(self) -> float:
+        if self.cycles == 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def as_dict(self) -> dict[str, int]:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

@@ -1,0 +1,278 @@
+"""The simulated machine: memory hierarchy + branch predictor + cycle model.
+
+A :class:`Machine` is the single point through which containers interact
+with "hardware".  They allocate simulated memory, issue loads/stores at
+real (simulated) addresses, execute instructions, and resolve conditional
+branches; the machine routes every event through the cache/TLB/predictor
+models and accounts cycles.  ``Machine.counters()`` is the PAPI-read
+analogue.
+"""
+
+from __future__ import annotations
+
+from repro.machine.branch import BimodalPredictor, GSharePredictor
+from repro.machine.cache import Cache
+from repro.machine.configs import MachineConfig
+from repro.machine.events import PerfCounters
+from repro.machine.memory import Allocator
+from repro.machine.tlb import TLB
+
+
+class Machine:
+    """Trace-driven microarchitecture simulator."""
+
+    __slots__ = (
+        "config", "allocator", "l1", "l2", "tlb", "predictor",
+        "_cycles", "instructions",
+        "_line_shift", "_page_shift", "_cpi", "_l1_lat", "_l2_lat",
+        "_mem_lat", "_mispredict_penalty", "_tlb_penalty", "_div_latency",
+        "_stream",
+        "_last_page",
+        "prefetcher",
+    )
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.allocator = Allocator()
+        self.l1 = Cache(config.l1_size, config.l1_assoc, config.line_bytes)
+        self.l2 = Cache(config.l2_size, config.l2_assoc, config.line_bytes)
+        self.tlb = TLB(config.tlb_entries, config.page_bytes)
+        if config.predictor == "gshare":
+            self.predictor = GSharePredictor(config.predictor_entries)
+        elif config.predictor == "bimodal":
+            self.predictor = BimodalPredictor(config.predictor_entries)
+        else:
+            raise ValueError(f"unknown predictor kind: {config.predictor!r}")
+        self._cycles = 0.0
+        self.instructions = 0
+        # Hot-path locals.
+        self._line_shift = config.line_bytes.bit_length() - 1
+        self._page_shift = config.page_bytes.bit_length() - 1
+        self._cpi = config.cpi_base
+        self._l1_lat = config.l1_latency
+        self._l2_lat = config.l2_latency
+        self._mem_lat = config.mem_latency
+        self._mispredict_penalty = config.mispredict_penalty
+        self._tlb_penalty = config.tlb_miss_penalty
+        self._div_latency = config.div_latency
+        self._stream = config.stream_factor
+        # Last translated page: a zero-cost micro-TLB fast path.
+        self._last_page = -1
+        # Optional explicit prefetcher (see repro.machine.prefetch).
+        self.prefetcher = None
+
+    # ------------------------------------------------------------------
+    # Event issue API (used by containers).
+    # ------------------------------------------------------------------
+
+    def access(self, addr: int, nbytes: int = 8) -> None:
+        """Load or store ``nbytes`` starting at ``addr``.
+
+        Every cache line spanned costs one L1 access; misses walk down to
+        L2 and memory.  Reads and writes are costed identically (no
+        writeback modelling).
+        """
+        if nbytes <= 0:
+            raise ValueError(f"access size must be positive: {nbytes}")
+        shift = self._line_shift
+        first = addr >> shift
+        last = (addr + nbytes - 1) >> shift
+        cycles = self._cycles
+        # The cache/TLB lookups are inlined here (rather than calling
+        # Cache.access per line) because this is by far the hottest loop
+        # in the whole simulator.
+        l1 = self.l1
+        l2 = self.l2
+        tlb = self.tlb
+        l1_sets = l1._sets
+        l1_mask = l1.num_sets - 1
+        l1_assoc = l1.assoc
+        l2_sets = l2._sets
+        l2_mask = l2.num_sets - 1
+        l2_assoc = l2.assoc
+        tlb_pages = tlb._pages
+        tlb_entries = tlb.entries
+        page_delta = self._page_shift - shift
+        last_page = self._last_page
+        l1_lat = self._l1_lat
+        l1.accesses += last - first + 1
+        # Lines after the first in a contiguous access stream are
+        # overlapped by the pipeline/prefetcher: their latencies are
+        # discounted by the architecture's stream factor.
+        stream = 1.0
+        for line in range(first, last + 1):
+            page = line >> page_delta
+            if page != last_page:
+                last_page = page
+                tlb.accesses += 1
+                if page in tlb_pages:
+                    if tlb_pages[0] != page:
+                        tlb_pages.remove(page)
+                        tlb_pages.insert(0, page)
+                else:
+                    tlb.misses += 1
+                    tlb_pages.insert(0, page)
+                    if len(tlb_pages) > tlb_entries:
+                        tlb_pages.pop()
+                    cycles += self._tlb_penalty
+            cycles += l1_lat * stream
+            ways = l1_sets[line & l1_mask]
+            if line in ways:
+                if ways[0] != line:
+                    ways.remove(line)
+                    ways.insert(0, line)
+                if self.prefetcher is not None:
+                    self.prefetcher.on_hit(line)
+            else:
+                l1.misses += 1
+                ways.insert(0, line)
+                if len(ways) > l1_assoc:
+                    ways.pop()
+                if self.prefetcher is not None:
+                    for target in self.prefetcher.on_miss(line):
+                        target_ways = l1_sets[target & l1_mask]
+                        if target not in target_ways:
+                            target_ways.insert(0, target)
+                            if len(target_ways) > l1_assoc:
+                                target_ways.pop()
+                cycles += self._l2_lat * stream
+                l2.accesses += 1
+                ways2 = l2_sets[line & l2_mask]
+                if line in ways2:
+                    if ways2[0] != line:
+                        ways2.remove(line)
+                        ways2.insert(0, line)
+                else:
+                    l2.misses += 1
+                    ways2.insert(0, line)
+                    if len(ways2) > l2_assoc:
+                        ways2.pop()
+                    cycles += self._mem_lat * stream
+            stream = self._stream
+        self._last_page = last_page
+        self._cycles = cycles
+
+    read = access
+    write = access
+
+    def instr(self, count: int) -> None:
+        """Retire ``count`` non-memory instructions."""
+        self.instructions += count
+        self._cycles += count * self._cpi
+
+    def branch(self, pc: int, taken: bool) -> bool:
+        """Resolve a conditional branch at (pseudo-)PC; return True if it
+        was predicted correctly."""
+        self.instructions += 1
+        self._cycles += self._cpi
+        correct = self.predictor.predict_and_update(pc, taken)
+        if not correct:
+            self._cycles += self._mispredict_penalty
+        return correct
+
+    def div(self, count: int = 1) -> None:
+        """Execute ``count`` integer divisions (long-latency, unpipelined)."""
+        self.instructions += count
+        self._cycles += count * self._div_latency
+
+    def loop_branches(self, pc: int, taken_iterations: int) -> None:
+        """Account a counted loop's branches statistically.
+
+        A scan loop's backward branch is taken ``taken_iterations`` times
+        and falls through once.  In steady state every predictor predicts
+        the taken iterations correctly and mispredicts only the exit, so
+        rather than updating predictor tables per iteration (O(n) work for
+        an O(1)-information event) we account the aggregate directly:
+        ``taken_iterations + 1`` branches, one mispredict.
+        """
+        if taken_iterations < 0:
+            raise ValueError("taken_iterations must be non-negative")
+        pred = self.predictor
+        n = taken_iterations + 1
+        pred.branches += n
+        self.instructions += n
+        self._cycles += n * self._cpi
+        if taken_iterations > 0:
+            pred.mispredicts += 1
+            self._cycles += self._mispredict_penalty
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate simulated heap memory (costs allocator instructions
+        plus a header touch)."""
+        addr = self.allocator.malloc(nbytes)
+        self.instr(self.config.malloc_instructions)
+        self.access(addr - 16, 16)  # write the malloc header
+        return addr
+
+    def free(self, addr: int) -> None:
+        self.allocator.free(addr)
+        self.instr(self.config.malloc_instructions // 2)
+        self.access(addr - 16, 16)
+
+    # ------------------------------------------------------------------
+    # Measurement API (used by the profiler and harnesses).
+    # ------------------------------------------------------------------
+
+    @property
+    def cycles(self) -> int:
+        return int(self._cycles)
+
+    @property
+    def seconds(self) -> float:
+        """Simulated wall-clock time at the configured frequency."""
+        return self._cycles / (self.config.freq_ghz * 1e9)
+
+    def attach_prefetcher(self, prefetcher) -> None:
+        """Enable an explicit prefetcher (e.g.
+        :class:`~repro.machine.prefetch.NextLinePrefetcher`)."""
+        self.prefetcher = prefetcher
+
+    def counters(self) -> PerfCounters:
+        """Snapshot all event counters (the PAPI-read analogue)."""
+        return PerfCounters(
+            cycles=int(self._cycles),
+            instructions=self.instructions,
+            l1_accesses=self.l1.accesses,
+            l1_misses=self.l1.misses,
+            l2_accesses=self.l2.accesses,
+            l2_misses=self.l2.misses,
+            tlb_misses=self.tlb.misses,
+            branches=self.predictor.branches,
+            branch_mispredicts=self.predictor.mispredicts,
+            allocations=self.allocator.allocations,
+            allocated_bytes=self.allocator.allocated_bytes,
+        )
+
+    def snapshot_tuple(self) -> tuple[int, ...]:
+        """Fast counter snapshot for hot per-call instrumentation paths.
+
+        Field order matches :meth:`counters`.
+        """
+        return (
+            int(self._cycles),
+            self.instructions,
+            self.l1.accesses,
+            self.l1.misses,
+            self.l2.accesses,
+            self.l2.misses,
+            self.tlb.misses,
+            self.predictor.branches,
+            self.predictor.mispredicts,
+            self.allocator.allocations,
+            self.allocator.allocated_bytes,
+        )
+
+    def reset(self) -> None:
+        """Reset microarchitectural and counter state, keeping the heap."""
+        self.l1.flush()
+        self.l2.flush()
+        self.tlb.flush()
+        self.l1.accesses = self.l1.misses = 0
+        self.l2.accesses = self.l2.misses = 0
+        self.tlb.accesses = self.tlb.misses = 0
+        self._cycles = 0.0
+        self.instructions = 0
+        self._last_page = -1
+        pred = self.predictor
+        pred.branches = 0
+        pred.mispredicts = 0

@@ -1,0 +1,77 @@
+"""Simulated heap allocator.
+
+Containers do not hold real memory; they hold *addresses* handed out by
+this allocator so the cache model sees a realistic layout:
+
+* every allocation is preceded by a 16-byte malloc header, so small nodes
+  (linked-list, tree, hash-bucket nodes) never share a cache line as tightly
+  as a contiguous array does;
+* freed blocks are recycled LIFO from size-class free lists, so after
+  insert/erase churn the address order of live nodes decorrelates from
+  logical order — the fragmentation that makes pointer-chasing structures
+  cache-unfriendly on real hardware.
+"""
+
+from __future__ import annotations
+
+_HEADER_BYTES = 16
+_ALIGN = 16
+
+
+def _size_class(nbytes: int) -> int:
+    """Round a request up to its allocation size class."""
+    return (nbytes + _HEADER_BYTES + _ALIGN - 1) & ~(_ALIGN - 1)
+
+
+class Allocator:
+    """Bump allocator with per-size-class LIFO free lists."""
+
+    __slots__ = ("_brk", "_free_lists", "allocations", "frees",
+                 "allocated_bytes", "live_bytes", "_live")
+
+    def __init__(self, base: int = 0x1000_0000) -> None:
+        self._brk = base
+        self._free_lists: dict[int, list[int]] = {}
+        self._live: dict[int, int] = {}
+        self.allocations = 0
+        self.frees = 0
+        self.allocated_bytes = 0
+        self.live_bytes = 0
+
+    def malloc(self, nbytes: int) -> int:
+        """Allocate ``nbytes`` and return the payload address."""
+        if nbytes <= 0:
+            raise ValueError(f"allocation size must be positive: {nbytes}")
+        size = _size_class(nbytes)
+        self.allocations += 1
+        self.allocated_bytes += size
+        self.live_bytes += size
+        free = self._free_lists.get(size)
+        if free:
+            addr = free.pop()
+        else:
+            addr = self._brk + _HEADER_BYTES
+            self._brk += size
+        self._live[addr] = size
+        return addr
+
+    def free(self, addr: int) -> None:
+        """Return a previously allocated block to its size-class free list."""
+        size = self._live.pop(addr, None)
+        if size is None:
+            raise ValueError(f"free of unallocated address {addr:#x}")
+        self.frees += 1
+        self.live_bytes -= size
+        self._free_lists.setdefault(size, []).append(addr)
+
+    def is_live(self, addr: int) -> bool:
+        return addr in self._live
+
+    @property
+    def live_allocations(self) -> int:
+        return len(self._live)
+
+    @property
+    def heap_bytes(self) -> int:
+        """Total heap span ever used (the bump pointer's travel)."""
+        return self._brk - 0x1000_0000

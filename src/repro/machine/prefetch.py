@@ -1,0 +1,66 @@
+"""Optional next-line stride prefetcher.
+
+Both evaluation machines have hardware prefetchers (Core2's DPL, Atom's
+L2 streamer).  The default machine model folds their effect into the
+per-access streaming discount; this module provides an *explicit*
+tagged next-line prefetcher instead, for the ablation that asks how much
+of the vector-vs-list gap the prefetcher accounts for
+(``benchmarks/test_ablation_prefetcher.py``).
+
+Policy: on an L1 miss of line ``X``, if ``X-1`` missed recently (a
+forward stream), fill ``X+1 .. X+degree`` into L1 at no cycle cost.
+Prefetches are tracked so accuracy (useful/issued) can be reported.
+"""
+
+from __future__ import annotations
+
+
+class NextLinePrefetcher:
+    """Tagged sequential prefetcher feeding an L1-like cache."""
+
+    __slots__ = ("degree", "history_size", "_recent_misses",
+                 "issued", "useful", "_outstanding")
+
+    def __init__(self, degree: int = 2, history_size: int = 16) -> None:
+        if degree <= 0:
+            raise ValueError("degree must be positive")
+        self.degree = degree
+        self.history_size = history_size
+        self._recent_misses: list[int] = []
+        self._outstanding: set[int] = set()
+        self.issued = 0
+        self.useful = 0
+
+    def on_miss(self, line: int) -> list[int]:
+        """Record an L1 miss; return lines to prefetch (may be empty)."""
+        recent = self._recent_misses
+        stream_detected = (line - 1) in recent
+        recent.append(line)
+        if len(recent) > self.history_size:
+            recent.pop(0)
+        if not stream_detected:
+            return []
+        prefetches = [line + i for i in range(1, self.degree + 1)]
+        for target in prefetches:
+            if target not in self._outstanding:
+                self._outstanding.add(target)
+                self.issued += 1
+        return prefetches
+
+    def on_hit(self, line: int) -> None:
+        """Credit a hit to a previously prefetched line."""
+        if line in self._outstanding:
+            self._outstanding.discard(line)
+            self.useful += 1
+
+    @property
+    def accuracy(self) -> float:
+        if self.issued == 0:
+            return 0.0
+        return self.useful / self.issued
+
+    def reset(self) -> None:
+        self._recent_misses.clear()
+        self._outstanding.clear()
+        self.issued = 0
+        self.useful = 0

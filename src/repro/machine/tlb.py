@@ -1,0 +1,44 @@
+"""A small fully-associative data TLB with LRU replacement."""
+
+from __future__ import annotations
+
+
+class TLB:
+    """Fully-associative translation lookaside buffer over page numbers."""
+
+    __slots__ = ("entries", "page_bytes", "_pages", "accesses", "misses")
+
+    def __init__(self, entries: int, page_bytes: int = 4096) -> None:
+        if entries <= 0:
+            raise ValueError("TLB needs at least one entry")
+        if page_bytes & (page_bytes - 1):
+            raise ValueError("page_bytes must be a power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self._pages: list[int] = []
+        self.accesses = 0
+        self.misses = 0
+
+    def access(self, page: int) -> bool:
+        """Touch one page number; return True on hit."""
+        self.accesses += 1
+        pages = self._pages
+        if page in pages:
+            if pages[0] != page:
+                pages.remove(page)
+                pages.insert(0, page)
+            return True
+        self.misses += 1
+        pages.insert(0, page)
+        if len(pages) > self.entries:
+            pages.pop()
+        return False
+
+    def flush(self) -> None:
+        self._pages.clear()
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses

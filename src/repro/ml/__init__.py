@@ -1,0 +1,25 @@
+"""From-scratch machine-learning substrate.
+
+The paper trains one artificial neural network per data-structure model
+with back-propagation (§5) and selects features with a genetic algorithm
+using real-valued chromosome weights (§5.1).  This package implements
+both, plus feature standardisation and classification metrics, on top of
+numpy only.
+"""
+
+from repro.ml.ann import NeuralNetwork
+from repro.ml.genetic import GeneticFeatureSelector, GAResult
+from repro.ml.logistic import SoftmaxRegression
+from repro.ml.metrics import accuracy, confusion_matrix, per_class_accuracy
+from repro.ml.scaling import StandardScaler
+
+__all__ = [
+    "GAResult",
+    "GeneticFeatureSelector",
+    "NeuralNetwork",
+    "SoftmaxRegression",
+    "StandardScaler",
+    "accuracy",
+    "confusion_matrix",
+    "per_class_accuracy",
+]

@@ -1,0 +1,229 @@
+"""Feed-forward artificial neural network trained by back-propagation.
+
+The paper's classifier (§5): a multi-layer perceptron per data-structure
+model, trained with the classic Rumelhart-Hinton-Williams back-propagation
+algorithm.  This implementation is numpy-only: tanh hidden layers, a
+softmax output, cross-entropy loss, mini-batch gradient descent with
+momentum, and early stopping on a held-out split.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def _one_hot(y: np.ndarray, n_classes: int) -> np.ndarray:
+    out = np.zeros((len(y), n_classes), dtype=np.float64)
+    out[np.arange(len(y)), y] = 1.0
+    return out
+
+
+class NeuralNetwork:
+    """Multi-layer perceptron classifier.
+
+    Parameters
+    ----------
+    layer_sizes:
+        ``[n_inputs, hidden..., n_classes]``.  At least one hidden layer.
+    learning_rate, momentum, batch_size, epochs:
+        Standard mini-batch SGD hyper-parameters.
+    patience:
+        Early-stopping patience (validation checks without improvement).
+        ``None`` disables early stopping.
+    seed:
+        RNG seed for weight initialisation and shuffling.
+    """
+
+    def __init__(self, layer_sizes: list[int], learning_rate: float = 0.05,
+                 momentum: float = 0.9, batch_size: int = 32,
+                 epochs: int = 300, patience: int | None = 25,
+                 l2: float = 1e-4, seed: int = 0) -> None:
+        if len(layer_sizes) < 3:
+            raise ValueError("need at least input, one hidden, output layer")
+        if any(size <= 0 for size in layer_sizes):
+            raise ValueError(f"layer sizes must be positive: {layer_sizes}")
+        self.layer_sizes = list(layer_sizes)
+        self.learning_rate = learning_rate
+        self.momentum = momentum
+        self.batch_size = batch_size
+        self.epochs = epochs
+        self.patience = patience
+        self.l2 = l2
+        self.seed = seed
+        rng = np.random.default_rng(seed)
+        self.weights: list[np.ndarray] = []
+        self.biases: list[np.ndarray] = []
+        for fan_in, fan_out in zip(layer_sizes, layer_sizes[1:]):
+            # Xavier/Glorot initialisation for tanh layers.
+            limit = np.sqrt(6.0 / (fan_in + fan_out))
+            self.weights.append(rng.uniform(-limit, limit,
+                                            size=(fan_in, fan_out)))
+            self.biases.append(np.zeros(fan_out))
+        self.loss_history_: list[float] = []
+
+    @property
+    def n_classes(self) -> int:
+        return self.layer_sizes[-1]
+
+    # -- forward/backward ---------------------------------------------------
+
+    def _forward(self, X: np.ndarray) -> list[np.ndarray]:
+        """Return activations per layer (input first, softmax last)."""
+        activations = [X]
+        out = X
+        last = len(self.weights) - 1
+        for i, (W, b) in enumerate(zip(self.weights, self.biases)):
+            z = out @ W + b
+            out = _softmax(z) if i == last else np.tanh(z)
+            activations.append(out)
+        return activations
+
+    def _gradients(self, X: np.ndarray, Y: np.ndarray
+                   ) -> tuple[list[np.ndarray], list[np.ndarray], float]:
+        """Cross-entropy gradients for one batch; returns (dW, db, loss)."""
+        activations = self._forward(X)
+        probs = activations[-1]
+        n = len(X)
+        loss = -np.sum(Y * np.log(probs + 1e-12)) / n
+        loss += 0.5 * self.l2 * sum(np.sum(W * W) for W in self.weights)
+
+        grad_w = [np.zeros_like(W) for W in self.weights]
+        grad_b = [np.zeros_like(b) for b in self.biases]
+        # Softmax + cross-entropy: delta = probs - targets.
+        delta = (probs - Y) / n
+        for i in range(len(self.weights) - 1, -1, -1):
+            grad_w[i] = activations[i].T @ delta + self.l2 * self.weights[i]
+            grad_b[i] = delta.sum(axis=0)
+            if i > 0:
+                # tanh'(z) expressed through the activation itself.
+                delta = (delta @ self.weights[i].T) * (1 - activations[i] ** 2)
+        return grad_w, grad_b, loss
+
+    # -- training -------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray,
+            validation: tuple[np.ndarray, np.ndarray] | None = None
+            ) -> "NeuralNetwork":
+        """Train on integer class labels ``y``; optionally early-stop on a
+        validation split."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or X.shape[1] != self.layer_sizes[0]:
+            raise ValueError(
+                f"X shape {X.shape} does not match input size "
+                f"{self.layer_sizes[0]}"
+            )
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range for the output layer")
+        Y = _one_hot(y, self.n_classes)
+        rng = np.random.default_rng(self.seed + 1)
+        velocity_w = [np.zeros_like(W) for W in self.weights]
+        velocity_b = [np.zeros_like(b) for b in self.biases]
+
+        best_score = -np.inf
+        best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
+        stale = 0
+        self.loss_history_ = []
+
+        for _ in range(self.epochs):
+            order = rng.permutation(len(X))
+            epoch_loss = 0.0
+            batches = 0
+            for start in range(0, len(X), self.batch_size):
+                idx = order[start:start + self.batch_size]
+                grad_w, grad_b, loss = self._gradients(X[idx], Y[idx])
+                epoch_loss += loss
+                batches += 1
+                for i in range(len(self.weights)):
+                    velocity_w[i] = (self.momentum * velocity_w[i]
+                                     - self.learning_rate * grad_w[i])
+                    velocity_b[i] = (self.momentum * velocity_b[i]
+                                     - self.learning_rate * grad_b[i])
+                    self.weights[i] += velocity_w[i]
+                    self.biases[i] += velocity_b[i]
+            self.loss_history_.append(epoch_loss / max(1, batches))
+
+            if validation is not None and self.patience is not None:
+                val_x, val_y = validation
+                score = float(np.mean(self.predict(val_x) == val_y))
+                if score > best_score + 1e-9:
+                    best_score = score
+                    best_params = (
+                        [W.copy() for W in self.weights],
+                        [b.copy() for b in self.biases],
+                    )
+                    stale = 0
+                else:
+                    stale += 1
+                    if stale >= self.patience:
+                        break
+        if best_params is not None:
+            self.weights, self.biases = best_params
+        return self
+
+    # -- inference ------------------------------------------------------------
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return self._forward(X)[-1]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)
+
+    # -- persistence ---------------------------------------------------------
+
+    def state(self) -> dict:
+        return {
+            "layer_sizes": self.layer_sizes,
+            "weights": [W.tolist() for W in self.weights],
+            "biases": [b.tolist() for b in self.biases],
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "NeuralNetwork":
+        net = cls(state["layer_sizes"])
+        net.weights = [np.asarray(W, dtype=np.float64)
+                       for W in state["weights"]]
+        net.biases = [np.asarray(b, dtype=np.float64)
+                      for b in state["biases"]]
+        return net
+
+    # -- testing hook ---------------------------------------------------------
+
+    def numerical_gradient_check(self, X: np.ndarray, y: np.ndarray,
+                                 epsilon: float = 1e-6) -> float:
+        """Max relative error between analytic and numeric gradients."""
+        X = np.asarray(X, dtype=np.float64)
+        Y = _one_hot(np.asarray(y, dtype=np.int64), self.n_classes)
+        grad_w, _, _ = self._gradients(X, Y)
+
+        def loss_at() -> float:
+            probs = self._forward(X)[-1]
+            loss = -np.sum(Y * np.log(probs + 1e-12)) / len(X)
+            return loss + 0.5 * self.l2 * sum(
+                np.sum(W * W) for W in self.weights
+            )
+
+        worst = 0.0
+        rng = np.random.default_rng(0)
+        for layer, grad in enumerate(grad_w):
+            flat_idx = rng.choice(grad.size, size=min(8, grad.size),
+                                  replace=False)
+            for idx in flat_idx:
+                i, j = np.unravel_index(idx, grad.shape)
+                original = self.weights[layer][i, j]
+                self.weights[layer][i, j] = original + epsilon
+                up = loss_at()
+                self.weights[layer][i, j] = original - epsilon
+                down = loss_at()
+                self.weights[layer][i, j] = original
+                numeric = (up - down) / (2 * epsilon)
+                denom = max(1e-8, abs(numeric) + abs(grad[i, j]))
+                worst = max(worst, abs(numeric - grad[i, j]) / denom)
+        return worst

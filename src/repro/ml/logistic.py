@@ -1,0 +1,61 @@
+"""Multinomial logistic regression (softmax) baseline.
+
+The paper argues an ANN is warranted because the feature/label relation
+"shows both linear and non-linear characteristics" (§5).  This linear
+classifier is the control for that claim: trained on the same features,
+any accuracy gap to the MLP measures how much the non-linearity buys
+(``benchmarks/test_ablation_linear_model.py``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.ann import _one_hot, _softmax
+
+
+class SoftmaxRegression:
+    """Linear classifier trained by batch gradient descent."""
+
+    def __init__(self, n_features: int, n_classes: int,
+                 learning_rate: float = 0.1, epochs: int = 400,
+                 l2: float = 1e-4, seed: int = 0) -> None:
+        if n_features <= 0 or n_classes < 2:
+            raise ValueError("need >=1 feature and >=2 classes")
+        self.n_features = n_features
+        self.n_classes = n_classes
+        self.learning_rate = learning_rate
+        self.epochs = epochs
+        self.l2 = l2
+        rng = np.random.default_rng(seed)
+        self.weights = rng.normal(0.0, 0.01, size=(n_features, n_classes))
+        self.bias = np.zeros(n_classes)
+        self.loss_history_: list[float] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SoftmaxRegression":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if X.ndim != 2 or X.shape[1] != self.n_features:
+            raise ValueError(f"X shape {X.shape} does not match "
+                             f"n_features={self.n_features}")
+        if y.min() < 0 or y.max() >= self.n_classes:
+            raise ValueError("labels out of range")
+        Y = _one_hot(y, self.n_classes)
+        n = len(X)
+        self.loss_history_ = []
+        for _ in range(self.epochs):
+            probs = _softmax(X @ self.weights + self.bias)
+            loss = -np.sum(Y * np.log(probs + 1e-12)) / n \
+                + 0.5 * self.l2 * np.sum(self.weights ** 2)
+            self.loss_history_.append(float(loss))
+            grad = X.T @ (probs - Y) / n + self.l2 * self.weights
+            self.weights -= self.learning_rate * grad
+            self.bias -= self.learning_rate * (probs - Y).mean(axis=0)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return _softmax(X @ self.weights + self.bias)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.predict_proba(X).argmax(axis=1)

@@ -1,0 +1,38 @@
+"""Classification metrics used to evaluate the selection models."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions (the paper's Figure 9 metric)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"shape mismatch: {y_true.shape} vs {y_pred.shape}"
+        )
+    if len(y_true) == 0:
+        raise ValueError("cannot compute accuracy of zero predictions")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     n_classes: int) -> np.ndarray:
+    """``matrix[i, j]`` = samples of true class i predicted as class j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    for t, p in zip(y_true, y_pred):
+        matrix[t, p] += 1
+    return matrix
+
+
+def per_class_accuracy(y_true: np.ndarray, y_pred: np.ndarray,
+                       n_classes: int) -> np.ndarray:
+    """Recall per class; NaN for classes absent from ``y_true``."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes)
+    totals = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        return np.where(totals > 0, np.diag(matrix) / totals, np.nan)

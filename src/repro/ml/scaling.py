@@ -1,0 +1,52 @@
+"""Feature standardisation (zero mean, unit variance)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class StandardScaler:
+    """Standardise features column-wise; constant columns pass through."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a scaler on an empty matrix")
+        self.mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.scale_ = scale
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return np.asarray(X, dtype=np.float64) * self.scale_ + self.mean_
+
+    def state(self) -> dict[str, list[float]]:
+        """Serialisable parameters."""
+        if self.mean_ is None or self.scale_ is None:
+            raise RuntimeError("scaler is not fitted")
+        return {"mean": self.mean_.tolist(), "scale": self.scale_.tolist()}
+
+    @classmethod
+    def from_state(cls, state: dict[str, list[float]]) -> "StandardScaler":
+        scaler = cls()
+        scaler.mean_ = np.asarray(state["mean"], dtype=np.float64)
+        scaler.scale_ = np.asarray(state["scale"], dtype=np.float64)
+        return scaler

@@ -1,0 +1,15 @@
+"""Selection models: Brainy, the Perflint baseline, and the Oracle."""
+
+from repro.models.brainy import BrainyModel, BrainySuite
+from repro.models.oracle import oracle_select
+from repro.models.perflint import PerflintModel
+from repro.models.validation import ValidationResult, validate_model
+
+__all__ = [
+    "BrainyModel",
+    "BrainySuite",
+    "PerflintModel",
+    "ValidationResult",
+    "validate_model",
+    "oracle_select",
+]

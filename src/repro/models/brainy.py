@@ -1,0 +1,259 @@
+"""Brainy's prediction models: one ANN per data-structure model group.
+
+A :class:`BrainyModel` packages the trained network with its feature
+scaler, candidate-class list and optional GA feature weights; a
+:class:`BrainySuite` holds one model per group (Figure 3) and is the
+object the advisor queries.  Models serialise to JSON so an install-time
+training run can be reused.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+import numpy as np
+
+from repro.appgen.config import GeneratorConfig
+from repro.containers.registry import (
+    DSKind,
+    MODEL_GROUPS,
+    ModelGroup,
+    candidates_for,
+    model_group_for,
+)
+from repro.instrumentation.features import FEATURE_NAMES
+from repro.machine.configs import CORE2, MachineConfig
+from repro.ml.ann import NeuralNetwork
+from repro.ml.metrics import accuracy
+from repro.ml.scaling import StandardScaler
+from repro.training.dataset import TrainingSet
+from repro.training.phase1 import run_phase1
+from repro.training.phase2 import run_phase2
+
+
+def _balanced_indices(y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+    """Oversample minority classes to the majority count."""
+    labels, counts = np.unique(y, return_counts=True)
+    target = counts.max()
+    chosen: list[np.ndarray] = []
+    for label, count in zip(labels, counts):
+        idx = np.flatnonzero(y == label)
+        if count < target:
+            extra = rng.choice(idx, size=target - count, replace=True)
+            idx = np.concatenate([idx, extra])
+        chosen.append(idx)
+    merged = np.concatenate(chosen)
+    rng.shuffle(merged)
+    return merged
+
+
+@dataclass
+class BrainyModel:
+    """One trained per-original-DS model."""
+
+    group_name: str
+    machine_name: str
+    classes: tuple[DSKind, ...]
+    scaler: StandardScaler
+    network: NeuralNetwork
+    feature_weights: np.ndarray  # GA weights; all-ones when GA not run
+
+    @classmethod
+    def train(cls, training_set: TrainingSet,
+              hidden: tuple[int, ...] = (24,),
+              epochs: int = 250,
+              feature_weights: np.ndarray | None = None,
+              feature_mask: Iterable[str] | None = None,
+              balance: bool = True,
+              seed: int = 0) -> "BrainyModel":
+        """Train on a Phase-II training set.
+
+        Parameters
+        ----------
+        feature_weights:
+            Optional GA-derived per-feature weights applied after scaling.
+        feature_mask:
+            Optional whitelist of feature names; everything else is zeroed
+            (used by the software-features-only ablation).
+        balance:
+            Oversample minority classes (Phase I naturally produces skewed
+            winner distributions).
+        """
+        if len(training_set) < 4:
+            raise ValueError("training set too small to fit a model")
+        weights = (np.ones(len(FEATURE_NAMES))
+                   if feature_weights is None
+                   else np.asarray(feature_weights, dtype=np.float64))
+        if weights.shape != (len(FEATURE_NAMES),):
+            raise ValueError("feature_weights length mismatch")
+        if feature_mask is not None:
+            mask = np.zeros(len(FEATURE_NAMES))
+            for name in feature_mask:
+                mask[FEATURE_NAMES.index(name)] = 1.0
+            weights = weights * mask
+
+        scaler = StandardScaler().fit(training_set.X)
+        rng = np.random.default_rng(seed)
+        train_ts, val_ts = training_set.split(validation_fraction=0.2,
+                                              seed=seed)
+        X_train = scaler.transform(train_ts.X) * weights
+        y_train = train_ts.y
+        if balance and len(np.unique(y_train)) > 1:
+            idx = _balanced_indices(y_train, rng)
+            X_train, y_train = X_train[idx], y_train[idx]
+        X_val = scaler.transform(val_ts.X) * weights
+
+        network = NeuralNetwork(
+            [len(FEATURE_NAMES), *hidden, len(training_set.classes)],
+            epochs=epochs, seed=seed,
+        )
+        network.fit(X_train, y_train, validation=(X_val, val_ts.y))
+        return cls(
+            group_name=training_set.group_name,
+            machine_name=training_set.machine_name,
+            classes=training_set.classes,
+            scaler=scaler,
+            network=network,
+            feature_weights=weights,
+        )
+
+    # -- inference ------------------------------------------------------------
+
+    def predict_proba(self, features: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        X = self.scaler.transform(X) * self.feature_weights
+        return self.network.predict_proba(X)
+
+    def predict_kind(self, features: np.ndarray,
+                     legal: Iterable[DSKind] | None = None) -> DSKind:
+        """Best class; optionally restricted to a legal subset.
+
+        Legality masking is how order-aware usages of a container handled
+        by an order-oblivious-capable model stay within Table 1 (e.g. a
+        sorted-iteration ``set`` may only become ``avl_set``).
+        """
+        probs = self.predict_proba(features)[0]
+        if legal is not None:
+            allowed = set(legal)
+            unknown = allowed.difference(self.classes)
+            if unknown:
+                raise ValueError(f"legal kinds not in model: {unknown}")
+            mask = np.array([kind in allowed for kind in self.classes])
+            if not mask.any():
+                raise ValueError("legal mask excludes every class")
+            probs = np.where(mask, probs, -np.inf)
+        return self.classes[int(np.argmax(probs))]
+
+    def accuracy_on(self, test_set: TrainingSet) -> float:
+        if tuple(test_set.classes) != tuple(self.classes):
+            raise ValueError("test set classes do not match the model")
+        X = self.scaler.transform(test_set.X) * self.feature_weights
+        return accuracy(test_set.y, self.network.predict(X))
+
+    # -- persistence ---------------------------------------------------------
+
+    def state(self) -> dict:
+        return {
+            "group_name": self.group_name,
+            "machine_name": self.machine_name,
+            "classes": [kind.value for kind in self.classes],
+            "scaler": self.scaler.state(),
+            "network": self.network.state(),
+            "feature_weights": self.feature_weights.tolist(),
+            "feature_names": list(FEATURE_NAMES),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "BrainyModel":
+        if state["feature_names"] != list(FEATURE_NAMES):
+            raise ValueError("model was trained on a different feature schema")
+        return cls(
+            group_name=state["group_name"],
+            machine_name=state["machine_name"],
+            classes=tuple(DSKind(v) for v in state["classes"]),
+            scaler=StandardScaler.from_state(state["scaler"]),
+            network=NeuralNetwork.from_state(state["network"]),
+            feature_weights=np.asarray(state["feature_weights"]),
+        )
+
+
+class BrainySuite:
+    """One BrainyModel per model group, for a single microarchitecture."""
+
+    def __init__(self, machine_name: str,
+                 models: dict[str, BrainyModel] | None = None) -> None:
+        self.machine_name = machine_name
+        self.models: dict[str, BrainyModel] = models or {}
+
+    def __contains__(self, group_name: str) -> bool:
+        return group_name in self.models
+
+    def __getitem__(self, group_name: str) -> BrainyModel:
+        return self.models[group_name]
+
+    def predict(self, kind: DSKind, order_oblivious: bool,
+                features: np.ndarray,
+                legal: Iterable[DSKind] | None = None) -> DSKind:
+        """Route a profiled container to its model group and predict.
+
+        The legality mask defaults to Table 1's candidates for the usage:
+        order-aware usages of a ``set`` handled by the (wider) set model
+        may still only become ``avl_set``.
+        """
+        group = model_group_for(kind, order_oblivious)
+        model = self.models[group.name]
+        if legal is None:
+            legal = candidates_for(kind, order_oblivious)
+        return model.predict_kind(features, legal=legal)
+
+    @classmethod
+    def train(cls, machine_config: MachineConfig = CORE2,
+              config: GeneratorConfig | None = None,
+              groups: Iterable[ModelGroup] | None = None,
+              per_class_target: int = 30,
+              max_seeds: int = 1200,
+              hidden: tuple[int, ...] = (24,),
+              seed_base: int = 0,
+              seed: int = 0) -> "BrainySuite":
+        """End-to-end training: Phase I + Phase II + ANN fit per group."""
+        config = config or GeneratorConfig()
+        groups = list(groups) if groups is not None \
+            else list(MODEL_GROUPS.values())
+        suite = cls(machine_name=machine_config.name)
+        for group in groups:
+            phase1 = run_phase1(
+                group, config, machine_config,
+                per_class_target=per_class_target,
+                max_seeds=max_seeds, seed_base=seed_base,
+            )
+            training_set = run_phase2(phase1, config, machine_config)
+            suite.models[group.name] = BrainyModel.train(
+                training_set, hidden=hidden, seed=seed,
+            )
+        return suite
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, directory: str | Path) -> None:
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        index = {"machine_name": self.machine_name,
+                 "groups": sorted(self.models)}
+        (directory / "suite.json").write_text(json.dumps(index))
+        for name, model in self.models.items():
+            (directory / f"{name}.json").write_text(
+                json.dumps(model.state())
+            )
+
+    @classmethod
+    def load(cls, directory: str | Path) -> "BrainySuite":
+        directory = Path(directory)
+        index = json.loads((directory / "suite.json").read_text())
+        models = {}
+        for name in index["groups"]:
+            state = json.loads((directory / f"{name}.json").read_text())
+            models[name] = BrainyModel.from_state(state)
+        return cls(machine_name=index["machine_name"], models=models)

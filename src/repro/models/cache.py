@@ -1,0 +1,107 @@
+"""Disk-cached, scale-aware suite training.
+
+Install-time training is the paper's intended deployment: train once per
+machine, reuse forever.  :func:`get_or_train_suite` implements exactly
+that for the benchmark harness — the first call trains and saves under
+``.cache/suites``; later calls load instantly.  The ``REPRO_SCALE``
+environment variable (``tiny`` / ``small`` / ``default`` / ``large``)
+trades training time for model quality across the whole harness.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.appgen.config import GeneratorConfig
+from repro.machine.configs import MachineConfig
+from repro.models.brainy import BrainySuite
+
+#: Cache root (package-repo local, safe to delete).
+CACHE_DIR = Path(
+    os.environ.get("REPRO_CACHE_DIR", Path(__file__).parents[3] / ".cache")
+)
+
+
+@dataclass(frozen=True)
+class ScaleParams:
+    """Training budget for one scale tier."""
+
+    name: str
+    per_class_target: int
+    max_seeds: int
+    validation_apps: int
+    hidden: tuple[int, ...]
+
+
+SCALES: dict[str, ScaleParams] = {
+    "tiny": ScaleParams("tiny", per_class_target=10, max_seeds=90,
+                        validation_apps=30, hidden=(16,)),
+    "small": ScaleParams("small", per_class_target=25, max_seeds=250,
+                         validation_apps=60, hidden=(24,)),
+    "default": ScaleParams("default", per_class_target=60, max_seeds=650,
+                           validation_apps=120, hidden=(32, 16)),
+    "large": ScaleParams("large", per_class_target=150, max_seeds=2000,
+                         validation_apps=300, hidden=(32, 16)),
+}
+
+
+def current_scale() -> ScaleParams:
+    """The tier selected by ``REPRO_SCALE`` (default ``small``)."""
+    name = os.environ.get("REPRO_SCALE", "small")
+    if name not in SCALES:
+        raise ValueError(
+            f"REPRO_SCALE={name!r} unknown; choose from {sorted(SCALES)}"
+        )
+    return SCALES[name]
+
+
+def suite_path(machine_config: MachineConfig, scale: ScaleParams) -> Path:
+    return CACHE_DIR / "suites" / f"{machine_config.name}-{scale.name}"
+
+
+def get_or_build_dataset(group_name: str,
+                         machine_config: MachineConfig,
+                         scale: ScaleParams | None = None,
+                         config: GeneratorConfig | None = None,
+                         force: bool = False):
+    """Load (or run Phase I+II to build) one group's training set."""
+    from repro.containers.registry import MODEL_GROUPS
+    from repro.training.dataset import TrainingSet
+    from repro.training.phase1 import run_phase1
+    from repro.training.phase2 import run_phase2
+
+    scale = scale or current_scale()
+    path = (CACHE_DIR / "datasets"
+            / f"{machine_config.name}-{scale.name}-{group_name}.json")
+    if not force and path.exists():
+        return TrainingSet.load(path)
+    config = config or GeneratorConfig()
+    group = MODEL_GROUPS[group_name]
+    phase1 = run_phase1(group, config, machine_config,
+                        per_class_target=scale.per_class_target,
+                        max_seeds=scale.max_seeds)
+    training_set = run_phase2(phase1, config, machine_config)
+    training_set.save(path)
+    return training_set
+
+
+def get_or_train_suite(machine_config: MachineConfig,
+                       scale: ScaleParams | None = None,
+                       config: GeneratorConfig | None = None,
+                       force: bool = False) -> BrainySuite:
+    """Load the cached suite for this machine/scale, training on a miss."""
+    scale = scale or current_scale()
+    path = suite_path(machine_config, scale)
+    if not force and (path / "suite.json").exists():
+        return BrainySuite.load(path)
+    suite = BrainySuite.train(
+        machine_config=machine_config,
+        config=config or GeneratorConfig(),
+        per_class_target=scale.per_class_target,
+        max_seeds=scale.max_seeds,
+        hidden=scale.hidden,
+    )
+    suite.save(path)
+    return suite

@@ -1,0 +1,24 @@
+"""The empirical Oracle: run every candidate, keep the fastest (§6.2)."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.containers.registry import DSKind
+
+
+def oracle_select(runtimes: dict[DSKind, int] | None = None,
+                  runner: Callable[[DSKind], int] | None = None,
+                  candidates: Iterable[DSKind] | None = None) -> DSKind:
+    """Pick the empirically fastest kind.
+
+    Either pass measured ``runtimes`` directly, or a ``runner`` callable
+    plus the candidate list to measure here.
+    """
+    if runtimes is None:
+        if runner is None or candidates is None:
+            raise ValueError("pass runtimes, or runner with candidates")
+        runtimes = {kind: runner(kind) for kind in candidates}
+    if not runtimes:
+        raise ValueError("no candidates to select between")
+    return min(runtimes.items(), key=lambda item: item[1])[0]

@@ -1,0 +1,22 @@
+"""The two-phase training framework (§4.3, Algorithms 1 and 2).
+
+Phase I generates seeded application sets, times every candidate container,
+and records ``(seed, best DS)`` pairs — keeping a winner only when it beats
+every alternative by the configured margin.  Phase II regenerates each
+recorded application from its seed, replays it on the *original* container
+with the instrumented library, and emits ``(features, best DS)`` training
+rows.  Regeneration-by-seed is what lets the framework scale to millions
+of training applications "without an explosion in disk space".
+"""
+
+from repro.training.dataset import TrainingSet
+from repro.training.phase1 import Phase1Result, SeedRecord, run_phase1
+from repro.training.phase2 import run_phase2
+
+__all__ = [
+    "Phase1Result",
+    "SeedRecord",
+    "TrainingSet",
+    "run_phase1",
+    "run_phase2",
+]

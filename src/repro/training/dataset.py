@@ -1,0 +1,112 @@
+"""Training-set container with serialisation.
+
+One :class:`TrainingSet` per model group: a feature matrix, integer labels
+into the group's candidate-class list, and enough metadata to rebuild the
+exact setting (feature names, class names, machine, generator config).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.containers.registry import DSKind
+from repro.instrumentation.features import FEATURE_NAMES
+
+
+@dataclass
+class TrainingSet:
+    """Labelled examples for one model group."""
+
+    group_name: str
+    machine_name: str
+    classes: tuple[DSKind, ...]
+    X: np.ndarray = field(
+        default_factory=lambda: np.empty((0, len(FEATURE_NAMES)))
+    )
+    y: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+    seeds: list[int] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64).reshape(
+            -1, len(FEATURE_NAMES)
+        )
+        self.y = np.asarray(self.y, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    def add(self, features: np.ndarray, best: DSKind, seed: int) -> None:
+        label = self.classes.index(best)
+        self.X = np.vstack([self.X, np.asarray(features, dtype=np.float64)])
+        self.y = np.append(self.y, label)
+        self.seeds.append(seed)
+
+    def label_of(self, kind: DSKind) -> int:
+        return self.classes.index(kind)
+
+    def kind_of(self, label: int) -> DSKind:
+        return self.classes[label]
+
+    def class_counts(self) -> dict[DSKind, int]:
+        counts = {kind: 0 for kind in self.classes}
+        for label in self.y:
+            counts[self.classes[label]] += 1
+        return counts
+
+    def split(self, validation_fraction: float = 0.2, seed: int = 0
+              ) -> tuple["TrainingSet", "TrainingSet"]:
+        """Shuffled train/validation split."""
+        if not 0.0 < validation_fraction < 1.0:
+            raise ValueError("validation_fraction must be in (0, 1)")
+        rng = np.random.default_rng(seed)
+        order = rng.permutation(len(self))
+        cut = max(1, int(len(self) * validation_fraction))
+        val_idx, train_idx = order[:cut], order[cut:]
+
+        def subset(idx: np.ndarray) -> "TrainingSet":
+            return TrainingSet(
+                group_name=self.group_name,
+                machine_name=self.machine_name,
+                classes=self.classes,
+                X=self.X[idx],
+                y=self.y[idx],
+                seeds=[self.seeds[i] for i in idx],
+            )
+
+        return subset(train_idx), subset(val_idx)
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "group_name": self.group_name,
+            "machine_name": self.machine_name,
+            "classes": [kind.value for kind in self.classes],
+            "feature_names": list(FEATURE_NAMES),
+            "X": self.X.tolist(),
+            "y": self.y.tolist(),
+            "seeds": self.seeds,
+        }
+        path.write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TrainingSet":
+        payload = json.loads(Path(path).read_text())
+        if payload["feature_names"] != list(FEATURE_NAMES):
+            raise ValueError(
+                "training set was built with a different feature schema"
+            )
+        return cls(
+            group_name=payload["group_name"],
+            machine_name=payload["machine_name"],
+            classes=tuple(DSKind(v) for v in payload["classes"]),
+            X=np.asarray(payload["X"], dtype=np.float64),
+            y=np.asarray(payload["y"], dtype=np.int64),
+            seeds=list(payload["seeds"]),
+        )

@@ -1,0 +1,144 @@
+"""Training framework Phase I (Algorithm 1).
+
+Generate seeded application sets, run each candidate container, measure
+execution time (simulated cycles), and record ``(seed, best DS)`` — but
+only when the best is at least 5 % faster than every alternative, so a
+barely-best structure never becomes a training label.  Iteration stops
+when every candidate class has reached its per-class target or the seed
+budget is exhausted (some classes win rarely; the paper notes Phase I
+"after many iterations some data structures will have more best
+applications than others").
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.appgen.config import GeneratorConfig
+from repro.appgen.generator import generate_app
+from repro.appgen.workload import DEFAULT_MARGIN, best_candidate, measure_candidates
+from repro.containers.registry import DSKind, ModelGroup
+from repro.machine.configs import CORE2, MachineConfig
+
+
+@dataclass
+class SeedRecord:
+    """One Phase-I outcome: a seed and the winning data structure."""
+
+    seed: int
+    best: DSKind
+    runtimes: dict[DSKind, int]
+
+
+@dataclass
+class Phase1Result:
+    """All ``seed_ds_pairs`` recorded for one model group."""
+
+    group: ModelGroup
+    machine_name: str
+    records: list[SeedRecord] = field(default_factory=list)
+    seeds_tried: int = 0
+    no_winner: int = 0
+
+    def class_counts(self) -> dict[DSKind, int]:
+        counts = {kind: 0 for kind in self.group.classes}
+        for record in self.records:
+            counts[record.best] += 1
+        return counts
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    # -- persistence (the paper's ``seed_ds_pairs``) ----------------------
+
+    def save(self, path: str | Path) -> None:
+        """Write the seed/DS pairs; Phase II can resume from this file."""
+        payload = {
+            "group_name": self.group.name,
+            "machine_name": self.machine_name,
+            "seeds_tried": self.seeds_tried,
+            "no_winner": self.no_winner,
+            "records": [
+                {
+                    "seed": r.seed,
+                    "best": r.best.value,
+                    "runtimes": {k.value: v
+                                 for k, v in r.runtimes.items()},
+                }
+                for r in self.records
+            ],
+        }
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Phase1Result":
+        from repro.containers.registry import MODEL_GROUPS
+
+        payload = json.loads(Path(path).read_text())
+        group = MODEL_GROUPS[payload["group_name"]]
+        result = cls(group=group, machine_name=payload["machine_name"],
+                     seeds_tried=payload["seeds_tried"],
+                     no_winner=payload["no_winner"])
+        for r in payload["records"]:
+            result.records.append(SeedRecord(
+                seed=r["seed"],
+                best=DSKind(r["best"]),
+                runtimes={DSKind(k): v for k, v in r["runtimes"].items()},
+            ))
+        return result
+
+
+def run_phase1(group: ModelGroup,
+               config: GeneratorConfig,
+               machine_config: MachineConfig = CORE2,
+               per_class_target: int = 30,
+               max_seeds: int = 2000,
+               margin: float = DEFAULT_MARGIN,
+               seed_base: int = 0,
+               progress: Callable[[int, Phase1Result], None] | None = None,
+               ) -> Phase1Result:
+    """Algorithm 1: collect ``(seed, best DS)`` pairs for one model group.
+
+    Parameters
+    ----------
+    per_class_target:
+        ``need_more_sets`` threshold: stop once every class has this many
+        winning applications (the paper uses e.g. ten thousand).
+    max_seeds:
+        Hard budget on generated application sets, since rare classes may
+        never reach the target.
+    seed_base:
+        Offset into the seed space (use different bases for disjoint
+        train/validation populations).
+    """
+    if per_class_target <= 0:
+        raise ValueError("per_class_target must be positive")
+    result = Phase1Result(group=group, machine_name=machine_config.name)
+    counts = {kind: 0 for kind in group.classes}
+
+    for offset in range(max_seeds):
+        if all(count >= per_class_target for count in counts.values()):
+            break
+        seed = seed_base + offset
+        app = generate_app(seed, group, config)
+        runtimes = measure_candidates(app, machine_config)
+        best = best_candidate(runtimes, margin=margin)
+        result.seeds_tried += 1
+        if best is None:
+            result.no_winner += 1
+            continue
+        if counts[best] >= per_class_target:
+            # Phase I's early filter (§4.3): extra applications for an
+            # already-full class are not handed to the expensive Phase II.
+            continue
+        counts[best] += 1
+        result.records.append(SeedRecord(seed=seed, best=best,
+                                         runtimes=runtimes))
+        if progress is not None:
+            progress(seed, result)
+    return result

@@ -1,0 +1,40 @@
+"""Training framework Phase II (Algorithm 2).
+
+Replay every Phase-I seed with the instrumented library: regenerate the
+application from its seed, run it on the model group's *original*
+container kind with profiling enabled, and emit the
+``(features, best DS)`` training row.  Regenerating from seeds keeps disk
+usage constant no matter how many training applications are used.
+"""
+
+from __future__ import annotations
+
+from repro.appgen.config import GeneratorConfig
+from repro.appgen.generator import generate_app
+from repro.containers.registry import ModelGroup
+from repro.machine.configs import CORE2, MachineConfig
+from repro.training.dataset import TrainingSet
+from repro.training.phase1 import Phase1Result
+
+
+def run_phase2(phase1: Phase1Result,
+               config: GeneratorConfig,
+               machine_config: MachineConfig = CORE2,
+               ) -> TrainingSet:
+    """Algorithm 2: build the training set from recorded seed/DS pairs."""
+    group: ModelGroup = phase1.group
+    if machine_config.name != phase1.machine_name:
+        raise ValueError(
+            "Phase II must replay on the same machine Phase I measured "
+            f"({phase1.machine_name!r}), got {machine_config.name!r}"
+        )
+    train_set = TrainingSet(
+        group_name=group.name,
+        machine_name=machine_config.name,
+        classes=group.classes,
+    )
+    for record in phase1.records:
+        app = generate_app(record.seed, group, config)
+        run = app.run(group.original, machine_config, instrument=True)
+        train_set.add(run.features(), record.best, record.seed)
+    return train_set

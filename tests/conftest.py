@@ -1,0 +1,34 @@
+"""Shared fixtures and hypothesis settings."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.appgen.config import GeneratorConfig
+from repro.machine.configs import ATOM, CORE2
+from repro.machine.machine import Machine
+
+# Keep property tests brisk: the containers run a real simulator per op.
+settings.register_profile(
+    "repro",
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def core2() -> Machine:
+    return Machine(CORE2)
+
+
+@pytest.fixture
+def atom() -> Machine:
+    return Machine(ATOM)
+
+
+@pytest.fixture
+def small_config() -> GeneratorConfig:
+    return GeneratorConfig.small()

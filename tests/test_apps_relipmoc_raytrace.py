@@ -1,0 +1,134 @@
+"""Unit tests for the RelipmoC and Raytrace case studies."""
+
+import pytest
+
+from repro.apps.base import run_case_study
+from repro.apps.raytrace import RAYTRACE_SCENES, Raytracer, _intersect, Sphere
+from repro.apps.relipmoc import RELIPMOC_INPUTS, Relipmoc
+from repro.containers.registry import DSKind
+from repro.machine.configs import ATOM, CORE2
+
+
+class TestRelipmoc:
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError):
+            Relipmoc("gigantic")
+
+    def test_site_is_order_aware_set(self):
+        app = Relipmoc("small")
+        site = app.primary_site()
+        assert site.default_kind == DSKind.SET
+        assert not site.order_oblivious
+        assert site.legal_candidates() == (DSKind.SET, DSKind.AVL_SET)
+
+    def test_pipeline_output(self):
+        result = run_case_study(Relipmoc("small"), CORE2)
+        output = result.output
+        assert output["blocks"] > 10
+        assert output["functions"] >= RELIPMOC_INPUTS["small"].functions
+        assert output["loops"] >= 1
+        assert output["c_lines"] > 20
+        assert "int func_0(void)" in output["c_source"]
+
+    def test_output_invariant_across_tree_choice(self):
+        app = Relipmoc("small")
+        outputs = []
+        for kind in (DSKind.SET, DSKind.AVL_SET):
+            result = run_case_study(app, CORE2,
+                                    kinds={"basic_blocks": kind})
+            outputs.append(result.output)
+        assert outputs[0] == outputs[1]
+
+    def test_custom_assembly_accepted(self):
+        source = "main:\n    mov eax, 1\n    ret\n"
+        app = Relipmoc("small", assembly=source)
+        result = run_case_study(app, CORE2)
+        assert result.output["functions"] == 1
+        assert result.output["blocks"] == 1
+
+    @pytest.mark.parametrize("arch", [CORE2, ATOM], ids=["core2", "atom"])
+    def test_avl_set_wins(self, arch):
+        """The §6.4 result: find+iterate-heavy block sets run faster on
+        the AVL tree (sorted-address insertion keeps it shallower)."""
+        app = Relipmoc("default")
+        cycles = {
+            kind: run_case_study(app, arch,
+                                 kinds={"basic_blocks": kind}).cycles
+            for kind in (DSKind.SET, DSKind.AVL_SET)
+        }
+        assert cycles[DSKind.AVL_SET] < cycles[DSKind.SET]
+
+
+class TestRaytraceMath:
+    def test_direct_hit(self):
+        sphere = Sphere(0, 0, 10, 1.0, 0.5)
+        t = _intersect(0, 0, 0, 0, 0, 1, sphere)
+        assert t == pytest.approx(9.0)
+
+    def test_miss(self):
+        sphere = Sphere(5, 5, 10, 0.5, 0.5)
+        assert _intersect(0, 0, 0, 0, 0, 1, sphere) is None
+
+    def test_behind_camera(self):
+        sphere = Sphere(0, 0, -10, 1.0, 0.5)
+        assert _intersect(0, 0, 0, 0, 0, 1, sphere) is None
+
+    def test_grazing(self):
+        sphere = Sphere(1.0, 0, 10, 1.0, 0.5)
+        t = _intersect(0, 0, 0, 0, 0, 1, sphere)
+        assert t is not None
+        assert t == pytest.approx(10.0, abs=1e-6)
+
+
+class TestRaytracer:
+    def test_unknown_scene_rejected(self):
+        with pytest.raises(ValueError):
+            Raytracer("imax")
+
+    def test_one_site_per_group(self):
+        app = Raytracer("small")
+        assert len(app.sites()) == RAYTRACE_SCENES["small"].groups
+        assert all(site.default_kind == DSKind.LIST
+                   for site in app.sites())
+
+    def test_renders_deterministic_image(self):
+        a = run_case_study(Raytracer("small"), CORE2)
+        b = run_case_study(Raytracer("small"), CORE2)
+        assert a.output["pixels"] == b.output["pixels"]
+        assert a.output["checksum"] == b.output["checksum"]
+
+    def test_image_has_content(self):
+        result = run_case_study(Raytracer("small"), CORE2)
+        scene = RAYTRACE_SCENES["small"]
+        pixels = result.output["pixels"]
+        assert len(pixels) == scene.width * scene.height
+        assert result.output["hits"] > 0
+        assert any(v > 0 for v in pixels)
+        assert all(0.0 <= v <= 1.0 for v in pixels)
+
+    def test_image_identical_across_containers(self):
+        app = Raytracer("small")
+        sites = {site.name for site in app.sites()}
+        checksums = set()
+        for kind in (DSKind.LIST, DSKind.VECTOR, DSKind.DEQUE):
+            result = run_case_study(
+                app, CORE2, kinds={name: kind for name in sites}
+            )
+            checksums.add(result.output["checksum"])
+        assert len(checksums) == 1
+
+    @pytest.mark.parametrize("arch", [CORE2, ATOM], ids=["core2", "atom"])
+    def test_vector_beats_list(self, arch):
+        """The §6.5 result: iteration-dominated groups prefer vector."""
+        app = Raytracer("small")
+        sites = {site.name for site in app.sites()}
+        cycles = {
+            kind: run_case_study(
+                app, arch, kinds={name: kind for name in sites}
+            ).cycles
+            for kind in (DSKind.LIST, DSKind.VECTOR)
+        }
+        assert cycles[DSKind.VECTOR] < cycles[DSKind.LIST]
+        improvement = 1 - cycles[DSKind.VECTOR] / cycles[DSKind.LIST]
+        # Same order of magnitude as the paper's 16%/13%.
+        assert 0.05 < improvement < 0.40

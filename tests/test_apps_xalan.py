@@ -1,0 +1,106 @@
+"""Unit tests for the Xalan string-cache case study."""
+
+import pytest
+
+from repro.apps.base import run_case_study
+from repro.apps.xalan import XALAN_INPUTS, XalanStringCache
+from repro.containers.registry import DSKind
+from repro.machine.configs import ATOM, CORE2
+
+
+class TestConstruction:
+    def test_unknown_input_rejected(self):
+        with pytest.raises(ValueError):
+            XalanStringCache("huge")
+
+    def test_inputs_cover_spec_trio(self):
+        assert set(XALAN_INPUTS) == {"test", "train", "reference"}
+
+    def test_sites(self):
+        app = XalanStringCache("test")
+        names = [site.name for site in app.sites()]
+        assert names == ["m_busyList", "m_availableList"]
+        assert app.primary_site().default_kind == DSKind.VECTOR
+
+
+class TestExecution:
+    def test_deterministic(self):
+        a = run_case_study(XalanStringCache("test"), CORE2)
+        b = run_case_study(XalanStringCache("test"), CORE2)
+        assert a.cycles == b.cycles
+        assert a.output == b.output
+
+    def test_output_invariant_across_container_choice(self):
+        app = XalanStringCache("test")
+        outputs = set()
+        for kind in (DSKind.VECTOR, DSKind.SET, DSKind.HASH_SET):
+            result = run_case_study(app, CORE2,
+                                    kinds={"m_busyList": kind})
+            outputs.add(tuple(sorted(result.output.items())))
+        assert len(outputs) == 1
+
+    def test_output_sanity(self):
+        result = run_case_study(XalanStringCache("test"), CORE2)
+        output = result.output
+        assert output["allocated"] > 0
+        assert 0 < output["released"] <= output["allocated"]
+
+    def test_illegal_override_rejected(self):
+        with pytest.raises(ValueError):
+            run_case_study(XalanStringCache("test"), CORE2,
+                           kinds={"m_busyList": DSKind.MAP})
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(ValueError):
+            run_case_study(XalanStringCache("test"), CORE2,
+                           kinds={"nope": DSKind.SET})
+
+    def test_trace_contains_both_sites(self):
+        result = run_case_study(XalanStringCache("test"), CORE2,
+                                instrument=True)
+        contexts = {record.context for record in result.trace()}
+        assert contexts == {"xalancbmk:m_busyList",
+                            "xalancbmk:m_availableList"}
+
+
+class TestPaperShape:
+    """Figure 10/11's qualitative results."""
+
+    def _sweep(self, input_name, arch):
+        app = XalanStringCache(input_name)
+        return {
+            kind: run_case_study(app, arch,
+                                 kinds={"m_busyList": kind}).cycles
+            for kind in (DSKind.VECTOR, DSKind.SET, DSKind.HASH_SET)
+        }
+
+    @pytest.mark.parametrize("arch", [CORE2, ATOM], ids=["core2", "atom"])
+    def test_train_input_prefers_vector(self, arch):
+        runtimes = self._sweep("train", arch)
+        assert min(runtimes, key=runtimes.get) == DSKind.VECTOR
+
+    @pytest.mark.parametrize("arch", [CORE2, ATOM], ids=["core2", "atom"])
+    def test_reference_input_prefers_hash_set(self, arch):
+        runtimes = self._sweep("reference", arch)
+        assert min(runtimes, key=runtimes.get) == DSKind.HASH_SET
+
+    def test_test_input_prefers_hash_set_on_core2(self):
+        runtimes = self._sweep("test", CORE2)
+        assert min(runtimes, key=runtimes.get) == DSKind.HASH_SET
+
+    def test_set_beats_vector_on_deep_inputs(self):
+        runtimes = self._sweep("reference", CORE2)
+        assert runtimes[DSKind.SET] < runtimes[DSKind.VECTOR]
+
+    def test_find_stats_vary_across_inputs(self):
+        """Table 4's premise: find counts and touched elements differ
+        radically across inputs."""
+        stats = {}
+        for input_name in ("test", "train", "reference"):
+            result = run_case_study(XalanStringCache(input_name), CORE2,
+                                    instrument=True)
+            s = result.profiled["m_busyList"].stats
+            stats[input_name] = (s.finds, s.find_cost / max(1, s.finds))
+        # Train does many shallow finds; reference does many deep ones.
+        assert stats["train"][0] > stats["test"][0]
+        assert stats["reference"][1] > 3 * stats["train"][1]

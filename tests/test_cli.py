@@ -1,0 +1,96 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_train_defaults(self):
+        args = build_parser().parse_args(["train"])
+        assert args.machine == "core2"
+        assert args.scale == "small"
+        assert not args.force
+
+    def test_advise_validates_app(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["advise", "nonexistent"])
+
+    def test_appgen_accepts_seed(self):
+        args = build_parser().parse_args(["appgen", "42",
+                                          "--group", "set"])
+        assert args.seed == 42
+        assert args.group == "set"
+
+
+class TestCensusCommand:
+    def test_census_renders_chart(self, capsys):
+        assert main(["census", "--files", "30", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "vector" in out
+        assert "█" in out
+
+
+class TestAppgenCommand:
+    def test_appgen_measures_candidates(self, capsys):
+        assert main(["appgen", "5", "--group", "map"]) == 0
+        out = capsys.readouterr().out
+        assert "candidate" in out
+        assert "hash_map" in out
+        assert "best (5% margin):" in out
+
+    def test_appgen_with_config_file(self, tmp_path, capsys):
+        config_path = tmp_path / "gen.conf"
+        config_path.write_text("TotalInterfCalls = 60\n"
+                               "MaxPrefill = 10\n")
+        assert main(["appgen", "5", "--group", "set",
+                     "--config", str(config_path)]) == 0
+        assert "best" in capsys.readouterr().out
+
+
+class TestTrainAndAdvise:
+    def test_train_then_advise(self, tmp_path, monkeypatch, capsys):
+        # Point the cache at a temp dir and register a unit-test scale.
+        from repro.models import cache as cache_mod
+        monkeypatch.setattr(cache_mod, "CACHE_DIR", tmp_path)
+        tiny = cache_mod.ScaleParams("cli", per_class_target=3,
+                                     max_seeds=60, validation_apps=5,
+                                     hidden=(8,))
+        monkeypatch.setitem(cache_mod.SCALES, "cli", tiny)
+
+        assert main(["train", "--machine", "core2",
+                     "--scale", "cli"]) == 0
+        out = capsys.readouterr().out
+        assert "models:" in out
+
+        assert main(["advise", "relipmoc", "--input", "small",
+                     "--machine", "core2", "--scale", "cli"]) == 0
+        out = capsys.readouterr().out
+        assert "Brainy report" in out
+        assert "basic_blocks" in out
+
+    def test_advise_unknown_input(self, capsys):
+        code = main(["advise", "relipmoc", "--input", "bogus"])
+        assert code == 2
+        assert "unknown input" in capsys.readouterr().err
+
+
+class TestValidateCommand:
+    def test_validate_with_tiny_suite(self, tmp_path, monkeypatch,
+                                      capsys):
+        from repro.models import cache as cache_mod
+        monkeypatch.setattr(cache_mod, "CACHE_DIR", tmp_path)
+        tiny = cache_mod.ScaleParams("cli2", per_class_target=3,
+                                     max_seeds=60, validation_apps=5,
+                                     hidden=(8,))
+        monkeypatch.setitem(cache_mod.SCALES, "cli2", tiny)
+        code = main(["validate", "--group", "map", "--scale", "cli2",
+                     "--apps", "6"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "map on core2:" in out
+        assert "hash_map" in out  # confusion matrix header

@@ -1,0 +1,82 @@
+"""Unit tests for the Table 2 configuration-file format."""
+
+import pytest
+
+from repro.appgen.config import GeneratorConfig
+from repro.appgen.configfile import (
+    ConfigSyntaxError,
+    dump_config,
+    load_config,
+    parse_config,
+    save_config,
+)
+
+TABLE2 = """
+# the paper's specification example
+TotalInterfCalls = 1000
+DataElemSize     = {4, 8, 64}
+MaxInsertVal     = 65536
+MaxRemoveVal     = 65536
+MaxSearchVal     = 65536
+MaxIterCount     = 65536
+"""
+
+
+class TestParsing:
+    def test_parses_table2_example(self):
+        config = parse_config(TABLE2)
+        assert config.total_interface_calls == 1000
+        assert config.data_elem_sizes == (4, 8, 64)
+        assert config.max_insert_val == 65536
+        assert config.max_iter_count == 65536
+
+    def test_defaults_fill_missing_keys(self):
+        config = parse_config("TotalInterfCalls = 50")
+        assert config.total_interface_calls == 50
+        assert config.max_insert_val == GeneratorConfig().max_insert_val
+
+    def test_comments_and_blank_lines(self):
+        config = parse_config(
+            "\n# comment\nMaxInsertVal = 128 ; trailing\n\n"
+        )
+        assert config.max_insert_val == 128
+
+    def test_float_values(self):
+        config = parse_config("MixConcentration = 0.9")
+        assert config.mix_concentration == 0.9
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ConfigSyntaxError, match="unknown key"):
+            parse_config("TotalCalls = 10")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("this is not a config line")
+
+    def test_empty_set_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("DataElemSize = {}")
+
+    def test_garbage_value_rejected(self):
+        with pytest.raises(ConfigSyntaxError):
+            parse_config("MaxInsertVal = lots")
+
+    def test_validation_still_applies(self):
+        with pytest.raises(ValueError):
+            parse_config("TotalInterfCalls = 0")
+
+
+class TestRoundTrip:
+    def test_dump_parse_roundtrip(self):
+        original = GeneratorConfig.paper()
+        assert parse_config(dump_config(original)) == original
+
+    def test_file_roundtrip(self, tmp_path):
+        original = GeneratorConfig(total_interface_calls=77,
+                                   data_elem_sizes=(8, 16))
+        path = tmp_path / "brainy.conf"
+        save_config(original, path)
+        assert load_config(path) == original
+
+    def test_dump_is_commented(self):
+        assert dump_config(GeneratorConfig()).startswith("#")

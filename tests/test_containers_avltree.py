@@ -1,0 +1,145 @@
+"""Unit tests for the AVL tree."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.avltree import AVLTree
+from repro.containers.rbtree import RedBlackTree
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def tree(core2):
+    return AVLTree(core2, elem_size=8)
+
+
+class TestBasics:
+    def test_sorted_iteration(self, tree):
+        for value in (5, 1, 9, 3, 7):
+            tree.insert(value)
+        assert tree.to_list() == [1, 3, 5, 7, 9]
+
+    def test_rotations_keep_order(self, tree):
+        # LL, RR, LR, RL cases.
+        for values in ((3, 2, 1), (1, 2, 3), (3, 1, 2), (1, 3, 2)):
+            tree.clear()
+            for value in values:
+                tree.insert(value)
+            assert tree.to_list() == sorted(values)
+            tree.check_invariants()
+
+    def test_duplicates(self, tree):
+        for value in (2, 2, 2):
+            tree.insert(value)
+        assert tree.to_list() == [2, 2, 2]
+        tree.erase(2)
+        assert len(tree) == 2
+
+    def test_find(self, tree):
+        for value in (1, 5, 9):
+            tree.insert(value)
+        assert tree.find(5)
+        assert not tree.find(4)
+
+    def test_erase_with_two_children(self, tree):
+        for value in (10, 5, 15, 3, 7, 13, 17):
+            tree.insert(value)
+        tree.erase(10)
+        assert tree.to_list() == [3, 5, 7, 13, 15, 17]
+        tree.check_invariants()
+
+    def test_erase_missing(self, tree):
+        tree.insert(1)
+        tree.erase(5)
+        assert len(tree) == 1
+
+    def test_iterate(self, tree):
+        for value in (4, 2, 6):
+            tree.insert(value)
+        assert tree.iterate(2) == 2
+        assert tree.iterate(10) == 3
+
+    def test_clear_frees(self, core2):
+        tree = AVLTree(core2, elem_size=8)
+        for value in range(15):
+            tree.insert(value)
+        tree.clear()
+        assert core2.allocator.live_allocations == 0
+
+
+class TestBalance:
+    def test_sorted_insertion_is_tightly_balanced(self, tree):
+        """AVL's defining advantage: sorted input still yields ~log2 n
+        height, where the red-black tree degrades to ~2 log2 n."""
+        for value in range(256):
+            tree.insert(value)
+        tree.check_invariants()
+        tree.stats.find_cost = 0
+        tree.stats.finds = 0
+        for value in range(0, 256, 16):
+            tree.find(value)
+        avg_depth = tree.stats.find_cost / tree.stats.finds
+        assert avg_depth <= 9  # log2(256) + 1
+
+    def test_avl_shallower_than_rb_on_sorted_input(self):
+        def avg_find_depth(cls):
+            machine = Machine(CORE2)
+            tree = cls(machine, elem_size=8)
+            for value in range(512):
+                tree.insert(value)
+            tree.stats.find_cost = 0
+            tree.stats.finds = 0
+            for value in range(0, 512, 8):
+                tree.find(value)
+            return tree.stats.find_cost / tree.stats.finds
+
+        assert avg_find_depth(AVLTree) < avg_find_depth(RedBlackTree)
+
+    def test_random_churn_invariants(self, core2):
+        tree = AVLTree(core2, elem_size=8)
+        rng = random.Random(11)
+        present: list[int] = []
+        for step in range(400):
+            if present and rng.random() < 0.4:
+                value = rng.choice(present)
+                tree.erase(value)
+                present.remove(value)
+            else:
+                value = rng.randrange(80)
+                tree.insert(value)
+                present.append(value)
+            if step % 50 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert tree.to_list() == sorted(present)
+
+
+@given(st.lists(st.integers(0, 50), max_size=80))
+def test_avl_insert_only_invariants(values):
+    machine = Machine(CORE2)
+    tree = AVLTree(machine, elem_size=8)
+    for value in values:
+        tree.insert(value)
+    tree.check_invariants()
+    assert tree.to_list() == sorted(values)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 25)), max_size=80))
+def test_avl_mixed_ops_invariants(ops):
+    machine = Machine(CORE2)
+    tree = AVLTree(machine, elem_size=8)
+    model: list[int] = []
+    for is_erase, value in ops:
+        if is_erase:
+            tree.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            tree.insert(value)
+            model.append(value)
+    tree.check_invariants()
+    assert tree.to_list() == sorted(model)

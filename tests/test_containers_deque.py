@@ -1,0 +1,158 @@
+"""Unit tests for the chunked deque."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.deque import ChunkedDeque
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def deq(core2):
+    return ChunkedDeque(core2, elem_size=8)
+
+
+class TestBasics:
+    def test_push_both_ends(self, deq):
+        deq.push_back(2)
+        deq.push_front(1)
+        deq.push_back(3)
+        assert deq.to_list() == [1, 2, 3]
+
+    def test_insert_middle(self, deq):
+        for value in (1, 3):
+            deq.push_back(value)
+        deq.insert(2, hint=1)
+        assert deq.to_list() == [1, 2, 3]
+
+    def test_find_and_erase(self, deq):
+        for value in range(6):
+            deq.push_back(value)
+        assert deq.find(4) is True
+        deq.erase(4)
+        assert deq.to_list() == [0, 1, 2, 3, 5]
+        assert deq.find(4) is False
+
+    def test_iterate(self, deq):
+        for value in range(10):
+            deq.push_back(value)
+        assert deq.iterate(7) == 7
+
+    def test_erase_missing(self, deq):
+        deq.push_back(1)
+        deq.erase(5)
+        assert deq.to_list() == [1]
+
+
+class TestChunking:
+    def test_chunks_allocated_on_demand(self, core2):
+        deq = ChunkedDeque(core2, elem_size=64)  # 8 elems per 512B chunk
+        allocs_before = core2.counters().allocations
+        for value in range(9):
+            deq.push_back(value)
+        # Two data chunks needed for 9 elements of 64B.
+        assert core2.counters().allocations - allocs_before == 2
+
+    def test_push_front_allocates_front_chunk(self, core2):
+        deq = ChunkedDeque(core2, elem_size=64)
+        deq.push_back(0)
+        deq.push_front(1)
+        assert deq.to_list() == [1, 0]
+        assert len(deq._chunks) == 2
+
+    def test_no_resize_copies_ever(self, deq):
+        for value in range(500):
+            deq.push_back(value)
+        assert deq.stats.resizes == 0
+
+    def test_spare_chunks_released(self, core2):
+        deq = ChunkedDeque(core2, elem_size=64)
+        for value in range(32):
+            deq.push_back(value)
+        chunks_full = len(deq._chunks)
+        for value in range(32):
+            deq.erase(value)
+        assert len(deq._chunks) < chunks_full
+        assert deq.to_list() == []
+
+    def test_clear_frees_chunks(self, core2):
+        deq = ChunkedDeque(core2, elem_size=8)
+        for value in range(100):
+            deq.push_back(value)
+        live = core2.allocator.live_allocations
+        deq.clear()
+        assert core2.allocator.live_allocations < live
+        assert len(deq) == 0
+
+    def test_insert_shifts_cheaper_half(self, deq):
+        for value in range(10):
+            deq.push_back(value)
+        # Insert near the front: shifts the 2 front elements, not 8.
+        assert deq.insert(99, hint=2) == 2
+        # Insert near the back: shifts the back side.
+        assert deq.insert(98, hint=9) == 2
+
+    def test_ends_are_constant_cost(self, deq):
+        for value in range(100):
+            deq.push_back(value)
+        assert deq.push_back(1) == 0
+        assert deq.push_front(1) == 0
+
+
+class TestVersusVector:
+    def test_front_insertion_beats_vector(self):
+        from repro.containers.vector import DynamicArray
+
+        def push_front_cycles(cls):
+            machine = Machine(CORE2)
+            container = cls(machine, elem_size=8)
+            for value in range(300):
+                container.push_front(value)
+            return machine.cycles
+
+        assert (push_front_cycles(ChunkedDeque)
+                < push_front_cycles(DynamicArray))
+
+    def test_linear_scan_slower_than_vector(self):
+        from repro.containers.vector import DynamicArray
+
+        def find_cycles(cls):
+            machine = Machine(CORE2)
+            container = cls(machine, elem_size=8)
+            for value in range(400):
+                container.push_back(value)
+            before = machine.cycles
+            for _ in range(30):
+                container.find(-1)
+            return machine.cycles - before
+
+        assert find_cycles(DynamicArray) < find_cycles(ChunkedDeque)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push_back", "push_front",
+                                           "insert", "erase", "find"]),
+                          st.integers(0, 15)), max_size=50))
+def test_deque_matches_python_list_model(ops):
+    machine = Machine(CORE2)
+    deq = ChunkedDeque(machine, elem_size=16)
+    model: list[int] = []
+    for op, value in ops:
+        if op == "push_back":
+            deq.push_back(value)
+            model.append(value)
+        elif op == "push_front":
+            deq.push_front(value)
+            model.insert(0, value)
+        elif op == "insert":
+            hint = value % (len(model) + 1)
+            deq.insert(value, hint)
+            model.insert(hint, value)
+        elif op == "erase":
+            deq.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            assert deq.find(value) == (value in model)
+    assert deq.to_list() == model

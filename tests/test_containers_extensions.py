@@ -1,0 +1,202 @@
+"""Unit tests for the extension kinds: splay tree and sorted vector."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.registry import DSKind, make_container
+from repro.containers.sorted_vector import SortedVector
+from repro.containers.splaytree import SplayTree
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def splay(core2):
+    return SplayTree(core2, elem_size=8)
+
+
+@pytest.fixture
+def flat(core2):
+    return SortedVector(core2, elem_size=8)
+
+
+class TestSplayBasics:
+    def test_sorted_iteration(self, splay):
+        for value in (5, 1, 9, 3):
+            splay.insert(value)
+        assert splay.to_list() == [1, 3, 5, 9]
+
+    def test_find_moves_to_root(self, splay):
+        for value in range(20):
+            splay.insert(value)
+        splay.find(7)
+        assert splay._root is not None
+        assert splay._root.value == 7
+
+    def test_duplicates(self, splay):
+        for value in (4, 4, 4, 2):
+            splay.insert(value)
+        assert splay.to_list() == [2, 4, 4, 4]
+        splay.erase(4)
+        assert splay.to_list() == [2, 4, 4]
+
+    def test_erase_root_and_missing(self, splay):
+        for value in (10, 5, 15):
+            splay.insert(value)
+        splay.erase(10)
+        assert splay.to_list() == [5, 15]
+        splay.erase(99)
+        assert splay.to_list() == [5, 15]
+
+    def test_erase_with_equal_duplicates_preserves_rest(self, splay):
+        # Regression: joining after erase must splay the true maximum.
+        for value in (5, 5, 7, 3, 5):
+            splay.insert(value)
+        splay.erase(5)
+        assert splay.to_list() == [3, 5, 5, 7]
+        splay.check_invariants()
+
+    def test_iterate(self, splay):
+        for value in (3, 1, 2):
+            splay.insert(value)
+        assert splay.iterate(2) == 2
+        assert splay.iterate(10) == 3
+
+    def test_clear_frees(self, core2):
+        splay = SplayTree(core2, elem_size=8)
+        for value in range(15):
+            splay.insert(value)
+        splay.clear()
+        assert core2.allocator.live_allocations == 0
+        assert len(splay) == 0
+
+    def test_hot_key_lookups_become_cheap(self, core2):
+        splay = SplayTree(core2, elem_size=8)
+        rng = random.Random(0)
+        for _ in range(400):
+            splay.insert(rng.randrange(1_000_000))
+        hot = splay.to_list()[200]
+        splay.find(hot)
+        splay.stats.find_cost = 0
+        splay.stats.finds = 0
+        for _ in range(20):
+            splay.find(hot)
+        assert splay.stats.find_cost / splay.stats.finds < 2.0
+
+
+class TestSortedVectorBasics:
+    def test_keeps_sorted_regardless_of_hint(self, flat):
+        for value in (9, 1, 5, 3):
+            flat.insert(value, hint=0)
+        assert flat.to_list() == [1, 3, 5, 9]
+        flat.check_invariants()
+
+    def test_binary_search_find(self, flat):
+        for value in range(0, 100, 2):
+            flat.insert(value)
+        assert flat.find(42) is True
+        assert flat.find(43) is False
+
+    def test_find_cost_is_logarithmic(self, flat):
+        for value in range(256):
+            flat.insert(value)
+        flat.stats.find_cost = 0
+        flat.stats.finds = 0
+        flat.find(200)
+        assert flat.stats.find_cost <= 9  # ~log2(256)+1 probes
+
+    def test_erase_first_of_duplicates(self, flat):
+        for value in (5, 5, 5, 1):
+            flat.insert(value)
+        flat.erase(5)
+        assert flat.to_list() == [1, 5, 5]
+
+    def test_erase_missing(self, flat):
+        flat.insert(1)
+        flat.erase(3)
+        assert flat.to_list() == [1]
+
+    def test_resizes_counted(self, flat):
+        for value in range(20):
+            flat.insert(value)
+        assert flat.stats.resizes >= 2
+
+    def test_clear(self, core2):
+        flat = SortedVector(core2, elem_size=8)
+        for value in range(20):
+            flat.insert(value)
+        flat.clear()
+        assert core2.allocator.live_allocations == 0
+        assert flat.to_list() == []
+
+
+class TestPerformanceNiches:
+    def test_splay_beats_rb_on_skewed_lookups(self):
+        def cycles(kind, skew):
+            machine = Machine(CORE2)
+            container = make_container(kind, machine, 8)
+            rng = random.Random(1)
+            values = [rng.randrange(100_000) for _ in range(400)]
+            for value in values:
+                container.insert(value, 0)
+            hot = values[:4]
+            start = machine.cycles
+            for _ in range(500):
+                if rng.random() < skew:
+                    container.find(rng.choice(hot))
+                else:
+                    container.find(rng.randrange(100_000))
+            return machine.cycles - start
+
+        assert cycles(DSKind.SPLAY_SET, 0.95) < cycles(DSKind.SET, 0.95)
+
+    def test_flat_set_beats_rb_on_uniform_reads(self):
+        def cycles(kind):
+            machine = Machine(CORE2)
+            container = make_container(kind, machine, 8)
+            rng = random.Random(2)
+            for _ in range(400):
+                container.insert(rng.randrange(100_000), 0)
+            start = machine.cycles
+            for _ in range(500):
+                container.find(rng.randrange(100_000))
+            return machine.cycles - start
+
+        assert cycles(DSKind.SORTED_VECTOR) < cycles(DSKind.SET)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 25)), max_size=70))
+def test_splay_multiset_model(ops):
+    machine = Machine(CORE2)
+    splay = SplayTree(machine, elem_size=8)
+    model: list[int] = []
+    for is_erase, value in ops:
+        if is_erase:
+            splay.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            splay.insert(value)
+            model.append(value)
+    splay.check_invariants()
+    assert splay.to_list() == sorted(model)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 25)), max_size=70))
+def test_sorted_vector_multiset_model(ops):
+    machine = Machine(CORE2)
+    flat = SortedVector(machine, elem_size=8)
+    model: list[int] = []
+    for is_erase, value in ops:
+        if is_erase:
+            flat.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            flat.insert(value)
+            model.append(value)
+    flat.check_invariants()
+    assert flat.to_list() == sorted(model)

@@ -1,0 +1,168 @@
+"""Unit tests for the chained hash table."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.hashtable import HashTable
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def table(core2):
+    return HashTable(core2, elem_size=8)
+
+
+class TestBasics:
+    def test_insert_find(self, table):
+        for value in (10, 20, 30):
+            table.insert(value)
+        assert table.find(20) is True
+        assert table.find(25) is False
+
+    def test_duplicates(self, table):
+        table.insert(5)
+        table.insert(5)
+        assert len(table) == 2
+        table.erase(5)
+        assert len(table) == 1
+        assert table.find(5) is True
+
+    def test_erase_missing(self, table):
+        table.insert(1)
+        table.erase(99)
+        assert len(table) == 1
+
+    def test_iterate(self, table):
+        for value in range(10):
+            table.insert(value)
+        assert table.iterate(6) == 6
+        assert table.iterate(100) == 10
+
+    def test_to_list_contains_everything(self, table):
+        values = [3, 1, 4, 1, 5]
+        for value in values:
+            table.insert(value)
+        assert sorted(table.to_list()) == sorted(values)
+
+    def test_clear(self, core2):
+        table = HashTable(core2, elem_size=8)
+        live_empty = core2.allocator.live_allocations
+        for value in range(20):
+            table.insert(value)
+        table.clear()
+        assert len(table) == 0
+        assert core2.allocator.live_allocations == live_empty
+
+
+class TestRehashing:
+    def test_rehash_doubles_buckets(self, table):
+        assert table.bucket_count == 16
+        for value in range(17):
+            table.insert(value)
+        assert table.bucket_count == 32
+        assert table.stats.resizes == 1
+
+    def test_load_factor_bounded(self, table):
+        rng = random.Random(5)
+        for _ in range(500):
+            table.insert(rng.randrange(10_000))
+        assert table.load_factor <= 1.0
+        table.check_invariants()
+
+    def test_rehash_preserves_contents(self, table):
+        values = list(range(100))
+        for value in values:
+            table.insert(value)
+        assert sorted(table.to_list()) == values
+        table.check_invariants()
+
+    def test_rehash_branch_mispredicts(self, core2):
+        table = HashTable(core2, elem_size=8)
+        for value in range(300):
+            table.insert(value)
+        # The rarely-taken rehash branch mispredicts when taken.
+        assert (core2.counters().branch_mispredicts
+                >= table.stats.resizes - 1)
+
+
+class TestCostModel:
+    def test_each_operation_pays_a_division(self, core2):
+        table = HashTable(core2, elem_size=8)
+        table.insert(1)
+        # Insert: rehash check + hash-div; at least one div.
+        baseline = core2.cycles
+        table.find(1)
+        find_cost = core2.cycles - baseline
+        assert find_cost >= CORE2.div_latency
+
+    def test_find_cost_constant_in_size(self):
+        def probe_cycles(n):
+            machine = Machine(CORE2)
+            table = HashTable(machine, elem_size=8)
+            for value in range(n):
+                table.insert(value)
+            before = machine.cycles
+            for value in range(0, n, max(1, n // 50)):
+                table.find(value)
+            calls = len(range(0, n, max(1, n // 50)))
+            return (machine.cycles - before) / calls
+
+        small, large = probe_cycles(64), probe_cycles(1024)
+        assert large < small * 3  # O(1)-ish, not O(n)
+
+    def test_duplicate_heavy_chains_cost_more(self, core2):
+        """Many equal values hash to one bucket: misses walk the chain."""
+        table = HashTable(core2, elem_size=8)
+        for _ in range(64):
+            table.insert(7)
+        table.stats.find_cost = 0
+        table.stats.finds = 0
+        # A missing value in 7's bucket must walk the whole chain.
+        probe = None
+        for candidate in range(1, 100_000):
+            if (table._hash(candidate) == table._hash(7)
+                    and candidate != 7):
+                probe = candidate
+                break
+        assert probe is not None
+        table.find(probe)
+        assert table.stats.find_cost >= 64
+
+
+class TestInvariantChecker:
+    def test_invariants_pass_after_churn(self, core2):
+        table = HashTable(core2, elem_size=8)
+        rng = random.Random(9)
+        present: list[int] = []
+        for _ in range(300):
+            if present and rng.random() < 0.45:
+                value = rng.choice(present)
+                table.erase(value)
+                present.remove(value)
+            else:
+                value = rng.randrange(64)
+                table.insert(value)
+                present.append(value)
+        table.check_invariants()
+        assert sorted(table.to_list()) == sorted(present)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 30)), max_size=80))
+def test_hashtable_multiset_model(ops):
+    machine = Machine(CORE2)
+    table = HashTable(machine, elem_size=8)
+    model: list[int] = []
+    for is_erase, value in ops:
+        if is_erase:
+            table.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            table.insert(value)
+            model.append(value)
+    assert sorted(table.to_list()) == sorted(model)
+    table.check_invariants()

@@ -1,0 +1,143 @@
+"""Unit tests for the doubly-linked list."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.linked_list import DoublyLinkedList
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def lst(core2):
+    return DoublyLinkedList(core2, elem_size=8)
+
+
+class TestBasics:
+    def test_insertion_order_preserved(self, lst):
+        lst.push_back(1)
+        lst.push_back(2)
+        lst.push_front(0)
+        lst.insert(99, hint=2)
+        assert lst.to_list() == [0, 1, 99, 2]
+
+    def test_find(self, lst):
+        for value in (4, 5, 6):
+            lst.push_back(value)
+        assert lst.find(5) is True
+        assert lst.find(7) is False
+
+    def test_erase_unlinks(self, lst):
+        for value in (1, 2, 3):
+            lst.push_back(value)
+        lst.erase(2)
+        assert lst.to_list() == [1, 3]
+
+    def test_erase_missing(self, lst):
+        lst.push_back(1)
+        assert lst.erase(9) == 1  # scanned the single node
+        assert len(lst) == 1
+
+    def test_iterate(self, lst):
+        for value in range(5):
+            lst.push_back(value)
+        assert lst.iterate(3) == 3
+        assert lst.iterate(99) == 5
+
+
+class TestMemoryBehaviour:
+    def test_one_allocation_per_node(self, core2):
+        lst = DoublyLinkedList(core2, elem_size=8)
+        for value in range(10):
+            lst.push_back(value)
+        assert core2.counters().allocations == 10
+
+    def test_erase_frees_node(self, core2):
+        lst = DoublyLinkedList(core2, elem_size=8)
+        lst.push_back(1)
+        lst.erase(1)
+        assert core2.allocator.live_allocations == 0
+
+    def test_clear_frees_everything(self, core2):
+        lst = DoublyLinkedList(core2, elem_size=8)
+        for value in range(10):
+            lst.push_back(value)
+        lst.clear()
+        assert core2.allocator.live_allocations == 0
+        assert lst.to_list() == []
+
+    def test_insert_is_constant_machine_cost(self, core2):
+        """Positional insert models an iterator the program holds: its
+        cost must not grow with the list length (Table 1 fast insertion).
+        """
+        lst = DoublyLinkedList(core2, elem_size=8)
+        lst.push_back(0)
+        before = core2.cycles
+        lst.insert(1, hint=1)
+        small_cost = core2.cycles - before
+        for value in range(500):
+            lst.push_back(value)
+        before = core2.cycles
+        lst.insert(2, hint=250)
+        large_cost = core2.cycles - before
+        assert large_cost < small_cost * 3  # no O(n) walk
+
+    def test_insert_cost_stat_is_zero(self, lst):
+        lst.push_back(1)
+        assert lst.insert(2, hint=1) == 0
+        assert lst.stats.insert_cost == 0
+
+    def test_scan_touches_one_node_per_element(self, core2):
+        lst = DoublyLinkedList(core2, elem_size=8)
+        for value in range(20):
+            lst.push_back(value)
+        before = core2.counters().l1_accesses
+        lst.find(-1)  # full scan
+        accesses = core2.counters().l1_accesses - before
+        assert accesses >= 20
+
+    def test_iteration_slower_than_vector(self):
+        """The Table 1 'fast iteration' benefit of vector over list."""
+        from repro.containers.vector import DynamicArray
+
+        def iterate_cycles(cls):
+            machine = Machine(CORE2)
+            container = cls(machine, elem_size=8)
+            for value in range(200):
+                container.push_back(value)
+            before = machine.cycles
+            for _ in range(20):
+                container.iterate(200)
+            return machine.cycles - before
+
+        assert iterate_cycles(DynamicArray) < iterate_cycles(
+            DoublyLinkedList
+        )
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push_back", "push_front",
+                                           "insert", "erase", "find"]),
+                          st.integers(0, 15)), max_size=50))
+def test_list_matches_python_list_model(ops):
+    machine = Machine(CORE2)
+    lst = DoublyLinkedList(machine, elem_size=8)
+    model: list[int] = []
+    for op, value in ops:
+        if op == "push_back":
+            lst.push_back(value)
+            model.append(value)
+        elif op == "push_front":
+            lst.push_front(value)
+            model.insert(0, value)
+        elif op == "insert":
+            hint = value % (len(model) + 1)
+            lst.insert(value, hint)
+            model.insert(hint, value)
+        elif op == "erase":
+            lst.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            assert lst.find(value) == (value in model)
+    assert lst.to_list() == model

@@ -1,0 +1,153 @@
+"""Unit tests for the red-black tree."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.rbtree import RedBlackTree
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def tree(core2):
+    return RedBlackTree(core2, elem_size=8)
+
+
+class TestBasics:
+    def test_sorted_iteration(self, tree):
+        for value in (5, 1, 9, 3, 7):
+            tree.insert(value)
+        assert tree.to_list() == [1, 3, 5, 7, 9]
+
+    def test_find(self, tree):
+        for value in (2, 4, 6):
+            tree.insert(value)
+        assert tree.find(4) is True
+        assert tree.find(5) is False
+
+    def test_duplicates_multiset(self, tree):
+        for value in (3, 3, 3, 1):
+            tree.insert(value)
+        assert tree.to_list() == [1, 3, 3, 3]
+        tree.erase(3)
+        assert tree.to_list() == [1, 3, 3]
+
+    def test_erase_leaf_root_internal(self, tree):
+        for value in (10, 5, 15, 3, 7, 12, 18):
+            tree.insert(value)
+        tree.erase(3)    # leaf
+        tree.erase(10)   # root with two children
+        tree.erase(15)   # internal
+        assert tree.to_list() == [5, 7, 12, 18]
+        tree.check_invariants()
+
+    def test_erase_missing(self, tree):
+        tree.insert(1)
+        cost = tree.erase(99)
+        assert cost >= 1
+        assert len(tree) == 1
+
+    def test_iterate_inorder(self, tree):
+        for value in (4, 2, 6, 1, 3, 5, 7):
+            tree.insert(value)
+        assert tree.iterate(3) == 3
+        assert tree.iterate(100) == 7
+
+    def test_clear_frees_nodes(self, core2):
+        tree = RedBlackTree(core2, elem_size=8)
+        for value in range(20):
+            tree.insert(value)
+        tree.clear()
+        assert core2.allocator.live_allocations == 0
+        assert len(tree) == 0
+        tree.insert(1)
+        assert tree.to_list() == [1]
+
+
+class TestInvariants:
+    def test_sorted_insertion_stays_balanced(self, tree):
+        for value in range(128):
+            tree.insert(value)
+        tree.check_invariants()
+        # Height bound: <= 2*log2(n+1).
+        assert tree.find(127)
+        assert tree.stats.find_cost <= 2 * 8  # depth of last find
+
+    def test_random_churn_keeps_invariants(self, core2):
+        tree = RedBlackTree(core2, elem_size=8)
+        rng = random.Random(7)
+        present: list[int] = []
+        for step in range(400):
+            if present and rng.random() < 0.4:
+                value = rng.choice(present)
+                tree.erase(value)
+                present.remove(value)
+            else:
+                value = rng.randrange(100)
+                tree.insert(value)
+                present.append(value)
+            if step % 50 == 0:
+                tree.check_invariants()
+        tree.check_invariants()
+        assert sorted(present) == tree.to_list()
+
+
+class TestMachineBehaviour:
+    def test_find_depth_is_logarithmic(self, tree):
+        rng = random.Random(3)
+        for _ in range(512):
+            tree.insert(rng.randrange(100_000))
+        tree.stats.find_cost = 0
+        tree.stats.finds = 0
+        for _ in range(50):
+            tree.find(rng.randrange(100_000))
+        avg_depth = tree.stats.find_cost / tree.stats.finds
+        assert avg_depth <= 2.5 * 9  # ~2 log2(512) worst case
+
+    def test_descend_issues_data_dependent_branches(self, core2):
+        tree = RedBlackTree(core2, elem_size=8)
+        rng = random.Random(3)
+        for _ in range(256):
+            tree.insert(rng.randrange(1_000_000))
+        before = core2.counters()
+        for _ in range(100):
+            tree.find(rng.randrange(1_000_000))
+        delta = core2.counters() - before
+        # Random direction branches mispredict heavily.
+        assert delta.branch_miss_rate > 0.2
+
+    def test_node_allocation_per_insert(self, core2):
+        tree = RedBlackTree(core2, elem_size=8)
+        for value in range(10):
+            tree.insert(value)
+        assert core2.counters().allocations == 10
+
+
+@given(st.lists(st.integers(0, 50), max_size=80))
+def test_rbtree_insert_only_invariants(values):
+    machine = Machine(CORE2)
+    tree = RedBlackTree(machine, elem_size=8)
+    for value in values:
+        tree.insert(value)
+    tree.check_invariants()
+    assert tree.to_list() == sorted(values)
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(0, 25)), max_size=80))
+def test_rbtree_mixed_ops_invariants(ops):
+    machine = Machine(CORE2)
+    tree = RedBlackTree(machine, elem_size=8)
+    model: list[int] = []
+    for is_erase, value in ops:
+        if is_erase:
+            tree.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            tree.insert(value)
+            model.append(value)
+    tree.check_invariants()
+    assert tree.to_list() == sorted(model)

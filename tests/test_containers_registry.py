@@ -1,0 +1,132 @@
+"""Unit tests for DSKind, Table 1 and the model groups."""
+
+import pytest
+
+from repro.containers import registry
+from repro.containers.registry import (
+    DSKind,
+    MODEL_GROUPS,
+    REPLACEMENTS,
+    as_map_kind,
+    candidates_for,
+    is_map_kind,
+    make_container,
+    model_group_for,
+    replacement_table,
+)
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+class TestTable1:
+    def test_vector_order_aware_candidates(self):
+        assert candidates_for(DSKind.VECTOR, False) == (
+            DSKind.VECTOR, DSKind.LIST, DSKind.DEQUE,
+        )
+
+    def test_vector_order_oblivious_has_six(self):
+        # "the model for vector selects the best data structure among
+        # possible six candidates, when used in the order-oblivious manner"
+        assert len(candidates_for(DSKind.VECTOR, True)) == 6
+
+    def test_set_order_aware_only_avl(self):
+        assert candidates_for(DSKind.SET, False) == (
+            DSKind.SET, DSKind.AVL_SET,
+        )
+
+    def test_set_order_oblivious(self):
+        legal = candidates_for(DSKind.SET, True)
+        assert DSKind.VECTOR in legal
+        assert DSKind.LIST in legal
+        assert DSKind.HASH_SET in legal
+
+    def test_map_candidates(self):
+        assert candidates_for(DSKind.MAP, True) == (
+            DSKind.MAP, DSKind.AVL_MAP, DSKind.HASH_MAP,
+        )
+        assert candidates_for(DSKind.MAP, False) == (
+            DSKind.MAP, DSKind.AVL_MAP,
+        )
+
+    def test_non_target_kinds_rejected(self):
+        with pytest.raises(ValueError):
+            candidates_for(DSKind.DEQUE, True)
+        with pytest.raises(ValueError):
+            candidates_for(DSKind.HASH_SET, False)
+
+    def test_replacement_table_rows(self):
+        rows = replacement_table()
+        assert {"ds": "vector", "alternate_ds": "list",
+                "benefit": "Fast insertion", "limitation": "None"} in rows
+        assert {"ds": "set", "alternate_ds": "avl_set",
+                "benefit": "Fast search", "limitation": "None"} in rows
+        # Order-oblivious limitations are annotated.
+        oblivious = [r for r in rows if r["limitation"] == "Order-oblivious"]
+        assert len(oblivious) >= 8
+
+    def test_targets_are_the_gcs_top_four(self):
+        assert set(REPLACEMENTS) == {
+            DSKind.VECTOR, DSKind.LIST, DSKind.SET, DSKind.MAP,
+        }
+
+
+class TestModelGroups:
+    def test_six_models(self):
+        # Figure 3 / Table 3: vector, oo-vector, list, oo-list, set, map.
+        assert set(MODEL_GROUPS) == {
+            "vector", "vector_oo", "list", "list_oo", "set", "map",
+        }
+
+    def test_group_classes_start_with_original(self):
+        for group in MODEL_GROUPS.values():
+            assert group.classes[0] == group.original
+
+    def test_model_routing(self):
+        assert model_group_for(DSKind.VECTOR, True).name == "vector_oo"
+        assert model_group_for(DSKind.VECTOR, False).name == "vector"
+        assert model_group_for(DSKind.LIST, True).name == "list_oo"
+        assert model_group_for(DSKind.SET, False).name == "set"
+        assert model_group_for(DSKind.MAP, True).name == "map"
+
+    def test_model_routing_rejects_non_targets(self):
+        with pytest.raises(ValueError):
+            model_group_for(DSKind.AVL_SET, True)
+
+
+class TestFactoryAndHelpers:
+    def test_make_container_every_kind(self):
+        machine = Machine(CORE2)
+        for kind in DSKind:
+            container = make_container(kind, machine, elem_size=8)
+            container.insert(1, 0)
+            assert container.find(1)
+            assert container.kind == kind.value
+
+    def test_map_kinds_get_default_payload(self):
+        machine = Machine(CORE2)
+        map_container = make_container(DSKind.MAP, machine, elem_size=8)
+        set_container = make_container(DSKind.SET, machine, elem_size=8)
+        assert map_container.payload_size > 0
+        assert set_container.payload_size == 0
+
+    def test_explicit_payload_override(self):
+        machine = Machine(CORE2)
+        container = make_container(DSKind.HASH_MAP, machine,
+                                   elem_size=8, payload_size=48)
+        assert container.element_bytes == 56
+
+    def test_is_map_kind(self):
+        assert is_map_kind(DSKind.MAP)
+        assert is_map_kind(DSKind.HASH_MAP)
+        assert not is_map_kind(DSKind.SET)
+        assert not is_map_kind(DSKind.VECTOR)
+
+    def test_as_map_kind_translation(self):
+        assert as_map_kind(DSKind.SET) == DSKind.MAP
+        assert as_map_kind(DSKind.AVL_SET) == DSKind.AVL_MAP
+        assert as_map_kind(DSKind.HASH_SET) == DSKind.HASH_MAP
+        assert as_map_kind(DSKind.VECTOR) == DSKind.VECTOR
+
+    def test_dskind_str(self):
+        assert str(DSKind.VECTOR) == "vector"
+        assert DSKind("avl_map") == DSKind.AVL_MAP

@@ -1,0 +1,132 @@
+"""Stateful property tests: every container against a reference model.
+
+A hypothesis rule machine drives one container of each kind plus a plain
+Python multiset through an arbitrary interleaving of the ADT interface,
+checking agreement (and structural invariants) after every step.  This is
+the strongest correctness evidence in the suite: any sequence of
+operations that desynchronises any implementation from the model is found
+and shrunk automatically.
+"""
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.containers.registry import DSKind, make_container
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+VALUES = st.integers(min_value=0, max_value=30)
+SEQUENCE_KINDS = (DSKind.VECTOR, DSKind.LIST, DSKind.DEQUE)
+
+
+class ContainerMachine(RuleBasedStateMachine):
+    """Drive all kinds in lockstep against a Python-list model."""
+
+    def __init__(self):
+        super().__init__()
+        self.machine = Machine(CORE2)
+        self.containers = {
+            kind: make_container(kind, self.machine, elem_size=8)
+            for kind in DSKind
+        }
+        self.model: list[int] = []
+        self.steps = 0
+
+    @rule(value=VALUES, position=st.floats(min_value=0.0, max_value=1.0))
+    def insert(self, value, position):
+        hint = int(position * (len(self.model) + 1))
+        hint = min(hint, len(self.model))
+        for container in self.containers.values():
+            container.insert(value, hint)
+        self.model.insert(hint, value)
+        self.steps += 1
+
+    @rule(value=VALUES)
+    def push_back(self, value):
+        for container in self.containers.values():
+            container.push_back(value)
+        self.model.append(value)
+
+    @rule(value=VALUES)
+    def push_front(self, value):
+        for container in self.containers.values():
+            container.push_front(value)
+        self.model.insert(0, value)
+
+    @rule(value=VALUES)
+    def erase(self, value):
+        for container in self.containers.values():
+            container.erase(value)
+        if value in self.model:
+            self.model.remove(value)
+
+    @rule(value=VALUES)
+    def find(self, value):
+        expected = value in self.model
+        for kind, container in self.containers.items():
+            assert container.find(value) == expected, kind
+
+    @rule(steps=st.integers(min_value=0, max_value=20))
+    def iterate(self, steps):
+        expected = min(steps, len(self.model))
+        for kind, container in self.containers.items():
+            assert container.iterate(steps) == expected, kind
+
+    @precondition(lambda self: len(self.model) > 30)
+    @rule()
+    def clear(self):
+        for container in self.containers.values():
+            container.clear()
+        self.model.clear()
+
+    @invariant()
+    def sizes_agree(self):
+        for kind, container in self.containers.items():
+            assert len(container) == len(self.model), kind
+
+    @invariant()
+    def multisets_agree(self):
+        expected = sorted(self.model)
+        for kind, container in self.containers.items():
+            assert sorted(container.to_list()) == expected, kind
+
+    @invariant()
+    def sequences_preserve_order(self):
+        for kind in SEQUENCE_KINDS:
+            assert self.containers[kind].to_list() == self.model, kind
+
+    @invariant()
+    def structures_hold_invariants(self):
+        for kind, container in self.containers.items():
+            checker = getattr(container, "check_invariants", None)
+            if checker is not None:
+                checker()
+
+
+ContainerMachine.TestCase.settings = settings(
+    max_examples=12, stateful_step_count=30, deadline=None,
+)
+TestContainerStateMachine = ContainerMachine.TestCase
+
+
+class TestAllocatorNeverLeaksAcrossClear:
+    @pytest.mark.parametrize("kind", list(DSKind))
+    def test_clear_releases_all_nodes(self, kind):
+        machine = Machine(CORE2)
+        container = make_container(kind, machine, elem_size=8)
+        baseline = machine.allocator.live_allocations
+        for value in range(50):
+            container.insert(value, 0)
+        for value in range(0, 50, 2):
+            container.erase(value)
+        container.clear()
+        # Node-based containers must return to their baseline footprint
+        # (fixed auxiliary arrays like hash buckets may remain).
+        assert machine.allocator.live_allocations <= baseline + 1

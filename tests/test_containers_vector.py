@@ -1,0 +1,200 @@
+"""Unit tests for the dynamic array (vector)."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.containers.vector import DynamicArray
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+
+
+@pytest.fixture
+def vec(core2):
+    return DynamicArray(core2, elem_size=8)
+
+
+class TestBasics:
+    def test_starts_empty(self, vec):
+        assert len(vec) == 0
+        assert vec.to_list() == []
+        assert vec.capacity == 0
+
+    def test_push_back_order(self, vec):
+        for value in (3, 1, 2):
+            vec.push_back(value)
+        assert vec.to_list() == [3, 1, 2]
+
+    def test_push_front_order(self, vec):
+        for value in (3, 1, 2):
+            vec.push_front(value)
+        assert vec.to_list() == [2, 1, 3]
+
+    def test_insert_at_hint(self, vec):
+        vec.push_back(1)
+        vec.push_back(3)
+        vec.insert(2, hint=1)
+        assert vec.to_list() == [1, 2, 3]
+
+    def test_insert_hint_clamped(self, vec):
+        vec.insert(1, hint=99)
+        vec.insert(0, hint=-5)
+        assert vec.to_list() == [0, 1]
+
+    def test_find(self, vec):
+        vec.push_back(10)
+        vec.push_back(20)
+        assert vec.find(20) is True
+        assert vec.find(30) is False
+
+    def test_erase_first_occurrence_only(self, vec):
+        for value in (5, 7, 5):
+            vec.push_back(value)
+        vec.erase(5)
+        assert vec.to_list() == [7, 5]
+
+    def test_erase_missing_is_noop(self, vec):
+        vec.push_back(1)
+        cost = vec.erase(42)
+        assert vec.to_list() == [1]
+        assert cost == 1  # scanned one element
+
+    def test_iterate_visits_min(self, vec):
+        for value in range(10):
+            vec.push_back(value)
+        assert vec.iterate(4) == 4
+        assert vec.iterate(100) == 10
+
+    def test_clear_releases_memory(self, core2):
+        vec = DynamicArray(core2, elem_size=8)
+        for value in range(20):
+            vec.push_back(value)
+        live_before = core2.allocator.live_allocations
+        vec.clear()
+        assert len(vec) == 0
+        assert core2.allocator.live_allocations == live_before - 1
+
+
+class TestResizeBehaviour:
+    def test_capacity_doubles(self, vec):
+        for value in range(9):
+            vec.push_back(value)
+        assert vec.capacity == 16
+        assert vec.stats.resizes == 2  # 0->8, 8->16
+
+    def test_resize_count_log_growth(self, vec):
+        for value in range(100):
+            vec.push_back(value)
+        # 0->8->16->32->64->128: five resizes.
+        assert vec.stats.resizes == 5
+
+    def test_resize_produces_branch_mispredicts(self, core2):
+        vec = DynamicArray(core2, elem_size=8)
+        for value in range(200):
+            vec.push_back(value)
+        # The rarely-taken grow branch mispredicts on (nearly) every
+        # resize: the Figure 6 correlation.
+        assert core2.counters().branch_mispredicts >= vec.stats.resizes - 1
+
+    def test_resize_moves_all_elements(self, core2):
+        vec = DynamicArray(core2, elem_size=64)
+        for value in range(8):
+            vec.push_back(value)
+        before = core2.counters().l1_accesses
+        vec.push_back(8)  # triggers 8->16 resize: copies 8 x 64B
+        moved_lines = core2.counters().l1_accesses - before
+        assert moved_lines >= 2 * 8 * 64 // 64  # read + write
+
+
+class TestCosts:
+    def test_insert_cost_is_elements_moved(self, vec):
+        for value in range(10):
+            vec.push_back(value)
+        assert vec.insert(99, hint=4) == 6
+        assert vec.insert(99, hint=len(vec)) == 0
+
+    def test_find_cost_accumulates_touched(self, vec):
+        for value in range(10):
+            vec.push_back(value)
+        vec.find(0)     # touches 1
+        vec.find(9)     # touches 10
+        vec.find(-1)    # touches 10 (miss)
+        assert vec.stats.find_cost == 21
+        assert vec.stats.finds == 3
+
+    def test_erase_cost_includes_scan_and_shift(self, vec):
+        for value in range(10):
+            vec.push_back(value)
+        # Erase value 3: scan 4, shift 6.
+        assert vec.erase(3) == 10
+
+    def test_stats_mix(self, vec):
+        vec.push_back(1)
+        vec.push_front(2)
+        vec.insert(3)
+        vec.find(1)
+        vec.iterate(2)
+        vec.erase(1)
+        stats = vec.stats
+        assert stats.inserts == 3  # push_back/push_front count as inserts
+        assert stats.push_backs == 1
+        assert stats.push_fronts == 1
+        assert stats.finds == 1
+        assert stats.iterates == 1
+        assert stats.erases == 1
+        assert stats.total_calls == 6
+        assert stats.max_size == 3
+
+    def test_avg_size_tracked(self, vec):
+        vec.push_back(1)
+        vec.push_back(2)
+        vec.find(1)
+        # Sizes seen at call time: 0, 1, 2.
+        assert vec.stats.avg_size == pytest.approx(1.0)
+
+
+class TestElementSize:
+    def test_rejects_bad_sizes(self, core2):
+        with pytest.raises(ValueError):
+            DynamicArray(core2, elem_size=0)
+        with pytest.raises(ValueError):
+            DynamicArray(core2, elem_size=8, payload_size=-1)
+
+    def test_larger_elements_cost_more_to_scan(self):
+        def scan_cycles(elem_size):
+            machine = Machine(CORE2)
+            vec = DynamicArray(machine, elem_size=elem_size)
+            for value in range(64):
+                vec.push_back(value)
+            before = machine.cycles
+            vec.find(-1)
+            return machine.cycles - before
+
+        assert scan_cycles(64) > scan_cycles(4)
+
+
+@given(st.lists(st.tuples(st.sampled_from(["push_back", "push_front",
+                                           "insert", "erase", "find"]),
+                          st.integers(0, 20)), max_size=60))
+def test_vector_matches_python_list_model(ops):
+    machine = Machine(CORE2)
+    vec = DynamicArray(machine, elem_size=8)
+    model: list[int] = []
+    for op, value in ops:
+        if op == "push_back":
+            vec.push_back(value)
+            model.append(value)
+        elif op == "push_front":
+            vec.push_front(value)
+            model.insert(0, value)
+        elif op == "insert":
+            hint = value % (len(model) + 1)
+            vec.insert(value, hint)
+            model.insert(hint, value)
+        elif op == "erase":
+            vec.erase(value)
+            if value in model:
+                model.remove(value)
+        else:
+            assert vec.find(value) == (value in model)
+    assert vec.to_list() == model

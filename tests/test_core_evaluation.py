@@ -1,0 +1,88 @@
+"""Unit tests for the evaluation utilities."""
+
+import pytest
+
+from repro.apps.raytrace import Raytracer
+from repro.apps.relipmoc import Relipmoc
+from repro.containers.registry import DSKind
+from repro.core.evaluation import (
+    brainy_selection,
+    evaluate_advice,
+    improvement,
+    measure_with_selection,
+    sweep_site,
+)
+from repro.machine.configs import CORE2
+from tests.test_core_advisor import synthetic_suite
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return synthetic_suite(seed=4)
+
+
+class TestSweep:
+    def test_primary_site_default_candidates(self):
+        runtimes = sweep_site(Relipmoc("small"), CORE2)
+        assert set(runtimes) == {DSKind.SET, DSKind.AVL_SET}
+        assert all(c > 0 for c in runtimes.values())
+
+    def test_explicit_candidates(self):
+        runtimes = sweep_site(Relipmoc("small"), CORE2,
+                              candidates=(DSKind.SET,))
+        assert set(runtimes) == {DSKind.SET}
+
+    def test_named_site(self):
+        app = Raytracer("small")
+        runtimes = sweep_site(app, CORE2, site_name="group_1",
+                              candidates=(DSKind.LIST, DSKind.VECTOR))
+        assert runtimes[DSKind.VECTOR] != runtimes[DSKind.LIST]
+
+    def test_unknown_site_raises(self):
+        with pytest.raises(StopIteration):
+            sweep_site(Relipmoc("small"), CORE2, site_name="nope")
+
+
+class TestSelectionAndMeasure:
+    def test_selection_covers_every_site(self, suite):
+        app = Raytracer("small")
+        selection = brainy_selection(app, CORE2, suite)
+        assert set(selection) == {site.name for site in app.sites()}
+
+    def test_measure_with_identity_selection_is_baseline(self):
+        app = Relipmoc("small")
+        from repro.apps.base import run_case_study
+        baseline = run_case_study(app, CORE2).cycles
+        cycles = measure_with_selection(app, CORE2,
+                                        {"basic_blocks": DSKind.SET})
+        assert cycles == baseline
+
+    def test_measure_with_replacement_changes_cycles(self):
+        app = Relipmoc("small")
+        kept = measure_with_selection(app, CORE2,
+                                      {"basic_blocks": DSKind.SET})
+        swapped = measure_with_selection(app, CORE2,
+                                         {"basic_blocks": DSKind.AVL_SET})
+        assert kept != swapped
+
+
+class TestImprovement:
+    def test_speedup(self):
+        assert improvement(100, 75) == pytest.approx(0.25)
+
+    def test_regression_is_negative(self):
+        assert improvement(100, 130) == pytest.approx(-0.3)
+
+    def test_zero_baseline_guard(self):
+        assert improvement(0, 10) == 0.0
+
+
+class TestEvaluateAdvice:
+    def test_end_to_end(self, suite):
+        outcome = evaluate_advice(Relipmoc("small"), CORE2, suite)
+        assert outcome["baseline_cycles"] > 0
+        assert outcome["advised_cycles"] > 0
+        assert "basic_blocks" in outcome["selection"]
+        expected = improvement(outcome["baseline_cycles"],
+                               outcome["advised_cycles"])
+        assert outcome["improvement"] == pytest.approx(expected)

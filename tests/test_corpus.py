@@ -1,0 +1,97 @@
+"""Unit tests for the corpus generator and scanner (Figure 2)."""
+
+import pytest
+
+from repro.corpus.scanner import (
+    CONTAINER_TOKENS,
+    count_references,
+    ranked,
+    scan_corpus,
+)
+from repro.corpus.synth import CORPUS_WEIGHTS, generate_corpus
+
+
+class TestScanner:
+    def test_counts_references(self):
+        source = """
+        std::vector<int> a;
+        std::vector<double> b;
+        std::map<int, int> c;
+        """
+        counts = count_references(source)
+        assert counts["vector"] == 2
+        assert counts["map"] == 1
+        assert counts["set"] == 0
+
+    def test_multimap_not_counted_as_map(self):
+        counts = count_references("std::multimap<int, int> m;")
+        assert counts["multimap"] == 1
+        assert counts["map"] == 0
+
+    def test_multiset_not_counted_as_set(self):
+        counts = count_references("std::multiset<int> m;")
+        assert counts["multiset"] == 1
+        assert counts["set"] == 0
+
+    def test_comments_ignored(self):
+        source = """
+        // std::vector<int> commented;
+        /* std::map<int,int> also commented */
+        std::set<int> live;
+        """
+        counts = count_references(source)
+        assert counts["vector"] == 0
+        assert counts["map"] == 0
+        assert counts["set"] == 1
+
+    def test_string_literals_ignored(self):
+        counts = count_references('const char* s = "std::vector<int>";')
+        assert counts["vector"] == 0
+
+    def test_whitespace_in_scope_operator(self):
+        counts = count_references("std :: vector<int> v;")
+        assert counts["vector"] == 1
+
+    def test_ranked_order(self):
+        order = ranked({"vector": 5, "map": 9, "set": 9})
+        assert order[0][0] == "map"  # ties broken alphabetically
+        assert order[1][0] == "set"
+        assert order[2][0] == "vector"
+
+
+class TestCorpusGeneration:
+    def test_deterministic(self):
+        assert generate_corpus(files=5, seed=1) \
+            == generate_corpus(files=5, seed=1)
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            generate_corpus(files=0)
+
+    def test_files_are_parseable_cpp_ish(self):
+        corpus = generate_corpus(files=3, seed=2)
+        for source in corpus.values():
+            assert source.count("{") == source.count("}")
+            assert "#include <vector>" in source
+
+    def test_census_reproduces_figure2_ranking(self):
+        """vector, map, list, set must come out as the top four — the
+        observation that picked the paper's replacement targets."""
+        corpus = generate_corpus(files=150, seed=0)
+        counts = scan_corpus(corpus)
+        top4 = [name for name, _ in ranked(counts)[:4]]
+        assert set(top4) == {"vector", "map", "list", "set"}
+        assert top4[0] == "vector"
+
+    def test_census_follows_weights(self):
+        corpus = generate_corpus(files=200, seed=3)
+        counts = scan_corpus(corpus)
+        assert counts["vector"] > counts["deque"]
+        assert counts["map"] > counts["multimap"]
+
+    def test_all_tokens_tracked(self):
+        corpus = generate_corpus(files=50, seed=4)
+        counts = scan_corpus(corpus)
+        assert set(counts) == set(CONTAINER_TOKENS)
+        weighted = {k for k, v in CORPUS_WEIGHTS.items() if v > 0}
+        assert weighted - {"string"} <= set(CONTAINER_TOKENS)

@@ -1,0 +1,168 @@
+"""Unit tests for liveness, dominators and natural loops."""
+
+from repro.decompiler.analysis import (
+    block_def_use,
+    compute_dominators,
+    compute_liveness,
+    find_natural_loops,
+)
+from repro.decompiler.cfg import build_cfg
+from repro.decompiler.isa import parse_assembly
+
+LOOP = """
+g:
+    mov ecx, 10
+    mov eax, 0
+.head:
+    cmp ecx, 0
+    jle .out
+    add eax, ecx
+    dec ecx
+    jmp .head
+.out:
+    ret
+"""
+
+DIAMOND = """
+f:
+    cmp eax, 1
+    jne .else
+    mov ebx, 1
+    jmp .join
+.else:
+    mov ebx, 2
+.join:
+    mov ecx, ebx
+    ret
+"""
+
+
+def loop_cfg():
+    return build_cfg(parse_assembly(LOOP))
+
+
+def diamond_cfg():
+    return build_cfg(parse_assembly(DIAMOND))
+
+
+class TestDefUse:
+    def test_def_use_of_entry_block(self):
+        cfg = loop_cfg()
+        entry = cfg.entries["g"]
+        defs, uses = block_def_use(cfg, entry)
+        assert "ecx" in defs and "eax" in defs
+        assert "ecx" not in uses  # defined before any use
+
+    def test_upward_exposed_use(self):
+        cfg = loop_cfg()
+        head = cfg.block_addresses()[1]
+        defs, uses = block_def_use(cfg, head)
+        assert "ecx" in uses  # cmp ecx before any def
+
+
+class TestLiveness:
+    def test_loop_carried_variables_live_at_head(self):
+        cfg = loop_cfg()
+        result = compute_liveness(cfg)
+        head = cfg.block_addresses()[1]
+        assert "ecx" in result.live_in[head]
+        assert "eax" in result.live_in[head]  # used by ret via body
+
+    def test_dead_before_definition(self):
+        cfg = diamond_cfg()
+        result = compute_liveness(cfg)
+        entry = cfg.entries["f"]
+        # ebx is written on both arms before its use: not live into f.
+        assert "ebx" not in result.live_in[entry]
+
+    def test_reaches_fixpoint(self):
+        result = compute_liveness(loop_cfg())
+        assert result.iterations >= 2
+        again = compute_liveness(loop_cfg())
+        assert again.live_in == result.live_in
+
+    def test_block_set_probed(self, core2):
+        from repro.containers.adapters import AVLSet
+        block_set = AVLSet(core2, elem_size=8)
+        cfg = loop_cfg()
+        for addr in cfg.block_addresses():
+            block_set.insert(addr)
+        compute_liveness(cfg, block_set=block_set)
+        assert block_set.stats.finds > 0
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg = loop_cfg()
+        entry = cfg.entries["g"]
+        dom = compute_dominators(cfg, entry)
+        for addr, dominators in dom.items():
+            assert entry in dominators
+            assert addr in dominators  # reflexive
+
+    def test_diamond_join_not_dominated_by_arms(self):
+        cfg = diamond_cfg()
+        entry = cfg.entries["f"]
+        dom = compute_dominators(cfg, entry)
+        addrs = cfg.block_addresses()
+        join = addrs[-1]
+        left, right = cfg.successors(entry)
+        assert left not in dom[join]
+        assert right not in dom[join]
+        assert entry in dom[join]
+
+    def test_only_reachable_blocks_analysed(self):
+        source = "a:\n    ret\nunreachable:\n    ret\n"
+        cfg = build_cfg(parse_assembly(source))
+        dom = compute_dominators(cfg, cfg.entries["a"])
+        assert cfg.entries["unreachable"] not in dom
+
+
+class TestNaturalLoops:
+    def test_finds_the_loop(self):
+        cfg = loop_cfg()
+        loops = find_natural_loops(cfg, cfg.entries["g"])
+        assert len(loops) == 1
+        loop = loops[0]
+        head = cfg.block_addresses()[1]
+        assert loop.head == head
+        assert loop.tail in loop.body
+        assert head in loop.body
+
+    def test_loop_body_contents(self):
+        cfg = loop_cfg()
+        (loop,) = find_natural_loops(cfg, cfg.entries["g"])
+        addrs = cfg.block_addresses()
+        body_block = addrs[2]  # add/dec/jmp block
+        assert body_block in loop.body
+        assert addrs[0] not in loop.body   # preheader outside
+        assert addrs[-1] not in loop.body  # exit outside
+
+    def test_diamond_has_no_loops(self):
+        cfg = diamond_cfg()
+        assert find_natural_loops(cfg, cfg.entries["f"]) == []
+
+    def test_nested_loops(self):
+        source = """
+n:
+    mov eax, 3
+.outer:
+    cmp eax, 0
+    jle .done
+    mov ebx, 3
+.inner:
+    cmp ebx, 0
+    jle .outer_tail
+    dec ebx
+    jmp .inner
+.outer_tail:
+    dec eax
+    jmp .outer
+.done:
+    ret
+"""
+        cfg = build_cfg(parse_assembly(source))
+        loops = find_natural_loops(cfg, cfg.entries["n"])
+        assert len(loops) == 2
+        bodies = sorted(loops, key=lambda lp: len(lp.body))
+        assert bodies[0].body < bodies[1].body  # inner nested in outer

@@ -1,0 +1,114 @@
+"""Unit tests for basic-block and CFG construction."""
+
+from repro.decompiler.cfg import build_cfg, find_leaders
+from repro.decompiler.isa import parse_assembly
+
+DIAMOND = """
+f:
+    cmp eax, 1
+    jne else_arm
+    mov ebx, 1
+    jmp join
+else_arm:
+    mov ebx, 2
+join:
+    mov ecx, ebx
+    ret
+"""
+
+LOOP = """
+g:
+    mov ecx, 10
+head:
+    cmp ecx, 0
+    jle out
+    dec ecx
+    jmp head
+out:
+    ret
+"""
+
+
+class TestLeaders:
+    def test_diamond_leaders(self):
+        instrs = parse_assembly(DIAMOND)
+        leaders = find_leaders(instrs)
+        # f, after-jne (mov ebx,1), else_arm, join.
+        assert len(leaders) == 4
+
+    def test_empty_program(self):
+        assert find_leaders([]) == set()
+
+    def test_first_instruction_is_leader(self):
+        instrs = parse_assembly("    mov eax, 1\n    ret\n")
+        assert instrs[0].addr in find_leaders(instrs)
+
+
+class TestCFG:
+    def test_diamond_edges(self):
+        cfg = build_cfg(parse_assembly(DIAMOND))
+        entry = cfg.entries["f"]
+        assert len(cfg.successors(entry)) == 2
+        left, right = cfg.successors(entry)
+        join_candidates = set(cfg.successors(left)) | set(
+            cfg.successors(right)
+        )
+        assert len(join_candidates) == 1  # both rejoin
+        (join,) = join_candidates
+        assert cfg.successors(join) == []  # ends in ret
+        assert sorted(cfg.predecessors(join)) == sorted([left, right])
+
+    def test_loop_back_edge(self):
+        cfg = build_cfg(parse_assembly(LOOP))
+        addrs = cfg.block_addresses()
+        head = addrs[1]  # after the mov ecx block
+        body = [a for a in addrs if head in cfg.successors(a)]
+        assert body  # someone jumps back to the head
+
+    def test_ret_has_no_successors(self):
+        cfg = build_cfg(parse_assembly(LOOP))
+        for block in cfg.blocks.values():
+            term = block.terminator
+            if term is not None and term.mnemonic == "ret":
+                assert block.successors == []
+
+    def test_call_is_not_an_edge(self):
+        source = """
+caller:
+    call callee
+    ret
+callee:
+    mov eax, 1
+    ret
+"""
+        cfg = build_cfg(parse_assembly(source))
+        caller_entry = cfg.entries["caller"]
+        callee_entry = cfg.entries["callee"]
+        assert callee_entry not in cfg.successors(caller_entry)
+
+    def test_block_set_receives_every_block(self, core2):
+        from repro.containers.adapters import TreeSet
+        block_set = TreeSet(core2, elem_size=8)
+        cfg = build_cfg(parse_assembly(DIAMOND), block_set=block_set)
+        assert sorted(block_set.to_list()) == cfg.block_addresses()
+        # Edge wiring performed membership probes.
+        assert block_set.stats.finds > 0
+
+    def test_entries_exclude_local_labels(self):
+        # Local (dot-prefixed) labels are never function entries.
+        cfg = build_cfg(parse_assembly(
+            "h:\n    jmp .x\n.x:\n    ret\n"
+        ))
+        assert set(cfg.entries) == {"h"}
+
+    def test_fallthrough_edges(self):
+        source = """
+s:
+    mov eax, 1
+t:
+    ret
+"""
+        cfg = build_cfg(parse_assembly(source))
+        s_entry = cfg.entries["s"]
+        t_entry = cfg.entries["t"]
+        assert cfg.successors(s_entry) == [t_entry]

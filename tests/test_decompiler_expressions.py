@@ -1,0 +1,157 @@
+"""Unit tests for expression folding and the logistic baseline."""
+
+import numpy as np
+import pytest
+
+from repro.decompiler.cfg import build_cfg
+from repro.decompiler.expressions import (
+    BinOp,
+    Call,
+    UnOp,
+    fold_block_expressions,
+    render_expr,
+)
+from repro.decompiler.isa import parse_assembly
+from repro.ml.logistic import SoftmaxRegression
+
+
+def block_of(source: str):
+    """First basic block of the assembled source."""
+    cfg = build_cfg(parse_assembly(source))
+    return cfg.blocks[cfg.block_addresses()[0]]
+
+
+class TestRenderExpr:
+    def test_leaves(self):
+        assert render_expr("eax") == "eax"
+        assert render_expr("42") == "42"
+
+    def test_binop_precedence(self):
+        expr = BinOp("*", BinOp("+", "a", "b"), "c")
+        assert render_expr(expr) == "(a + b) * c"
+
+    def test_no_spurious_parens(self):
+        expr = BinOp("+", BinOp("*", "a", "b"), "c")
+        assert render_expr(expr) == "a * b + c"
+
+    def test_unary(self):
+        assert render_expr(UnOp("-", "x")) == "-x"
+        assert render_expr(UnOp("~", BinOp("+", "a", "b"))) == "~(a + b)"
+
+    def test_call(self):
+        assert render_expr(Call("helper_0")) == "helper_0()"
+
+    def test_left_associative_subtraction(self):
+        # (a - b) - c renders without parens; a - (b - c) needs them.
+        assert render_expr(BinOp("-", BinOp("-", "a", "b"), "c")) \
+            == "a - b - c"
+        assert render_expr(BinOp("-", "a", BinOp("-", "b", "c"))) \
+            == "a - (b - c)"
+
+
+class TestFoldBlock:
+    def test_chain_folds_into_one_statement(self):
+        block = block_of("""
+f:
+    mov eax, ebx
+    add eax, 4
+    imul eax, ecx
+    ret
+""")
+        statements = fold_block_expressions(block)
+        assert "eax = (ebx + 4) * ecx;" in statements
+        assert statements[-1] == "return eax;"
+
+    def test_inc_dec_fold(self):
+        block = block_of("f:\n    mov eax, ebx\n    inc eax\n    ret\n")
+        statements = fold_block_expressions(block)
+        assert "eax = ebx + 1;" in statements
+
+    def test_dead_temp_not_materialised(self):
+        block = block_of("""
+f:
+    mov ecx, 5
+    mov eax, 1
+    ret
+""")
+        statements = fold_block_expressions(block,
+                                            live_out=frozenset({"eax"}))
+        assert not any(s.startswith("ecx =") for s in statements)
+
+    def test_call_materialises_state(self):
+        block = block_of("""
+f:
+    mov ebx, 7
+    call helper_1
+    ret
+""")
+        statements = fold_block_expressions(block)
+        assert "ebx = 7;" in statements
+        assert "eax = helper_1();" in statements
+
+    def test_push_uses_folded_value(self):
+        block = block_of("f:\n    mov eax, 3\n    add eax, 4\n"
+                         "    push eax\n    ret\n")
+        statements = fold_block_expressions(block)
+        assert "stack_push(3 + 4);" in statements
+
+    def test_cmp_materialises_operands(self):
+        block = block_of("""
+f:
+    mov eax, ebx
+    add eax, 1
+    cmp eax, 5
+    jle .x
+.x:
+    ret
+""")
+        statements = fold_block_expressions(block)
+        assert "eax = ebx + 1;" in statements
+
+    def test_oversized_expressions_split(self):
+        source = "f:\n    mov eax, ebx\n" + "".join(
+            f"    add eax, e{r}x\n" for r in "bcdbcd"
+        ) + "    ret\n"
+        block = block_of(source)
+        statements = fold_block_expressions(block)
+        assert len(statements) >= 2  # split rather than one giant line
+
+
+class TestSoftmaxRegression:
+    def test_learns_linear_boundary(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(300, 4))
+        y = (X[:, 0] - X[:, 1] > 0).astype(int)
+        model = SoftmaxRegression(4, 2, epochs=300, seed=1).fit(X, y)
+        assert (model.predict(X) == y).mean() > 0.95
+
+    def test_cannot_learn_xor(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 40,
+                     dtype=np.float64)
+        y = np.array([0, 1, 1, 0] * 40)
+        model = SoftmaxRegression(2, 2, epochs=400, seed=1).fit(X, y)
+        assert (model.predict(X) == y).mean() < 0.8  # linear ceiling
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3))
+        y = (X[:, 2] > 0).astype(int)
+        model = SoftmaxRegression(3, 2, epochs=50).fit(X, y)
+        assert model.loss_history_[-1] < model.loss_history_[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SoftmaxRegression(0, 2)
+        with pytest.raises(ValueError):
+            SoftmaxRegression(3, 1)
+        model = SoftmaxRegression(3, 2)
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 2)), np.zeros(4, dtype=int))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((4, 3)), np.array([0, 1, 2, 0]))
+
+    def test_proba_sums_to_one(self):
+        model = SoftmaxRegression(3, 4)
+        probs = model.predict_proba(np.zeros((5, 3)))
+        assert probs.shape == (5, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)

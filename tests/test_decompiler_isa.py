@@ -1,0 +1,117 @@
+"""Unit tests for the i386 subset parser and instruction model."""
+
+import pytest
+
+from repro.decompiler.isa import (
+    AsmSyntaxError,
+    Instruction,
+    label_addresses,
+    parse_assembly,
+)
+
+SAMPLE = """
+; a tiny function
+main:
+    mov eax, 0
+    mov ebx, 10
+.loop:
+    add eax, ebx
+    dec ebx
+    cmp ebx, 0
+    jne .loop
+    ret
+"""
+
+
+class TestParser:
+    def test_parses_sample(self):
+        instrs = parse_assembly(SAMPLE)
+        assert [i.mnemonic for i in instrs] == [
+            "mov", "mov", "add", "dec", "cmp", "jne", "ret",
+        ]
+
+    def test_labels_attach_to_next_instruction(self):
+        instrs = parse_assembly(SAMPLE)
+        assert instrs[0].label == "main"
+        assert instrs[2].label == ".loop"
+        assert instrs[1].label is None
+
+    def test_addresses_sequential(self):
+        instrs = parse_assembly(SAMPLE)
+        addrs = [i.addr for i in instrs]
+        assert addrs == sorted(addrs)
+        assert len(set(addrs)) == len(addrs)
+
+    def test_label_addresses(self):
+        instrs = parse_assembly(SAMPLE)
+        labels = label_addresses(instrs)
+        assert labels["main"] == instrs[0].addr
+        assert labels[".loop"] == instrs[2].addr
+
+    def test_comments_and_blanks_ignored(self):
+        instrs = parse_assembly("# only comments\n\n; here\n")
+        assert instrs == []
+
+    def test_operand_splitting(self):
+        (instr,) = parse_assembly("mov eax, 42")
+        assert instr.operands == ("eax", "42")
+
+    def test_trailing_comment_stripped(self):
+        (instr,) = parse_assembly("mov eax, 1 ; set accumulator")
+        assert instr.operands == ("eax", "1")
+
+    def test_syntax_error(self):
+        with pytest.raises(AsmSyntaxError):
+            parse_assembly("123 what even is this")
+
+    def test_double_label_anchored_with_nop(self):
+        instrs = parse_assembly("a:\nb:\n    ret\n")
+        assert instrs[0].mnemonic == "nop"
+        assert instrs[0].label == "a"
+        assert instrs[1].label == "b"
+
+    def test_trailing_label_gets_nop(self):
+        instrs = parse_assembly("    ret\nend:\n")
+        assert instrs[-1].mnemonic == "nop"
+        assert instrs[-1].label == "end"
+
+
+class TestInstructionModel:
+    def test_jump_classification(self):
+        jmp = Instruction(0, "jmp", ("target",))
+        jne = Instruction(0, "jne", ("target",))
+        ret = Instruction(0, "ret")
+        mov = Instruction(0, "mov", ("eax", "1"))
+        assert jmp.is_jump and not jmp.is_conditional_jump
+        assert jne.is_jump and jne.is_conditional_jump
+        assert ret.is_terminator and not ret.is_jump
+        assert not mov.is_terminator
+
+    def test_target_label(self):
+        assert Instruction(0, "jmp", ("L1",)).target_label == "L1"
+        assert Instruction(0, "call", ("f",)).target_label == "f"
+        assert Instruction(0, "mov", ("eax", "1")).target_label is None
+
+    def test_defined_register(self):
+        assert Instruction(0, "mov", ("eax", "1")).defined_register() \
+            == "eax"
+        assert Instruction(0, "add", ("ebx", "eax")).defined_register() \
+            == "ebx"
+        assert Instruction(0, "inc", ("ecx",)).defined_register() == "ecx"
+        assert Instruction(0, "call", ("f",)).defined_register() == "eax"
+        assert Instruction(0, "cmp", ("eax", "1")).defined_register() \
+            is None
+
+    def test_used_registers(self):
+        assert Instruction(0, "mov", ("eax", "ebx")).used_registers() \
+            == ("ebx",)
+        assert set(Instruction(0, "add", ("eax", "ebx"))
+                   .used_registers()) == {"eax", "ebx"}
+        assert Instruction(0, "cmp", ("ecx", "5")).used_registers() \
+            == ("ecx",)
+        assert Instruction(0, "ret").used_registers() == ("eax",)
+        assert Instruction(0, "mov", ("eax", "5")).used_registers() == ()
+
+    def test_render(self):
+        assert Instruction(0, "mov", ("eax", "1")).render() == "mov eax, 1"
+        assert Instruction(0, "ret").render() == "ret"

@@ -1,0 +1,236 @@
+"""Unit tests for the decompiler's optimisation passes."""
+
+import pytest
+
+from repro.decompiler.cfg import build_cfg
+from repro.decompiler.codegen import generate_assembly
+from repro.decompiler.isa import parse_assembly
+from repro.decompiler.optimize import (
+    constants_at_entry,
+    eliminate_dead_code,
+    fold_constants,
+    optimize_cfg,
+    propagate_copies,
+)
+
+
+def cfg_of(source: str):
+    return build_cfg(parse_assembly(source))
+
+
+def rendered(cfg) -> list[str]:
+    out = []
+    for addr in cfg.block_addresses():
+        out.extend(i.render() for i in cfg.blocks[addr].instructions)
+    return out
+
+
+class TestConstantPropagation:
+    def test_straight_line_constants(self):
+        cfg = cfg_of("""
+f:
+    mov eax, 2
+    mov ebx, 3
+    add eax, ebx
+    ret
+""")
+        folded = fold_constants(cfg)
+        assert folded == 1
+        assert "mov eax, 5" in rendered(cfg)
+
+    def test_unary_folding(self):
+        cfg = cfg_of("f:\n    mov eax, 7\n    inc eax\n    neg eax\n    ret\n")
+        fold_constants(cfg)
+        text = rendered(cfg)
+        assert "mov eax, 8" in text
+        assert "mov eax, -8" in text
+
+    def test_constants_survive_across_blocks(self):
+        cfg = cfg_of("""
+f:
+    mov eax, 4
+    jmp .next
+.next:
+    add eax, 1
+    ret
+""")
+        entry_consts = constants_at_entry(cfg)
+        next_addr = cfg.labels[".next"]
+        assert entry_consts[next_addr].get("eax") == 4
+        fold_constants(cfg)
+        assert "mov eax, 5" in rendered(cfg)
+
+    def test_conflicting_paths_kill_constants(self):
+        cfg = cfg_of("""
+f:
+    cmp esi, 0
+    jne .b
+    mov eax, 1
+    jmp .join
+.b:
+    mov eax, 2
+.join:
+    add eax, 1
+    ret
+""")
+        entry_consts = constants_at_entry(cfg)
+        join_addr = cfg.labels[".join"]
+        assert "eax" not in entry_consts[join_addr]
+        assert fold_constants(cfg) == 0
+
+    def test_agreeing_paths_keep_constants(self):
+        cfg = cfg_of("""
+f:
+    cmp esi, 0
+    jne .b
+    mov eax, 9
+    jmp .join
+.b:
+    mov eax, 9
+.join:
+    inc eax
+    ret
+""")
+        fold_constants(cfg)
+        assert "mov eax, 10" in rendered(cfg)
+
+    def test_call_clobbers_eax(self):
+        cfg = cfg_of("""
+f:
+    mov eax, 3
+    call g
+    add eax, 1
+    ret
+g:
+    ret
+""")
+        assert fold_constants(cfg) == 0
+
+
+class TestCopyPropagation:
+    def test_alu_source_replaced(self):
+        cfg = cfg_of("""
+f:
+    mov ebx, ecx
+    add eax, ebx
+    ret
+""")
+        assert propagate_copies(cfg) == 1
+        assert "add eax, ecx" in rendered(cfg)
+
+    def test_copy_killed_by_redefinition(self):
+        cfg = cfg_of("""
+f:
+    mov ebx, ecx
+    mov ecx, 1
+    add eax, ebx
+    ret
+""")
+        assert propagate_copies(cfg) == 0
+
+
+class TestDeadCodeElimination:
+    def test_unused_definition_removed(self):
+        cfg = cfg_of("""
+f:
+    mov ebx, 5
+    mov eax, 1
+    ret
+""")
+        assert eliminate_dead_code(cfg) == 1
+        assert "mov ebx, 5" not in rendered(cfg)
+        assert "mov eax, 1" in rendered(cfg)
+
+    def test_overwritten_definition_removed(self):
+        cfg = cfg_of("""
+f:
+    mov eax, 1
+    mov eax, 2
+    ret
+""")
+        assert eliminate_dead_code(cfg) == 1
+        assert rendered(cfg).count("mov eax, 2") == 1
+
+    def test_flags_producers_kept_for_branches(self):
+        cfg = cfg_of("""
+f:
+    cmp eax, 3
+    jne .out
+    mov ebx, 1
+.out:
+    mov eax, ebx
+    ret
+""")
+        eliminate_dead_code(cfg)
+        assert "cmp eax, 3" in rendered(cfg)
+
+    def test_dangling_cmp_removed(self):
+        cfg = cfg_of("f:\n    cmp eax, 3\n    mov eax, 1\n    ret\n")
+        assert eliminate_dead_code(cfg) == 1
+        assert "cmp eax, 3" not in rendered(cfg)
+
+    def test_stack_and_calls_kept(self):
+        cfg = cfg_of("""
+f:
+    push eax
+    pop ebx
+    call g
+    ret
+g:
+    ret
+""")
+        eliminate_dead_code(cfg)
+        text = rendered(cfg)
+        assert "push eax" in text
+        assert "pop ebx" in text
+        assert "call g" in text
+
+    def test_live_across_blocks_kept(self):
+        cfg = cfg_of("""
+f:
+    mov ebx, 5
+    jmp .use
+.use:
+    mov eax, ebx
+    ret
+""")
+        assert eliminate_dead_code(cfg) == 0
+
+
+class TestOptimizeCfg:
+    def test_pipeline_reaches_fixpoint(self):
+        cfg = cfg_of("""
+f:
+    mov eax, 2
+    mov ebx, eax
+    add ebx, 3
+    mov ecx, ebx
+    mov eax, ecx
+    ret
+""")
+        stats = optimize_cfg(cfg)
+        assert stats["folded"] >= 1
+        assert stats["dead"] >= 1
+        # Semantics preserved: f still returns 5.
+        text = rendered(cfg)
+        assert "mov eax, 5" in text
+
+    def test_generated_code_optimises_cleanly(self):
+        cfg = build_cfg(parse_assembly(generate_assembly(
+            functions=3, nesting=2, seed=21,
+        )))
+        before = sum(len(b) for b in cfg.blocks.values())
+        stats = optimize_cfg(cfg)
+        after = sum(len(b) for b in cfg.blocks.values())
+        assert after <= before
+        assert stats["rounds"] >= 1
+        # CFG structure untouched: same blocks and edges.
+        for block in cfg.blocks.values():
+            for succ in block.successors:
+                assert succ in cfg.blocks
+
+    def test_idempotent_after_fixpoint(self):
+        cfg = cfg_of("f:\n    mov eax, 1\n    add eax, 2\n    ret\n")
+        optimize_cfg(cfg)
+        stats = optimize_cfg(cfg)
+        assert stats["folded"] + stats["copies"] + stats["dead"] == 0

@@ -1,0 +1,168 @@
+"""Unit tests for CFG simplification."""
+
+from repro.decompiler.cfg import build_cfg
+from repro.decompiler.codegen import generate_assembly
+from repro.decompiler.isa import parse_assembly
+from repro.decompiler.simplify import (
+    merge_straightline_blocks,
+    remove_unreachable_blocks,
+    simplify_cfg,
+    thread_jumps,
+)
+
+
+def cfg_of(source: str):
+    return build_cfg(parse_assembly(source))
+
+
+class TestUnreachable:
+    def test_removes_orphan_blocks(self):
+        cfg = cfg_of("""
+f:
+    mov eax, 1
+    ret
+.orphan:
+    mov ebx, 2
+    ret
+""")
+        # .orphan has no in-edges and is not an entry.
+        removed = remove_unreachable_blocks(cfg)
+        assert removed == 1
+        assert all(".orphan" != name for name in cfg.labels)
+
+    def test_keeps_everything_reachable(self):
+        cfg = cfg_of("""
+f:
+    cmp eax, 0
+    jne .a
+    mov ebx, 1
+.a:
+    ret
+""")
+        assert remove_unreachable_blocks(cfg) == 0
+
+    def test_entries_always_kept(self):
+        cfg = cfg_of("f:\n    ret\ng:\n    ret\n")
+        assert remove_unreachable_blocks(cfg) == 0
+        assert len(cfg.blocks) == 2
+
+
+class TestJumpThreading:
+    def test_threads_through_trampoline(self):
+        cfg = cfg_of("""
+f:
+    cmp eax, 0
+    jne .hop
+    ret
+.hop:
+    jmp .real
+.real:
+    mov eax, 1
+    ret
+""")
+        changed = thread_jumps(cfg)
+        assert changed >= 1
+        entry = cfg.entries["f"]
+        real = cfg.labels[".real"]
+        assert real in cfg.blocks[entry].successors
+
+    def test_no_threading_through_working_blocks(self):
+        cfg = cfg_of("""
+f:
+    cmp eax, 0
+    jne .work
+    ret
+.work:
+    mov ebx, 5
+    jmp .out
+.out:
+    ret
+""")
+        before = {a: list(b.successors) for a, b in cfg.blocks.items()}
+        thread_jumps(cfg)
+        entry = cfg.entries["f"]
+        assert cfg.blocks[entry].successors == before[entry]
+
+
+class TestMerging:
+    def test_merges_single_pred_single_succ_chain(self):
+        cfg = cfg_of("""
+f:
+    mov eax, 1
+    jmp .next
+.next:
+    mov ebx, 2
+    ret
+""")
+        merged = merge_straightline_blocks(cfg)
+        assert merged == 1
+        assert len(cfg.blocks) == 1
+        (block,) = cfg.blocks.values()
+        rendered = [i.render() for i in block.instructions]
+        assert "jmp .next" not in rendered
+        assert "mov ebx, 2" in rendered
+
+    def test_no_merge_into_diamond_join(self):
+        cfg = cfg_of("""
+f:
+    cmp eax, 0
+    jne .b
+    mov ebx, 1
+    jmp .join
+.b:
+    mov ebx, 2
+.join:
+    ret
+""")
+        assert merge_straightline_blocks(cfg) == 0
+
+    def test_entries_never_absorbed(self):
+        cfg = cfg_of("f:\n    mov eax, 1\ng:\n    ret\n")
+        merge_straightline_blocks(cfg)
+        assert cfg.entries["g"] in cfg.blocks
+
+
+class TestSimplifyPipeline:
+    def test_fixpoint_and_stats(self):
+        cfg = cfg_of("""
+f:
+    jmp .a
+.a:
+    jmp .b
+.b:
+    mov eax, 1
+    ret
+.dead:
+    mov ebx, 9
+    ret
+""")
+        stats = simplify_cfg(cfg)
+        assert stats["unreachable"] >= 1
+        assert stats["threaded"] + stats["merged"] >= 1
+        assert len(cfg.blocks) == 1
+
+    def test_generated_code_survives_and_shrinks(self):
+        text = generate_assembly(functions=3, nesting=2, seed=44)
+        cfg = build_cfg(parse_assembly(text))
+        blocks_before = len(cfg.blocks)
+        simplify_cfg(cfg)
+        assert 0 < len(cfg.blocks) <= blocks_before
+        # Graph stays internally consistent.
+        for addr, block in cfg.blocks.items():
+            for succ in block.successors:
+                assert succ in cfg.blocks
+                assert addr in cfg.blocks[succ].predecessors
+
+    def test_emission_still_works_after_simplify(self):
+        from repro.decompiler.emit import emit_c
+        from repro.decompiler.structure import recover_structure
+        text = generate_assembly(functions=2, nesting=2, seed=45)
+        cfg = build_cfg(parse_assembly(text))
+        simplify_cfg(cfg)
+        structures = {
+            name: recover_structure(cfg, entry)
+            for name, entry in cfg.entries.items()
+            if entry in cfg.blocks
+        }
+        source = emit_c(cfg, structures)
+        assert source.count("{") == source.count("}")

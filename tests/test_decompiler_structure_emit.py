@@ -1,0 +1,237 @@
+"""Unit tests for structure recovery, C emission and the generator."""
+
+import pytest
+
+from repro.decompiler.cfg import build_cfg
+from repro.decompiler.codegen import generate_assembly
+from repro.decompiler.emit import emit_c, render_instruction
+from repro.decompiler.isa import Instruction, parse_assembly
+from repro.decompiler.structure import recover_structure
+
+LOOP = """
+g:
+    mov ecx, 10
+.head:
+    cmp ecx, 0
+    jle .out
+    dec ecx
+    jmp .head
+.out:
+    ret
+"""
+
+DIAMOND = """
+f:
+    cmp eax, 1
+    jne .else
+    mov ebx, 1
+    jmp .join
+.else:
+    mov ebx, 2
+.join:
+    mov ecx, ebx
+    ret
+"""
+
+
+class TestStructureRecovery:
+    def test_recovers_while_loop(self):
+        cfg = build_cfg(parse_assembly(LOOP))
+        result = recover_structure(cfg, cfg.entries["g"])
+        loops = result.loops()
+        assert len(loops) == 1
+        assert loops[0].kind == "while"
+        assert loops[0].nesting == 0
+
+    def test_recovers_if_else_diamond(self):
+        cfg = build_cfg(parse_assembly(DIAMOND))
+        result = recover_structure(cfg, cfg.entries["f"])
+        conds = result.conditionals()
+        assert len(conds) == 1
+        assert conds[0].kind == "if_else"
+        assert len(conds[0].blocks) == 3
+
+    def test_if_then_shape(self):
+        source = """
+h:
+    cmp eax, 0
+    jle .skip
+    mov ebx, 1
+.skip:
+    ret
+"""
+        cfg = build_cfg(parse_assembly(source))
+        result = recover_structure(cfg, cfg.entries["h"])
+        conds = result.conditionals()
+        assert len(conds) == 1
+        assert conds[0].kind == "if_then"
+
+    def test_nesting_levels(self):
+        source = """
+n:
+    mov eax, 3
+.outer:
+    cmp eax, 0
+    jle .done
+    mov ebx, 3
+.inner:
+    cmp ebx, 0
+    jle .tail
+    dec ebx
+    jmp .inner
+.tail:
+    dec eax
+    jmp .outer
+.done:
+    ret
+"""
+        cfg = build_cfg(parse_assembly(source))
+        result = recover_structure(cfg, cfg.entries["n"])
+        loops = sorted(result.loops(), key=lambda c: len(c.blocks))
+        assert loops[0].nesting == 1  # inner
+        assert loops[1].nesting == 0  # outer
+
+    def test_unstructured_blocks_reported(self):
+        cfg = build_cfg(parse_assembly(LOOP))
+        result = recover_structure(cfg, cfg.entries["g"])
+        claimed = set().union(*(c.blocks for c in result.constructs))
+        assert set(cfg.blocks) == claimed | set(result.unstructured)
+
+
+class TestRenderInstruction:
+    @pytest.mark.parametrize("mnemonic,operands,expected", [
+        ("mov", ("eax", "5"), "eax = 5;"),
+        ("add", ("eax", "ebx"), "eax = eax + ebx;"),
+        ("sub", ("ecx", "1"), "ecx = ecx - 1;"),
+        ("xor", ("eax", "eax"), "eax = eax ^ eax;"),
+        ("inc", ("eax",), "eax++;"),
+        ("dec", ("ebx",), "ebx--;"),
+        ("neg", ("eax",), "eax = -eax;"),
+        ("push", ("eax",), "stack_push(eax);"),
+        ("pop", ("ebx",), "ebx = stack_pop();"),
+        ("call", ("f",), "eax = f();"),
+        ("ret", (), "return eax;"),
+    ])
+    def test_statements(self, mnemonic, operands, expected):
+        assert render_instruction(
+            Instruction(0, mnemonic, operands)
+        ) == expected
+
+    def test_folded_instructions_render_none(self):
+        assert render_instruction(Instruction(0, "cmp", ("a", "b"))) is None
+        assert render_instruction(Instruction(0, "jne", ("L",))) is None
+        assert render_instruction(Instruction(0, "nop")) is None
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            render_instruction(Instruction(0, "fsqrt", ()))
+
+
+class TestEmitC:
+    def _emit(self, source):
+        cfg = build_cfg(parse_assembly(source))
+        structures = {
+            name: recover_structure(cfg, entry)
+            for name, entry in cfg.entries.items()
+        }
+        return emit_c(cfg, structures)
+
+    def test_emits_function_per_entry(self):
+        c_source = self._emit(LOOP)
+        assert "int g(void) {" in c_source
+        assert c_source.count("return eax;") == 1
+
+    def test_conditions_folded_from_cmp(self):
+        c_source = self._emit(DIAMOND)
+        assert "eax == 1" in c_source or "eax != 1" in c_source
+
+    def test_braces_balanced(self):
+        c_source = self._emit(LOOP) + self._emit(DIAMOND)
+        assert c_source.count("{") == c_source.count("}")
+
+    def test_goto_targets_exist(self):
+        c_source = self._emit(LOOP)
+        for line in c_source.splitlines():
+            line = line.strip()
+            if line.startswith("goto "):
+                label = line[len("goto "):-1]
+                assert f"{label}:;" in c_source
+
+    def test_block_iter_hook_called(self):
+        cfg = build_cfg(parse_assembly(LOOP))
+        structures = {"g": recover_structure(cfg, cfg.entries["g"])}
+        calls = []
+        emit_c(cfg, structures, block_iter=calls.append)
+        assert calls == [len(cfg.blocks)]
+
+
+class TestGenerator:
+    def test_generated_assembly_parses(self):
+        text = generate_assembly(functions=3, nesting=2, seed=5)
+        instrs = parse_assembly(text)
+        assert len(instrs) > 20
+
+    def test_deterministic(self):
+        assert generate_assembly(seed=9) == generate_assembly(seed=9)
+
+    def test_different_seeds_differ(self):
+        assert generate_assembly(seed=1) != generate_assembly(seed=2)
+
+    def test_every_function_returns(self):
+        text = generate_assembly(functions=2, nesting=1, seed=3)
+        cfg = build_cfg(parse_assembly(text))
+        assert len(cfg.entries) >= 2 + 4  # functions + helpers
+
+    def test_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            generate_assembly(functions=0)
+
+    def test_full_pipeline_on_generated_code(self):
+        text = generate_assembly(functions=2, nesting=2, seed=8)
+        cfg = build_cfg(parse_assembly(text))
+        structures = {}
+        for name, entry in cfg.entries.items():
+            structures[name] = recover_structure(cfg, entry)
+        c_source = emit_c(cfg, structures)
+        assert c_source.count("{") == c_source.count("}")
+        assert "while" in c_source or "if" in c_source
+
+
+class TestEmitWithFolding:
+    def _emit_folded(self, source):
+        from repro.decompiler.emit import emit_c
+        cfg = build_cfg(parse_assembly(source))
+        structures = {
+            name: recover_structure(cfg, entry)
+            for name, entry in cfg.entries.items()
+        }
+        return emit_c(cfg, structures, fold_expressions=True)
+
+    def test_folded_emission_compacts_chains(self):
+        source = """
+f:
+    mov eax, ebx
+    add eax, 4
+    imul eax, ecx
+    ret
+"""
+        folded = self._emit_folded(source)
+        assert "eax = (ebx + 4) * ecx;" in folded
+        assert folded.count("{") == folded.count("}")
+
+    def test_folded_emission_keeps_control_flow(self):
+        folded = self._emit_folded(LOOP)
+        assert "goto" in folded
+        assert "return eax;" in folded
+
+    def test_folded_is_shorter_or_equal(self):
+        from repro.decompiler.emit import emit_c
+        from repro.decompiler.codegen import generate_assembly
+        cfg = build_cfg(parse_assembly(
+            generate_assembly(functions=2, nesting=2, seed=33)
+        ))
+        structures = {name: recover_structure(cfg, entry)
+                      for name, entry in cfg.entries.items()}
+        plain = emit_c(cfg, structures)
+        folded = emit_c(cfg, structures, fold_expressions=True)
+        assert folded.count("\n") <= plain.count("\n")

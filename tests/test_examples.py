@@ -1,0 +1,44 @@
+"""Smoke tests over the example scripts.
+
+Each example must at least import (syntax, imports, top-level constants)
+and expose a ``main``; the fast ones are executed end-to-end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parents[1] / "examples"
+ALL_EXAMPLES = sorted(p.stem for p in EXAMPLES_DIR.glob("*.py"))
+
+#: Examples cheap enough to execute fully in the unit-test suite.
+FAST_EXAMPLES = ("optimizer_demo", "raytrace_demo", "decompile_demo")
+
+
+def load_example(name: str):
+    path = EXAMPLES_DIR / f"{name}.py"
+    spec = importlib.util.spec_from_file_location(f"example_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_expected_examples_present(self):
+        assert "quickstart" in ALL_EXAMPLES
+        assert len(ALL_EXAMPLES) >= 7
+
+    @pytest.mark.parametrize("name", ALL_EXAMPLES)
+    def test_imports_and_has_main(self, name):
+        module = load_example(name)
+        assert callable(module.main)
+
+    @pytest.mark.parametrize("name", FAST_EXAMPLES)
+    def test_fast_examples_run(self, name, capsys):
+        module = load_example(name)
+        module.main()
+        out = capsys.readouterr().out
+        assert len(out) > 100

@@ -1,0 +1,176 @@
+"""Unit tests for the profiling wrapper, feature vectors and traces."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.containers.base import OpCost
+from repro.containers.registry import DSKind, make_container
+from repro.instrumentation.features import (
+    FEATURE_NAMES,
+    PAPER_FEATURE_LABELS,
+    feature_vector,
+    features_as_dict,
+    num_features,
+)
+from repro.instrumentation.profiler import ProfiledContainer
+from repro.instrumentation.trace import TraceRecord, TraceSet
+from repro.machine.configs import CORE2
+from repro.machine.events import PerfCounters
+from repro.machine.machine import Machine
+
+
+class TestProfiler:
+    def test_transparent_semantics(self, core2):
+        container = make_container(DSKind.VECTOR, core2, 8)
+        profiled = ProfiledContainer(container, context="site")
+        profiled.push_back(1)
+        profiled.insert(2, 1)
+        profiled.push_front(0)
+        assert profiled.to_list() == [0, 1, 2]
+        assert len(profiled) == 3
+        assert profiled.find(2)
+        profiled.erase(1)
+        profiled.iterate(2)
+        profiled.clear()
+        assert len(profiled) == 0
+
+    def test_attributes_only_container_events(self, core2):
+        container = make_container(DSKind.LIST, core2, 8)
+        profiled = ProfiledContainer(container)
+        profiled.push_back(1)
+        attributed = profiled.attributed_cycles()
+        # Application work between calls must not be attributed.
+        core2.instr(100_000)
+        core2.access(core2.malloc(4096), 4096)
+        assert profiled.attributed_cycles() == attributed
+        profiled.find(1)
+        assert profiled.attributed_cycles() > attributed
+
+    def test_hardware_counters_cover_all_fields(self, core2):
+        container = make_container(DSKind.HASH_SET, core2, 8)
+        profiled = ProfiledContainer(container)
+        for value in range(50):
+            profiled.insert(value)
+        counters = profiled.hardware_counters()
+        assert counters.cycles > 0
+        assert counters.l1_accesses > 0
+        assert counters.branches > 0
+        assert counters.allocations >= 50
+
+    def test_attribution_sums_to_machine_when_exclusive(self, core2):
+        container = make_container(DSKind.SET, core2, 8)
+        profiled = ProfiledContainer(container)
+        for value in range(30):
+            profiled.insert(value)
+            profiled.find(value)
+        assert profiled.attributed_cycles() == core2.cycles
+
+    def test_stats_pass_through(self, core2):
+        container = make_container(DSKind.VECTOR, core2, 8)
+        profiled = ProfiledContainer(container)
+        profiled.push_back(1)
+        assert profiled.stats is container.stats
+        assert profiled.stats.inserts == 1
+
+    def test_features_shape(self, core2):
+        container = make_container(DSKind.VECTOR, core2, 8)
+        profiled = ProfiledContainer(container)
+        profiled.push_back(1)
+        vec = profiled.features()
+        assert vec.shape == (num_features(),)
+        assert np.isfinite(vec).all()
+
+
+class TestFeatureVector:
+    def _vector(self, stats=None, hw=None, element_bytes=8):
+        return feature_vector(stats or OpCost(), hw or PerfCounters(),
+                              element_bytes)
+
+    def test_empty_run_is_finite(self):
+        vec = self._vector()
+        assert np.isfinite(vec).all()
+
+    def test_fraction_features(self):
+        stats = OpCost(inserts=3, finds=1, total_calls=4)
+        vec = features_as_dict(self._vector(stats))
+        assert vec["insert_frac"] == pytest.approx(0.75)
+        assert vec["find_frac"] == pytest.approx(0.25)
+        assert vec["erase_frac"] == 0.0
+
+    def test_cost_features_log_scaled(self):
+        stats = OpCost(finds=2, find_cost=200, total_calls=2)
+        vec = features_as_dict(self._vector(stats))
+        assert vec["find_cost_avg"] == pytest.approx(math.log1p(100))
+
+    def test_hardware_features(self):
+        hw = PerfCounters(cycles=100, instructions=200, l1_accesses=50,
+                          l1_misses=5, branches=40, branch_mispredicts=10)
+        vec = features_as_dict(self._vector(OpCost(total_calls=1), hw))
+        assert vec["l1_miss_rate"] == pytest.approx(0.1)
+        assert vec["branch_miss_rate"] == pytest.approx(0.25)
+        assert vec["ipc"] == pytest.approx(2.0)
+
+    def test_data_per_block(self):
+        vec = features_as_dict(self._vector(element_bytes=32))
+        assert vec["data_per_block"] == pytest.approx(0.5)
+
+    def test_scale_invariance(self):
+        """The same behaviour at 100x the volume yields (nearly) the same
+        features — how a model trained on small apps serves huge runs."""
+        small = OpCost(inserts=10, finds=30, find_cost=300, erases=5,
+                       erase_cost=60, total_calls=45, max_size=50)
+        big = OpCost(inserts=1000, finds=3000, find_cost=30000,
+                     erases=500, erase_cost=6000, total_calls=4500,
+                     max_size=50)
+        vec_small = self._vector(small)
+        vec_big = self._vector(big)
+        mix_indices = [FEATURE_NAMES.index(n) for n in
+                       ("insert_frac", "find_frac", "erase_frac",
+                        "find_cost_avg", "erase_cost_avg")]
+        for i in mix_indices:
+            assert vec_small[i] == pytest.approx(vec_big[i], rel=1e-9)
+
+    def test_features_as_dict_validates_length(self):
+        with pytest.raises(ValueError):
+            features_as_dict(np.zeros(3))
+
+    def test_paper_labels_cover_all_features(self):
+        assert set(PAPER_FEATURE_LABELS) == set(FEATURE_NAMES)
+
+
+class TestTraceSet:
+    def _record(self, context, cycles, kind=DSKind.VECTOR):
+        return TraceRecord(context=context, kind=kind,
+                           order_oblivious=True,
+                           features=np.zeros(num_features()),
+                           cycles=cycles, total_calls=10)
+
+    def test_sorted_hottest_first(self):
+        trace = TraceSet(program_cycles=1000, records=[
+            self._record("cold", 10),
+            self._record("hot", 900),
+            self._record("warm", 90),
+        ])
+        trace.sort()
+        assert [r.context for r in trace] == ["hot", "warm", "cold"]
+
+    def test_relative_time(self):
+        record = self._record("x", 250)
+        assert record.relative_time(1000) == pytest.approx(0.25)
+        assert record.relative_time(0) == 0.0
+
+    def test_from_profiled(self, core2):
+        container = make_container(DSKind.VECTOR, core2, 8)
+        profiled = ProfiledContainer(container, context="app:site")
+        profiled.push_back(1)
+        trace = TraceSet.from_profiled(
+            {"app:site": (profiled, DSKind.VECTOR, True, False)},
+            program_cycles=core2.cycles,
+        )
+        assert len(trace) == 1
+        record = trace.records[0]
+        assert record.context == "app:site"
+        assert record.cycles > 0
+        assert record.keyed is False

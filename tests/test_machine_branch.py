@@ -1,0 +1,84 @@
+"""Unit tests for the branch predictors."""
+
+import pytest
+
+from repro.machine.branch import BimodalPredictor, GSharePredictor
+
+
+class TestBimodal:
+    def test_rejects_non_pow2_table(self):
+        with pytest.raises(ValueError):
+            BimodalPredictor(1000)
+
+    def test_learns_always_taken(self):
+        pred = BimodalPredictor(64)
+        for _ in range(20):
+            pred.predict_and_update(5, True)
+        # After warm-up, an always-taken branch predicts correctly.
+        assert pred.predict_and_update(5, True) is True
+        assert pred.mispredicts <= 2
+
+    def test_learns_always_not_taken(self):
+        pred = BimodalPredictor(64)
+        for _ in range(20):
+            pred.predict_and_update(5, False)
+        assert pred.predict_and_update(5, False) is True
+        assert pred.mispredicts <= 1  # initialised weakly not-taken
+
+    def test_rare_taken_branch_mispredicts_when_taken(self):
+        """The vector-resize pattern: mostly not-taken, rare taken."""
+        pred = BimodalPredictor(64)
+        for i in range(200):
+            pred.predict_and_update(9, i % 50 == 0)
+        # Every taken occurrence (4 of them) should have mispredicted.
+        assert pred.mispredicts >= 4
+
+    def test_distinct_pcs_use_distinct_counters(self):
+        pred = BimodalPredictor(64)
+        for _ in range(10):
+            pred.predict_and_update(1, True)
+            pred.predict_and_update(2, False)
+        assert pred.predict_and_update(1, True) is True
+        assert pred.predict_and_update(2, False) is True
+
+    def test_alternating_pattern_is_hard(self):
+        pred = BimodalPredictor(64)
+        for i in range(100):
+            pred.predict_and_update(3, i % 2 == 0)
+        assert pred.miss_rate > 0.3
+
+    def test_miss_rate_empty(self):
+        assert BimodalPredictor(64).miss_rate == 0.0
+
+
+class TestGShare:
+    def test_rejects_non_pow2_table(self):
+        with pytest.raises(ValueError):
+            GSharePredictor(100)
+
+    def test_learns_alternating_pattern(self):
+        """History correlation lets gshare beat bimodal on patterns."""
+        pred = GSharePredictor(256, history_bits=4)
+        for i in range(400):
+            pred.predict_and_update(3, i % 2 == 0)
+        # Steady-state: the last 100 should be nearly perfect.
+        before = pred.mispredicts
+        for i in range(400, 500):
+            pred.predict_and_update(3, i % 2 == 0)
+        assert pred.mispredicts - before <= 5
+
+    def test_learns_bias(self):
+        pred = GSharePredictor(256)
+        for _ in range(50):
+            pred.predict_and_update(7, True)
+        before = pred.mispredicts
+        for _ in range(50):
+            pred.predict_and_update(7, True)
+        assert pred.mispredicts - before <= 2
+
+    def test_counts(self):
+        pred = GSharePredictor(64)
+        for i in range(10):
+            pred.predict_and_update(i, bool(i % 3))
+        assert pred.branches == 10
+        assert 0 <= pred.mispredicts <= 10

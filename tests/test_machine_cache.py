@@ -1,0 +1,144 @@
+"""Unit tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.cache import Cache
+
+
+def make_cache(size=1024, assoc=2, line=64) -> Cache:
+    return Cache(size, assoc, line)
+
+
+class TestGeometry:
+    def test_num_sets(self):
+        cache = make_cache(1024, 2, 64)
+        assert cache.num_sets == 8
+
+    def test_rejects_non_pow2_line(self):
+        with pytest.raises(ValueError):
+            Cache(1024, 2, 48)
+
+    def test_rejects_non_pow2_sets(self):
+        with pytest.raises(ValueError):
+            Cache(960, 2, 64)
+
+    def test_rejects_size_not_multiple_of_way_capacity(self):
+        with pytest.raises(ValueError):
+            Cache(1000, 2, 64)
+
+    def test_direct_mapped_allowed(self):
+        cache = Cache(512, 1, 64)
+        assert cache.num_sets == 8
+
+
+class TestHitMiss:
+    def test_first_access_misses(self):
+        cache = make_cache()
+        assert cache.access(0) is False
+        assert cache.misses == 1
+        assert cache.accesses == 1
+
+    def test_second_access_hits(self):
+        cache = make_cache()
+        cache.access(5)
+        assert cache.access(5) is True
+        assert cache.misses == 1
+        assert cache.accesses == 2
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = make_cache(1024, 2, 64)  # 8 sets
+        cache.access(0)
+        cache.access(1)
+        assert cache.access(0) is True
+        assert cache.access(1) is True
+
+    def test_conflict_eviction(self):
+        cache = make_cache(1024, 2, 64)  # 8 sets, 2-way
+        # Three lines mapping to set 0: 0, 8, 16.
+        cache.access(0)
+        cache.access(8)
+        cache.access(16)  # evicts 0 (LRU)
+        assert cache.access(8) is True
+        assert cache.access(16) is True
+        assert cache.access(0) is False
+
+    def test_lru_order_updated_on_hit(self):
+        cache = make_cache(1024, 2, 64)
+        cache.access(0)
+        cache.access(8)
+        cache.access(0)   # 0 becomes MRU
+        cache.access(16)  # evicts 8, not 0
+        assert cache.access(0) is True
+        assert cache.access(8) is False
+
+    def test_capacity_thrash(self):
+        cache = make_cache(1024, 2, 64)  # 16 lines total
+        for line in range(32):
+            cache.access(line)
+        assert cache.misses == 32
+        # Second pass over 32 lines still misses everything (LRU + loop).
+        for line in range(32):
+            cache.access(line)
+        assert cache.misses == 64
+
+    def test_working_set_within_capacity_hits(self):
+        cache = make_cache(1024, 2, 64)
+        for _ in range(3):
+            for line in range(16):
+                cache.access(line)
+        assert cache.misses == 16
+        assert cache.accesses == 48
+
+
+class TestAuxiliary:
+    def test_contains_does_not_mutate(self):
+        cache = make_cache()
+        cache.access(3)
+        before = (cache.accesses, cache.misses)
+        assert cache.contains(3) is True
+        assert cache.contains(99) is False
+        assert (cache.accesses, cache.misses) == before
+
+    def test_flush_invalidates_but_keeps_counters(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.flush()
+        assert cache.accesses == 1
+        assert cache.contains(1) is False
+        assert cache.access(1) is False
+
+    def test_miss_rate_empty(self):
+        assert make_cache().miss_rate == 0.0
+
+    def test_miss_rate(self):
+        cache = make_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=63), min_size=1,
+                max_size=200))
+def test_lru_matches_reference_model(lines):
+    """The cache must agree with a straightforward LRU reference."""
+    cache = Cache(512, 2, 64)  # 4 sets, 2-way
+    sets: dict[int, list[int]] = {}
+    for line in lines:
+        idx = line % 4
+        ways = sets.setdefault(idx, [])
+        expected_hit = line in ways
+        assert cache.access(line) == expected_hit
+        if expected_hit:
+            ways.remove(line)
+        ways.insert(0, line)
+        del ways[2:]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=1000), max_size=150))
+def test_counters_are_consistent(lines):
+    cache = Cache(2048, 4, 64)
+    hits = sum(cache.access(line) for line in lines)
+    assert cache.accesses == len(lines)
+    assert cache.misses == len(lines) - hits

@@ -1,0 +1,75 @@
+"""Unit tests for the machine configuration presets."""
+
+from repro.machine.cache import Cache
+from repro.machine.configs import (
+    ATOM,
+    ATOM_FULL,
+    CORE2,
+    CORE2_FULL,
+    config_table,
+)
+from repro.machine.machine import Machine
+
+
+class TestFullPresets:
+    def test_figure7_core2_geometry(self):
+        assert CORE2_FULL.l1_size == 32 * 1024
+        assert CORE2_FULL.l2_size == 4 * 1024 * 1024
+        assert CORE2_FULL.freq_ghz == 2.4
+
+    def test_figure7_atom_geometry(self):
+        assert ATOM_FULL.l1_size == 32 * 1024
+        assert ATOM_FULL.l2_size == 512 * 1024
+        assert ATOM_FULL.freq_ghz == 1.6
+
+    def test_core2_is_wider_than_atom(self):
+        assert CORE2_FULL.cpi_base < ATOM_FULL.cpi_base
+
+    def test_predictors_differ(self):
+        assert CORE2_FULL.predictor == "gshare"
+        assert ATOM_FULL.predictor == "bimodal"
+
+
+class TestScaledPresets:
+    def test_l2_ratio_preserved(self):
+        full_ratio = CORE2_FULL.l2_size / ATOM_FULL.l2_size
+        scaled_ratio = CORE2.l2_size / ATOM.l2_size
+        assert scaled_ratio == full_ratio
+
+    def test_l1_l2_ratio_preserved_per_machine(self):
+        assert (CORE2.l2_size / CORE2.l1_size
+                == CORE2_FULL.l2_size / CORE2_FULL.l1_size)
+        assert (ATOM.l2_size / ATOM.l1_size
+                == ATOM_FULL.l2_size / ATOM_FULL.l1_size)
+
+    def test_latencies_unchanged(self):
+        assert CORE2.mem_latency == CORE2_FULL.mem_latency
+        assert ATOM.mispredict_penalty == ATOM_FULL.mispredict_penalty
+        assert CORE2.div_latency == CORE2_FULL.div_latency
+
+    def test_atom_division_is_much_slower(self):
+        assert ATOM.div_latency > 3 * CORE2.div_latency
+
+    def test_all_presets_build_valid_machines(self):
+        for config in (CORE2, ATOM, CORE2_FULL, ATOM_FULL):
+            machine = Machine(config)
+            machine.access(machine.malloc(256), 256)
+            assert machine.cycles > 0
+
+    def test_cache_geometries_are_constructible(self):
+        for config in (CORE2, ATOM, CORE2_FULL, ATOM_FULL):
+            Cache(config.l1_size, config.l1_assoc, config.line_bytes)
+            Cache(config.l2_size, config.l2_assoc, config.line_bytes)
+
+
+class TestConfigTable:
+    def test_has_all_four_rows(self):
+        rows = config_table()
+        names = [row["machine"] for row in rows]
+        assert names == ["core2-full", "atom-full", "core2", "atom"]
+
+    def test_row_fields(self):
+        row = config_table()[0]
+        assert "l1_data" in row and "l2_unified" in row
+        assert row["core"] == "4-wide OoO"
+        assert config_table()[1]["core"] == "2-wide in-order"

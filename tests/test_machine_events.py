@@ -1,0 +1,51 @@
+"""Unit tests for PerfCounters snapshots."""
+
+import pytest
+
+from repro.machine.events import PerfCounters
+
+
+class TestPerfCounters:
+    def test_subtraction(self):
+        before = PerfCounters(cycles=100, instructions=50, l1_accesses=10)
+        after = PerfCounters(cycles=300, instructions=90, l1_accesses=25)
+        delta = after - before
+        assert delta.cycles == 200
+        assert delta.instructions == 40
+        assert delta.l1_accesses == 15
+
+    def test_addition(self):
+        a = PerfCounters(cycles=1, branches=2)
+        b = PerfCounters(cycles=3, branches=5)
+        total = a + b
+        assert total.cycles == 4
+        assert total.branches == 7
+
+    def test_rates_guard_division_by_zero(self):
+        empty = PerfCounters()
+        assert empty.l1_miss_rate == 0.0
+        assert empty.l2_miss_rate == 0.0
+        assert empty.branch_miss_rate == 0.0
+        assert empty.ipc == 0.0
+
+    def test_rates(self):
+        counters = PerfCounters(cycles=100, instructions=250,
+                                l1_accesses=10, l1_misses=2,
+                                l2_accesses=4, l2_misses=1,
+                                branches=20, branch_mispredicts=5)
+        assert counters.l1_miss_rate == pytest.approx(0.2)
+        assert counters.l2_miss_rate == pytest.approx(0.25)
+        assert counters.branch_miss_rate == pytest.approx(0.25)
+        assert counters.ipc == pytest.approx(2.5)
+
+    def test_immutability(self):
+        counters = PerfCounters()
+        with pytest.raises(AttributeError):
+            counters.cycles = 5  # type: ignore[misc]
+
+    def test_as_dict_round_trip(self):
+        counters = PerfCounters(cycles=7, tlb_misses=3)
+        data = counters.as_dict()
+        assert data["cycles"] == 7
+        assert data["tlb_misses"] == 3
+        assert PerfCounters(**data) == counters

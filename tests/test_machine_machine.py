@@ -1,0 +1,213 @@
+"""Unit tests for the Machine: cycle accounting and counter attribution."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.cache import Cache
+from repro.machine.configs import ATOM, CORE2, MachineConfig
+from repro.machine.machine import Machine
+
+
+class TestBasics:
+    def test_fresh_machine_is_zeroed(self, core2):
+        counters = core2.counters()
+        assert counters.cycles == 0
+        assert counters.instructions == 0
+        assert counters.l1_accesses == 0
+
+    def test_instr_cost(self, core2):
+        core2.instr(100)
+        assert core2.instructions == 100
+        assert core2.cycles == int(100 * CORE2.cpi_base)
+
+    def test_atom_instructions_cost_more(self, core2, atom):
+        core2.instr(1000)
+        atom.instr(1000)
+        assert atom.cycles > core2.cycles
+
+    def test_div_latency(self, core2, atom):
+        core2.div()
+        atom.div()
+        assert core2.cycles == CORE2.div_latency
+        assert atom.cycles == ATOM.div_latency
+        assert atom.cycles > core2.cycles
+
+    def test_access_rejects_non_positive(self, core2):
+        with pytest.raises(ValueError):
+            core2.access(0x1000, 0)
+
+    def test_unknown_predictor_rejected(self):
+        import dataclasses
+        bad = dataclasses.replace(CORE2, predictor="perceptron")
+        with pytest.raises(ValueError):
+            Machine(bad)
+
+    def test_seconds_at_frequency(self, core2):
+        core2.instr(2_400_000)
+        # 2.4M instructions at cpi 0.4 = 960k cycles at 2.4 GHz = 0.4 ms.
+        assert core2.seconds == pytest.approx(0.0004, rel=1e-3)
+
+
+class TestMemoryHierarchy:
+    def test_cold_access_misses_everywhere(self, core2):
+        addr = core2.allocator.malloc(64)  # avoid malloc's header touch
+        core2.access(addr, 8)
+        counters = core2.counters()
+        assert counters.l1_accesses == 1
+        assert counters.l1_misses == 1
+        assert counters.l2_misses == 1
+        assert counters.tlb_misses == 1
+
+    def test_warm_access_hits(self, core2):
+        addr = core2.allocator.malloc(64)
+        core2.access(addr, 8)
+        before = core2.counters()
+        core2.access(addr, 8)
+        after = core2.counters()
+        assert after.l1_misses == before.l1_misses
+        assert after.cycles - before.cycles == CORE2.l1_latency
+
+    def test_multi_line_access_counts_lines(self, core2):
+        addr = core2.allocator.malloc(256)
+        core2.access(addr, 256)
+        expected = ((addr + 255) // 64) - (addr // 64) + 1
+        assert core2.counters().l1_accesses == expected
+
+    def test_streaming_discount(self):
+        """A contiguous multi-line access is cheaper per line than the
+        same lines accessed individually (more so on Core2 than Atom)."""
+        def contiguous(config):
+            machine = Machine(config)
+            addr = machine.allocator.malloc(4096)
+            machine.access(addr, 4096)
+            return machine.cycles
+
+        def separate(config):
+            machine = Machine(config)
+            addr = machine.allocator.malloc(4096)
+            for offset in range(0, 4096, config.line_bytes):
+                machine.access(addr + offset, 8)
+            return machine.cycles
+
+        assert contiguous(CORE2) < separate(CORE2)
+        assert contiguous(ATOM) < separate(ATOM)
+        core2_ratio = contiguous(CORE2) / separate(CORE2)
+        atom_ratio = contiguous(ATOM) / separate(ATOM)
+        assert core2_ratio < atom_ratio  # OoO streams better
+
+    def test_l2_capacity_difference(self):
+        """A working set that fits Core2's L2 but not Atom's must show a
+        higher L2 miss rate on Atom."""
+        results = {}
+        for config in (CORE2, ATOM):
+            machine = Machine(config)
+            base = machine.allocator.malloc(3 * CORE2.l2_size // 4)
+            span = 3 * CORE2.l2_size // 4
+            for _ in range(3):
+                for offset in range(0, span, config.line_bytes):
+                    machine.access(base + offset, 8)
+            results[config.name] = machine.counters().l2_miss_rate
+        assert results["atom"] > results["core2"] * 2
+
+    def test_inlined_l1_path_matches_cache_class(self):
+        """Differential: Machine.access's inlined tag handling must agree
+        with the standalone Cache for single-line accesses to one page."""
+        import random
+        machine = Machine(CORE2)
+        reference = Cache(CORE2.l1_size, CORE2.l1_assoc, CORE2.line_bytes)
+        rng = random.Random(0)
+        base = 0x40000000  # one page, so the TLB path stays quiet
+        for _ in range(300):
+            line_index = rng.randrange(8)
+            addr = base + line_index * CORE2.line_bytes
+            machine.access(addr, 8)
+            reference.access(addr >> 6)
+        assert machine.l1.misses == reference.misses
+        assert machine.l1.accesses == reference.accesses
+
+
+class TestBranches:
+    def test_branch_counts(self, core2):
+        for i in range(10):
+            core2.branch(1, i % 2 == 0)
+        counters = core2.counters()
+        assert counters.branches == 10
+        assert counters.branch_mispredicts > 0
+
+    def test_mispredict_costs_cycles(self, core2):
+        core2.branch(1, True)   # cold: mispredicted
+        with_miss = core2.cycles
+        for _ in range(10):
+            core2.branch(1, True)
+        before = core2.cycles
+        core2.branch(1, True)   # warm: predicted
+        without_miss = core2.cycles - before
+        assert with_miss > without_miss
+
+    def test_loop_branches_accounting(self, core2):
+        core2.loop_branches(3, 100)
+        counters = core2.counters()
+        assert counters.branches == 101
+        assert counters.branch_mispredicts == 1
+
+    def test_loop_branches_zero_iterations(self, core2):
+        core2.loop_branches(3, 0)
+        counters = core2.counters()
+        assert counters.branches == 1
+        assert counters.branch_mispredicts == 0
+
+    def test_loop_branches_rejects_negative(self, core2):
+        with pytest.raises(ValueError):
+            core2.loop_branches(3, -1)
+
+
+class TestMallocFree:
+    def test_malloc_costs(self, core2):
+        core2.malloc(64)
+        counters = core2.counters()
+        assert counters.allocations == 1
+        assert counters.instructions >= CORE2.malloc_instructions
+        assert counters.allocated_bytes > 0
+
+    def test_free_costs_less_than_malloc(self, core2, atom):
+        addr = core2.malloc(64)
+        after_malloc = core2.cycles
+        core2.free(addr)
+        free_cost = core2.cycles - after_malloc
+        assert 0 < free_cost < after_malloc
+
+
+class TestSnapshots:
+    def test_snapshot_tuple_matches_counters(self, core2):
+        core2.malloc(128)
+        core2.instr(50)
+        core2.branch(1, True)
+        tup = core2.snapshot_tuple()
+        counters = core2.counters()
+        assert tup == (
+            counters.cycles, counters.instructions,
+            counters.l1_accesses, counters.l1_misses,
+            counters.l2_accesses, counters.l2_misses,
+            counters.tlb_misses, counters.branches,
+            counters.branch_mispredicts, counters.allocations,
+            counters.allocated_bytes,
+        )
+
+    def test_reset_clears_counters_keeps_heap(self, core2):
+        addr = core2.malloc(64)
+        core2.reset()
+        assert core2.cycles == 0
+        assert core2.counters().branches == 0
+        assert core2.allocator.is_live(addr)
+        core2.access(addr, 8)
+        assert core2.counters().l1_misses == 1  # caches were flushed
+
+
+@given(st.integers(min_value=1, max_value=4096))
+def test_access_line_count_formula(nbytes):
+    machine = Machine(CORE2)
+    addr = 0x2000_0000
+    machine.access(addr, nbytes)
+    expected = ((addr + nbytes - 1) // 64) - (addr // 64) + 1
+    assert machine.counters().l1_accesses == expected

@@ -1,0 +1,103 @@
+"""Unit tests for the simulated allocator."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.memory import Allocator
+
+
+class TestAllocator:
+    def test_rejects_non_positive(self):
+        alloc = Allocator()
+        with pytest.raises(ValueError):
+            alloc.malloc(0)
+        with pytest.raises(ValueError):
+            alloc.malloc(-8)
+
+    def test_addresses_are_distinct_and_aligned(self):
+        alloc = Allocator()
+        addrs = [alloc.malloc(24) for _ in range(10)]
+        assert len(set(addrs)) == 10
+        assert all(addr % 8 == 0 for addr in addrs)
+
+    def test_header_gap_between_allocations(self):
+        alloc = Allocator()
+        a = alloc.malloc(8)
+        b = alloc.malloc(8)
+        assert b - a >= 8 + 16  # payload + malloc header
+
+    def test_free_recycles_lifo(self):
+        alloc = Allocator()
+        a = alloc.malloc(24)
+        b = alloc.malloc(24)
+        alloc.free(a)
+        alloc.free(b)
+        assert alloc.malloc(24) == b
+        assert alloc.malloc(24) == a
+
+    def test_free_lists_are_size_classed(self):
+        alloc = Allocator()
+        small = alloc.malloc(8)
+        alloc.free(small)
+        large = alloc.malloc(200)
+        assert large != small
+
+    def test_double_free_raises(self):
+        alloc = Allocator()
+        addr = alloc.malloc(16)
+        alloc.free(addr)
+        with pytest.raises(ValueError):
+            alloc.free(addr)
+
+    def test_free_unknown_raises(self):
+        with pytest.raises(ValueError):
+            Allocator().free(0xDEAD)
+
+    def test_live_accounting(self):
+        alloc = Allocator()
+        a = alloc.malloc(16)
+        alloc.malloc(16)
+        assert alloc.live_allocations == 2
+        assert alloc.is_live(a)
+        alloc.free(a)
+        assert alloc.live_allocations == 1
+        assert not alloc.is_live(a)
+
+    def test_live_bytes_balance(self):
+        alloc = Allocator()
+        a = alloc.malloc(100)
+        before = alloc.live_bytes
+        assert before > 0
+        alloc.free(a)
+        assert alloc.live_bytes == 0
+
+    def test_heap_bytes_grows_monotonically(self):
+        alloc = Allocator()
+        alloc.malloc(64)
+        first = alloc.heap_bytes
+        addr = alloc.malloc(64)
+        assert alloc.heap_bytes > first
+        alloc.free(addr)
+        grown = alloc.heap_bytes
+        alloc.malloc(64)  # recycled, no new heap
+        assert alloc.heap_bytes == grown
+
+
+@given(st.lists(st.tuples(st.booleans(),
+                          st.integers(min_value=1, max_value=300)),
+                max_size=120))
+def test_allocator_model_consistency(ops):
+    """Random malloc/free sequences keep accounting consistent and never
+    hand out overlapping live payloads (checked at size-class level)."""
+    alloc = Allocator()
+    live: list[int] = []
+    for do_free, size in ops:
+        if do_free and live:
+            alloc.free(live.pop())
+        else:
+            addr = alloc.malloc(size)
+            assert addr not in live
+            live.append(addr)
+    assert alloc.live_allocations == len(live)
+    assert alloc.allocations == alloc.frees + len(live)

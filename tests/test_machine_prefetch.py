@@ -1,0 +1,105 @@
+"""Unit tests for the optional next-line prefetcher."""
+
+import random
+
+import pytest
+
+from repro.machine.configs import CORE2
+from repro.machine.machine import Machine
+from repro.machine.prefetch import NextLinePrefetcher
+
+
+class TestPolicy:
+    def test_rejects_bad_degree(self):
+        with pytest.raises(ValueError):
+            NextLinePrefetcher(degree=0)
+
+    def test_isolated_miss_prefetches_nothing(self):
+        pf = NextLinePrefetcher()
+        assert pf.on_miss(100) == []
+        assert pf.issued == 0
+
+    def test_stream_detected_after_two_misses(self):
+        pf = NextLinePrefetcher(degree=2)
+        pf.on_miss(100)
+        assert pf.on_miss(101) == [102, 103]
+        assert pf.issued == 2
+
+    def test_accuracy_tracking(self):
+        pf = NextLinePrefetcher(degree=1)
+        pf.on_miss(5)
+        pf.on_miss(6)  # prefetches 7
+        pf.on_hit(7)
+        assert pf.useful == 1
+        assert pf.accuracy == 1.0
+        pf.on_miss(50)
+        pf.on_miss(51)  # prefetches 52, never used
+        assert pf.accuracy == 0.5
+
+    def test_history_bounded(self):
+        pf = NextLinePrefetcher(history_size=4)
+        for line in range(100, 120, 3):  # strided, never sequential
+            pf.on_miss(line)
+        assert len(pf._recent_misses) <= 4
+
+    def test_reset(self):
+        pf = NextLinePrefetcher()
+        pf.on_miss(1)
+        pf.on_miss(2)
+        pf.reset()
+        assert pf.issued == 0
+        assert pf.accuracy == 0.0
+        assert pf.on_miss(3) == []
+
+
+class TestMachineIntegration:
+    def _scan_cycles(self, prefetcher):
+        machine = Machine(CORE2)
+        if prefetcher is not None:
+            machine.attach_prefetcher(prefetcher)
+        base = machine.allocator.malloc(64 * 256)
+        for _ in range(3):
+            for offset in range(0, 64 * 256, 64):
+                machine.access(base + offset, 8)
+        return machine
+
+    def test_prefetching_reduces_sequential_misses(self):
+        without = self._scan_cycles(None)
+        with_pf = self._scan_cycles(NextLinePrefetcher(degree=2))
+        assert with_pf.l1.misses < without.l1.misses
+        assert with_pf.cycles < without.cycles
+
+    def test_stream_accuracy_is_high(self):
+        machine = self._scan_cycles(NextLinePrefetcher(degree=2))
+        assert machine.prefetcher.accuracy > 0.8
+
+    def test_random_access_mostly_unaffected(self):
+        def run(prefetcher):
+            machine = Machine(CORE2)
+            if prefetcher:
+                machine.attach_prefetcher(NextLinePrefetcher())
+            rng = random.Random(0)
+            base = machine.allocator.malloc(64 * 512)
+            for _ in range(2000):
+                machine.access(base + rng.randrange(512) * 64, 8)
+            return machine.l1.misses
+
+        assert abs(run(True) - run(False)) < run(False) * 0.25
+
+    def test_default_machine_has_no_prefetcher(self):
+        assert Machine(CORE2).prefetcher is None
+
+    def test_functional_behaviour_unchanged(self):
+        """Prefetching changes timing, never contents/correctness."""
+        from repro.containers.registry import DSKind, make_container
+        outputs = []
+        for use_pf in (False, True):
+            machine = Machine(CORE2)
+            if use_pf:
+                machine.attach_prefetcher(NextLinePrefetcher())
+            container = make_container(DSKind.VECTOR, machine, 8)
+            for value in range(100):
+                container.push_back(value)
+            container.erase(50)
+            outputs.append(container.to_list())
+        assert outputs[0] == outputs[1]

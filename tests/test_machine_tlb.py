@@ -1,0 +1,63 @@
+"""Unit tests for the TLB model."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.machine.tlb import TLB
+
+
+class TestTLB:
+    def test_requires_positive_entries(self):
+        with pytest.raises(ValueError):
+            TLB(0)
+
+    def test_requires_pow2_pages(self):
+        with pytest.raises(ValueError):
+            TLB(4, page_bytes=3000)
+
+    def test_miss_then_hit(self):
+        tlb = TLB(4)
+        assert tlb.access(7) is False
+        assert tlb.access(7) is True
+        assert tlb.misses == 1
+        assert tlb.accesses == 2
+
+    def test_lru_eviction(self):
+        tlb = TLB(2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(3)  # evicts 1
+        assert tlb.access(2) is True
+        assert tlb.access(1) is False
+
+    def test_hit_refreshes_lru(self):
+        tlb = TLB(2)
+        tlb.access(1)
+        tlb.access(2)
+        tlb.access(1)
+        tlb.access(3)  # evicts 2
+        assert tlb.access(1) is True
+        assert tlb.access(2) is False
+
+    def test_flush(self):
+        tlb = TLB(4)
+        tlb.access(1)
+        tlb.flush()
+        assert tlb.access(1) is False
+
+    def test_miss_rate(self):
+        tlb = TLB(4)
+        assert tlb.miss_rate == 0.0
+        tlb.access(1)
+        tlb.access(1)
+        assert tlb.miss_rate == pytest.approx(0.5)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=10), max_size=100))
+def test_single_entry_tlb_hits_only_on_repeats(pages):
+    tlb = TLB(1)
+    previous = None
+    for page in pages:
+        assert tlb.access(page) == (page == previous)
+        previous = page

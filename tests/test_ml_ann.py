@@ -1,0 +1,120 @@
+"""Unit tests for the from-scratch neural network."""
+
+import numpy as np
+import pytest
+
+from repro.ml.ann import NeuralNetwork, _one_hot, _softmax
+
+
+class TestConstruction:
+    def test_requires_hidden_layer(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork([4, 2])
+
+    def test_rejects_non_positive_sizes(self):
+        with pytest.raises(ValueError):
+            NeuralNetwork([4, 0, 2])
+
+    def test_weight_shapes(self):
+        net = NeuralNetwork([5, 7, 3])
+        assert net.weights[0].shape == (5, 7)
+        assert net.weights[1].shape == (7, 3)
+        assert net.biases[0].shape == (7,)
+        assert net.n_classes == 3
+
+    def test_seeded_initialisation_is_deterministic(self):
+        a = NeuralNetwork([4, 6, 2], seed=3)
+        b = NeuralNetwork([4, 6, 2], seed=3)
+        assert all(np.array_equal(x, y)
+                   for x, y in zip(a.weights, b.weights))
+
+
+class TestNumerics:
+    def test_softmax_rows_sum_to_one(self):
+        z = np.array([[1.0, 2.0, 3.0], [-5.0, 0.0, 5.0]])
+        probs = _softmax(z)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+        assert (probs > 0).all()
+
+    def test_softmax_is_shift_invariant_and_stable(self):
+        z = np.array([[1000.0, 1001.0]])
+        probs = _softmax(z)
+        assert np.isfinite(probs).all()
+        assert probs[0, 1] > probs[0, 0]
+
+    def test_one_hot(self):
+        out = _one_hot(np.array([0, 2, 1]), 3)
+        assert out.tolist() == [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+
+    def test_gradient_check(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(12, 5))
+        y = rng.integers(0, 3, size=12)
+        net = NeuralNetwork([5, 8, 3], seed=1)
+        assert net.numerical_gradient_check(X, y) < 1e-5
+
+    def test_gradient_check_two_hidden_layers(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(10, 4))
+        y = rng.integers(0, 2, size=10)
+        net = NeuralNetwork([4, 6, 5, 2], seed=2)
+        assert net.numerical_gradient_check(X, y) < 1e-5
+
+
+class TestTraining:
+    def test_learns_xor(self):
+        X = np.array([[0, 0], [0, 1], [1, 0], [1, 1]] * 25,
+                     dtype=np.float64)
+        y = np.array([0, 1, 1, 0] * 25)
+        net = NeuralNetwork([2, 8, 2], learning_rate=0.1, epochs=400,
+                            patience=None, seed=0)
+        net.fit(X, y)
+        assert (net.predict(X) == y).mean() == 1.0
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 4))
+        y = (X[:, 0] + X[:, 1] > 0).astype(int)
+        net = NeuralNetwork([4, 8, 2], epochs=50, patience=None, seed=0)
+        net.fit(X, y)
+        assert net.loss_history_[-1] < net.loss_history_[0]
+
+    def test_early_stopping_restores_best(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(150, 4))
+        y = (X[:, 0] > 0).astype(int)
+        net = NeuralNetwork([4, 6, 2], epochs=500, patience=5, seed=0)
+        net.fit(X[:100], y[:100], validation=(X[100:], y[100:]))
+        assert len(net.loss_history_) < 500  # stopped early
+        assert (net.predict(X[100:]) == y[100:]).mean() > 0.8
+
+    def test_rejects_shape_mismatch(self):
+        net = NeuralNetwork([4, 6, 2])
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((10, 3)), np.zeros(10, dtype=int))
+
+    def test_rejects_out_of_range_labels(self):
+        net = NeuralNetwork([4, 6, 2])
+        with pytest.raises(ValueError):
+            net.fit(np.zeros((4, 4)), np.array([0, 1, 2, 0]))
+
+
+class TestInference:
+    def test_predict_proba_shape_and_sum(self):
+        net = NeuralNetwork([3, 5, 4], seed=0)
+        probs = net.predict_proba(np.zeros((7, 3)))
+        assert probs.shape == (7, 4)
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_single_sample_promoted(self):
+        net = NeuralNetwork([3, 5, 2], seed=0)
+        probs = net.predict_proba(np.zeros(3))
+        assert probs.shape == (1, 2)
+
+    def test_state_roundtrip(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(5, 3))
+        net = NeuralNetwork([3, 6, 2], seed=9)
+        restored = NeuralNetwork.from_state(net.state())
+        assert np.allclose(net.predict_proba(X),
+                           restored.predict_proba(X))

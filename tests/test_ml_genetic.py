@@ -1,0 +1,88 @@
+"""Unit tests for the GA feature selector."""
+
+import numpy as np
+import pytest
+
+from repro.ml.genetic import GAResult, GeneticFeatureSelector
+
+NAMES = ("a", "b", "c", "d", "e", "f")
+
+
+def make_selector(**kwargs):
+    defaults = dict(n_features=6, feature_names=NAMES, population=10,
+                    generations=8, seed=0)
+    defaults.update(kwargs)
+    return GeneticFeatureSelector(**defaults)
+
+
+class TestConstruction:
+    def test_rejects_name_mismatch(self):
+        with pytest.raises(ValueError):
+            GeneticFeatureSelector(4, NAMES)
+
+    def test_rejects_tiny_population(self):
+        with pytest.raises(ValueError):
+            make_selector(population=1)
+
+    def test_rejects_full_elitism(self):
+        with pytest.raises(ValueError):
+            make_selector(population=4, elitism=4)
+
+
+class TestEvolution:
+    def test_finds_informative_features(self):
+        """Fitness rewards weight on features 0 and 1 only; the GA must
+        rank them above the noise features."""
+        def fitness(weights):
+            signal = weights[0] + weights[1]
+            noise = weights[2:].sum()
+            return signal - 0.5 * noise
+
+        result = make_selector(generations=25, population=16).run(fitness)
+        top_two = set(result.top_features(2))
+        assert top_two == {"a", "b"}
+
+    def test_history_is_monotone_with_elitism(self):
+        def fitness(weights):
+            return float(weights.sum())
+
+        result = make_selector().run(fitness)
+        assert result.history == sorted(result.history)
+        assert len(result.history) == 9  # initial + 8 generations
+
+    def test_weights_stay_in_unit_interval(self):
+        def fitness(weights):
+            return float(-np.abs(weights - 0.5).sum())
+
+        result = make_selector(mutation_rate=0.9,
+                               mutation_sigma=2.0).run(fitness)
+        assert (result.weights >= 0.0).all()
+        assert (result.weights <= 1.0).all()
+
+    def test_deterministic_given_seed(self):
+        def fitness(weights):
+            return float(weights[0] - weights[3])
+
+        a = make_selector(seed=5).run(fitness)
+        b = make_selector(seed=5).run(fitness)
+        assert np.allclose(a.weights, b.weights)
+        assert a.fitness == b.fitness
+
+    def test_all_ones_seeded_in_population(self):
+        """The 'use everything' chromosome is always evaluated, so the GA
+        can never do worse than no selection."""
+        def fitness(weights):
+            return 1.0 if np.allclose(weights, 1.0) else 0.0
+
+        result = make_selector(generations=0).run(fitness)
+        assert result.fitness == 1.0
+
+
+class TestGAResult:
+    def test_ranked_features_sorted(self):
+        result = GAResult(weights=np.array([0.1, 0.9, 0.5]),
+                          fitness=1.0, history=[],
+                          feature_names=("x", "y", "z"))
+        assert [name for name, _ in result.ranked_features()] \
+            == ["y", "z", "x"]
+        assert result.top_features(1) == ["y"]

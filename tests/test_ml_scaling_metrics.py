@@ -1,0 +1,88 @@
+"""Unit tests for the scaler and metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import accuracy, confusion_matrix, per_class_accuracy
+from repro.ml.scaling import StandardScaler
+
+
+class TestScaler:
+    def test_standardises(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(200, 4))
+        scaled = StandardScaler().fit_transform(X)
+        assert np.allclose(scaled.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(scaled.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_column_passthrough(self):
+        X = np.column_stack([np.ones(10), np.arange(10.0)])
+        scaled = StandardScaler().fit_transform(X)
+        assert np.isfinite(scaled).all()
+        assert np.allclose(scaled[:, 0], 0.0)
+
+    def test_inverse_transform_roundtrip(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 3)) * 7 + 2
+        scaler = StandardScaler().fit(X)
+        assert np.allclose(scaler.inverse_transform(scaler.transform(X)), X)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            StandardScaler().transform(np.zeros((2, 2)))
+        with pytest.raises(RuntimeError):
+            StandardScaler().state()
+
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros(5))
+        with pytest.raises(ValueError):
+            StandardScaler().fit(np.zeros((0, 3)))
+
+    def test_state_roundtrip(self):
+        X = np.random.default_rng(2).normal(size=(20, 3))
+        scaler = StandardScaler().fit(X)
+        restored = StandardScaler.from_state(scaler.state())
+        assert np.allclose(scaler.transform(X), restored.transform(X))
+
+    @given(arrays(np.float64, (10, 3),
+                  elements=st.floats(-1e6, 1e6)))
+    def test_transform_is_affine(self, X):
+        scaler = StandardScaler().fit(X)
+        a = scaler.transform(X[:5])
+        b = scaler.transform(X[5:])
+        both = scaler.transform(X)
+        assert np.allclose(np.vstack([a, b]), both)
+
+
+class TestMetrics:
+    def test_accuracy(self):
+        assert accuracy(np.array([1, 2, 3]), np.array([1, 0, 3])) \
+            == pytest.approx(2 / 3)
+
+    def test_accuracy_validates(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([1]), np.array([1, 2]))
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+    def test_confusion_matrix(self):
+        matrix = confusion_matrix(np.array([0, 0, 1, 1]),
+                                  np.array([0, 1, 1, 1]), 2)
+        assert matrix.tolist() == [[1, 1], [0, 2]]
+        assert matrix.sum() == 4
+
+    def test_per_class_accuracy(self):
+        per = per_class_accuracy(np.array([0, 0, 1, 1, 2]),
+                                 np.array([0, 1, 1, 1, 0]), 3)
+        assert per[0] == pytest.approx(0.5)
+        assert per[1] == pytest.approx(1.0)
+        assert per[2] == pytest.approx(0.0)
+
+    def test_per_class_nan_for_absent(self):
+        per = per_class_accuracy(np.array([0]), np.array([0]), 2)
+        assert per[0] == 1.0
+        assert np.isnan(per[1])

@@ -1,0 +1,146 @@
+"""Unit tests for BrainyModel / BrainySuite."""
+
+import numpy as np
+import pytest
+
+from repro.containers.registry import DSKind, MODEL_GROUPS
+from repro.instrumentation.features import FEATURE_NAMES, num_features
+from repro.models.brainy import BrainyModel, BrainySuite, _balanced_indices
+from repro.training.dataset import TrainingSet
+
+
+def synthetic_training_set(group_name="vector_oo", n=120, seed=0,
+                           classes=None):
+    """A separable synthetic set: class = argmax over a few features."""
+    group = MODEL_GROUPS[group_name]
+    classes = classes or group.classes
+    rng = np.random.default_rng(seed)
+    ts = TrainingSet(group_name=group_name, machine_name="core2",
+                     classes=tuple(classes))
+    for i in range(n):
+        x = rng.normal(size=num_features())
+        label = int(np.argmax(x[:len(classes)]))
+        ts.add(x, classes[label], seed=i)
+    return ts
+
+
+class TestTraining:
+    def test_learns_separable_data(self):
+        ts = synthetic_training_set(n=300)
+        model = BrainyModel.train(ts, epochs=150, seed=1)
+        holdout = synthetic_training_set(n=80, seed=99)
+        assert model.accuracy_on(holdout) > 0.7
+
+    def test_rejects_tiny_sets(self):
+        ts = synthetic_training_set(n=2)
+        with pytest.raises(ValueError):
+            BrainyModel.train(ts)
+
+    def test_feature_mask_zeroes_others(self):
+        ts = synthetic_training_set(n=40)
+        model = BrainyModel.train(
+            ts, epochs=5, feature_mask=["l1_miss_rate", "find_frac"]
+        )
+        kept = {FEATURE_NAMES.index("l1_miss_rate"),
+                FEATURE_NAMES.index("find_frac")}
+        for i, weight in enumerate(model.feature_weights):
+            assert (weight != 0.0) == (i in kept)
+
+    def test_rejects_bad_weight_length(self):
+        ts = synthetic_training_set(n=40)
+        with pytest.raises(ValueError):
+            BrainyModel.train(ts, feature_weights=np.ones(3))
+
+    def test_balanced_indices_equalise(self):
+        y = np.array([0] * 10 + [1] * 2)
+        idx = _balanced_indices(y, np.random.default_rng(0))
+        _, counts = np.unique(y[idx], return_counts=True)
+        assert counts[0] == counts[1] == 10
+
+
+class TestPrediction:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return BrainyModel.train(synthetic_training_set(n=200),
+                                 epochs=100, seed=2)
+
+    def test_predict_kind_in_classes(self, model):
+        x = np.zeros(num_features())
+        assert model.predict_kind(x) in model.classes
+
+    def test_legal_mask_restricts(self, model):
+        x = np.random.default_rng(1).normal(size=num_features())
+        legal = (DSKind.SET, DSKind.AVL_SET)
+        assert model.predict_kind(x, legal=legal) in legal
+
+    def test_legal_mask_rejects_unknown(self, model):
+        x = np.zeros(num_features())
+        with pytest.raises(ValueError):
+            model.predict_kind(x, legal=[DSKind.MAP])  # not in vector_oo
+
+    def test_empty_legal_mask_rejected(self, model):
+        x = np.zeros(num_features())
+        with pytest.raises(ValueError):
+            model.predict_kind(x, legal=[])
+
+    def test_proba_shape(self, model):
+        probs = model.predict_proba(np.zeros(num_features()))
+        assert probs.shape == (1, len(model.classes))
+        assert np.allclose(probs.sum(), 1.0)
+
+    def test_accuracy_on_validates_classes(self, model):
+        other = synthetic_training_set("map", n=10)
+        with pytest.raises(ValueError):
+            model.accuracy_on(other)
+
+
+class TestPersistence:
+    def test_model_state_roundtrip(self):
+        ts = synthetic_training_set(n=60)
+        model = BrainyModel.train(ts, epochs=20, seed=3)
+        restored = BrainyModel.from_state(model.state())
+        x = np.random.default_rng(2).normal(size=(5, num_features()))
+        for row in x:
+            assert model.predict_kind(row) == restored.predict_kind(row)
+
+    def test_suite_save_load(self, tmp_path):
+        suite = BrainySuite(machine_name="core2")
+        for group_name in ("vector_oo", "set"):
+            ts = synthetic_training_set(group_name, n=60)
+            suite.models[group_name] = BrainyModel.train(ts, epochs=10)
+        suite.save(tmp_path / "suite")
+        loaded = BrainySuite.load(tmp_path / "suite")
+        assert loaded.machine_name == "core2"
+        assert set(loaded.models) == {"vector_oo", "set"}
+        x = np.zeros(num_features())
+        assert (loaded["set"].predict_kind(x)
+                == suite["set"].predict_kind(x))
+
+
+class TestSuiteRouting:
+    @pytest.fixture(scope="class")
+    def suite(self):
+        suite = BrainySuite(machine_name="core2")
+        for group_name, group in MODEL_GROUPS.items():
+            ts = synthetic_training_set(group_name, n=60,
+                                        classes=group.classes)
+            suite.models[group_name] = BrainyModel.train(ts, epochs=10)
+        return suite
+
+    def test_routes_to_group_models(self, suite):
+        x = np.zeros(num_features())
+        predicted = suite.predict(DSKind.VECTOR, True, x)
+        assert predicted in MODEL_GROUPS["vector_oo"].classes
+
+    def test_order_aware_set_restricted_to_avl(self, suite):
+        """An order-aware set usage may only stay set or become avl_set,
+        even though the set model itself knows five classes."""
+        rng = np.random.default_rng(3)
+        for _ in range(10):
+            predicted = suite.predict(DSKind.SET, False,
+                                      rng.normal(size=num_features()))
+            assert predicted in (DSKind.SET, DSKind.AVL_SET)
+
+    def test_contains_and_getitem(self, suite):
+        assert "map" in suite
+        assert suite["map"].group_name == "map"

@@ -1,0 +1,71 @@
+"""Unit tests for the suite/dataset cache layer."""
+
+import pytest
+
+from repro.appgen.config import GeneratorConfig
+from repro.machine.configs import CORE2
+from repro.models import cache as cache_mod
+from repro.models.cache import (
+    SCALES,
+    ScaleParams,
+    current_scale,
+    get_or_build_dataset,
+    get_or_train_suite,
+    suite_path,
+)
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setattr(cache_mod, "CACHE_DIR", tmp_path)
+    return tmp_path
+
+
+TINY = ScaleParams("unit", per_class_target=3, max_seeds=60,
+                   validation_apps=5, hidden=(8,))
+
+
+class TestScales:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert current_scale().name == "small"
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert current_scale().name == "tiny"
+
+    def test_unknown_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(ValueError):
+            current_scale()
+
+    def test_tiers_ordered_by_budget(self):
+        ordered = [SCALES[name].per_class_target
+                   for name in ("tiny", "small", "default", "large")]
+        assert ordered == sorted(ordered)
+
+
+class TestSuiteCache:
+    def test_train_then_load(self, tmp_cache):
+        config = GeneratorConfig.small()
+        suite = get_or_train_suite(CORE2, TINY, config=config)
+        assert (suite_path(CORE2, TINY) / "suite.json").exists()
+        loaded = get_or_train_suite(CORE2, TINY, config=config)
+        assert set(loaded.models) == set(suite.models)
+
+    def test_force_retrains(self, tmp_cache):
+        config = GeneratorConfig.small()
+        get_or_train_suite(CORE2, TINY, config=config)
+        marker = suite_path(CORE2, TINY) / "suite.json"
+        marker_mtime = marker.stat().st_mtime_ns
+        get_or_train_suite(CORE2, TINY, config=config, force=True)
+        assert marker.stat().st_mtime_ns >= marker_mtime
+
+
+class TestDatasetCache:
+    def test_build_then_load(self, tmp_cache):
+        config = GeneratorConfig.small()
+        first = get_or_build_dataset("map", CORE2, TINY, config=config)
+        second = get_or_build_dataset("map", CORE2, TINY, config=config)
+        assert len(first) == len(second)
+        assert first.seeds == second.seeds

@@ -1,0 +1,84 @@
+"""Unit tests for the validation protocol module."""
+
+import numpy as np
+import pytest
+
+from repro.appgen.config import GeneratorConfig
+from repro.containers.registry import DSKind, MODEL_GROUPS
+from repro.machine.configs import CORE2
+from repro.models.validation import ValidationResult, validate_model
+
+
+class _OracleModel:
+    """A 'model' that answers from a fixed lookup (for protocol tests)."""
+
+    def __init__(self, answer: DSKind) -> None:
+        self.answer = answer
+        self.calls = 0
+
+    def predict_kind(self, features) -> DSKind:
+        self.calls += 1
+        return self.answer
+
+
+class TestProtocol:
+    def test_counts_are_consistent(self):
+        group = MODEL_GROUPS["map"]
+        model = _OracleModel(DSKind.HASH_MAP)
+        outcome = validate_model(model, group, GeneratorConfig.small(),
+                                 CORE2, n_apps=15, seed_base=77_000)
+        assert outcome.total + outcome.skipped == 15
+        assert 0 <= outcome.correct <= outcome.total
+        assert model.calls == outcome.total
+        assert len(outcome.y_true) == outcome.total
+        assert len(outcome.y_pred) == outcome.total
+
+    def test_constant_model_accuracy_equals_class_share(self):
+        group = MODEL_GROUPS["map"]
+        outcome = validate_model(_OracleModel(DSKind.HASH_MAP), group,
+                                 GeneratorConfig.small(), CORE2,
+                                 n_apps=20, seed_base=78_000)
+        hash_label = group.classes.index(DSKind.HASH_MAP)
+        share = outcome.y_true.count(hash_label) / max(1, outcome.total)
+        assert outcome.accuracy == pytest.approx(share)
+
+    def test_zero_margin_skips_nothing(self):
+        group = MODEL_GROUPS["map"]
+        outcome = validate_model(_OracleModel(DSKind.MAP), group,
+                                 GeneratorConfig.small(), CORE2,
+                                 n_apps=8, seed_base=79_000, margin=0.0)
+        assert outcome.skipped == 0
+        assert outcome.total == 8
+
+
+class TestValidationResult:
+    def _result(self):
+        result = ValidationResult(
+            group_name="map", machine_name="core2",
+            correct=2, total=3, skipped=1,
+            classes=MODEL_GROUPS["map"].classes,
+        )
+        result.y_true = [0, 1, 2]
+        result.y_pred = [0, 1, 1]
+        return result
+
+    def test_accuracy(self):
+        assert self._result().accuracy == pytest.approx(2 / 3)
+
+    def test_accuracy_nan_when_empty(self):
+        empty = ValidationResult("map", "core2", 0, 0, 5,
+                                 MODEL_GROUPS["map"].classes)
+        assert np.isnan(empty.accuracy)
+
+    def test_confusion_matrix(self):
+        matrix = self._result().confusion()
+        assert matrix.shape == (3, 3)
+        assert matrix[0, 0] == 1
+        assert matrix[2, 1] == 1
+        assert matrix.sum() == 3
+
+    def test_format_confusion_mentions_classes(self):
+        text = self._result().format_confusion()
+        assert "map" in text
+        assert "hash_map" in text
+        assert len(text.splitlines()) == 4

@@ -1,0 +1,78 @@
+"""Public-API surface tests: everything advertised imports and works."""
+
+import importlib
+
+import pytest
+
+PACKAGES = (
+    "repro",
+    "repro.machine",
+    "repro.containers",
+    "repro.instrumentation",
+    "repro.appgen",
+    "repro.training",
+    "repro.ml",
+    "repro.models",
+    "repro.core",
+    "repro.apps",
+    "repro.decompiler",
+    "repro.corpus",
+    "repro.cli",
+    "repro.reporting",
+)
+
+
+class TestImports:
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_package_imports(self, name):
+        importlib.import_module(name)
+
+    @pytest.mark.parametrize("name", PACKAGES)
+    def test_all_entries_resolve(self, name):
+        module = importlib.import_module(name)
+        for entry in getattr(module, "__all__", ()):
+            assert hasattr(module, entry), f"{name}.{entry} missing"
+
+    def test_version(self):
+        import repro
+        assert repro.__version__.count(".") == 2
+
+
+class TestTopLevelWorkflow:
+    """The README's library snippet, end-to-end with tiny budgets."""
+
+    def test_readme_flow(self, tmp_path, monkeypatch):
+        from repro import (
+            BrainyAdvisor,
+            CORE2,
+            DSKind,
+            GeneratorConfig,
+            Machine,
+            make_container,
+        )
+        from repro.models.brainy import BrainySuite
+        from repro.containers.registry import MODEL_GROUPS
+
+        # Containers on a machine.
+        machine = Machine(CORE2)
+        container = make_container(DSKind.SET, machine, elem_size=8)
+        container.insert(3)
+        assert container.find(3)
+        assert machine.cycles > 0
+
+        # A (tiny) trained suite driving the advisor on a case study.
+        suite = BrainySuite.train(
+            CORE2, GeneratorConfig.small(),
+            groups=[MODEL_GROUPS["set"]],
+            per_class_target=3, max_seeds=40,
+        )
+        from repro.apps import Relipmoc
+        report = BrainyAdvisor(suite).advise_app(Relipmoc("small"), CORE2)
+        assert "Brainy report" in report.format()
+
+    def test_dskind_is_stable_public_vocabulary(self):
+        from repro import DSKind
+        assert {k.value for k in DSKind} >= {
+            "vector", "list", "deque", "set", "map",
+            "avl_set", "avl_map", "hash_set", "hash_map",
+        }

@@ -1,0 +1,78 @@
+"""Robustness tests: corrupt or missing persisted artefacts fail loudly."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.containers.registry import MODEL_GROUPS
+from repro.instrumentation.features import num_features
+from repro.models.brainy import BrainyModel, BrainySuite
+from repro.training.dataset import TrainingSet
+
+
+def tiny_training_set(n=30):
+    group = MODEL_GROUPS["map"]
+    rng = np.random.default_rng(0)
+    ts = TrainingSet(group_name="map", machine_name="core2",
+                     classes=group.classes)
+    for i in range(n):
+        x = rng.normal(size=num_features())
+        ts.add(x, group.classes[i % 3], seed=i)
+    return ts
+
+
+class TestSuitePersistenceRobustness:
+    def test_load_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            BrainySuite.load(tmp_path / "nothing-here")
+
+    def test_load_missing_model_file(self, tmp_path):
+        suite_dir = tmp_path / "suite"
+        suite_dir.mkdir()
+        (suite_dir / "suite.json").write_text(
+            json.dumps({"machine_name": "core2", "groups": ["map"]})
+        )
+        with pytest.raises(FileNotFoundError):
+            BrainySuite.load(suite_dir)
+
+    def test_model_schema_mismatch_rejected(self):
+        model = BrainyModel.train(tiny_training_set(), epochs=5)
+        state = model.state()
+        state["feature_names"] = ["something", "else"]
+        with pytest.raises(ValueError, match="feature schema"):
+            BrainyModel.from_state(state)
+
+    def test_roundtrip_through_disk(self, tmp_path):
+        suite = BrainySuite(machine_name="core2")
+        suite.models["map"] = BrainyModel.train(tiny_training_set(),
+                                                epochs=5)
+        suite.save(tmp_path / "s")
+        loaded = BrainySuite.load(tmp_path / "s")
+        x = np.zeros(num_features())
+        assert loaded["map"].predict_kind(x) \
+            == suite["map"].predict_kind(x)
+
+
+class TestTrainingSetRobustness:
+    def test_load_rejects_foreign_schema(self, tmp_path):
+        ts = tiny_training_set(5)
+        path = tmp_path / "ts.json"
+        ts.save(path)
+        payload = json.loads(path.read_text())
+        payload["feature_names"] = ["x"]
+        path.write_text(json.dumps(payload))
+        with pytest.raises(ValueError, match="feature schema"):
+            TrainingSet.load(path)
+
+    def test_add_rejects_foreign_class(self):
+        ts = tiny_training_set(2)
+        from repro.containers.registry import DSKind
+        with pytest.raises(ValueError):
+            ts.add(np.zeros(num_features()), DSKind.DEQUE, seed=99)
+
+    def test_label_of_unknown_kind(self):
+        ts = tiny_training_set(2)
+        from repro.containers.registry import DSKind
+        with pytest.raises(ValueError):
+            ts.label_of(DSKind.LIST)
