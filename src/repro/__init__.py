@@ -26,12 +26,20 @@ from repro.core import BrainyAdvisor, Report, Suggestion
 from repro.instrumentation import FEATURE_NAMES, ProfiledContainer
 from repro.machine import ATOM, CORE2, Machine, MachineConfig, PerfCounters
 from repro.models import BrainyModel, BrainySuite, PerflintModel, oracle_select
+from repro.runtime import (
+    ArtifactError,
+    FaultInjector,
+    FaultPlan,
+    RetryPolicy,
+    TrainingInterrupted,
+)
 from repro.training import TrainingSet, run_phase1, run_phase2
 
 __version__ = "1.0.0"
 
 __all__ = [
     "ATOM",
+    "ArtifactError",
     "BrainyAdvisor",
     "BrainyModel",
     "BrainySuite",
@@ -39,6 +47,8 @@ __all__ = [
     "Container",
     "DSKind",
     "FEATURE_NAMES",
+    "FaultInjector",
+    "FaultPlan",
     "GeneratorConfig",
     "Machine",
     "MachineConfig",
@@ -46,8 +56,10 @@ __all__ = [
     "PerflintModel",
     "ProfiledContainer",
     "Report",
+    "RetryPolicy",
     "Suggestion",
     "SyntheticApp",
+    "TrainingInterrupted",
     "TrainingSet",
     "generate_app",
     "make_container",

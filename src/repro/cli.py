@@ -9,6 +9,10 @@ Five subcommands mirror the tool's lifecycle:
 * ``repro validate`` — the Figure 9 protocol for one model group
 
 Run ``python -m repro.cli --help`` (or any subcommand's ``--help``).
+
+Exit codes: 0 success, 2 usage error (unknown machine/group/scale/input),
+130 interrupted (Ctrl-C; training flushes a checkpoint first and
+``repro train --resume`` continues where it left off), 1 anything else.
 """
 
 from __future__ import annotations
@@ -16,6 +20,8 @@ from __future__ import annotations
 import argparse
 import sys
 from pathlib import Path
+
+from repro.runtime.checkpoint import TrainingInterrupted
 
 from repro.appgen.config import GeneratorConfig
 from repro.appgen.configfile import load_config
@@ -46,8 +52,36 @@ _APPS = {
 }
 
 
+class CLIError(Exception):
+    """A usage error reported with a friendly message and exit code 2."""
+
+
 def _machine(name: str) -> MachineConfig:
-    return _MACHINES[name]
+    try:
+        return _MACHINES[name]
+    except KeyError:
+        raise CLIError(
+            f"unknown machine {name!r}; choose from {sorted(_MACHINES)}"
+        ) from None
+
+
+def _model_group(name: str):
+    try:
+        return MODEL_GROUPS[name]
+    except KeyError:
+        raise CLIError(
+            f"unknown model group {name!r}; "
+            f"choose from {sorted(MODEL_GROUPS)}"
+        ) from None
+
+
+def _scale(name: str):
+    try:
+        return SCALES[name]
+    except KeyError:
+        raise CLIError(
+            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
+        ) from None
 
 
 def _load_generator_config(path: str | None) -> GeneratorConfig:
@@ -58,11 +92,15 @@ def _load_generator_config(path: str | None) -> GeneratorConfig:
 
 def cmd_train(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
-    scale = SCALES[args.scale]
+    scale = _scale(args.scale)
     config = _load_generator_config(args.config)
+    if args.checkpoint_every is not None and args.checkpoint_every <= 0:
+        raise CLIError("--checkpoint-every must be positive")
     print(f"training suite for {machine.name} at scale {scale.name} ...")
     suite = get_or_train_suite(machine, scale, config=config,
-                               force=args.force)
+                               force=args.force,
+                               checkpoint_every=args.checkpoint_every,
+                               resume=args.resume)
     print(f"models: {', '.join(sorted(suite.models))}")
     return 0
 
@@ -75,7 +113,7 @@ def cmd_advise(args: argparse.Namespace) -> int:
         print(f"error: unknown input {input_name!r}; choose from {inputs}",
               file=sys.stderr)
         return 2
-    suite = get_or_train_suite(machine, SCALES[args.scale])
+    suite = get_or_train_suite(machine, _scale(args.scale))
     advisor = BrainyAdvisor(suite)
     report = advisor.advise_app(app_cls(input_name), machine)
     print(report.format())
@@ -93,7 +131,7 @@ def cmd_census(args: argparse.Namespace) -> int:
 
 def cmd_appgen(args: argparse.Namespace) -> int:
     config = _load_generator_config(args.config)
-    group = MODEL_GROUPS[args.group]
+    group = _model_group(args.group)
     machine = _machine(args.machine)
     app = generate_app(args.seed, group, config)
     profile = app.profile
@@ -114,8 +152,8 @@ def cmd_appgen(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
     config = _load_generator_config(args.config)
-    suite = get_or_train_suite(machine, SCALES[args.scale])
-    group = MODEL_GROUPS[args.group]
+    suite = get_or_train_suite(machine, _scale(args.scale))
+    group = _model_group(args.group)
     outcome = validate_model(suite[group.name], group, config, machine,
                              args.apps, seed_base=args.seed_base)
     print(f"{group.name} on {machine.name}: "
@@ -140,6 +178,11 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--config", help="Table 2 configuration file")
     train.add_argument("--force", action="store_true",
                        help="retrain even if cached")
+    train.add_argument("--checkpoint-every", type=int, metavar="N",
+                       help="checkpoint training state every N seeds")
+    train.add_argument("--resume", action="store_true",
+                       help="resume an interrupted training run from "
+                            "its checkpoints")
     train.set_defaults(fn=cmd_train)
 
     advise = sub.add_parser("advise",
@@ -186,7 +229,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except CLIError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TrainingInterrupted as exc:
+        print(f"interrupted: {exc}", file=sys.stderr)
+        print("rerun with --resume to continue from the checkpoint",
+              file=sys.stderr)
+        return 130
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - direct execution

@@ -6,11 +6,21 @@ instance's feature vector to its per-original-DS model, and report which
 instances should become which alternative implementations — restricted to
 the Table 1 legal candidates for that usage (order-aware usages only see
 order-preserving alternates; keyed usages get map-flavoured suggestions).
+
+Graceful degradation: when the suite has no usable model for an
+instance's group (missing or corrupt on disk, loaded leniently), the
+advisor does not raise — it falls back to a Perflint-style asymptotic
+baseline for that instance and flags the downgrade in the report.
 """
 
 from __future__ import annotations
 
+import math
+
+import numpy as np
+
 from repro.apps.base import AppResult, CaseStudyApp, run_case_study
+from repro.containers.base import OpCost
 from repro.containers.registry import (
     DSKind,
     as_map_kind,
@@ -18,6 +28,7 @@ from repro.containers.registry import (
     model_group_for,
 )
 from repro.core.report import Report, Suggestion
+from repro.instrumentation.features import FEATURE_NAMES
 from repro.instrumentation.trace import TraceSet
 from repro.machine.configs import MachineConfig
 from repro.models.brainy import BrainySuite
@@ -27,12 +38,80 @@ _ADVISABLE = frozenset(
     {DSKind.VECTOR, DSKind.LIST, DSKind.SET, DSKind.MAP}
 )
 
+#: Nominal call count used when reconstructing Perflint-style dynamic
+#: statistics from a (scale-invariant) feature vector.
+_NOMINAL_CALLS = 1000
+
+_IDX = {name: i for i, name in enumerate(FEATURE_NAMES)}
+
+
+def _stats_from_features(features: np.ndarray) -> OpCost:
+    """Approximate the original run's :class:`OpCost` from its feature
+    vector, for the asymptotic fallback model.
+
+    The features are normalised (fractions, per-call averages, log
+    sizes), so the reconstruction fixes a nominal call count; the
+    asymptotic comparison only depends on the mix and the size, both of
+    which survive the round trip.
+    """
+    f = np.asarray(features, dtype=np.float64)
+    calls = _NOMINAL_CALLS
+    inserts = int(round(f[_IDX["insert_frac"]] * calls))
+    erases = int(round(f[_IDX["erase_frac"]] * calls))
+    finds = int(round(f[_IDX["find_frac"]] * calls))
+    iterates = int(round(f[_IDX["iterate_frac"]] * calls))
+    push_backs = int(round(f[_IDX["push_back_frac"]] * calls))
+    push_fronts = int(round(f[_IDX["push_front_frac"]] * calls))
+    max_size = int(round(math.expm1(f[_IDX["max_size_log"]])))
+    iterate_cost = int(round(
+        math.expm1(f[_IDX["iterate_cost_avg"]]) * max(1, iterates)
+    ))
+    return OpCost(
+        inserts=inserts,
+        erases=erases,
+        finds=finds,
+        iterates=iterates,
+        iterate_cost=iterate_cost,
+        push_backs=push_backs,
+        push_fronts=push_fronts,
+        max_size=max_size,
+        total_calls=calls,
+        # avg_size = size_sum / total_calls; assume half the peak.
+        size_sum=(max_size // 2) * calls,
+    )
+
 
 class BrainyAdvisor:
     """Suggest container replacements using a trained model suite."""
 
-    def __init__(self, suite: BrainySuite) -> None:
+    def __init__(self, suite: BrainySuite, fallback=None) -> None:
         self.suite = suite
+        #: Perflint-style baseline used when a group's model is absent;
+        #: built lazily with unit coefficients unless injected.
+        self._fallback = fallback
+
+    def _fallback_model(self):
+        if self._fallback is None:
+            from repro.models.perflint import _TERMS, PerflintModel
+
+            self._fallback = PerflintModel(coefficients={
+                kind: np.ones(len(_TERMS)) for kind in DSKind
+            })
+        return self._fallback
+
+    def _baseline_suggest(self, kind: DSKind, features: np.ndarray,
+                          legal: tuple[DSKind, ...]) -> DSKind:
+        """Perflint-baseline suggestion, constrained to ``legal``;
+        identity when Perflint has nothing to say about ``kind``."""
+        from repro.models.perflint import SUPPORTED
+
+        if not SUPPORTED.get(kind):
+            return kind
+        stats = _stats_from_features(features)
+        suggested = self._fallback_model().suggest(kind, stats)
+        if suggested not in legal:
+            return kind
+        return suggested
 
     def advise_trace(self, trace: TraceSet,
                      keyed_contexts: frozenset[str] = frozenset()
@@ -46,9 +125,18 @@ class BrainyAdvisor:
             if record.kind not in _ADVISABLE:
                 continue
             group = model_group_for(record.kind, record.order_oblivious)
-            model = self.suite[group.name]
             legal = candidates_for(record.kind, record.order_oblivious)
-            suggested = model.predict_kind(record.features, legal=legal)
+            degraded = (group.name not in self.suite.models
+                        or group.name in self.suite.degraded)
+            if degraded:
+                suggested = self._baseline_suggest(
+                    record.kind, record.features, legal
+                )
+                report.degraded_groups.add(group.name)
+            else:
+                model = self.suite[group.name]
+                suggested = model.predict_kind(record.features,
+                                               legal=legal)
             if keyed:
                 suggested = as_map_kind(suggested)
             report.suggestions.append(
@@ -62,6 +150,7 @@ class BrainyAdvisor:
                     order_oblivious=record.order_oblivious,
                     keyed=keyed,
                     allocated_bytes=record.allocated_bytes,
+                    degraded=degraded,
                 )
             )
         return report

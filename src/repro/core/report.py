@@ -24,6 +24,9 @@ class Suggestion:
     keyed: bool = False
     #: Simulated heap bytes the instance allocated (memory-bloat signal).
     allocated_bytes: int = 0
+    #: True when the ANN model for this instance's group was unavailable
+    #: and the suggestion came from the Perflint baseline instead.
+    degraded: bool = False
 
     @property
     def is_replacement(self) -> bool:
@@ -36,6 +39,9 @@ class Report:
 
     program_cycles: int
     suggestions: list[Suggestion] = field(default_factory=list)
+    #: Model groups that fell back to the Perflint baseline because
+    #: their trained model was missing or corrupt.
+    degraded_groups: set[str] = field(default_factory=set)
 
     def replacements(self) -> dict[str, DSKind]:
         """Context -> suggested kind, for sites worth changing."""
@@ -63,9 +69,17 @@ class Report:
             memory = (f"{s.allocated_bytes // 1024}K"
                       if s.allocated_bytes >= 1024
                       else f"{s.allocated_bytes}B")
+            flag = " (baseline)" if s.degraded else ""
             lines.append(
                 f"{s.context[:40]:40s} {100 * s.relative_time:5.1f}% "
                 f"{memory:>8s} "
                 f"{s.original.value:>9s} {arrow} {s.suggested.value:>9s}"
+                f"{flag}"
+            )
+        if self.degraded_groups:
+            names = ", ".join(sorted(self.degraded_groups))
+            lines.append(
+                f"WARNING: no trained model for group(s) {names}; "
+                "fell back to the Perflint baseline for those instances"
             )
         return "\n".join(lines)

@@ -9,7 +9,6 @@ training run can be reused.
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable
@@ -29,9 +28,19 @@ from repro.machine.configs import CORE2, MachineConfig
 from repro.ml.ann import NeuralNetwork
 from repro.ml.metrics import accuracy
 from repro.ml.scaling import StandardScaler
+from repro.runtime.artifacts import (
+    ArtifactError,
+    read_artifact,
+    write_artifact,
+)
+from repro.runtime.faults import RetryPolicy
 from repro.training.dataset import TrainingSet
 from repro.training.phase1 import run_phase1
 from repro.training.phase2 import run_phase2
+
+SUITE_INDEX_KIND = "suite-index"
+MODEL_ARTIFACT_KIND = "brainy-model"
+SUITE_SCHEMA_VERSION = 2
 
 
 def _balanced_indices(y: np.ndarray, rng: np.random.Generator) -> np.ndarray:
@@ -187,6 +196,9 @@ class BrainySuite:
                  models: dict[str, BrainyModel] | None = None) -> None:
         self.machine_name = machine_name
         self.models: dict[str, BrainyModel] = models or {}
+        #: Groups whose persisted model was missing/corrupt at load time
+        #: (lenient load); the advisor degrades these to the baseline.
+        self.degraded: set[str] = set()
 
     def __contains__(self, group_name: str) -> bool:
         return group_name in self.models
@@ -217,22 +229,61 @@ class BrainySuite:
               max_seeds: int = 1200,
               hidden: tuple[int, ...] = (24,),
               seed_base: int = 0,
-              seed: int = 0) -> "BrainySuite":
-        """End-to-end training: Phase I + Phase II + ANN fit per group."""
+              seed: int = 0,
+              *,
+              checkpoint_dir: str | Path | None = None,
+              checkpoint_every: int | None = None,
+              resume: bool = False,
+              retry_policy: RetryPolicy | None = None,
+              seed_budget_seconds: float | None = None,
+              ) -> "BrainySuite":
+        """End-to-end training: Phase I + Phase II + ANN fit per group.
+
+        With ``checkpoint_dir`` set, each group's Phase I/II writes
+        periodic checkpoints there (``<group>.phase{1,2}.json``); with
+        ``resume=True`` an interrupted run picks up from those files.
+        Completed phases leave ``complete=True`` checkpoints, so resume
+        skips finished work.  Checkpoints are removed once the whole
+        suite trains successfully.
+        """
         config = config or GeneratorConfig()
         groups = list(groups) if groups is not None \
             else list(MODEL_GROUPS.values())
+        checkpoint_dir = (Path(checkpoint_dir)
+                          if checkpoint_dir is not None else None)
         suite = cls(machine_name=machine_config.name)
+        checkpoint_files: list[Path] = []
         for group in groups:
+            p1_path = p2_path = None
+            p1_resume = p2_resume = None
+            if checkpoint_dir is not None:
+                p1_path = checkpoint_dir / f"{group.name}.phase1.json"
+                p2_path = checkpoint_dir / f"{group.name}.phase2.json"
+                checkpoint_files += [p1_path, p2_path]
+                if resume:
+                    p1_resume = p1_path if p1_path.exists() else None
+                    p2_resume = p2_path if p2_path.exists() else None
             phase1 = run_phase1(
                 group, config, machine_config,
                 per_class_target=per_class_target,
                 max_seeds=max_seeds, seed_base=seed_base,
+                resume_from=p1_resume, checkpoint_path=p1_path,
+                checkpoint_every=checkpoint_every,
+                retry_policy=retry_policy,
+                seed_budget_seconds=seed_budget_seconds,
             )
-            training_set = run_phase2(phase1, config, machine_config)
+            training_set = run_phase2(
+                phase1, config, machine_config,
+                resume_from=p2_resume, checkpoint_path=p2_path,
+                checkpoint_every=checkpoint_every,
+                retry_policy=retry_policy,
+                seed_budget_seconds=seed_budget_seconds,
+            )
             suite.models[group.name] = BrainyModel.train(
                 training_set, hidden=hidden, seed=seed,
             )
+        for path in checkpoint_files:
+            path.unlink(missing_ok=True)
         return suite
 
     # -- persistence ---------------------------------------------------------
@@ -240,20 +291,40 @@ class BrainySuite:
     def save(self, directory: str | Path) -> None:
         directory = Path(directory)
         directory.mkdir(parents=True, exist_ok=True)
+        for name, model in self.models.items():
+            write_artifact(directory / f"{name}.json", model.state(),
+                           kind=MODEL_ARTIFACT_KIND,
+                           schema_version=SUITE_SCHEMA_VERSION)
+        # The index goes last: its presence marks a fully-written suite.
         index = {"machine_name": self.machine_name,
                  "groups": sorted(self.models)}
-        (directory / "suite.json").write_text(json.dumps(index))
-        for name, model in self.models.items():
-            (directory / f"{name}.json").write_text(
-                json.dumps(model.state())
-            )
+        write_artifact(directory / "suite.json", index,
+                       kind=SUITE_INDEX_KIND,
+                       schema_version=SUITE_SCHEMA_VERSION)
 
     @classmethod
-    def load(cls, directory: str | Path) -> "BrainySuite":
+    def load(cls, directory: str | Path,
+             lenient: bool = False) -> "BrainySuite":
+        """Load a saved suite.
+
+        With ``lenient=True`` a missing or corrupt per-group model file
+        is skipped instead of raised: the group lands in
+        :attr:`degraded` and the advisor falls back to the Perflint
+        baseline for it.
+        """
         directory = Path(directory)
-        index = json.loads((directory / "suite.json").read_text())
-        models = {}
+        index = read_artifact(directory / "suite.json",
+                              kind=SUITE_INDEX_KIND,
+                              schema_version=SUITE_SCHEMA_VERSION)
+        suite = cls(machine_name=index["machine_name"])
         for name in index["groups"]:
-            state = json.loads((directory / f"{name}.json").read_text())
-            models[name] = BrainyModel.from_state(state)
-        return cls(machine_name=index["machine_name"], models=models)
+            try:
+                state = read_artifact(directory / f"{name}.json",
+                                      kind=MODEL_ARTIFACT_KIND,
+                                      schema_version=SUITE_SCHEMA_VERSION)
+                suite.models[name] = BrainyModel.from_state(state)
+            except (ArtifactError, ValueError, KeyError):
+                if not lenient:
+                    raise
+                suite.degraded.add(name)
+        return suite

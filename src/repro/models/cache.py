@@ -3,25 +3,59 @@
 Install-time training is the paper's intended deployment: train once per
 machine, reuse forever.  :func:`get_or_train_suite` implements exactly
 that for the benchmark harness — the first call trains and saves under
-``.cache/suites``; later calls load instantly.  The ``REPRO_SCALE``
+``<cache>/suites``; later calls load instantly.  The ``REPRO_SCALE``
 environment variable (``tiny`` / ``small`` / ``default`` / ``large``)
 trades training time for model quality across the whole harness.
+
+Cached artifacts are atomic, versioned, and checksummed (see
+:mod:`repro.runtime.artifacts`); a truncated, corrupted, or
+schema-stale cache file is detected on load and rebuilt instead of
+crashing the caller.  Long training runs can checkpoint and resume via
+``checkpoint_every=`` / ``resume=``.
 """
 
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.appgen.config import GeneratorConfig
 from repro.machine.configs import MachineConfig
 from repro.models.brainy import BrainySuite
+from repro.runtime.artifacts import ArtifactError
 
-#: Cache root (package-repo local, safe to delete).
-CACHE_DIR = Path(
-    os.environ.get("REPRO_CACHE_DIR", Path(__file__).parents[3] / ".cache")
-)
+
+def _resolve_cache_dir() -> Path:
+    """Cache root: ``REPRO_CACHE_DIR`` if set, else ``./.cache``.
+
+    A cwd-relative default works for both a source checkout (run from
+    the repo root) and an installed package, where the old
+    ``Path(__file__).parents[3]`` landed outside site-packages in a
+    directory the process may not own.
+    """
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.cwd() / ".cache"
+
+
+#: Cache root (safe to delete; every artifact in it can be rebuilt).
+CACHE_DIR = _resolve_cache_dir()
+
+
+def _ensure_writable(root: Path) -> None:
+    try:
+        root.mkdir(parents=True, exist_ok=True)
+        probe = root / ".write-probe"
+        probe.touch()
+        probe.unlink()
+    except OSError as exc:
+        raise RuntimeError(
+            f"cache directory {root} is not writable ({exc}); set "
+            "REPRO_CACHE_DIR to a writable location"
+        ) from exc
 
 
 @dataclass(frozen=True)
@@ -61,12 +95,25 @@ def suite_path(machine_config: MachineConfig, scale: ScaleParams) -> Path:
     return CACHE_DIR / "suites" / f"{machine_config.name}-{scale.name}"
 
 
+def checkpoint_dir(machine_config: MachineConfig,
+                   scale: ScaleParams) -> Path:
+    return (CACHE_DIR / "checkpoints"
+            / f"{machine_config.name}-{scale.name}")
+
+
+def _warn(message: str) -> None:
+    print(f"repro cache: {message}", file=sys.stderr)
+
+
 def get_or_build_dataset(group_name: str,
                          machine_config: MachineConfig,
                          scale: ScaleParams | None = None,
                          config: GeneratorConfig | None = None,
                          force: bool = False):
-    """Load (or run Phase I+II to build) one group's training set."""
+    """Load (or run Phase I+II to build) one group's training set.
+
+    A corrupt or schema-stale cached dataset is rebuilt, not raised.
+    """
     from repro.containers.registry import MODEL_GROUPS
     from repro.training.dataset import TrainingSet
     from repro.training.phase1 import run_phase1
@@ -76,7 +123,11 @@ def get_or_build_dataset(group_name: str,
     path = (CACHE_DIR / "datasets"
             / f"{machine_config.name}-{scale.name}-{group_name}.json")
     if not force and path.exists():
-        return TrainingSet.load(path)
+        try:
+            return TrainingSet.load(path)
+        except (ArtifactError, ValueError) as exc:
+            _warn(f"unusable cached dataset {path} ({exc}); rebuilding")
+    _ensure_writable(CACHE_DIR)
     config = config or GeneratorConfig()
     group = MODEL_GROUPS[group_name]
     phase1 = run_phase1(group, config, machine_config,
@@ -90,18 +141,37 @@ def get_or_build_dataset(group_name: str,
 def get_or_train_suite(machine_config: MachineConfig,
                        scale: ScaleParams | None = None,
                        config: GeneratorConfig | None = None,
-                       force: bool = False) -> BrainySuite:
-    """Load the cached suite for this machine/scale, training on a miss."""
+                       force: bool = False,
+                       *,
+                       checkpoint_every: int | None = None,
+                       resume: bool = False) -> BrainySuite:
+    """Load the cached suite for this machine/scale, training on a miss.
+
+    A corrupt or schema-stale cached suite is retrained, not raised.
+    ``checkpoint_every`` enables periodic training checkpoints under the
+    cache's ``checkpoints/`` directory; ``resume=True`` continues an
+    interrupted training run from them.
+    """
     scale = scale or current_scale()
     path = suite_path(machine_config, scale)
     if not force and (path / "suite.json").exists():
-        return BrainySuite.load(path)
+        try:
+            return BrainySuite.load(path)
+        except (ArtifactError, ValueError, KeyError,
+                FileNotFoundError) as exc:
+            _warn(f"unusable cached suite {path} ({exc}); retraining")
+    _ensure_writable(CACHE_DIR)
+    ckpt_dir = (checkpoint_dir(machine_config, scale)
+                if checkpoint_every is not None or resume else None)
     suite = BrainySuite.train(
         machine_config=machine_config,
         config=config or GeneratorConfig(),
         per_class_target=scale.per_class_target,
         max_seeds=scale.max_seeds,
         hidden=scale.hidden,
+        checkpoint_dir=ckpt_dir,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
     )
     suite.save(path)
     return suite

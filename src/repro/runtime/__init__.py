@@ -1,0 +1,59 @@
+"""Robustness runtime: atomic artifacts, checkpoints, fault isolation.
+
+The training pipeline is long-running by nature (install-time training
+over thousands of generated apps), so it must survive interruption,
+resume deterministically, quarantine pathological seeds, and never trust
+a half-written cache file.  This package holds those concerns so the
+training and model layers stay about training and models.
+"""
+
+from repro.runtime.artifacts import (
+    ArtifactCorrupt,
+    ArtifactError,
+    ArtifactMissing,
+    ArtifactVersionMismatch,
+    atomic_write_text,
+    read_artifact,
+    write_artifact,
+)
+from repro.runtime.checkpoint import (
+    Phase1Checkpoint,
+    Phase2Checkpoint,
+    TrainingInterrupted,
+)
+from repro.runtime.faults import (
+    DeterministicFault,
+    QuarantineRecord,
+    RetryPolicy,
+    SeedBudgetExceeded,
+    SeedQuarantined,
+    TransientFault,
+    WorkBudget,
+    classify,
+    run_guarded,
+)
+from repro.runtime.inject import FaultInjector, FaultPlan
+
+__all__ = [
+    "ArtifactCorrupt",
+    "ArtifactError",
+    "ArtifactMissing",
+    "ArtifactVersionMismatch",
+    "atomic_write_text",
+    "read_artifact",
+    "write_artifact",
+    "Phase1Checkpoint",
+    "Phase2Checkpoint",
+    "TrainingInterrupted",
+    "DeterministicFault",
+    "QuarantineRecord",
+    "RetryPolicy",
+    "SeedBudgetExceeded",
+    "SeedQuarantined",
+    "TransientFault",
+    "WorkBudget",
+    "classify",
+    "run_guarded",
+    "FaultInjector",
+    "FaultPlan",
+]

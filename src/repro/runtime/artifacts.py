@@ -1,0 +1,148 @@
+"""Atomic, versioned, checksummed artifact I/O.
+
+Every persisted JSON artifact (Phase-I seed/DS pairs, training sets,
+model suites, checkpoints) is wrapped in a small envelope::
+
+    {"format": "repro-artifact", "kind": "...", "schema_version": N,
+     "checksum": "sha256:...", "payload": {...}}
+
+Writes go to a temporary file in the destination directory, are fsynced,
+and are renamed into place, so a crash mid-write can never leave a
+half-written artifact under the final name.  Loads verify the envelope,
+the schema version, and the payload checksum, raising a typed
+:class:`ArtifactError` the cache layer turns into "rebuild" instead of a
+``KeyError`` deep inside parsing.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+
+ENVELOPE_FORMAT = "repro-artifact"
+
+
+class ArtifactError(Exception):
+    """Base class for unusable persisted artifacts."""
+
+
+class ArtifactMissing(ArtifactError, FileNotFoundError):
+    """The artifact file does not exist."""
+
+
+class ArtifactCorrupt(ArtifactError, ValueError):
+    """The artifact exists but is truncated, mangled, or fails its
+    checksum."""
+
+
+class ArtifactVersionMismatch(ArtifactError, ValueError):
+    """The artifact has no envelope (legacy file) or the wrong
+    ``schema_version`` / ``kind`` for the requested load."""
+
+
+def canonical_json(payload: object) -> str:
+    """Deterministic JSON encoding used for checksumming."""
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def payload_checksum(payload: object) -> str:
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return f"sha256:{digest.hexdigest()}"
+
+
+def atomic_write_text(path: str | Path, text: str) -> None:
+    """Write ``text`` to ``path`` via temp-file + fsync + rename."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    try:
+        # Make the rename itself durable; best effort on exotic FSes.
+        dir_fd = os.open(path.parent, os.O_RDONLY)
+        try:
+            os.fsync(dir_fd)
+        finally:
+            os.close(dir_fd)
+    except OSError:  # pragma: no cover - platform dependent
+        pass
+
+
+def write_artifact(path: str | Path, payload: object, *,
+                   kind: str, schema_version: int) -> None:
+    """Atomically persist ``payload`` inside a checksummed envelope."""
+    envelope = {
+        "format": ENVELOPE_FORMAT,
+        "kind": kind,
+        "schema_version": schema_version,
+        "checksum": payload_checksum(payload),
+        "payload": payload,
+    }
+    atomic_write_text(path, json.dumps(envelope))
+
+
+def read_artifact(path: str | Path, *,
+                  kind: str, schema_version: int) -> dict:
+    """Load and verify an artifact, returning its payload.
+
+    Raises
+    ------
+    ArtifactMissing
+        ``path`` does not exist.
+    ArtifactCorrupt
+        invalid JSON, missing payload, or checksum mismatch.
+    ArtifactVersionMismatch
+        no envelope (legacy file), wrong ``kind``, or wrong
+        ``schema_version``.
+    """
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ArtifactMissing(f"artifact missing: {path}") from None
+    except IsADirectoryError:
+        raise ArtifactCorrupt(f"artifact is a directory: {path}") from None
+    try:
+        envelope = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorrupt(f"{path}: invalid JSON ({exc})") from exc
+    if (not isinstance(envelope, dict)
+            or envelope.get("format") != ENVELOPE_FORMAT
+            or "schema_version" not in envelope):
+        raise ArtifactVersionMismatch(
+            f"{path}: no artifact envelope (legacy or foreign file); "
+            "rebuild the artifact"
+        )
+    if envelope.get("kind") != kind:
+        raise ArtifactVersionMismatch(
+            f"{path}: artifact kind {envelope.get('kind')!r}, "
+            f"expected {kind!r}"
+        )
+    if envelope["schema_version"] != schema_version:
+        raise ArtifactVersionMismatch(
+            f"{path}: schema_version {envelope['schema_version']!r}, "
+            f"expected {schema_version}; rebuild the artifact"
+        )
+    payload = envelope.get("payload")
+    if payload is None:
+        raise ArtifactCorrupt(f"{path}: envelope has no payload")
+    if envelope.get("checksum") != payload_checksum(payload):
+        raise ArtifactCorrupt(
+            f"{path}: checksum mismatch (truncated or corrupted write)"
+        )
+    return payload

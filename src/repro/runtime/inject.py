@@ -1,0 +1,110 @@
+"""Deterministic fault injection for exercising the robustness boundary.
+
+The injector wraps the two expensive Phase-I/II calls — ``generate_app``
+and ``measure_candidates`` — with seeded failure decisions, so tests can
+prove the error boundary, retry, quarantine, and checkpoint/resume paths
+without any real flakiness.  Every decision is a pure function of
+``(plan.rng_seed, app seed, stage)``: re-running the same plan injects
+the same faults in the same places, which is exactly what the
+interrupt/resume determinism test needs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.runtime.faults import DeterministicFault, TransientFault
+
+STAGE_GENERATE = "generate"
+STAGE_MEASURE = "measure"
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded failure probabilities per pipeline stage."""
+
+    rng_seed: int = 0
+    p_transient_generate: float = 0.0
+    p_deterministic_generate: float = 0.0
+    p_transient_measure: float = 0.0
+    p_deterministic_measure: float = 0.0
+    #: How many attempts of a transiently-failing (seed, stage) fail
+    #: before it succeeds — keep at or below the retry budget to model a
+    #: recoverable fault, above it to model a persistent one.
+    transient_failures: int = 1
+    #: App seeds at which to raise ``KeyboardInterrupt`` (once per
+    #: injector instance), simulating Ctrl-C mid-run.
+    interrupt_at_seeds: frozenset[int] = frozenset()
+
+
+class FaultInjector:
+    """Stateful wrapper applying a :class:`FaultPlan` to pipeline calls."""
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._attempts: dict[tuple[int, str], int] = {}
+        self._interrupted: set[int] = set()
+
+    def decide(self, seed: int, stage: str) -> str | None:
+        """The fate of ``(seed, stage)``: 'transient', 'deterministic',
+        or None.  Pure function of the plan and the pair."""
+        if stage == STAGE_GENERATE:
+            p_transient = self.plan.p_transient_generate
+            p_deterministic = self.plan.p_deterministic_generate
+        else:
+            p_transient = self.plan.p_transient_measure
+            p_deterministic = self.plan.p_deterministic_measure
+        roll = random.Random(
+            f"{self.plan.rng_seed}:{seed}:{stage}"
+        ).random()
+        if roll < p_transient:
+            return "transient"
+        if roll < p_transient + p_deterministic:
+            return "deterministic"
+        return None
+
+    def before(self, seed: int, stage: str) -> None:
+        """Raise the planned fault (if any) for this attempt."""
+        if (seed in self.plan.interrupt_at_seeds
+                and seed not in self._interrupted):
+            self._interrupted.add(seed)
+            raise KeyboardInterrupt(f"injected interrupt at seed {seed}")
+        key = (seed, stage)
+        attempt = self._attempts.get(key, 0)
+        self._attempts[key] = attempt + 1
+        fate = self.decide(seed, stage)
+        if fate == "transient" and attempt < self.plan.transient_failures:
+            raise TransientFault(
+                f"injected transient fault: {stage} seed {seed} "
+                f"attempt {attempt + 1}"
+            )
+        if fate == "deterministic":
+            raise DeterministicFault(
+                f"injected deterministic fault: {stage} seed {seed}"
+            )
+
+    # -- seams matching the training pipeline's pluggable calls ----------
+
+    def wrap_generate(self, fn: Callable | None = None) -> Callable:
+        """A drop-in for ``generate_app(seed, group, config)``."""
+        if fn is None:
+            from repro.appgen.generator import generate_app as fn
+
+        def wrapped(seed, group, config):
+            self.before(seed, STAGE_GENERATE)
+            return fn(seed, group, config)
+
+        return wrapped
+
+    def wrap_measure(self, fn: Callable | None = None) -> Callable:
+        """A drop-in for ``measure_candidates(app, machine_config)``."""
+        if fn is None:
+            from repro.appgen.workload import measure_candidates as fn
+
+        def wrapped(app, machine_config):
+            self.before(app.seed, STAGE_MEASURE)
+            return fn(app, machine_config)
+
+        return wrapped

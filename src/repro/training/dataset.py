@@ -7,7 +7,6 @@ exact setting (feature names, class names, machine, generator config).
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -15,6 +14,14 @@ import numpy as np
 
 from repro.containers.registry import DSKind
 from repro.instrumentation.features import FEATURE_NAMES
+from repro.runtime.artifacts import (
+    ArtifactCorrupt,
+    read_artifact,
+    write_artifact,
+)
+
+DATASET_ARTIFACT_KIND = "training-set"
+DATASET_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -82,8 +89,6 @@ class TrainingSet:
     # -- persistence ---------------------------------------------------------
 
     def save(self, path: str | Path) -> None:
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
         payload = {
             "group_name": self.group_name,
             "machine_name": self.machine_name,
@@ -93,20 +98,27 @@ class TrainingSet:
             "y": self.y.tolist(),
             "seeds": self.seeds,
         }
-        path.write_text(json.dumps(payload))
+        write_artifact(path, payload, kind=DATASET_ARTIFACT_KIND,
+                       schema_version=DATASET_SCHEMA_VERSION)
 
     @classmethod
     def load(cls, path: str | Path) -> "TrainingSet":
-        payload = json.loads(Path(path).read_text())
-        if payload["feature_names"] != list(FEATURE_NAMES):
+        payload = read_artifact(Path(path), kind=DATASET_ARTIFACT_KIND,
+                                schema_version=DATASET_SCHEMA_VERSION)
+        if payload.get("feature_names") != list(FEATURE_NAMES):
             raise ValueError(
                 "training set was built with a different feature schema"
             )
-        return cls(
-            group_name=payload["group_name"],
-            machine_name=payload["machine_name"],
-            classes=tuple(DSKind(v) for v in payload["classes"]),
-            X=np.asarray(payload["X"], dtype=np.float64),
-            y=np.asarray(payload["y"], dtype=np.int64),
-            seeds=list(payload["seeds"]),
-        )
+        try:
+            return cls(
+                group_name=payload["group_name"],
+                machine_name=payload["machine_name"],
+                classes=tuple(DSKind(v) for v in payload["classes"]),
+                X=np.asarray(payload["X"], dtype=np.float64),
+                y=np.asarray(payload["y"], dtype=np.int64),
+                seeds=list(payload["seeds"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ArtifactCorrupt(
+                f"{path}: malformed training-set payload ({exc})"
+            ) from exc

@@ -8,11 +8,20 @@ when every candidate class has reached its per-class target or the seed
 budget is exhausted (some classes win rarely; the paper notes Phase I
 "after many iterations some data structures will have more best
 applications than others").
+
+Phase I at production scale runs for a long time, so the loop is built
+on the :mod:`repro.runtime` robustness layer: every seed is processed
+inside an error boundary (transient faults retried, pathological seeds
+quarantined into the result), periodic checkpoints capture the full loop
+state, and a ``KeyboardInterrupt`` flushes a checkpoint before
+surfacing as :class:`~repro.runtime.checkpoint.TrainingInterrupted`.
+Because seeds are processed strictly in order and each outcome is a pure
+function of its seed, an interrupted-and-resumed run produces a
+byte-identical result to an uninterrupted one.
 """
 
 from __future__ import annotations
 
-import json
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable
@@ -22,6 +31,18 @@ from repro.appgen.generator import generate_app
 from repro.appgen.workload import DEFAULT_MARGIN, best_candidate, measure_candidates
 from repro.containers.registry import DSKind, ModelGroup
 from repro.machine.configs import CORE2, MachineConfig
+from repro.runtime.artifacts import read_artifact, write_artifact
+from repro.runtime.checkpoint import Phase1Checkpoint, TrainingInterrupted
+from repro.runtime.faults import (
+    QuarantineRecord,
+    RetryPolicy,
+    SeedQuarantined,
+    WorkBudget,
+    run_guarded,
+)
+
+PHASE1_ARTIFACT_KIND = "phase1-result"
+PHASE1_SCHEMA_VERSION = 2
 
 
 @dataclass
@@ -31,6 +52,22 @@ class SeedRecord:
     seed: int
     best: DSKind
     runtimes: dict[DSKind, int]
+
+    def to_payload(self) -> dict:
+        return {
+            "seed": self.seed,
+            "best": self.best.value,
+            "runtimes": {k.value: v for k, v in self.runtimes.items()},
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SeedRecord":
+        return cls(
+            seed=payload["seed"],
+            best=DSKind(payload["best"]),
+            runtimes={DSKind(k): v
+                      for k, v in payload["runtimes"].items()},
+        )
 
 
 @dataclass
@@ -42,6 +79,8 @@ class Phase1Result:
     records: list[SeedRecord] = field(default_factory=list)
     seeds_tried: int = 0
     no_winner: int = 0
+    #: Seeds the fault boundary gave up on (§ runtime/faults).
+    quarantined: list[QuarantineRecord] = field(default_factory=list)
 
     def class_counts(self) -> dict[DSKind, int]:
         counts = {kind: 0 for kind in self.group.classes}
@@ -61,36 +100,80 @@ class Phase1Result:
             "machine_name": self.machine_name,
             "seeds_tried": self.seeds_tried,
             "no_winner": self.no_winner,
-            "records": [
-                {
-                    "seed": r.seed,
-                    "best": r.best.value,
-                    "runtimes": {k.value: v
-                                 for k, v in r.runtimes.items()},
-                }
-                for r in self.records
-            ],
+            "records": [r.to_payload() for r in self.records],
+            "quarantined": [q.to_payload() for q in self.quarantined],
         }
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload))
+        write_artifact(path, payload, kind=PHASE1_ARTIFACT_KIND,
+                       schema_version=PHASE1_SCHEMA_VERSION)
 
     @classmethod
     def load(cls, path: str | Path) -> "Phase1Result":
         from repro.containers.registry import MODEL_GROUPS
 
-        payload = json.loads(Path(path).read_text())
+        payload = read_artifact(Path(path), kind=PHASE1_ARTIFACT_KIND,
+                                schema_version=PHASE1_SCHEMA_VERSION)
         group = MODEL_GROUPS[payload["group_name"]]
         result = cls(group=group, machine_name=payload["machine_name"],
                      seeds_tried=payload["seeds_tried"],
                      no_winner=payload["no_winner"])
         for r in payload["records"]:
-            result.records.append(SeedRecord(
-                seed=r["seed"],
-                best=DSKind(r["best"]),
-                runtimes={DSKind(k): v for k, v in r["runtimes"].items()},
-            ))
+            result.records.append(SeedRecord.from_payload(r))
+        for q in payload.get("quarantined", ()):
+            result.quarantined.append(QuarantineRecord.from_payload(q))
         return result
+
+
+def _checkpoint_state(result: Phase1Result, counts: dict[DSKind, int],
+                      seed_base: int, next_offset: int,
+                      complete: bool) -> Phase1Checkpoint:
+    return Phase1Checkpoint(
+        group_name=result.group.name,
+        machine_name=result.machine_name,
+        seed_base=seed_base,
+        next_offset=next_offset,
+        seeds_tried=result.seeds_tried,
+        no_winner=result.no_winner,
+        counts={kind.value: count for kind, count in counts.items()},
+        records=[r.to_payload() for r in result.records],
+        quarantined=list(result.quarantined),
+        complete=complete,
+    )
+
+
+def _restore_checkpoint(checkpoint: Phase1Checkpoint | str | Path,
+                        group: ModelGroup,
+                        machine_config: MachineConfig,
+                        seed_base: int,
+                        ) -> tuple[Phase1Result, dict[DSKind, int], int,
+                                   bool]:
+    if not isinstance(checkpoint, Phase1Checkpoint):
+        checkpoint = Phase1Checkpoint.load(checkpoint)
+    if checkpoint.group_name != group.name:
+        raise ValueError(
+            f"checkpoint is for group {checkpoint.group_name!r}, "
+            f"not {group.name!r}"
+        )
+    if checkpoint.machine_name != machine_config.name:
+        raise ValueError(
+            f"checkpoint was taken on {checkpoint.machine_name!r}, "
+            f"not {machine_config.name!r}"
+        )
+    if checkpoint.seed_base != seed_base:
+        raise ValueError(
+            f"checkpoint used seed_base={checkpoint.seed_base}, "
+            f"resume requested seed_base={seed_base}"
+        )
+    result = Phase1Result(
+        group=group, machine_name=machine_config.name,
+        records=[SeedRecord.from_payload(r) for r in checkpoint.records],
+        seeds_tried=checkpoint.seeds_tried,
+        no_winner=checkpoint.no_winner,
+        quarantined=list(checkpoint.quarantined),
+    )
+    counts = {kind: 0 for kind in group.classes}
+    for name, count in checkpoint.counts.items():
+        counts[DSKind(name)] = count
+    return result, counts, checkpoint.next_offset, checkpoint.complete
 
 
 def run_phase1(group: ModelGroup,
@@ -101,6 +184,14 @@ def run_phase1(group: ModelGroup,
                margin: float = DEFAULT_MARGIN,
                seed_base: int = 0,
                progress: Callable[[int, Phase1Result], None] | None = None,
+               *,
+               resume_from: Phase1Checkpoint | str | Path | None = None,
+               checkpoint_path: str | Path | None = None,
+               checkpoint_every: int | None = None,
+               retry_policy: RetryPolicy | None = None,
+               seed_budget_seconds: float | None = None,
+               generate_fn: Callable | None = None,
+               measure_fn: Callable | None = None,
                ) -> Phase1Result:
     """Algorithm 1: collect ``(seed, best DS)`` pairs for one model group.
 
@@ -115,30 +206,94 @@ def run_phase1(group: ModelGroup,
     seed_base:
         Offset into the seed space (use different bases for disjoint
         train/validation populations).
+    resume_from:
+        A :class:`Phase1Checkpoint` (or path to one) from an interrupted
+        run; the loop continues deterministically where it left off.
+    checkpoint_path / checkpoint_every:
+        Write a checkpoint to ``checkpoint_path`` after every
+        ``checkpoint_every`` seeds, and on interruption.  A completed run
+        leaves a ``complete=True`` checkpoint behind so resuming a
+        finished phase is instant.
+    retry_policy / seed_budget_seconds:
+        Error-boundary tuning: transient-fault retries and the wall-clock
+        budget for one seed (generation + measurement + retries).
+    generate_fn / measure_fn:
+        Pluggable seams for the app generator and the candidate sweep
+        (used by the fault-injection harness); defaults are the real
+        :func:`generate_app` / :func:`measure_candidates`.
     """
     if per_class_target <= 0:
         raise ValueError("per_class_target must be positive")
-    result = Phase1Result(group=group, machine_name=machine_config.name)
-    counts = {kind: 0 for kind in group.classes}
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ValueError("checkpoint_every requires checkpoint_path")
+    generate_fn = generate_fn or generate_app
+    measure_fn = measure_fn or measure_candidates
 
-    for offset in range(max_seeds):
+    if resume_from is not None:
+        result, counts, start_offset, complete = _restore_checkpoint(
+            resume_from, group, machine_config, seed_base
+        )
+        if complete:
+            return result
+    else:
+        result = Phase1Result(group=group,
+                              machine_name=machine_config.name)
+        counts = {kind: 0 for kind in group.classes}
+        start_offset = 0
+
+    def flush(next_offset: int, complete: bool = False) -> None:
+        if checkpoint_path is not None:
+            _checkpoint_state(result, counts, seed_base, next_offset,
+                              complete).save(checkpoint_path)
+
+    offset = start_offset
+    for offset in range(start_offset, max_seeds):
         if all(count >= per_class_target for count in counts.values()):
             break
         seed = seed_base + offset
-        app = generate_app(seed, group, config)
-        runtimes = measure_candidates(app, machine_config)
+        budget = WorkBudget(seed_budget_seconds).start()
+        try:
+            app = run_guarded(
+                lambda: generate_fn(seed, group, config),
+                seed=seed, stage="generate", policy=retry_policy,
+                budget=budget,
+            )
+            runtimes = run_guarded(
+                lambda: measure_fn(app, machine_config),
+                seed=seed, stage="measure", policy=retry_policy,
+                budget=budget,
+            )
+        except SeedQuarantined as quarantine:
+            result.seeds_tried += 1
+            result.quarantined.append(quarantine.record)
+            continue
+        except KeyboardInterrupt:
+            # State reflects only fully-applied seeds; resuming at
+            # ``offset`` replays nothing and skips nothing.
+            flush(next_offset=offset)
+            raise TrainingInterrupted(
+                f"phase 1 interrupted at seed {seed}"
+                + (f"; checkpoint at {checkpoint_path}"
+                   if checkpoint_path is not None else ""),
+                checkpoint_path=(Path(checkpoint_path)
+                                 if checkpoint_path is not None else None),
+            ) from None
         best = best_candidate(runtimes, margin=margin)
         result.seeds_tried += 1
         if best is None:
             result.no_winner += 1
-            continue
-        if counts[best] >= per_class_target:
+        elif counts[best] >= per_class_target:
             # Phase I's early filter (§4.3): extra applications for an
             # already-full class are not handed to the expensive Phase II.
-            continue
-        counts[best] += 1
-        result.records.append(SeedRecord(seed=seed, best=best,
-                                         runtimes=runtimes))
-        if progress is not None:
-            progress(seed, result)
+            pass
+        else:
+            counts[best] += 1
+            result.records.append(SeedRecord(seed=seed, best=best,
+                                             runtimes=runtimes))
+            if progress is not None:
+                progress(seed, result)
+        if (checkpoint_every is not None
+                and (offset + 1 - start_offset) % checkpoint_every == 0):
+            flush(next_offset=offset + 1)
+    flush(next_offset=offset + 1, complete=True)
     return result

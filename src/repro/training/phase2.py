@@ -5,36 +5,155 @@ application from its seed, run it on the model group's *original*
 container kind with profiling enabled, and emit the
 ``(features, best DS)`` training row.  Regenerating from seeds keeps disk
 usage constant no matter how many training applications are used.
+
+Like Phase I, the replay loop runs behind the :mod:`repro.runtime`
+error boundary: a failing record is retried (transient) or skipped and
+reported (deterministic) rather than aborting the phase, periodic
+checkpoints capture the rows emitted so far, and an interrupt flushes a
+checkpoint before raising :class:`TrainingInterrupted`.  Records are
+replayed strictly in order, so resume is deterministic.
 """
 
 from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
 
 from repro.appgen.config import GeneratorConfig
 from repro.appgen.generator import generate_app
 from repro.containers.registry import ModelGroup
 from repro.machine.configs import CORE2, MachineConfig
+from repro.runtime.checkpoint import Phase2Checkpoint, TrainingInterrupted
+from repro.runtime.faults import (
+    QuarantineRecord,
+    RetryPolicy,
+    SeedQuarantined,
+    WorkBudget,
+    run_guarded,
+)
 from repro.training.dataset import TrainingSet
 from repro.training.phase1 import Phase1Result
+
+
+def _restore_checkpoint(checkpoint: Phase2Checkpoint | str | Path,
+                        phase1: Phase1Result,
+                        machine_config: MachineConfig,
+                        train_set: TrainingSet) -> tuple[int, bool]:
+    if not isinstance(checkpoint, Phase2Checkpoint):
+        checkpoint = Phase2Checkpoint.load(checkpoint)
+    if checkpoint.group_name != phase1.group.name:
+        raise ValueError(
+            f"checkpoint is for group {checkpoint.group_name!r}, "
+            f"not {phase1.group.name!r}"
+        )
+    if checkpoint.machine_name != machine_config.name:
+        raise ValueError(
+            f"checkpoint was taken on {checkpoint.machine_name!r}, "
+            f"not {machine_config.name!r}"
+        )
+    if checkpoint.total_records != len(phase1.records):
+        raise ValueError(
+            "checkpoint does not match this Phase-I result "
+            f"({checkpoint.total_records} vs {len(phase1.records)} records)"
+        )
+    train_set.X = np.asarray(checkpoint.X, dtype=np.float64).reshape(
+        -1, train_set.X.shape[1]
+    )
+    train_set.y = np.asarray(checkpoint.y, dtype=np.int64)
+    train_set.seeds = list(checkpoint.seeds)
+    return checkpoint.next_index, checkpoint.complete
 
 
 def run_phase2(phase1: Phase1Result,
                config: GeneratorConfig,
                machine_config: MachineConfig = CORE2,
+               *,
+               resume_from: Phase2Checkpoint | str | Path | None = None,
+               checkpoint_path: str | Path | None = None,
+               checkpoint_every: int | None = None,
+               retry_policy: RetryPolicy | None = None,
+               seed_budget_seconds: float | None = None,
+               generate_fn: Callable | None = None,
+               on_fault: Callable[[QuarantineRecord], None] | None = None,
                ) -> TrainingSet:
-    """Algorithm 2: build the training set from recorded seed/DS pairs."""
+    """Algorithm 2: build the training set from recorded seed/DS pairs.
+
+    ``resume_from`` / ``checkpoint_path`` / ``checkpoint_every`` mirror
+    :func:`repro.training.phase1.run_phase1`.  A record whose replay
+    fails deterministically is skipped (reported through ``on_fault``)
+    instead of aborting the phase.
+    """
     group: ModelGroup = phase1.group
     if machine_config.name != phase1.machine_name:
         raise ValueError(
             "Phase II must replay on the same machine Phase I measured "
             f"({phase1.machine_name!r}), got {machine_config.name!r}"
         )
+    if checkpoint_every is not None and checkpoint_path is None:
+        raise ValueError("checkpoint_every requires checkpoint_path")
+    generate_fn = generate_fn or generate_app
     train_set = TrainingSet(
         group_name=group.name,
         machine_name=machine_config.name,
         classes=group.classes,
     )
-    for record in phase1.records:
-        app = generate_app(record.seed, group, config)
-        run = app.run(group.original, machine_config, instrument=True)
+    if resume_from is not None:
+        start_index, complete = _restore_checkpoint(
+            resume_from, phase1, machine_config, train_set
+        )
+        if complete:
+            return train_set
+    else:
+        start_index = 0
+
+    def flush(next_index: int, complete: bool = False) -> None:
+        if checkpoint_path is not None:
+            Phase2Checkpoint(
+                group_name=group.name,
+                machine_name=machine_config.name,
+                next_index=next_index,
+                total_records=len(phase1.records),
+                X=train_set.X.tolist(),
+                y=train_set.y.tolist(),
+                seeds=list(train_set.seeds),
+                complete=complete,
+            ).save(checkpoint_path)
+
+    index = start_index
+    for index in range(start_index, len(phase1.records)):
+        record = phase1.records[index]
+        budget = WorkBudget(seed_budget_seconds).start()
+        try:
+            app = run_guarded(
+                lambda: generate_fn(record.seed, group, config),
+                seed=record.seed, stage="generate", policy=retry_policy,
+                budget=budget,
+            )
+            run = run_guarded(
+                lambda: app.run(group.original, machine_config,
+                                instrument=True),
+                seed=record.seed, stage="replay", policy=retry_policy,
+                budget=budget,
+            )
+        except SeedQuarantined as quarantine:
+            if on_fault is not None:
+                on_fault(quarantine.record)
+            continue
+        except KeyboardInterrupt:
+            flush(next_index=index)
+            raise TrainingInterrupted(
+                f"phase 2 interrupted at record {index} "
+                f"(seed {record.seed})"
+                + (f"; checkpoint at {checkpoint_path}"
+                   if checkpoint_path is not None else ""),
+                checkpoint_path=(Path(checkpoint_path)
+                                 if checkpoint_path is not None else None),
+            ) from None
         train_set.add(run.features(), record.best, record.seed)
+        if (checkpoint_every is not None
+                and (index + 1 - start_index) % checkpoint_every == 0):
+            flush(next_index=index + 1)
+    flush(next_index=index + 1, complete=True)
     return train_set

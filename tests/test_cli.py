@@ -27,6 +27,69 @@ class TestParser:
         assert args.group == "set"
 
 
+class TestErrorPaths:
+    def test_unknown_machine_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["train", "--machine", "i860"])
+        assert exc_info.value.code == 2
+
+    def test_unknown_group_rejected_by_parser(self, capsys):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["appgen", "1", "--group", "trie"])
+        assert exc_info.value.code == 2
+
+    def test_machine_helper_raises_friendly_error(self):
+        from repro.cli import CLIError, _machine, _model_group, _scale
+        with pytest.raises(CLIError, match="unknown machine"):
+            _machine("i860")
+        with pytest.raises(CLIError, match="unknown model group"):
+            _model_group("trie")
+        with pytest.raises(CLIError, match="unknown scale"):
+            _scale("galactic")
+
+    def test_cli_error_exits_2(self, monkeypatch, capsys):
+        from repro import cli as cli_mod
+        from repro.cli import CLIError
+
+        def boom(args):
+            raise CLIError("unknown machine 'i860'")
+
+        monkeypatch.setattr(cli_mod, "cmd_census", boom)
+        parser = cli_mod.build_parser()
+        args = parser.parse_args(["census"])
+        args.fn = boom
+        monkeypatch.setattr(cli_mod, "build_parser",
+                            lambda: _FixedParser(args))
+        assert cli_mod.main(["census"]) == 2
+        assert "unknown machine" in capsys.readouterr().err
+
+    def test_interrupted_training_exits_130(self, monkeypatch, capsys):
+        from repro import cli as cli_mod
+        from repro.runtime.checkpoint import TrainingInterrupted
+
+        def interrupted(machine_config, scale, config=None, force=False,
+                        **kwargs):
+            raise TrainingInterrupted("phase 1 interrupted at seed 7")
+
+        monkeypatch.setattr(cli_mod, "get_or_train_suite", interrupted)
+        assert cli_mod.main(["train", "--scale", "tiny"]) == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+
+    def test_bad_checkpoint_every_exits_2(self, capsys):
+        assert main(["train", "--checkpoint-every", "0"]) == 2
+        assert "checkpoint-every" in capsys.readouterr().err
+
+
+class _FixedParser:
+    def __init__(self, args):
+        self._args = args
+
+    def parse_args(self, argv=None):
+        return self._args
+
+
 class TestCensusCommand:
     def test_census_renders_chart(self, capsys):
         assert main(["census", "--files", "30", "--seed", "1"]) == 0

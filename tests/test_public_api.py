@@ -13,6 +13,7 @@ PACKAGES = (
     "repro.training",
     "repro.ml",
     "repro.models",
+    "repro.runtime",
     "repro.core",
     "repro.apps",
     "repro.decompiler",

@@ -7,8 +7,18 @@ import pytest
 
 from repro.containers.registry import MODEL_GROUPS
 from repro.instrumentation.features import num_features
-from repro.models.brainy import BrainyModel, BrainySuite
-from repro.training.dataset import TrainingSet
+from repro.models.brainy import (
+    SUITE_INDEX_KIND,
+    SUITE_SCHEMA_VERSION,
+    BrainyModel,
+    BrainySuite,
+)
+from repro.runtime.artifacts import write_artifact
+from repro.training.dataset import (
+    DATASET_ARTIFACT_KIND,
+    DATASET_SCHEMA_VERSION,
+    TrainingSet,
+)
 
 
 def tiny_training_set(n=30):
@@ -29,10 +39,10 @@ class TestSuitePersistenceRobustness:
 
     def test_load_missing_model_file(self, tmp_path):
         suite_dir = tmp_path / "suite"
-        suite_dir.mkdir()
-        (suite_dir / "suite.json").write_text(
-            json.dumps({"machine_name": "core2", "groups": ["map"]})
-        )
+        write_artifact(suite_dir / "suite.json",
+                       {"machine_name": "core2", "groups": ["map"]},
+                       kind=SUITE_INDEX_KIND,
+                       schema_version=SUITE_SCHEMA_VERSION)
         with pytest.raises(FileNotFoundError):
             BrainySuite.load(suite_dir)
 
@@ -59,9 +69,11 @@ class TestTrainingSetRobustness:
         ts = tiny_training_set(5)
         path = tmp_path / "ts.json"
         ts.save(path)
-        payload = json.loads(path.read_text())
+        payload = json.loads(path.read_text())["payload"]
         payload["feature_names"] = ["x"]
-        path.write_text(json.dumps(payload))
+        # Re-wrap so the checksum passes and the schema check fires.
+        write_artifact(path, payload, kind=DATASET_ARTIFACT_KIND,
+                       schema_version=DATASET_SCHEMA_VERSION)
         with pytest.raises(ValueError, match="feature schema"):
             TrainingSet.load(path)
 

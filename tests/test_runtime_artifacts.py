@@ -1,0 +1,94 @@
+"""Unit tests for the atomic/versioned/checksummed artifact layer."""
+
+import json
+
+import pytest
+
+from repro.runtime.artifacts import (
+    ArtifactCorrupt,
+    ArtifactError,
+    ArtifactMissing,
+    ArtifactVersionMismatch,
+    atomic_write_text,
+    read_artifact,
+    write_artifact,
+)
+
+KIND = "unit-test"
+VERSION = 3
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "a" / "b.json"
+        payload = {"x": [1, 2, 3], "name": "hello"}
+        write_artifact(path, payload, kind=KIND, schema_version=VERSION)
+        assert read_artifact(path, kind=KIND,
+                             schema_version=VERSION) == payload
+
+    def test_write_is_atomic_no_temp_left_behind(self, tmp_path):
+        path = tmp_path / "artifact.json"
+        write_artifact(path, {"k": 1}, kind=KIND, schema_version=1)
+        write_artifact(path, {"k": 2}, kind=KIND, schema_version=1)
+        assert [p.name for p in tmp_path.iterdir()] == ["artifact.json"]
+        assert read_artifact(path, kind=KIND,
+                             schema_version=1) == {"k": 2}
+
+    def test_atomic_write_text_creates_parents(self, tmp_path):
+        path = tmp_path / "deep" / "er" / "file.txt"
+        atomic_write_text(path, "content")
+        assert path.read_text() == "content"
+
+
+class TestRejection:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactMissing):
+            read_artifact(tmp_path / "nope.json", kind=KIND,
+                          schema_version=1)
+
+    def test_missing_is_file_not_found(self, tmp_path):
+        # Callers with pre-envelope expectations catch FileNotFoundError.
+        with pytest.raises(FileNotFoundError):
+            read_artifact(tmp_path / "nope.json", kind=KIND,
+                          schema_version=1)
+
+    def test_truncated_json(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, {"k": 1}, kind=KIND, schema_version=1)
+        path.write_text(path.read_text()[:-10])
+        with pytest.raises(ArtifactCorrupt):
+            read_artifact(path, kind=KIND, schema_version=1)
+
+    def test_checksum_mismatch(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, {"k": 1}, kind=KIND, schema_version=1)
+        envelope = json.loads(path.read_text())
+        envelope["payload"]["k"] = 999  # flipped bits, stale checksum
+        path.write_text(json.dumps(envelope))
+        with pytest.raises(ArtifactCorrupt, match="checksum"):
+            read_artifact(path, kind=KIND, schema_version=1)
+
+    def test_legacy_file_without_envelope(self, tmp_path):
+        path = tmp_path / "a.json"
+        path.write_text(json.dumps({"k": 1}))
+        with pytest.raises(ArtifactVersionMismatch):
+            read_artifact(path, kind=KIND, schema_version=1)
+
+    def test_version_mismatch(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, {"k": 1}, kind=KIND, schema_version=1)
+        with pytest.raises(ArtifactVersionMismatch):
+            read_artifact(path, kind=KIND, schema_version=2)
+
+    def test_kind_mismatch(self, tmp_path):
+        path = tmp_path / "a.json"
+        write_artifact(path, {"k": 1}, kind="other", schema_version=1)
+        with pytest.raises(ArtifactVersionMismatch):
+            read_artifact(path, kind=KIND, schema_version=1)
+
+    def test_all_rejections_are_artifact_errors(self, tmp_path):
+        # The cache layer catches ArtifactError to mean "rebuild".
+        path = tmp_path / "a.json"
+        path.write_text("not json {{{")
+        with pytest.raises(ArtifactError):
+            read_artifact(path, kind=KIND, schema_version=1)
