@@ -30,9 +30,14 @@ def best_candidate(runtimes: dict[DSKind, int],
     The paper records the best data structure only if it is ``margin``
     faster than *any* other candidate, preventing a barely-best structure
     from polluting the training set.
+
+    A single-candidate group has no competitor to out-run, so its one
+    kind wins unconditionally; only an empty mapping is an error.
     """
-    if len(runtimes) < 2:
-        raise ValueError("need at least two candidates to compare")
+    if not runtimes:
+        raise ValueError("need at least one candidate")
+    if len(runtimes) == 1:
+        return next(iter(runtimes))
     ordered = sorted(runtimes.items(), key=lambda item: item[1])
     (best_kind, best_cycles), (_, second_cycles) = ordered[0], ordered[1]
     if best_cycles <= 0:

@@ -96,11 +96,14 @@ def cmd_train(args: argparse.Namespace) -> int:
     config = _load_generator_config(args.config)
     if args.checkpoint_every is not None and args.checkpoint_every <= 0:
         raise CLIError("--checkpoint-every must be positive")
+    if args.jobs is not None and args.jobs < 1:
+        raise CLIError("--jobs must be >= 1")
     print(f"training suite for {machine.name} at scale {scale.name} ...")
     suite = get_or_train_suite(machine, scale, config=config,
                                force=args.force,
                                checkpoint_every=args.checkpoint_every,
-                               resume=args.resume)
+                               resume=args.resume,
+                               jobs=args.jobs)
     print(f"models: {', '.join(sorted(suite.models))}")
     return 0
 
@@ -183,6 +186,10 @@ def build_parser() -> argparse.ArgumentParser:
     train.add_argument("--resume", action="store_true",
                        help="resume an interrupted training run from "
                             "its checkpoints")
+    train.add_argument("--jobs", type=int, metavar="N",
+                       help="fan seeds out over N worker processes "
+                            "(results are identical to a serial run; "
+                            "default: REPRO_JOBS or serial)")
     train.set_defaults(fn=cmd_train)
 
     advise = sub.add_parser("advise",

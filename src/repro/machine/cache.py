@@ -1,9 +1,16 @@
 """Set-associative cache with LRU replacement.
 
 The model is a classic tag store: an address maps to a set by its line
-index, each set holds up to ``assoc`` line tags ordered most-recently-used
-first.  Only hit/miss behaviour is modelled (no dirty/writeback state),
-which is all the cost model needs.
+index, each set holds up to ``assoc`` line tags in recency order.  Only
+hit/miss behaviour is modelled (no dirty/writeback state), which is all
+the cost model needs.
+
+Each set is an insertion-ordered ``dict`` used as an ordered set
+(values are always ``None``): the last key is the most recently used,
+the first is the eviction victim.  That makes hit test, recency update
+(delete + reinsert, i.e. ``move_to_end``), and eviction all O(1) —
+the previous list-based sets paid O(assoc) ``remove``/``insert`` per
+touch, which dominated the simulator's hottest loop.
 """
 
 from __future__ import annotations
@@ -43,7 +50,7 @@ class Cache:
         self.assoc = assoc
         self.line_bytes = line_bytes
         self.num_sets = num_sets
-        self._sets: list[list[int]] = [[] for _ in range(num_sets)]
+        self._sets: list[dict[int, None]] = [{} for _ in range(num_sets)]
         self.accesses = 0
         self.misses = 0
 
@@ -52,14 +59,18 @@ class Cache:
         self.accesses += 1
         ways = self._sets[line & (self.num_sets - 1)]
         if line in ways:
-            if ways[0] != line:
-                ways.remove(line)
-                ways.insert(0, line)
+            del ways[line]
+            ways[line] = None  # move to most-recently-used position
             return True
         self.misses += 1
-        ways.insert(0, line)
+        ways[line] = None
         if len(ways) > self.assoc:
-            ways.pop()
+            # Evict the LRU line (the first key).  The loop-and-break
+            # reads it without the iterator-protocol call overhead of
+            # ``next(iter(ways))``.
+            for victim in ways:
+                break
+            del ways[victim]
         return False
 
     def contains(self, line: int) -> bool:

@@ -24,9 +24,13 @@ class Machine:
     __slots__ = (
         "config", "allocator", "l1", "l2", "tlb", "predictor",
         "_cycles", "instructions",
-        "_line_shift", "_page_shift", "_cpi", "_l1_lat", "_l2_lat",
+        "_line_shift", "_page_shift", "_page_delta", "_cpi",
+        "_l1_lat", "_l2_lat",
         "_mem_lat", "_mispredict_penalty", "_tlb_penalty", "_div_latency",
         "_stream",
+        "_l1_sets", "_l1_mask", "_l1_assoc",
+        "_l2_sets", "_l2_mask", "_l2_assoc",
+        "_tlb_pages", "_tlb_entries",
         "_last_page",
         "prefetcher",
     )
@@ -56,6 +60,21 @@ class Machine:
         self._tlb_penalty = config.tlb_miss_penalty
         self._div_latency = config.div_latency
         self._stream = config.stream_factor
+        # Direct references into the cache/TLB tag stores.  ``access``
+        # is called hundreds of thousands of times per simulated app;
+        # resolving ``self.l1._sets`` etc. through two attribute loads
+        # each time is measurable, so the (never-reassigned) structures
+        # are aliased here once.  ``flush`` mutates them in place, so
+        # the aliases stay valid.
+        self._page_delta = self._page_shift - self._line_shift
+        self._l1_sets = self.l1._sets
+        self._l1_mask = self.l1.num_sets - 1
+        self._l1_assoc = self.l1.assoc
+        self._l2_sets = self.l2._sets
+        self._l2_mask = self.l2.num_sets - 1
+        self._l2_assoc = self.l2.assoc
+        self._tlb_pages = self.tlb._pages
+        self._tlb_entries = self.tlb.entries
         # Last translated page: a zero-cost micro-TLB fast path.
         self._last_page = -1
         # Optional explicit prefetcher (see repro.machine.prefetch).
@@ -77,78 +96,177 @@ class Machine:
         shift = self._line_shift
         first = addr >> shift
         last = (addr + nbytes - 1) >> shift
-        cycles = self._cycles
         # The cache/TLB lookups are inlined here (rather than calling
         # Cache.access per line) because this is by far the hottest loop
-        # in the whole simulator.
+        # in the whole simulator.  Each set/page store is an
+        # insertion-ordered dict (last key = MRU, first key = victim),
+        # so every LRU touch is O(1); per-access invariants (prefetcher
+        # presence, streamed latencies, counter deltas) are hoisted out
+        # of the line loop.
+        if first == last:
+            # Single-line accesses (field reads, node touches) dominate
+            # the trace; they need none of the multi-line stream
+            # bookkeeping below.
+            cycles = self._cycles + self._l1_lat
+            page = first >> self._page_delta
+            if page != self._last_page:
+                self._last_page = page
+                tlb = self.tlb
+                tlb.accesses += 1
+                pages = self._tlb_pages
+                if page in pages:
+                    del pages[page]
+                    pages[page] = None
+                else:
+                    tlb.misses += 1
+                    pages[page] = None
+                    if len(pages) > self._tlb_entries:
+                        for victim in pages:
+                            break
+                        del pages[victim]
+                    cycles += self._tlb_penalty
+            l1 = self.l1
+            l1.accesses += 1
+            ways = self._l1_sets[first & self._l1_mask]
+            prefetcher = self.prefetcher
+            if first in ways:
+                del ways[first]
+                ways[first] = None
+                if prefetcher is not None:
+                    prefetcher.on_hit(first)
+            else:
+                l1.misses += 1
+                l1_assoc = self._l1_assoc
+                ways[first] = None
+                if len(ways) > l1_assoc:
+                    for victim in ways:
+                        break
+                    del ways[victim]
+                if prefetcher is not None:
+                    l1_sets = self._l1_sets
+                    l1_mask = self._l1_mask
+                    for target in prefetcher.on_miss(first):
+                        target_ways = l1_sets[target & l1_mask]
+                        if target not in target_ways:
+                            target_ways[target] = None
+                            if len(target_ways) > l1_assoc:
+                                for victim in target_ways:
+                                    break
+                                del target_ways[victim]
+                cycles += self._l2_lat
+                l2 = self.l2
+                l2.accesses += 1
+                ways2 = self._l2_sets[first & self._l2_mask]
+                if first in ways2:
+                    del ways2[first]
+                    ways2[first] = None
+                else:
+                    l2.misses += 1
+                    ways2[first] = None
+                    if len(ways2) > self._l2_assoc:
+                        for victim in ways2:
+                            break
+                        del ways2[victim]
+                    cycles += self._mem_lat
+            self._cycles = cycles
+            return
+        cycles = self._cycles
         l1 = self.l1
         l2 = self.l2
         tlb = self.tlb
-        l1_sets = l1._sets
-        l1_mask = l1.num_sets - 1
-        l1_assoc = l1.assoc
-        l2_sets = l2._sets
-        l2_mask = l2.num_sets - 1
-        l2_assoc = l2.assoc
-        tlb_pages = tlb._pages
-        tlb_entries = tlb.entries
-        page_delta = self._page_shift - shift
+        l1_sets = self._l1_sets
+        l1_mask = self._l1_mask
+        l1_assoc = self._l1_assoc
+        l2_sets = self._l2_sets
+        l2_mask = self._l2_mask
+        l2_assoc = self._l2_assoc
+        tlb_pages = self._tlb_pages
+        tlb_entries = self._tlb_entries
+        page_delta = self._page_delta
         last_page = self._last_page
-        l1_lat = self._l1_lat
+        tlb_penalty = self._tlb_penalty
+        prefetcher = self.prefetcher
+        l1_misses = 0
+        l2_accesses = 0
+        l2_misses = 0
+        tlb_accesses = 0
+        tlb_misses = 0
         l1.accesses += last - first + 1
         # Lines after the first in a contiguous access stream are
         # overlapped by the pipeline/prefetcher: their latencies are
-        # discounted by the architecture's stream factor.
-        stream = 1.0
+        # discounted by the architecture's stream factor.  The first
+        # line pays the full latencies; later lines pay the
+        # pre-multiplied streamed ones.
+        l1_cost = self._l1_lat
+        l2_cost = self._l2_lat
+        mem_cost = self._mem_lat
+        stream = self._stream
+        l1_cost_streamed = l1_cost * stream
+        l2_cost_streamed = l2_cost * stream
+        mem_cost_streamed = mem_cost * stream
         for line in range(first, last + 1):
             page = line >> page_delta
             if page != last_page:
                 last_page = page
-                tlb.accesses += 1
+                tlb_accesses += 1
                 if page in tlb_pages:
-                    if tlb_pages[0] != page:
-                        tlb_pages.remove(page)
-                        tlb_pages.insert(0, page)
+                    del tlb_pages[page]
+                    tlb_pages[page] = None
                 else:
-                    tlb.misses += 1
-                    tlb_pages.insert(0, page)
+                    tlb_misses += 1
+                    tlb_pages[page] = None
                     if len(tlb_pages) > tlb_entries:
-                        tlb_pages.pop()
-                    cycles += self._tlb_penalty
-            cycles += l1_lat * stream
+                        for victim in tlb_pages:
+                            break
+                        del tlb_pages[victim]
+                    cycles += tlb_penalty
+            cycles += l1_cost
             ways = l1_sets[line & l1_mask]
             if line in ways:
-                if ways[0] != line:
-                    ways.remove(line)
-                    ways.insert(0, line)
-                if self.prefetcher is not None:
-                    self.prefetcher.on_hit(line)
+                del ways[line]
+                ways[line] = None
+                if prefetcher is not None:
+                    prefetcher.on_hit(line)
             else:
-                l1.misses += 1
-                ways.insert(0, line)
+                l1_misses += 1
+                ways[line] = None
                 if len(ways) > l1_assoc:
-                    ways.pop()
-                if self.prefetcher is not None:
-                    for target in self.prefetcher.on_miss(line):
+                    for victim in ways:
+                        break
+                    del ways[victim]
+                if prefetcher is not None:
+                    for target in prefetcher.on_miss(line):
                         target_ways = l1_sets[target & l1_mask]
                         if target not in target_ways:
-                            target_ways.insert(0, target)
+                            target_ways[target] = None
                             if len(target_ways) > l1_assoc:
-                                target_ways.pop()
-                cycles += self._l2_lat * stream
-                l2.accesses += 1
+                                for victim in target_ways:
+                                    break
+                                del target_ways[victim]
+                cycles += l2_cost
+                l2_accesses += 1
                 ways2 = l2_sets[line & l2_mask]
                 if line in ways2:
-                    if ways2[0] != line:
-                        ways2.remove(line)
-                        ways2.insert(0, line)
+                    del ways2[line]
+                    ways2[line] = None
                 else:
-                    l2.misses += 1
-                    ways2.insert(0, line)
+                    l2_misses += 1
+                    ways2[line] = None
                     if len(ways2) > l2_assoc:
-                        ways2.pop()
-                    cycles += self._mem_lat * stream
-            stream = self._stream
+                        for victim in ways2:
+                            break
+                        del ways2[victim]
+                    cycles += mem_cost
+            l1_cost = l1_cost_streamed
+            l2_cost = l2_cost_streamed
+            mem_cost = mem_cost_streamed
+        if tlb_accesses:
+            tlb.accesses += tlb_accesses
+            tlb.misses += tlb_misses
+        if l1_misses:
+            l1.misses += l1_misses
+            l2.accesses += l2_accesses
+            l2.misses += l2_misses
         self._last_page = last_page
         self._cycles = cycles
 

@@ -1,4 +1,11 @@
-"""A small fully-associative data TLB with LRU replacement."""
+"""A small fully-associative data TLB with LRU replacement.
+
+Pages live in an insertion-ordered ``dict`` used as an ordered set (last
+key = most recently used, first key = eviction victim), so hit test,
+recency update, and eviction are all O(1).  Full associativity made the
+old list representation especially painful: every hit scanned up to
+``entries`` (64-256) page numbers.
+"""
 
 from __future__ import annotations
 
@@ -15,7 +22,7 @@ class TLB:
             raise ValueError("page_bytes must be a power of two")
         self.entries = entries
         self.page_bytes = page_bytes
-        self._pages: list[int] = []
+        self._pages: dict[int, None] = {}
         self.accesses = 0
         self.misses = 0
 
@@ -24,14 +31,15 @@ class TLB:
         self.accesses += 1
         pages = self._pages
         if page in pages:
-            if pages[0] != page:
-                pages.remove(page)
-                pages.insert(0, page)
+            del pages[page]
+            pages[page] = None  # move to most-recently-used position
             return True
         self.misses += 1
-        pages.insert(0, page)
+        pages[page] = None
         if len(pages) > self.entries:
-            pages.pop()
+            for victim in pages:  # first key = LRU victim
+                break
+            del pages[victim]
         return False
 
     def flush(self) -> None:

@@ -236,6 +236,7 @@ class BrainySuite:
               resume: bool = False,
               retry_policy: RetryPolicy | None = None,
               seed_budget_seconds: float | None = None,
+              jobs: int | None = None,
               ) -> "BrainySuite":
         """End-to-end training: Phase I + Phase II + ANN fit per group.
 
@@ -245,6 +246,11 @@ class BrainySuite:
         Completed phases leave ``complete=True`` checkpoints, so resume
         skips finished work.  Checkpoints are removed once the whole
         suite trains successfully.
+
+        ``jobs`` fans each phase's seeds out over that many worker
+        processes (``None`` reads ``REPRO_JOBS``, default serial); the
+        deterministic in-order merge keeps the trained suite identical
+        for any value.
         """
         config = config or GeneratorConfig()
         groups = list(groups) if groups is not None \
@@ -271,6 +277,7 @@ class BrainySuite:
                 checkpoint_every=checkpoint_every,
                 retry_policy=retry_policy,
                 seed_budget_seconds=seed_budget_seconds,
+                jobs=jobs,
             )
             training_set = run_phase2(
                 phase1, config, machine_config,
@@ -278,6 +285,7 @@ class BrainySuite:
                 checkpoint_every=checkpoint_every,
                 retry_policy=retry_policy,
                 seed_budget_seconds=seed_budget_seconds,
+                jobs=jobs,
             )
             suite.models[group.name] = BrainyModel.train(
                 training_set, hidden=hidden, seed=seed,

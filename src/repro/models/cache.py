@@ -109,10 +109,13 @@ def get_or_build_dataset(group_name: str,
                          machine_config: MachineConfig,
                          scale: ScaleParams | None = None,
                          config: GeneratorConfig | None = None,
-                         force: bool = False):
+                         force: bool = False,
+                         *,
+                         jobs: int | None = None):
     """Load (or run Phase I+II to build) one group's training set.
 
     A corrupt or schema-stale cached dataset is rebuilt, not raised.
+    ``jobs`` parallelises the build (``None`` reads ``REPRO_JOBS``).
     """
     from repro.containers.registry import MODEL_GROUPS
     from repro.training.dataset import TrainingSet
@@ -132,8 +135,8 @@ def get_or_build_dataset(group_name: str,
     group = MODEL_GROUPS[group_name]
     phase1 = run_phase1(group, config, machine_config,
                         per_class_target=scale.per_class_target,
-                        max_seeds=scale.max_seeds)
-    training_set = run_phase2(phase1, config, machine_config)
+                        max_seeds=scale.max_seeds, jobs=jobs)
+    training_set = run_phase2(phase1, config, machine_config, jobs=jobs)
     training_set.save(path)
     return training_set
 
@@ -144,13 +147,16 @@ def get_or_train_suite(machine_config: MachineConfig,
                        force: bool = False,
                        *,
                        checkpoint_every: int | None = None,
-                       resume: bool = False) -> BrainySuite:
+                       resume: bool = False,
+                       jobs: int | None = None) -> BrainySuite:
     """Load the cached suite for this machine/scale, training on a miss.
 
     A corrupt or schema-stale cached suite is retrained, not raised.
     ``checkpoint_every`` enables periodic training checkpoints under the
     cache's ``checkpoints/`` directory; ``resume=True`` continues an
-    interrupted training run from them.
+    interrupted training run from them.  ``jobs`` fans training seeds
+    out over worker processes (``None`` reads ``REPRO_JOBS``; the
+    trained suite is identical for any value).
     """
     scale = scale or current_scale()
     path = suite_path(machine_config, scale)
@@ -172,6 +178,7 @@ def get_or_train_suite(machine_config: MachineConfig,
         checkpoint_dir=ckpt_dir,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        jobs=jobs,
     )
     suite.save(path)
     return suite

@@ -33,8 +33,20 @@ from repro.runtime.faults import (
     run_guarded,
 )
 from repro.runtime.inject import FaultInjector, FaultPlan
+from repro.runtime.parallel import (
+    PoolExecutor,
+    SerialExecutor,
+    TaskFailure,
+    map_ordered,
+    resolve_jobs,
+)
 
 __all__ = [
+    "PoolExecutor",
+    "SerialExecutor",
+    "TaskFailure",
+    "map_ordered",
+    "resolve_jobs",
     "ArtifactCorrupt",
     "ArtifactError",
     "ArtifactMissing",

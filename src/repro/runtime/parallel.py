@@ -1,0 +1,242 @@
+"""Parallel seed fan-out: worker pools with deterministic ordered merge.
+
+Phase I/II outcomes are pure functions of their seed, which makes the
+training loops embarrassingly parallel — *except* that every consumer
+(class-count early stop, checkpoint prefixes, artifact bytes) depends on
+seeds being applied strictly in order.  The contract here keeps both
+properties:
+
+* **Dispatch is out-of-order**: tasks are fanned out to ``jobs`` worker
+  processes and complete in whatever order the scheduler likes.
+* **Consumption is in-order**: :func:`map_ordered` yields results in
+  submission order, so the merge loop downstream sees exactly the
+  sequence a serial run would have produced.  Artifacts are therefore
+  byte-identical for any ``jobs`` (proven by test), and checkpoints
+  always describe a completed-seed *prefix*.
+
+Executors are a seam: the default is a real ``multiprocessing`` pool for
+``jobs > 1`` and a zero-overhead in-process executor for ``jobs == 1``;
+tests and the fault-injection harness pass :class:`SerialExecutor`
+explicitly so stateful injected callables work under any ``jobs`` value.
+
+Worker processes are initialised deterministically (fixed ``random`` /
+NumPy global seeds, independent of ``PYTHONHASHSEED`` and of which
+worker picks up which task) and ignore SIGINT so an interrupt is handled
+solely by the parent, which flushes a checkpoint at the merged prefix.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import signal
+import warnings
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator
+
+#: Tasks kept in flight per worker: enough to hide scheduling latency,
+#: small enough to bound speculative work past an early-stop boundary.
+DEFAULT_WINDOW_PER_JOB = 4
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Resolve a ``jobs`` setting: explicit value, else ``REPRO_JOBS``,
+    else serial."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_JOBS={env!r} is not an integer"
+            ) from None
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+@dataclass
+class TaskFailure:
+    """Sentinel yielded when a task raised instead of returning.
+
+    Worker functions built on :func:`repro.runtime.faults.run_guarded`
+    convert expected per-seed failures into quarantine outcomes, so a
+    ``TaskFailure`` means the *infrastructure* failed (worker crash,
+    unpicklable payload, resource exhaustion).  The merge loop maps it
+    onto the fault taxonomy: transient → in-parent retry, deterministic
+    → quarantine.
+    """
+
+    task: Any
+    error: Exception
+
+
+class _LazyCall:
+    """A pending in-process call, evaluated at result-collection time.
+
+    Laziness matters: the serial executor must not do work for tasks the
+    merge loop never consumes (early stop), and an exception must surface
+    at the same loop position it would in a plain serial loop.
+    """
+
+    __slots__ = ("_fn", "_args")
+
+    def __init__(self, fn: Callable, args: tuple) -> None:
+        self._fn = fn
+        self._args = args
+
+    def get(self) -> Any:
+        return self._fn(*self._args)
+
+
+class SerialExecutor:
+    """In-process executor: the ``jobs=1`` path and the test seam.
+
+    Runs everything in the calling process, so stateful worker callables
+    (fault injectors, counters) behave exactly as in a serial loop.
+    """
+
+    in_process = True
+
+    def submit(self, fn: Callable, args: tuple) -> _LazyCall:
+        return _LazyCall(fn, args)
+
+    def shutdown(self) -> None:
+        pass
+
+
+def _pool_initializer() -> None:
+    """Deterministic, signal-safe worker start-up.
+
+    Seeds the global RNGs to a fixed value so any stray global-state use
+    in worker code is reproducible regardless of ``PYTHONHASHSEED``,
+    process spawn order, or which worker executes which seed (each
+    task's own RNG is derived from its seed and never touches these).
+    SIGINT is ignored so Ctrl-C is handled only by the parent, which
+    owns checkpoint flushing.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    import random
+
+    random.seed(0)
+    try:
+        import numpy as np
+
+        np.random.seed(0)
+    except ImportError:  # pragma: no cover - numpy is a hard dep
+        pass
+
+
+class PoolExecutor:
+    """``multiprocessing.Pool`` executor with deterministic worker init."""
+
+    in_process = False
+
+    def __init__(self, jobs: int) -> None:
+        import multiprocessing as mp
+
+        self._pool = mp.get_context().Pool(
+            processes=jobs, initializer=_pool_initializer
+        )
+
+    def submit(self, fn: Callable, args: tuple):
+        return self._pool.apply_async(fn, args)
+
+    def shutdown(self) -> None:
+        # terminate(), not close(): speculative tasks past an early-stop
+        # or interrupt boundary must not hold the parent hostage.
+        self._pool.terminate()
+        self._pool.join()
+
+
+def make_executor(jobs: int) -> SerialExecutor | PoolExecutor:
+    """The default executor for a ``jobs`` setting."""
+    if jobs <= 1:
+        return SerialExecutor()
+    return PoolExecutor(jobs)
+
+
+def require_picklable(obj: Any, what: str) -> None:
+    """Fail fast (with a useful message) on payloads a pool cannot ship."""
+    try:
+        pickle.dumps(obj)
+    except Exception as exc:
+        raise ValueError(
+            f"{what} is not picklable and cannot cross process "
+            f"boundaries ({exc}); use jobs=1 or pass an in-process "
+            "executor (e.g. repro.runtime.parallel.SerialExecutor)"
+        ) from exc
+
+
+def usable_jobs(worker: Callable, jobs: int, what: str) -> int:
+    """Clamp ``jobs`` to 1 when ``worker`` cannot cross a process boundary.
+
+    Injected seams (fault injectors, monkeypatched callables) are often
+    closures; rather than exploding deep inside the pool, degrade to the
+    in-process path with a warning — the results are byte-identical
+    either way, only slower.
+    """
+    if jobs <= 1:
+        return jobs
+    try:
+        pickle.dumps(worker)
+    except Exception as exc:
+        warnings.warn(
+            f"{what} is not picklable ({exc}); running serially instead "
+            f"of with jobs={jobs}",
+            RuntimeWarning, stacklevel=3,
+        )
+        return 1
+    return jobs
+
+
+def map_ordered(fn: Callable[[Any], Any],
+                tasks: Iterable[Any],
+                *,
+                jobs: int = 1,
+                window: int | None = None,
+                executor=None) -> Iterator[Any]:
+    """Yield ``fn(task)`` for every task, in task order.
+
+    Up to ``window`` tasks (default ``jobs * 4``) are in flight at once;
+    results are consumed strictly head-first, so the caller's merge loop
+    observes the serial sequence no matter how execution interleaves.
+    A task that raises yields a :class:`TaskFailure` in its slot instead
+    of aborting the stream; ``KeyboardInterrupt`` propagates immediately
+    (the generator's ``finally`` shuts the pool down).  Closing the
+    generator early (e.g. on an early-stop break) discards speculative
+    in-flight work.
+    """
+    own_executor = executor is None
+    if executor is None:
+        executor = make_executor(jobs)
+    if window is None:
+        window = max(2, jobs * DEFAULT_WINDOW_PER_JOB)
+    pending: deque[tuple[Any, Any]] = deque()
+    task_iter = iter(tasks)
+    exhausted = False
+    try:
+        while True:
+            while not exhausted and len(pending) < window:
+                try:
+                    task = next(task_iter)
+                except StopIteration:
+                    exhausted = True
+                    break
+                pending.append((task, executor.submit(fn, (task,))))
+            if not pending:
+                return
+            task, handle = pending.popleft()
+            try:
+                result = handle.get()
+            except KeyboardInterrupt:
+                raise
+            except Exception as exc:
+                result = TaskFailure(task, exc)
+            yield result
+    finally:
+        if own_executor:
+            executor.shutdown()

@@ -15,14 +15,19 @@ inside an error boundary (transient faults retried, pathological seeds
 quarantined into the result), periodic checkpoints capture the full loop
 state, and a ``KeyboardInterrupt`` flushes a checkpoint before
 surfacing as :class:`~repro.runtime.checkpoint.TrainingInterrupted`.
-Because seeds are processed strictly in order and each outcome is a pure
-function of its seed, an interrupted-and-resumed run produces a
-byte-identical result to an uninterrupted one.
+Because each outcome is a pure function of its seed and results are
+*merged* strictly in seed order, an interrupted-and-resumed run produces
+a byte-identical result to an uninterrupted one — and so does a parallel
+run: with ``jobs > 1`` seeds are fanned out out-of-order to a worker
+pool (:mod:`repro.runtime.parallel`) while the merge loop consumes them
+in order, so artifacts, checkpoints, and quarantine records are
+indistinguishable from a serial run's.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from pathlib import Path
 from typing import Callable
 
@@ -34,11 +39,19 @@ from repro.machine.configs import CORE2, MachineConfig
 from repro.runtime.artifacts import read_artifact, write_artifact
 from repro.runtime.checkpoint import Phase1Checkpoint, TrainingInterrupted
 from repro.runtime.faults import (
+    CATEGORY_TRANSIENT,
     QuarantineRecord,
     RetryPolicy,
     SeedQuarantined,
     WorkBudget,
+    classify,
     run_guarded,
+)
+from repro.runtime.parallel import (
+    TaskFailure,
+    map_ordered,
+    resolve_jobs,
+    usable_jobs,
 )
 
 PHASE1_ARTIFACT_KIND = "phase1-result"
@@ -123,6 +136,78 @@ class Phase1Result:
         return result
 
 
+@dataclass
+class SeedOutcome:
+    """The order-independent part of one Phase-I seed.
+
+    Exactly one of ``runtimes`` / ``quarantine`` is set.  This is what a
+    worker computes and ships back; everything order-dependent (margin
+    winner, class counts, early stop, checkpoints) happens in the merge
+    loop so that parallel and serial runs agree byte-for-byte.
+    """
+
+    seed: int
+    runtimes: dict[DSKind, int] | None = None
+    quarantine: QuarantineRecord | None = None
+
+
+def evaluate_seed(seed: int,
+                  group: ModelGroup,
+                  config: GeneratorConfig,
+                  machine_config: MachineConfig,
+                  retry_policy: RetryPolicy | None,
+                  seed_budget_seconds: float | None,
+                  generate_fn: Callable,
+                  measure_fn: Callable) -> SeedOutcome:
+    """Generate and measure one seed inside the per-seed error boundary.
+
+    Pure function of its arguments; safe to run in any process.  Used by
+    both the serial path and pool workers, which is what guarantees the
+    two produce identical outcomes.
+    """
+    budget = WorkBudget(seed_budget_seconds).start()
+    try:
+        app = run_guarded(
+            lambda: generate_fn(seed, group, config),
+            seed=seed, stage="generate", policy=retry_policy,
+            budget=budget,
+        )
+        runtimes = run_guarded(
+            lambda: measure_fn(app, machine_config),
+            seed=seed, stage="measure", policy=retry_policy,
+            budget=budget,
+        )
+    except SeedQuarantined as quarantine:
+        return SeedOutcome(seed=seed, quarantine=quarantine.record)
+    return SeedOutcome(seed=seed, runtimes=runtimes)
+
+
+def _recover_worker_crash(failure: TaskFailure,
+                          worker: Callable[[int], SeedOutcome],
+                          ) -> SeedOutcome:
+    """Map a pool-infrastructure failure onto the fault taxonomy.
+
+    A transient crash (lost worker, flaky resource) gets one in-parent
+    retry through the normal error boundary; a deterministic one is
+    quarantined directly — either way the run keeps going.
+    """
+    seed = failure.task
+    error = failure.error
+    attempts = 1
+    if classify(error) == CATEGORY_TRANSIENT:
+        try:
+            return worker(seed)
+        except KeyboardInterrupt:
+            raise
+        except Exception as retry_error:
+            error = retry_error
+            attempts = 2
+    return SeedOutcome(seed=seed, quarantine=QuarantineRecord(
+        seed=seed, stage="worker", category=classify(error),
+        error=f"{type(error).__name__}: {error}", attempts=attempts,
+    ))
+
+
 def _checkpoint_state(result: Phase1Result, counts: dict[DSKind, int],
                       seed_base: int, next_offset: int,
                       complete: bool) -> Phase1Checkpoint:
@@ -192,6 +277,9 @@ def run_phase1(group: ModelGroup,
                seed_budget_seconds: float | None = None,
                generate_fn: Callable | None = None,
                measure_fn: Callable | None = None,
+               jobs: int | None = None,
+               window: int | None = None,
+               executor=None,
                ) -> Phase1Result:
     """Algorithm 1: collect ``(seed, best DS)`` pairs for one model group.
 
@@ -221,11 +309,21 @@ def run_phase1(group: ModelGroup,
         Pluggable seams for the app generator and the candidate sweep
         (used by the fault-injection harness); defaults are the real
         :func:`generate_app` / :func:`measure_candidates`.
+    jobs / window / executor:
+        Seed fan-out (:mod:`repro.runtime.parallel`): ``jobs`` worker
+        processes evaluate seeds out-of-order while the merge loop folds
+        them in in seed order, keeping the result byte-identical to a
+        serial run.  ``jobs=None`` reads ``REPRO_JOBS``; ``window``
+        bounds in-flight speculation; ``executor`` overrides the pool
+        entirely (tests pass an in-process
+        :class:`~repro.runtime.parallel.SerialExecutor` so stateful
+        injected ``generate_fn``/``measure_fn`` work under any jobs).
     """
     if per_class_target <= 0:
         raise ValueError("per_class_target must be positive")
     if checkpoint_every is not None and checkpoint_path is None:
         raise ValueError("checkpoint_every requires checkpoint_path")
+    jobs = resolve_jobs(jobs)
     generate_fn = generate_fn or generate_app
     measure_fn = measure_fn or measure_candidates
 
@@ -246,54 +344,67 @@ def run_phase1(group: ModelGroup,
             _checkpoint_state(result, counts, seed_base, next_offset,
                               complete).save(checkpoint_path)
 
-    offset = start_offset
-    for offset in range(start_offset, max_seeds):
-        if all(count >= per_class_target for count in counts.values()):
-            break
-        seed = seed_base + offset
-        budget = WorkBudget(seed_budget_seconds).start()
-        try:
-            app = run_guarded(
-                lambda: generate_fn(seed, group, config),
-                seed=seed, stage="generate", policy=retry_policy,
-                budget=budget,
-            )
-            runtimes = run_guarded(
-                lambda: measure_fn(app, machine_config),
-                seed=seed, stage="measure", policy=retry_policy,
-                budget=budget,
-            )
-        except SeedQuarantined as quarantine:
+    worker = partial(
+        evaluate_seed,
+        group=group, config=config, machine_config=machine_config,
+        retry_policy=retry_policy,
+        seed_budget_seconds=seed_budget_seconds,
+        generate_fn=generate_fn, measure_fn=measure_fn,
+    )
+    if executor is None:
+        jobs = usable_jobs(worker, jobs, "the Phase-I seed worker")
+    outcomes = map_ordered(
+        worker,
+        (seed_base + off for off in range(start_offset, max_seeds)),
+        jobs=jobs, window=window, executor=executor,
+    )
+    try:
+        offset = start_offset
+        for offset in range(start_offset, max_seeds):
+            if all(count >= per_class_target
+                   for count in counts.values()):
+                break
+            seed = seed_base + offset
+            try:
+                outcome = next(outcomes)
+            except KeyboardInterrupt:
+                # State reflects only fully-applied seeds; resuming at
+                # ``offset`` replays nothing and skips nothing.
+                flush(next_offset=offset)
+                raise TrainingInterrupted(
+                    f"phase 1 interrupted at seed {seed}"
+                    + (f"; checkpoint at {checkpoint_path}"
+                       if checkpoint_path is not None else ""),
+                    checkpoint_path=(
+                        Path(checkpoint_path)
+                        if checkpoint_path is not None else None),
+                ) from None
+            if isinstance(outcome, TaskFailure):
+                outcome = _recover_worker_crash(outcome, worker)
             result.seeds_tried += 1
-            result.quarantined.append(quarantine.record)
-            continue
-        except KeyboardInterrupt:
-            # State reflects only fully-applied seeds; resuming at
-            # ``offset`` replays nothing and skips nothing.
-            flush(next_offset=offset)
-            raise TrainingInterrupted(
-                f"phase 1 interrupted at seed {seed}"
-                + (f"; checkpoint at {checkpoint_path}"
-                   if checkpoint_path is not None else ""),
-                checkpoint_path=(Path(checkpoint_path)
-                                 if checkpoint_path is not None else None),
-            ) from None
-        best = best_candidate(runtimes, margin=margin)
-        result.seeds_tried += 1
-        if best is None:
-            result.no_winner += 1
-        elif counts[best] >= per_class_target:
-            # Phase I's early filter (§4.3): extra applications for an
-            # already-full class are not handed to the expensive Phase II.
-            pass
-        else:
-            counts[best] += 1
-            result.records.append(SeedRecord(seed=seed, best=best,
-                                             runtimes=runtimes))
-            if progress is not None:
-                progress(seed, result)
-        if (checkpoint_every is not None
-                and (offset + 1 - start_offset) % checkpoint_every == 0):
-            flush(next_offset=offset + 1)
+            if outcome.quarantine is not None:
+                result.quarantined.append(outcome.quarantine)
+                continue
+            best = best_candidate(outcome.runtimes, margin=margin)
+            if best is None:
+                result.no_winner += 1
+            elif counts[best] >= per_class_target:
+                # Phase I's early filter (§4.3): extra applications for
+                # an already-full class are not handed to the expensive
+                # Phase II.
+                pass
+            else:
+                counts[best] += 1
+                result.records.append(
+                    SeedRecord(seed=seed, best=best,
+                               runtimes=outcome.runtimes))
+                if progress is not None:
+                    progress(seed, result)
+            if (checkpoint_every is not None
+                    and (offset + 1 - start_offset) % checkpoint_every
+                    == 0):
+                flush(next_offset=offset + 1)
+    finally:
+        outcomes.close()
     flush(next_offset=offset + 1, complete=True)
     return result

@@ -10,12 +10,17 @@ Like Phase I, the replay loop runs behind the :mod:`repro.runtime`
 error boundary: a failing record is retried (transient) or skipped and
 reported (deterministic) rather than aborting the phase, periodic
 checkpoints capture the rows emitted so far, and an interrupt flushes a
-checkpoint before raising :class:`TrainingInterrupted`.  Records are
-replayed strictly in order, so resume is deterministic.
+checkpoint before raising :class:`TrainingInterrupted`.  Replays are
+*merged* strictly in record order — with ``jobs > 1`` they execute
+out-of-order on a worker pool (:mod:`repro.runtime.parallel`) — so
+resume is deterministic and the training set is byte-identical for any
+``jobs`` value.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Callable
 
@@ -27,11 +32,19 @@ from repro.containers.registry import ModelGroup
 from repro.machine.configs import CORE2, MachineConfig
 from repro.runtime.checkpoint import Phase2Checkpoint, TrainingInterrupted
 from repro.runtime.faults import (
+    CATEGORY_TRANSIENT,
     QuarantineRecord,
     RetryPolicy,
     SeedQuarantined,
     WorkBudget,
+    classify,
     run_guarded,
+)
+from repro.runtime.parallel import (
+    TaskFailure,
+    map_ordered,
+    resolve_jobs,
+    usable_jobs,
 )
 from repro.training.dataset import TrainingSet
 from repro.training.phase1 import Phase1Result
@@ -66,6 +79,72 @@ def _restore_checkpoint(checkpoint: Phase2Checkpoint | str | Path,
     return checkpoint.next_index, checkpoint.complete
 
 
+@dataclass
+class ReplayOutcome:
+    """The order-independent part of one Phase-II replay.
+
+    Exactly one of ``features`` / ``quarantine`` is set; labelling and
+    row order stay in the merge loop.
+    """
+
+    seed: int
+    features: np.ndarray | None = None
+    quarantine: QuarantineRecord | None = None
+
+
+def replay_seed(seed: int,
+                group: ModelGroup,
+                config: GeneratorConfig,
+                machine_config: MachineConfig,
+                retry_policy: RetryPolicy | None,
+                seed_budget_seconds: float | None,
+                generate_fn: Callable) -> ReplayOutcome:
+    """Regenerate one app and profile it on the group's original kind.
+
+    Pure function of its arguments; shared by the serial path and pool
+    workers.  The feature vector is extracted worker-side so only a
+    small array crosses the process boundary.
+    """
+    budget = WorkBudget(seed_budget_seconds).start()
+    try:
+        app = run_guarded(
+            lambda: generate_fn(seed, group, config),
+            seed=seed, stage="generate", policy=retry_policy,
+            budget=budget,
+        )
+        run = run_guarded(
+            lambda: app.run(group.original, machine_config,
+                            instrument=True),
+            seed=seed, stage="replay", policy=retry_policy,
+            budget=budget,
+        )
+    except SeedQuarantined as quarantine:
+        return ReplayOutcome(seed=seed, quarantine=quarantine.record)
+    return ReplayOutcome(seed=seed, features=run.features())
+
+
+def _recover_worker_crash(failure: TaskFailure,
+                          worker: Callable[[int], ReplayOutcome],
+                          ) -> ReplayOutcome:
+    """Same taxonomy mapping as Phase I: transient crash → one in-parent
+    retry, deterministic crash → quarantine."""
+    seed = failure.task
+    error = failure.error
+    attempts = 1
+    if classify(error) == CATEGORY_TRANSIENT:
+        try:
+            return worker(seed)
+        except KeyboardInterrupt:
+            raise
+        except Exception as retry_error:
+            error = retry_error
+            attempts = 2
+    return ReplayOutcome(seed=seed, quarantine=QuarantineRecord(
+        seed=seed, stage="worker", category=classify(error),
+        error=f"{type(error).__name__}: {error}", attempts=attempts,
+    ))
+
+
 def run_phase2(phase1: Phase1Result,
                config: GeneratorConfig,
                machine_config: MachineConfig = CORE2,
@@ -77,10 +156,14 @@ def run_phase2(phase1: Phase1Result,
                seed_budget_seconds: float | None = None,
                generate_fn: Callable | None = None,
                on_fault: Callable[[QuarantineRecord], None] | None = None,
+               jobs: int | None = None,
+               window: int | None = None,
+               executor=None,
                ) -> TrainingSet:
     """Algorithm 2: build the training set from recorded seed/DS pairs.
 
-    ``resume_from`` / ``checkpoint_path`` / ``checkpoint_every`` mirror
+    ``resume_from`` / ``checkpoint_path`` / ``checkpoint_every`` and
+    ``jobs`` / ``window`` / ``executor`` mirror
     :func:`repro.training.phase1.run_phase1`.  A record whose replay
     fails deterministically is skipped (reported through ``on_fault``)
     instead of aborting the phase.
@@ -93,6 +176,7 @@ def run_phase2(phase1: Phase1Result,
         )
     if checkpoint_every is not None and checkpoint_path is None:
         raise ValueError("checkpoint_every requires checkpoint_path")
+    jobs = resolve_jobs(jobs)
     generate_fn = generate_fn or generate_app
     train_set = TrainingSet(
         group_name=group.name,
@@ -121,39 +205,50 @@ def run_phase2(phase1: Phase1Result,
                 complete=complete,
             ).save(checkpoint_path)
 
-    index = start_index
-    for index in range(start_index, len(phase1.records)):
-        record = phase1.records[index]
-        budget = WorkBudget(seed_budget_seconds).start()
-        try:
-            app = run_guarded(
-                lambda: generate_fn(record.seed, group, config),
-                seed=record.seed, stage="generate", policy=retry_policy,
-                budget=budget,
-            )
-            run = run_guarded(
-                lambda: app.run(group.original, machine_config,
-                                instrument=True),
-                seed=record.seed, stage="replay", policy=retry_policy,
-                budget=budget,
-            )
-        except SeedQuarantined as quarantine:
-            if on_fault is not None:
-                on_fault(quarantine.record)
-            continue
-        except KeyboardInterrupt:
-            flush(next_index=index)
-            raise TrainingInterrupted(
-                f"phase 2 interrupted at record {index} "
-                f"(seed {record.seed})"
-                + (f"; checkpoint at {checkpoint_path}"
-                   if checkpoint_path is not None else ""),
-                checkpoint_path=(Path(checkpoint_path)
-                                 if checkpoint_path is not None else None),
-            ) from None
-        train_set.add(run.features(), record.best, record.seed)
-        if (checkpoint_every is not None
-                and (index + 1 - start_index) % checkpoint_every == 0):
-            flush(next_index=index + 1)
+    worker = partial(
+        replay_seed,
+        group=group, config=config, machine_config=machine_config,
+        retry_policy=retry_policy,
+        seed_budget_seconds=seed_budget_seconds,
+        generate_fn=generate_fn,
+    )
+    if executor is None:
+        jobs = usable_jobs(worker, jobs, "the Phase-II replay worker")
+    outcomes = map_ordered(
+        worker,
+        (phase1.records[i].seed
+         for i in range(start_index, len(phase1.records))),
+        jobs=jobs, window=window, executor=executor,
+    )
+    try:
+        index = start_index
+        for index in range(start_index, len(phase1.records)):
+            record = phase1.records[index]
+            try:
+                outcome = next(outcomes)
+            except KeyboardInterrupt:
+                flush(next_index=index)
+                raise TrainingInterrupted(
+                    f"phase 2 interrupted at record {index} "
+                    f"(seed {record.seed})"
+                    + (f"; checkpoint at {checkpoint_path}"
+                       if checkpoint_path is not None else ""),
+                    checkpoint_path=(
+                        Path(checkpoint_path)
+                        if checkpoint_path is not None else None),
+                ) from None
+            if isinstance(outcome, TaskFailure):
+                outcome = _recover_worker_crash(outcome, worker)
+            if outcome.quarantine is not None:
+                if on_fault is not None:
+                    on_fault(outcome.quarantine)
+                continue
+            train_set.add(outcome.features, record.best, record.seed)
+            if (checkpoint_every is not None
+                    and (index + 1 - start_index) % checkpoint_every
+                    == 0):
+                flush(next_index=index + 1)
+    finally:
+        outcomes.close()
     flush(next_index=index + 1, complete=True)
     return train_set

@@ -146,9 +146,14 @@ class TestWorkloadHelpers:
         assert best_candidate(runtimes, margin=0.03) == DSKind.VECTOR
         assert best_candidate(runtimes, margin=0.0) == DSKind.VECTOR
 
-    def test_best_candidate_needs_two(self):
+    def test_best_candidate_single_kind_wins(self):
+        # A one-candidate group has nothing to out-run: its kind wins.
+        assert best_candidate({DSKind.VECTOR: 10}) == DSKind.VECTOR
+        assert best_candidate({DSKind.LIST: 0}) == DSKind.LIST
+
+    def test_best_candidate_empty_is_error(self):
         with pytest.raises(ValueError):
-            best_candidate({DSKind.VECTOR: 10})
+            best_candidate({})
 
     def test_best_candidate_must_beat_all(self):
         runtimes = {DSKind.VECTOR: 100, DSKind.LIST: 103,
