@@ -116,9 +116,13 @@ def cmd_advise(args: argparse.Namespace) -> int:
         print(f"error: unknown input {input_name!r}; choose from {inputs}",
               file=sys.stderr)
         return 2
-    suite = get_or_train_suite(machine, _scale(args.scale))
+    if args.jobs is not None and args.jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    suite = get_or_train_suite(machine, _scale(args.scale),
+                               jobs=args.jobs)
     advisor = BrainyAdvisor(suite)
-    report = advisor.advise_app(app_cls(input_name), machine)
+    report = advisor.advise_app(app_cls(input_name), machine,
+                                batched=not args.per_record)
     print(report.format())
     return 0
 
@@ -155,7 +159,10 @@ def cmd_appgen(args: argparse.Namespace) -> int:
 def cmd_validate(args: argparse.Namespace) -> int:
     machine = _machine(args.machine)
     config = _load_generator_config(args.config)
-    suite = get_or_train_suite(machine, _scale(args.scale))
+    if args.jobs is not None and args.jobs < 1:
+        raise CLIError("--jobs must be >= 1")
+    suite = get_or_train_suite(machine, _scale(args.scale),
+                               jobs=args.jobs)
     group = _model_group(args.group)
     outcome = validate_model(suite[group.name], group, config, machine,
                              args.apps, seed_base=args.seed_base)
@@ -200,6 +207,14 @@ def build_parser() -> argparse.ArgumentParser:
                         default="core2")
     advise.add_argument("--scale", choices=sorted(SCALES),
                         default="small")
+    advise.add_argument("--jobs", type=int, metavar="N",
+                        help="worker processes if the suite must be "
+                             "trained first (default: REPRO_JOBS or "
+                             "serial)")
+    advise.add_argument("--per-record", action="store_true",
+                        help="use record-at-a-time model inference "
+                             "instead of the batched per-group path "
+                             "(identical report, slower)")
     advise.set_defaults(fn=cmd_advise)
 
     census = sub.add_parser("census", help="Figure 2 container census")
@@ -229,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     validate.add_argument("--apps", type=int, default=40)
     validate.add_argument("--seed-base", type=int, default=500_000)
     validate.add_argument("--config", help="Table 2 configuration file")
+    validate.add_argument("--jobs", type=int, metavar="N",
+                          help="worker processes if the suite must be "
+                               "trained first (default: REPRO_JOBS or "
+                               "serial)")
     validate.set_defaults(fn=cmd_validate)
 
     return parser

@@ -114,9 +114,23 @@ class BrainyAdvisor:
         return suggested
 
     def advise_trace(self, trace: TraceSet,
-                     keyed_contexts: frozenset[str] = frozenset()
-                     ) -> Report:
-        """Turn a profiled run's trace into a prioritised report."""
+                     keyed_contexts: frozenset[str] = frozenset(),
+                     *, batched: bool = True) -> Report:
+        """Turn a profiled run's trace into a prioritised report.
+
+        The default ``batched`` path groups records by model group and
+        runs one vectorized forward pass per group (with legality masks
+        precomputed per distinct usage shape) — the Report is identical
+        to the record-at-a-time reference path, which
+        ``batched=False`` keeps for comparison and debugging.
+        """
+        if batched:
+            return self._advise_batched(trace, keyed_contexts)
+        return self._advise_sequential(trace, keyed_contexts)
+
+    def _advise_sequential(self, trace: TraceSet,
+                           keyed_contexts: frozenset[str]) -> Report:
+        """Record-at-a-time inference: the batched path's reference."""
         report = Report(program_cycles=trace.program_cycles)
         for record in trace:
             keyed = record.context in keyed_contexts or getattr(
@@ -140,30 +154,108 @@ class BrainyAdvisor:
             if keyed:
                 suggested = as_map_kind(suggested)
             report.suggestions.append(
-                Suggestion(
-                    context=record.context,
-                    original=record.kind,
-                    suggested=suggested,
-                    relative_time=record.relative_time(
-                        trace.program_cycles
-                    ),
-                    order_oblivious=record.order_oblivious,
-                    keyed=keyed,
-                    allocated_bytes=record.allocated_bytes,
-                    degraded=degraded,
-                )
+                self._suggestion(record, suggested, keyed,
+                                 trace.program_cycles, degraded)
             )
         return report
 
+    def _advise_batched(self, trace: TraceSet,
+                        keyed_contexts: frozenset[str]) -> Report:
+        """One vectorized ``predict_proba`` per model group.
+
+        Per-record work is reduced to routing and mask lookup; the
+        scaler pass, the network forward pass, and the legality-masked
+        argmax all run once per group over a stacked feature matrix.
+        Suggestions are emitted in trace order, so the Report is
+        identical to :meth:`_advise_sequential`'s.
+        """
+        report = Report(program_cycles=trace.program_cycles)
+        # (record, group_name, legal, keyed, degraded) in trace order.
+        pending = []
+        for record in trace:
+            if record.kind not in _ADVISABLE:
+                continue
+            keyed = record.context in keyed_contexts or getattr(
+                record, "keyed", False
+            )
+            group = model_group_for(record.kind, record.order_oblivious)
+            legal = candidates_for(record.kind, record.order_oblivious)
+            degraded = (group.name not in self.suite.models
+                        or group.name in self.suite.degraded)
+            if degraded:
+                report.degraded_groups.add(group.name)
+            pending.append((record, group.name, legal, keyed, degraded))
+
+        suggested: list[DSKind | None] = [None] * len(pending)
+        by_group: dict[str, list[int]] = {}
+        for slot, (record, group_name, legal, _, degraded) in \
+                enumerate(pending):
+            if degraded:
+                suggested[slot] = self._baseline_suggest(
+                    record.kind, record.features, legal
+                )
+            else:
+                by_group.setdefault(group_name, []).append(slot)
+
+        for group_name, slots in by_group.items():
+            model = self.suite[group_name]
+            # Legality depends only on (kind, order-obliviousness), so
+            # each distinct usage shape pays for one mask, not one per
+            # record.
+            mask_cache: dict[tuple[DSKind, bool], np.ndarray] = {}
+            masks = np.empty((len(slots), len(model.classes)),
+                             dtype=bool)
+            rows = np.empty((len(slots), len(FEATURE_NAMES)))
+            for row, slot in enumerate(slots):
+                record, _, legal, _, _ = pending[slot]
+                usage = (record.kind, record.order_oblivious)
+                mask = mask_cache.get(usage)
+                if mask is None:
+                    mask = model.legal_mask(legal)
+                    mask_cache[usage] = mask
+                masks[row] = mask
+                rows[row] = np.asarray(record.features,
+                                       dtype=np.float64).reshape(-1)
+            kinds = model.predict_kinds(rows, legal_masks=masks)
+            for slot, kind in zip(slots, kinds):
+                suggested[slot] = kind
+
+        for slot, (record, _, _, keyed, degraded) in enumerate(pending):
+            kind = suggested[slot]
+            if keyed:
+                kind = as_map_kind(kind)
+            report.suggestions.append(
+                self._suggestion(record, kind, keyed,
+                                 trace.program_cycles, degraded)
+            )
+        return report
+
+    @staticmethod
+    def _suggestion(record, suggested: DSKind, keyed: bool,
+                    program_cycles: int, degraded: bool) -> Suggestion:
+        return Suggestion(
+            context=record.context,
+            original=record.kind,
+            suggested=suggested,
+            relative_time=record.relative_time(program_cycles),
+            order_oblivious=record.order_oblivious,
+            keyed=keyed,
+            allocated_bytes=record.allocated_bytes,
+            degraded=degraded,
+        )
+
     def advise_app(self, app: CaseStudyApp,
-                   machine_config: MachineConfig) -> Report:
+                   machine_config: MachineConfig,
+                   *, batched: bool = True) -> Report:
         """Profile a case-study app with its baseline containers and
         report replacements."""
         result = run_case_study(app, machine_config, instrument=True)
-        return self.advise_result(app, result)
+        return self.advise_result(app, result, batched=batched)
 
-    def advise_result(self, app: CaseStudyApp, result: AppResult) -> Report:
+    def advise_result(self, app: CaseStudyApp, result: AppResult,
+                      *, batched: bool = True) -> Report:
         keyed = frozenset(
             f"{app.name}:{site.name}" for site in app.sites() if site.keyed
         )
-        return self.advise_trace(result.trace(), keyed_contexts=keyed)
+        return self.advise_trace(result.trace(), keyed_contexts=keyed,
+                                 batched=batched)

@@ -84,26 +84,45 @@ class NeuralNetwork:
             activations.append(out)
         return activations
 
-    def _gradients(self, X: np.ndarray, Y: np.ndarray
+    def _make_buffers(self) -> tuple[list[np.ndarray], list[np.ndarray],
+                                     list[np.ndarray]]:
+        """Reusable ``(grad_w, grad_b, scratch_w)`` gradient buffers."""
+        return ([np.empty_like(W) for W in self.weights],
+                [np.empty_like(b) for b in self.biases],
+                [np.empty_like(W) for W in self.weights])
+
+    def _gradients(self, X: np.ndarray, Y: np.ndarray, out=None
                    ) -> tuple[list[np.ndarray], list[np.ndarray], float]:
-        """Cross-entropy gradients for one batch; returns (dW, db, loss)."""
+        """Cross-entropy gradients for one batch; returns (dW, db, loss).
+
+        With ``out`` set to :meth:`_make_buffers` output, gradients are
+        written in place into those preallocated arrays — the fit loop's
+        fused path, which avoids reallocating every weight-shaped array
+        once per batch.
+        """
         activations = self._forward(X)
         probs = activations[-1]
         n = len(X)
         loss = -np.sum(Y * np.log(probs + 1e-12)) / n
-        loss += 0.5 * self.l2 * sum(np.sum(W * W) for W in self.weights)
 
-        grad_w = [np.zeros_like(W) for W in self.weights]
-        grad_b = [np.zeros_like(b) for b in self.biases]
+        grad_w, grad_b, scratch_w = out if out is not None \
+            else self._make_buffers()
+        l2 = self.l2
+        reg = 0.0
         # Softmax + cross-entropy: delta = probs - targets.
         delta = (probs - Y) / n
         for i in range(len(self.weights) - 1, -1, -1):
-            grad_w[i] = activations[i].T @ delta + self.l2 * self.weights[i]
-            grad_b[i] = delta.sum(axis=0)
+            W = self.weights[i]
+            flat = W.ravel()
+            reg += flat @ flat
+            np.matmul(activations[i].T, delta, out=grad_w[i])
+            np.multiply(W, l2, out=scratch_w[i])
+            grad_w[i] += scratch_w[i]
+            delta.sum(axis=0, out=grad_b[i])
             if i > 0:
                 # tanh'(z) expressed through the activation itself.
-                delta = (delta @ self.weights[i].T) * (1 - activations[i] ** 2)
-        return grad_w, grad_b, loss
+                delta = (delta @ W.T) * (1 - activations[i] ** 2)
+        return grad_w, grad_b, loss + 0.5 * l2 * reg
 
     # -- training -------------------------------------------------------------
 
@@ -125,6 +144,13 @@ class NeuralNetwork:
         rng = np.random.default_rng(self.seed + 1)
         velocity_w = [np.zeros_like(W) for W in self.weights]
         velocity_b = [np.zeros_like(b) for b in self.biases]
+        # Gradient buffers are allocated once and reused for every batch;
+        # the momentum update below is fused in place (the gradient
+        # buffer doubles as the scaled-step scratch), so the per-batch
+        # loop allocates no weight-shaped arrays at all.
+        buffers = self._make_buffers()
+        lr = self.learning_rate
+        momentum = self.momentum
 
         best_score = -np.inf
         best_params: tuple[list[np.ndarray], list[np.ndarray]] | None = None
@@ -137,16 +163,21 @@ class NeuralNetwork:
             batches = 0
             for start in range(0, len(X), self.batch_size):
                 idx = order[start:start + self.batch_size]
-                grad_w, grad_b, loss = self._gradients(X[idx], Y[idx])
+                grad_w, grad_b, loss = self._gradients(X[idx], Y[idx],
+                                                       out=buffers)
                 epoch_loss += loss
                 batches += 1
                 for i in range(len(self.weights)):
-                    velocity_w[i] = (self.momentum * velocity_w[i]
-                                     - self.learning_rate * grad_w[i])
-                    velocity_b[i] = (self.momentum * velocity_b[i]
-                                     - self.learning_rate * grad_b[i])
-                    self.weights[i] += velocity_w[i]
-                    self.biases[i] += velocity_b[i]
+                    vel_w, step_w = velocity_w[i], grad_w[i]
+                    vel_w *= momentum
+                    np.multiply(step_w, lr, out=step_w)
+                    vel_w -= step_w
+                    self.weights[i] += vel_w
+                    vel_b, step_b = velocity_b[i], grad_b[i]
+                    vel_b *= momentum
+                    np.multiply(step_b, lr, out=step_b)
+                    vel_b -= step_b
+                    self.biases[i] += vel_b
             self.loss_history_.append(epoch_loss / max(1, batches))
 
             if validation is not None and self.patience is not None:
@@ -187,11 +218,51 @@ class NeuralNetwork:
 
     @classmethod
     def from_state(cls, state: dict) -> "NeuralNetwork":
-        net = cls(state["layer_sizes"])
-        net.weights = [np.asarray(W, dtype=np.float64)
-                       for W in state["weights"]]
-        net.biases = [np.asarray(b, dtype=np.float64)
-                      for b in state["biases"]]
+        """Restore a network, validating every restored shape.
+
+        A checksum only proves the artifact bytes are intact, not that
+        they are consistent: a shape-corrupt ``weights``/``biases``
+        entry would otherwise surface as a cryptic matmul error at
+        predict time.  Every mismatch raises a :class:`ValueError`
+        naming the offending artifact field.
+        """
+        layer_sizes = list(state["layer_sizes"])
+        net = cls(layer_sizes)
+        n_matrices = len(layer_sizes) - 1
+        for name in ("weights", "biases"):
+            if len(state[name]) != n_matrices:
+                raise ValueError(
+                    f"artifact field {name!r} has {len(state[name])} "
+                    f"entries; layer_sizes {layer_sizes} requires "
+                    f"{n_matrices}"
+                )
+        weights: list[np.ndarray] = []
+        biases: list[np.ndarray] = []
+        for i, (fan_in, fan_out) in enumerate(zip(layer_sizes,
+                                                  layer_sizes[1:])):
+            try:
+                W = np.asarray(state["weights"][i], dtype=np.float64)
+                b = np.asarray(state["biases"][i], dtype=np.float64)
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"artifact fields 'weights[{i}]'/'biases[{i}]' are "
+                    f"not rectangular numeric arrays ({exc})"
+                ) from None
+            if W.shape != (fan_in, fan_out):
+                raise ValueError(
+                    f"artifact field 'weights[{i}]' has shape {W.shape}; "
+                    f"layer_sizes {layer_sizes} requires "
+                    f"({fan_in}, {fan_out})"
+                )
+            if b.shape != (fan_out,):
+                raise ValueError(
+                    f"artifact field 'biases[{i}]' has shape {b.shape}; "
+                    f"layer_sizes {layer_sizes} requires ({fan_out},)"
+                )
+            weights.append(W)
+            biases.append(b)
+        net.weights = weights
+        net.biases = biases
         return net
 
     # -- testing hook ---------------------------------------------------------

@@ -7,6 +7,15 @@ impact.  Fitness of a chromosome is the validation accuracy of a model
 trained on the weighted feature matrix; tournament selection, uniform
 crossover and Gaussian mutation evolve the population, mutation keeping
 the search out of local optima.
+
+Fitness evaluation dominates a GA run — each call trains a full model —
+and the population's fitness calls are independent, so :meth:`run` can
+fan each generation out over a worker pool
+(:mod:`repro.runtime.parallel`).  Every RNG draw (initial population,
+tournament picks, crossover masks, mutation noise) happens in the parent
+process, and fitness values are merged back in chromosome order, so the
+chromosomes, the history, and the winning weights are byte-identical to
+a serial run for any ``jobs`` value.
 """
 
 from __future__ import annotations
@@ -15,6 +24,13 @@ from dataclasses import dataclass
 from typing import Callable
 
 import numpy as np
+
+from repro.runtime.parallel import (
+    make_executor,
+    map_retry,
+    resolve_jobs,
+    usable_jobs,
+)
 
 FitnessFn = Callable[[np.ndarray], float]
 
@@ -51,6 +67,17 @@ class GeneticFeatureSelector:
             raise ValueError("feature_names length must match n_features")
         if population < 2:
             raise ValueError("population must be at least 2")
+        if tournament < 1:
+            raise ValueError("tournament size must be at least 1")
+        if tournament > population:
+            # Tournament contenders are drawn without replacement, so an
+            # oversized tournament would only explode generations later
+            # inside rng.choice — reject it up front.
+            raise ValueError(
+                f"tournament size {tournament} exceeds the population "
+                f"size {population}; contenders are drawn without "
+                "replacement"
+            )
         if elitism >= population:
             raise ValueError("elitism must leave room for offspring")
         self.n_features = n_features
@@ -81,26 +108,60 @@ class GeneticFeatureSelector:
         noise = self.rng.normal(0.0, self.mutation_sigma, self.n_features)
         return np.clip(chromosome + mask * noise, 0.0, 1.0)
 
-    def run(self, fitness_fn: FitnessFn) -> GAResult:
+    def run(self, fitness_fn: FitnessFn, *,
+            jobs: int | None = None,
+            window: int | None = None,
+            executor=None) -> GAResult:
         """Evolve weights; ``fitness_fn(weights)`` must return a score to
         maximise (e.g. validation accuracy of a model trained on
-        ``X * weights``)."""
-        pop = self.rng.random((self.population_size, self.n_features))
-        # Seed one all-ones chromosome so "use everything" is in the pool.
-        pop[0] = 1.0
-        fitnesses = np.array([fitness_fn(ch) for ch in pop])
-        history = [float(fitnesses.max())]
+        ``X * weights``).
 
-        for _ in range(self.generations):
-            order = np.argsort(-fitnesses)
-            next_pop = [pop[i].copy() for i in order[:self.elitism]]
-            while len(next_pop) < self.population_size:
-                a = pop[self._tournament_pick(fitnesses)]
-                b = pop[self._tournament_pick(fitnesses)]
-                next_pop.append(self._mutate(self._crossover(a, b)))
-            pop = np.asarray(next_pop)
-            fitnesses = np.array([fitness_fn(ch) for ch in pop])
-            history.append(float(fitnesses.max()))
+        ``jobs`` fans each generation's fitness evaluations out over a
+        worker pool (``None`` reads ``REPRO_JOBS``, default serial).
+        The evolutionary loop — and every RNG draw — stays in the
+        parent, so the result is byte-identical for any ``jobs`` value;
+        a worker-side failure is re-evaluated once in the parent before
+        propagating.  ``executor`` overrides the pool (tests pass an
+        in-process executor so stateful fitness seams work under any
+        ``jobs``); ``window`` bounds in-flight speculation.
+        """
+        jobs = resolve_jobs(jobs)
+        if executor is None:
+            jobs = usable_jobs(fitness_fn, jobs, "the GA fitness function")
+        own_executor = executor is None
+        if own_executor:
+            executor = make_executor(jobs)
+
+        def evaluate(population: np.ndarray) -> np.ndarray:
+            # Dispatch is out-of-order across the pool; the merge is in
+            # chromosome order, so this is exactly the serial
+            # ``[fitness_fn(ch) for ch in population]``.
+            return np.array(list(map_retry(
+                fitness_fn, list(population),
+                jobs=jobs, window=window, executor=executor,
+            )), dtype=np.float64)
+
+        try:
+            pop = self.rng.random((self.population_size, self.n_features))
+            # Seed one all-ones chromosome so "use everything" is in
+            # the pool.
+            pop[0] = 1.0
+            fitnesses = evaluate(pop)
+            history = [float(fitnesses.max())]
+
+            for _ in range(self.generations):
+                order = np.argsort(-fitnesses)
+                next_pop = [pop[i].copy() for i in order[:self.elitism]]
+                while len(next_pop) < self.population_size:
+                    a = pop[self._tournament_pick(fitnesses)]
+                    b = pop[self._tournament_pick(fitnesses)]
+                    next_pop.append(self._mutate(self._crossover(a, b)))
+                pop = np.asarray(next_pop)
+                fitnesses = evaluate(pop)
+                history.append(float(fitnesses.max()))
+        finally:
+            if own_executor:
+                executor.shutdown()
 
         best = int(np.argmax(fitnesses))
         return GAResult(

@@ -10,6 +10,7 @@ training run can be reused.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from pathlib import Path
 from typing import Iterable
 
@@ -33,7 +34,9 @@ from repro.runtime.artifacts import (
     read_artifact,
     write_artifact,
 )
+from repro.runtime.checkpoint import TrainingInterrupted
 from repro.runtime.faults import RetryPolicy
+from repro.runtime.parallel import map_retry, resolve_jobs, usable_jobs
 from repro.training.dataset import TrainingSet
 from repro.training.phase1 import run_phase1
 from repro.training.phase2 import run_phase2
@@ -101,7 +104,13 @@ class BrainyModel:
         if feature_mask is not None:
             mask = np.zeros(len(FEATURE_NAMES))
             for name in feature_mask:
-                mask[FEATURE_NAMES.index(name)] = 1.0
+                try:
+                    mask[FEATURE_NAMES.index(name)] = 1.0
+                except ValueError:
+                    raise ValueError(
+                        f"unknown feature name {name!r} in feature_mask; "
+                        f"valid features: {', '.join(FEATURE_NAMES)}"
+                    ) from None
             weights = weights * mask
 
         scaler = StandardScaler().fit(training_set.X)
@@ -136,6 +145,22 @@ class BrainyModel:
         X = self.scaler.transform(X) * self.feature_weights
         return self.network.predict_proba(X)
 
+    def legal_mask(self, legal: Iterable[DSKind]) -> np.ndarray:
+        """Boolean mask over :attr:`classes` for a legal-kind subset.
+
+        Precomputable: the mask depends only on the legal set, so the
+        batched advisor builds it once per distinct usage shape instead
+        of once per record.
+        """
+        allowed = set(legal)
+        unknown = allowed.difference(self.classes)
+        if unknown:
+            raise ValueError(f"legal kinds not in model: {unknown}")
+        mask = np.array([kind in allowed for kind in self.classes])
+        if not mask.any():
+            raise ValueError("legal mask excludes every class")
+        return mask
+
     def predict_kind(self, features: np.ndarray,
                      legal: Iterable[DSKind] | None = None) -> DSKind:
         """Best class; optionally restricted to a legal subset.
@@ -146,15 +171,30 @@ class BrainyModel:
         """
         probs = self.predict_proba(features)[0]
         if legal is not None:
-            allowed = set(legal)
-            unknown = allowed.difference(self.classes)
-            if unknown:
-                raise ValueError(f"legal kinds not in model: {unknown}")
-            mask = np.array([kind in allowed for kind in self.classes])
-            if not mask.any():
-                raise ValueError("legal mask excludes every class")
-            probs = np.where(mask, probs, -np.inf)
+            probs = np.where(self.legal_mask(legal), probs, -np.inf)
         return self.classes[int(np.argmax(probs))]
+
+    def predict_kinds(self, features: np.ndarray,
+                      legal_masks: np.ndarray | None = None
+                      ) -> list[DSKind]:
+        """Batched :meth:`predict_kind`: one scaler pass and one network
+        forward pass for a whole stack of feature vectors.
+
+        ``legal_masks`` is an optional ``(n_rows, n_classes)`` boolean
+        matrix (rows from :meth:`legal_mask`) applied before the per-row
+        argmax.
+        """
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        probs = self.predict_proba(features)
+        if legal_masks is not None:
+            legal_masks = np.asarray(legal_masks, dtype=bool)
+            if legal_masks.shape != probs.shape:
+                raise ValueError(
+                    f"legal_masks shape {legal_masks.shape} does not "
+                    f"match probabilities shape {probs.shape}"
+                )
+            probs = np.where(legal_masks, probs, -np.inf)
+        return [self.classes[int(i)] for i in np.argmax(probs, axis=1)]
 
     def accuracy_on(self, test_set: TrainingSet) -> float:
         if tuple(test_set.classes) != tuple(self.classes):
@@ -177,16 +217,107 @@ class BrainyModel:
 
     @classmethod
     def from_state(cls, state: dict) -> "BrainyModel":
+        """Restore a model, cross-validating the restored pieces.
+
+        The network validates its own weight/bias shapes; here the
+        pieces are checked *against each other* (classes vs output
+        layer, scaler and feature weights vs the feature schema), so a
+        checksum-valid but inconsistent artifact fails with a
+        :class:`ValueError` naming the field instead of a matmul shape
+        error at predict time.
+        """
         if state["feature_names"] != list(FEATURE_NAMES):
             raise ValueError("model was trained on a different feature schema")
+        n_features = len(FEATURE_NAMES)
+        classes = tuple(DSKind(v) for v in state["classes"])
+        network = NeuralNetwork.from_state(state["network"])
+        if network.layer_sizes[0] != n_features:
+            raise ValueError(
+                f"artifact field 'network.layer_sizes' expects "
+                f"{network.layer_sizes[0]} inputs; the feature schema "
+                f"has {n_features}"
+            )
+        if len(classes) != network.n_classes:
+            raise ValueError(
+                f"artifact field 'classes' lists {len(classes)} kinds "
+                f"but the network output layer has {network.n_classes}"
+            )
+        scaler = StandardScaler.from_state(state["scaler"])
+        if (scaler.mean_.shape != (n_features,)
+                or scaler.scale_.shape != (n_features,)):
+            raise ValueError(
+                f"artifact field 'scaler' is fitted for "
+                f"{scaler.mean_.shape} features; expected ({n_features},)"
+            )
+        feature_weights = np.asarray(state["feature_weights"],
+                                     dtype=np.float64)
+        if feature_weights.shape != (n_features,):
+            raise ValueError(
+                f"artifact field 'feature_weights' has shape "
+                f"{feature_weights.shape}; expected ({n_features},)"
+            )
         return cls(
             group_name=state["group_name"],
             machine_name=state["machine_name"],
-            classes=tuple(DSKind(v) for v in state["classes"]),
-            scaler=StandardScaler.from_state(state["scaler"]),
-            network=NeuralNetwork.from_state(state["network"]),
-            feature_weights=np.asarray(state["feature_weights"]),
+            classes=classes,
+            scaler=scaler,
+            network=network,
+            feature_weights=feature_weights,
         )
+
+
+def _train_group(group_name: str,
+                 *,
+                 config: GeneratorConfig,
+                 machine_config: MachineConfig,
+                 per_class_target: int,
+                 max_seeds: int,
+                 hidden: tuple[int, ...],
+                 seed_base: int,
+                 seed: int,
+                 checkpoint_dir: str | None,
+                 checkpoint_every: int | None,
+                 resume: bool,
+                 retry_policy: RetryPolicy | None,
+                 seed_budget_seconds: float | None,
+                 jobs: int) -> BrainyModel:
+    """One group's full pipeline: Phase I → Phase II → ANN fit.
+
+    A pure function of its (picklable) arguments, which is what lets
+    :meth:`BrainySuite.train` overlap independent group pipelines across
+    a worker pool while staying byte-identical to the serial group loop.
+    Checkpoint files are per group, so concurrent pipelines never touch
+    the same path.
+    """
+    group = MODEL_GROUPS[group_name]
+    p1_path = p2_path = None
+    p1_resume = p2_resume = None
+    if checkpoint_dir is not None:
+        directory = Path(checkpoint_dir)
+        p1_path = directory / f"{group_name}.phase1.json"
+        p2_path = directory / f"{group_name}.phase2.json"
+        if resume:
+            p1_resume = p1_path if p1_path.exists() else None
+            p2_resume = p2_path if p2_path.exists() else None
+    phase1 = run_phase1(
+        group, config, machine_config,
+        per_class_target=per_class_target,
+        max_seeds=max_seeds, seed_base=seed_base,
+        resume_from=p1_resume, checkpoint_path=p1_path,
+        checkpoint_every=checkpoint_every,
+        retry_policy=retry_policy,
+        seed_budget_seconds=seed_budget_seconds,
+        jobs=jobs,
+    )
+    training_set = run_phase2(
+        phase1, config, machine_config,
+        resume_from=p2_resume, checkpoint_path=p2_path,
+        checkpoint_every=checkpoint_every,
+        retry_policy=retry_policy,
+        seed_budget_seconds=seed_budget_seconds,
+        jobs=jobs,
+    )
+    return BrainyModel.train(training_set, hidden=hidden, seed=seed)
 
 
 class BrainySuite:
@@ -237,6 +368,7 @@ class BrainySuite:
               retry_policy: RetryPolicy | None = None,
               seed_budget_seconds: float | None = None,
               jobs: int | None = None,
+              executor=None,
               ) -> "BrainySuite":
         """End-to-end training: Phase I + Phase II + ANN fit per group.
 
@@ -247,51 +379,76 @@ class BrainySuite:
         skips finished work.  Checkpoints are removed once the whole
         suite trains successfully.
 
-        ``jobs`` fans each phase's seeds out over that many worker
-        processes (``None`` reads ``REPRO_JOBS``, default serial); the
-        deterministic in-order merge keeps the trained suite identical
-        for any value.
+        ``jobs`` parallelises training (``None`` reads ``REPRO_JOBS``,
+        default serial).  With several groups, whole group pipelines
+        overlap across the worker pool — each pipeline's own seed loop
+        then runs serially inside its worker, since pool workers are
+        daemonic and cannot host a nested pool.  With a single group the
+        parallelism goes into the per-seed fan-out instead.  Either way
+        the deterministic in-order merge keeps the trained suite
+        byte-identical for any ``jobs`` value.  ``executor`` overrides
+        the group-level pool (the test seam for fault injection).
         """
         config = config or GeneratorConfig()
         groups = list(groups) if groups is not None \
             else list(MODEL_GROUPS.values())
         checkpoint_dir = (Path(checkpoint_dir)
                           if checkpoint_dir is not None else None)
+        jobs = resolve_jobs(jobs)
+        group_jobs = min(jobs, len(groups)) if len(groups) > 1 else 1
+        if executor is None and group_jobs == 1:
+            # All parallelism fits inside one pipeline's seed fan-out.
+            inner_jobs = jobs
+        else:
+            inner_jobs = 1
+
+        def make_worker(inner: int):
+            return partial(
+                _train_group,
+                config=config, machine_config=machine_config,
+                per_class_target=per_class_target, max_seeds=max_seeds,
+                hidden=tuple(hidden), seed_base=seed_base, seed=seed,
+                checkpoint_dir=(str(checkpoint_dir)
+                                if checkpoint_dir is not None else None),
+                checkpoint_every=checkpoint_every, resume=resume,
+                retry_policy=retry_policy,
+                seed_budget_seconds=seed_budget_seconds, jobs=inner,
+            )
+
+        worker = make_worker(inner_jobs)
+        if executor is None and group_jobs > 1:
+            group_jobs = usable_jobs(worker, group_jobs,
+                                     "the per-group training pipeline")
+            if group_jobs == 1:
+                worker = make_worker(jobs)
+
         suite = cls(machine_name=machine_config.name)
-        checkpoint_files: list[Path] = []
-        for group in groups:
-            p1_path = p2_path = None
-            p1_resume = p2_resume = None
-            if checkpoint_dir is not None:
-                p1_path = checkpoint_dir / f"{group.name}.phase1.json"
-                p2_path = checkpoint_dir / f"{group.name}.phase2.json"
-                checkpoint_files += [p1_path, p2_path]
-                if resume:
-                    p1_resume = p1_path if p1_path.exists() else None
-                    p2_resume = p2_path if p2_path.exists() else None
-            phase1 = run_phase1(
-                group, config, machine_config,
-                per_class_target=per_class_target,
-                max_seeds=max_seeds, seed_base=seed_base,
-                resume_from=p1_resume, checkpoint_path=p1_path,
-                checkpoint_every=checkpoint_every,
-                retry_policy=retry_policy,
-                seed_budget_seconds=seed_budget_seconds,
-                jobs=jobs,
-            )
-            training_set = run_phase2(
-                phase1, config, machine_config,
-                resume_from=p2_resume, checkpoint_path=p2_path,
-                checkpoint_every=checkpoint_every,
-                retry_policy=retry_policy,
-                seed_budget_seconds=seed_budget_seconds,
-                jobs=jobs,
-            )
-            suite.models[group.name] = BrainyModel.train(
-                training_set, hidden=hidden, seed=seed,
-            )
-        for path in checkpoint_files:
-            path.unlink(missing_ok=True)
+        names = [group.name for group in groups]
+        merged = map_retry(worker, names, jobs=group_jobs,
+                           executor=executor,
+                           reraise=(TrainingInterrupted,))
+        try:
+            try:
+                for name, model in zip(names, merged):
+                    suite.models[name] = model
+            finally:
+                merged.close()
+        except KeyboardInterrupt:
+            if checkpoint_dir is None:
+                raise
+            # Workers ignore SIGINT and flush per-group checkpoints at
+            # merged-prefix boundaries; surface the same resumable
+            # signal the serial path raises.
+            raise TrainingInterrupted(
+                "suite training interrupted; per-group checkpoints "
+                f"under {checkpoint_dir}",
+                checkpoint_path=checkpoint_dir,
+            ) from None
+        if checkpoint_dir is not None:
+            for group in groups:
+                for phase in ("phase1", "phase2"):
+                    (checkpoint_dir
+                     / f"{group.name}.{phase}.json").unlink(missing_ok=True)
         return suite
 
     # -- persistence ---------------------------------------------------------

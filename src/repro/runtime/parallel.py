@@ -240,3 +240,35 @@ def map_ordered(fn: Callable[[Any], Any],
     finally:
         if own_executor:
             executor.shutdown()
+
+
+def map_retry(fn: Callable[[Any], Any],
+              tasks: Iterable[Any],
+              *,
+              jobs: int = 1,
+              window: int | None = None,
+              executor=None,
+              reraise: tuple[type[BaseException], ...] = (),
+              ) -> Iterator[Any]:
+    """:func:`map_ordered` for fan-outs whose tasks must all succeed.
+
+    A :class:`TaskFailure` slot is re-executed once in the parent
+    process instead of being yielded: transient pool faults (lost
+    worker, flaky resource) heal invisibly, and a deterministic error
+    surfaces with its natural traceback at the same loop position a
+    serial run would raise it.  Exception types listed in ``reraise``
+    propagate immediately without a retry — e.g. a
+    ``TrainingInterrupted`` whose checkpoint was already flushed
+    worker-side, where re-running the task would redo completed work.
+
+    Used by the ML layer (GA fitness fan-out, per-group training
+    pipelines), where — unlike the per-seed loops — there is no
+    quarantine slot to degrade into.
+    """
+    for result in map_ordered(fn, tasks, jobs=jobs, window=window,
+                              executor=executor):
+        if isinstance(result, TaskFailure):
+            if reraise and isinstance(result.error, reraise):
+                raise result.error
+            result = fn(result.task)
+        yield result

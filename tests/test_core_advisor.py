@@ -121,6 +121,75 @@ class TestAdviseApp:
         )
 
 
+def mixed_trace(n=60):
+    """Every routing shape: kinds x order-obliviousness x keyed, plus
+    non-advisable records the advisor must skip."""
+    kinds = [DSKind.VECTOR, DSKind.LIST, DSKind.SET, DSKind.MAP,
+             DSKind.DEQUE, DSKind.HASH_SET]
+    records = []
+    for s in range(n):
+        records.append(record(context=f"app:site{s}",
+                              kind=kinds[s % len(kinds)],
+                              oblivious=bool((s // len(kinds)) % 2),
+                              keyed=(s % 3 == 0),
+                              cycles=10 * (s + 1), seed=s))
+    trace = TraceSet(program_cycles=50_000, records=records)
+    trace.sort()
+    return trace
+
+
+class TestBatchedEquivalence:
+    """The batched per-group inference path must produce a Report
+    identical to the record-at-a-time reference path."""
+
+    def assert_reports_equal(self, batched, sequential):
+        assert batched.program_cycles == sequential.program_cycles
+        assert batched.degraded_groups == sequential.degraded_groups
+        assert batched.suggestions == sequential.suggestions
+
+    def test_mixed_synthetic_trace(self, suite):
+        advisor = BrainyAdvisor(suite)
+        trace = mixed_trace()
+        self.assert_reports_equal(
+            advisor.advise_trace(trace, batched=True),
+            advisor.advise_trace(trace, batched=False),
+        )
+
+    def test_keyed_contexts_argument(self, suite):
+        advisor = BrainyAdvisor(suite)
+        trace = mixed_trace(n=24)
+        keyed = frozenset(r.context for r in list(trace)[::4])
+        self.assert_reports_equal(
+            advisor.advise_trace(trace, keyed_contexts=keyed,
+                                 batched=True),
+            advisor.advise_trace(trace, keyed_contexts=keyed,
+                                 batched=False),
+        )
+
+    def test_degraded_suite(self, suite):
+        """Missing-model fallback slots interleave with batched slots
+        without disturbing trace order."""
+        partial = BrainySuite(machine_name="core2",
+                              models=dict(suite.models))
+        del partial.models["vector_oo"]
+        advisor = BrainyAdvisor(partial)
+        trace = mixed_trace()
+        batched = advisor.advise_trace(trace, batched=True)
+        sequential = advisor.advise_trace(trace, batched=False)
+        assert "vector_oo" in batched.degraded_groups
+        self.assert_reports_equal(batched, sequential)
+
+    @pytest.mark.parametrize("app", [Relipmoc("small"),
+                                     ChordSimulator("small")])
+    def test_case_study_apps(self, suite, app):
+        advisor = BrainyAdvisor(suite)
+        result = run_case_study(app, CORE2, instrument=True)
+        self.assert_reports_equal(
+            advisor.advise_result(app, result, batched=True),
+            advisor.advise_result(app, result, batched=False),
+        )
+
+
 class TestReport:
     def test_replacements_filter(self):
         report = Report(program_cycles=100, suggestions=[

@@ -99,6 +99,62 @@ class TestTraining:
             net.fit(np.zeros((4, 4)), np.array([0, 1, 2, 0]))
 
 
+class TestGradientBuffers:
+    def test_buffered_matches_allocating(self):
+        """The fused fit path writes into preallocated buffers; values
+        must match the allocating reference exactly."""
+        rng = np.random.default_rng(5)
+        X = rng.normal(size=(20, 4))
+        Y = _one_hot(rng.integers(0, 3, size=20), 3)
+        net = NeuralNetwork([4, 6, 3], seed=0)
+        ref_w, ref_b, ref_loss = net._gradients(X, Y)
+        buffers = net._make_buffers()
+        out_w, out_b, out_loss = net._gradients(X, Y, out=buffers)
+        assert out_w is buffers[0] and out_b is buffers[1]
+        assert out_loss == ref_loss
+        for a, b in zip(ref_w, out_w):
+            assert np.array_equal(a, b)
+        for a, b in zip(ref_b, out_b):
+            assert np.array_equal(a, b)
+
+
+class TestFromStateValidation:
+    """A checksum-valid but shape-corrupt artifact must fail loudly at
+    load time, naming the artifact field — not as a matmul error at
+    predict time."""
+
+    def make_state(self):
+        return NeuralNetwork([3, 5, 2], seed=0).state()
+
+    def test_roundtrip_still_works(self):
+        state = self.make_state()
+        NeuralNetwork.from_state(state)
+
+    def test_wrong_weight_shape(self):
+        state = self.make_state()
+        state["weights"][0] = [[0.0] * 4 for _ in range(3)]  # (3,4)!=(3,5)
+        with pytest.raises(ValueError, match=r"weights\[0\]"):
+            NeuralNetwork.from_state(state)
+
+    def test_wrong_bias_shape(self):
+        state = self.make_state()
+        state["biases"][1] = [0.0] * 7
+        with pytest.raises(ValueError, match=r"biases\[1\]"):
+            NeuralNetwork.from_state(state)
+
+    def test_wrong_matrix_count(self):
+        state = self.make_state()
+        state["weights"] = state["weights"][:1]
+        with pytest.raises(ValueError, match="'weights' has 1 entries"):
+            NeuralNetwork.from_state(state)
+
+    def test_ragged_weight_matrix(self):
+        state = self.make_state()
+        state["weights"][0] = [[0.0, 1.0], [2.0]]
+        with pytest.raises(ValueError, match=r"weights\[0\]"):
+            NeuralNetwork.from_state(state)
+
+
 class TestInference:
     def test_predict_proba_shape_and_sum(self):
         net = NeuralNetwork([3, 5, 4], seed=0)

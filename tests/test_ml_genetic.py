@@ -1,9 +1,12 @@
 """Unit tests for the GA feature selector."""
 
+import multiprocessing
+
 import numpy as np
 import pytest
 
 from repro.ml.genetic import GAResult, GeneticFeatureSelector
+from repro.runtime.parallel import SerialExecutor
 
 NAMES = ("a", "b", "c", "d", "e", "f")
 
@@ -13,6 +16,19 @@ def make_selector(**kwargs):
                     generations=8, seed=0)
     defaults.update(kwargs)
     return GeneticFeatureSelector(**defaults)
+
+
+# Module-level so a worker pool can pickle them by reference.
+def _linear_fitness(weights):
+    return float(2.0 * weights[0] + weights[1] - 0.3 * weights[2:].sum())
+
+
+def _fails_in_workers(weights):
+    # Pool workers are daemonic; the parent is not — so this fitness
+    # crashes in every worker and only succeeds on the in-parent retry.
+    if multiprocessing.current_process().daemon:
+        raise ConnectionError("injected worker fault")
+    return _linear_fitness(weights)
 
 
 class TestConstruction:
@@ -27,6 +43,20 @@ class TestConstruction:
     def test_rejects_full_elitism(self):
         with pytest.raises(ValueError):
             make_selector(population=4, elitism=4)
+
+    def test_rejects_oversized_tournament(self):
+        """Tournament contenders are drawn without replacement, so a
+        tournament larger than the population must fail at construction
+        rather than deep inside rng.choice mid-run."""
+        with pytest.raises(ValueError, match="tournament"):
+            make_selector(population=6, tournament=7)
+
+    def test_rejects_nonpositive_tournament(self):
+        with pytest.raises(ValueError, match="tournament"):
+            make_selector(tournament=0)
+
+    def test_tournament_equal_to_population_allowed(self):
+        make_selector(population=6, tournament=6)
 
 
 class TestEvolution:
@@ -76,6 +106,78 @@ class TestEvolution:
 
         result = make_selector(generations=0).run(fitness)
         assert result.fitness == 1.0
+
+
+class FlakyExecutor(SerialExecutor):
+    """In-process executor that fails chosen submissions at get() time."""
+
+    def __init__(self, fail_submissions):
+        self.fail_submissions = set(fail_submissions)
+        self.count = 0
+
+    def submit(self, fn, args):
+        index = self.count
+        self.count += 1
+        if index in self.fail_submissions:
+            class _Boom:
+                def get(self):
+                    raise RuntimeError("injected executor fault")
+            return _Boom()
+        return super().submit(fn, args)
+
+
+def _ga_key(result):
+    return (result.weights.tobytes(), result.fitness, tuple(result.history))
+
+
+class TestParallelEvaluation:
+    """GA results are byte-identical for any jobs value — all RNG draws
+    stay in the parent; only fitness evaluation fans out."""
+
+    def test_jobs_values_agree_bytewise(self):
+        serial = make_selector(generations=4).run(_linear_fitness)
+        for jobs in (2, 4):
+            fanned = make_selector(generations=4).run(_linear_fitness,
+                                                      jobs=jobs)
+            assert _ga_key(fanned) == _ga_key(serial)
+
+    def test_worker_fault_retried_in_parent(self):
+        """A fitness call that crashes worker-side is re-evaluated in
+        the parent: same result, no hole in the population."""
+        serial = make_selector(generations=2).run(_linear_fitness)
+        fanned = make_selector(generations=2).run(_fails_in_workers,
+                                                  jobs=2)
+        assert _ga_key(fanned) == _ga_key(serial)
+
+    def test_injected_executor_fault_is_healed(self):
+        serial = make_selector(generations=3).run(_linear_fitness)
+        flaky = FlakyExecutor(fail_submissions={1, 7, 13})
+        fanned = make_selector(generations=3).run(_linear_fitness,
+                                                  jobs=4, executor=flaky)
+        assert _ga_key(fanned) == _ga_key(serial)
+        assert flaky.count > 13  # the fault points were actually hit
+
+    def test_unpicklable_fitness_degrades_to_serial(self):
+        captured = []
+
+        def closure_fitness(weights):
+            captured.append(1)
+            return float(weights.sum())
+
+        serial = make_selector(generations=2).run(closure_fitness)
+        with pytest.warns(RuntimeWarning, match="running serially"):
+            fanned = make_selector(generations=2).run(closure_fitness,
+                                                      jobs=4)
+        assert _ga_key(fanned) == _ga_key(serial)
+
+    def test_persistent_failure_propagates(self):
+        def always_broken(weights):
+            raise ValueError("fitness is broken")
+
+        with pytest.raises(ValueError, match="fitness is broken"):
+            make_selector(generations=1).run(
+                always_broken, executor=SerialExecutor()
+            )
 
 
 class TestGAResult:

@@ -51,6 +51,17 @@ class TestTraining:
         with pytest.raises(ValueError):
             BrainyModel.train(ts, feature_weights=np.ones(3))
 
+    def test_unknown_feature_mask_name_reported(self):
+        """A typo'd mask entry must name the bad feature and the valid
+        schema, not leak a bare list.index ValueError."""
+        ts = synthetic_training_set(n=40)
+        with pytest.raises(ValueError) as exc_info:
+            BrainyModel.train(ts, epochs=5,
+                              feature_mask=["find_frac", "l9_miss_rate"])
+        message = str(exc_info.value)
+        assert "unknown feature name 'l9_miss_rate'" in message
+        assert "find_frac" in message  # valid names are listed
+
     def test_balanced_indices_equalise(self):
         y = np.array([0] * 10 + [1] * 2)
         idx = _balanced_indices(y, np.random.default_rng(0))
@@ -102,6 +113,53 @@ class TestPersistence:
         x = np.random.default_rng(2).normal(size=(5, num_features()))
         for row in x:
             assert model.predict_kind(row) == restored.predict_kind(row)
+
+    def test_shape_corrupt_artifact_names_field(self):
+        """A checksum-valid but inconsistent artifact fails on load with
+        the offending field, not at predict time with a matmul error."""
+        model = BrainyModel.train(synthetic_training_set(n=60), epochs=5)
+
+        state = model.state()
+        state["classes"] = state["classes"][:-1]
+        with pytest.raises(ValueError, match="'classes'"):
+            BrainyModel.from_state(state)
+
+        state = model.state()
+        state["feature_weights"] = [1.0, 2.0]
+        with pytest.raises(ValueError, match="'feature_weights'"):
+            BrainyModel.from_state(state)
+
+        state = model.state()
+        state["scaler"]["mean"] = state["scaler"]["mean"][:-3]
+        with pytest.raises(ValueError, match="'scaler'"):
+            BrainyModel.from_state(state)
+
+        state = model.state()
+        state["network"]["weights"][0] = \
+            state["network"]["weights"][0][:-1]
+        with pytest.raises(ValueError, match=r"weights\[0\]"):
+            BrainyModel.from_state(state)
+
+    def test_batched_predictions_match_per_record(self):
+        model = BrainyModel.train(synthetic_training_set(n=120),
+                                  epochs=40, seed=4)
+        rng = np.random.default_rng(7)
+        X = rng.normal(size=(25, num_features()))
+        legal = model.classes[:2]
+        masks = np.tile(model.legal_mask(legal), (len(X), 1))
+        batched = model.predict_kinds(X, legal_masks=masks)
+        assert batched == [model.predict_kind(row, legal=legal)
+                           for row in X]
+        unmasked = model.predict_kinds(X)
+        assert unmasked == [model.predict_kind(row) for row in X]
+
+    def test_predict_kinds_rejects_mask_shape_mismatch(self):
+        model = BrainyModel.train(synthetic_training_set(n=60), epochs=5)
+        X = np.zeros((4, num_features()))
+        with pytest.raises(ValueError, match="legal_masks shape"):
+            model.predict_kinds(
+                X, legal_masks=np.ones((3, len(model.classes)), bool)
+            )
 
     def test_suite_save_load(self, tmp_path):
         suite = BrainySuite(machine_name="core2")

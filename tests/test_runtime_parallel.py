@@ -28,6 +28,7 @@ from repro.runtime.parallel import (
     SerialExecutor,
     TaskFailure,
     map_ordered,
+    map_retry,
     resolve_jobs,
     usable_jobs,
 )
@@ -141,6 +142,47 @@ class TestMapOrdered:
         assert evaluated == [0]
         stream.close()
         assert evaluated == [0]
+
+
+class TestMapRetry:
+    """map_ordered plus a single in-parent retry for failed slots —
+    the recovery used by consumers (GA fitness, suite group pipelines)
+    whose tasks are pure and safe to re-run."""
+
+    def test_passthrough_without_failures(self):
+        assert list(map_retry(_square, range(10), jobs=2)) \
+            == [x * x for x in range(10)]
+
+    def test_failed_slot_retried_in_parent(self):
+        calls = []
+
+        def flaky_once(x):
+            calls.append(x)
+            if x == 7 and calls.count(7) == 1:
+                raise ValueError("first attempt fails")
+            return x * x
+
+        assert list(map_retry(flaky_once, range(10))) \
+            == [x * x for x in range(10)]
+        assert calls.count(7) == 2
+
+    def test_deterministic_failure_propagates(self):
+        results = map_retry(_crash_on_seven, range(10))
+        assert [next(results) for _ in range(7)] == list(range(7))
+        with pytest.raises(ValueError, match="crash"):
+            next(results)
+
+    def test_reraise_types_skip_the_retry(self):
+        calls = []
+
+        def interrupted(x):
+            calls.append(x)
+            raise TrainingInterrupted("stop")
+
+        with pytest.raises(TrainingInterrupted):
+            list(map_retry(interrupted, range(5),
+                           reraise=(TrainingInterrupted,)))
+        assert calls == [0]  # no second in-parent attempt
 
 
 class TestUsableJobs:
