@@ -7,6 +7,11 @@ Measures the two performance features of the parallel training engine:
   produces byte-identical results.  Speedups scale with physical cores;
   the host's ``cpu_count`` is recorded alongside so a single-core CI
   runner's flat numbers are interpretable.
+* **Telemetry overhead** — wall-clock for an identical Phase-I workload
+  with the default null collector vs a live :class:`repro.obs.Collector`
+  (min-of-N each).  The observability layer's contract is that spans and
+  counters are coarse enough to cost ~nothing; the bench enforces an
+  overhead ceiling of 3 %.
 * **Machine-simulator hot path** — ns/access for the optimized
   dict-as-ordered-set LRU simulator against the legacy list-based LRU
   (embedded below as the baseline), over several access patterns and
@@ -277,6 +282,58 @@ def bench_phase1(quick: bool, jobs_list: list[int],
     }
 
 
+# ---------------------------------------------------------------------------
+# Telemetry overhead bench.
+# ---------------------------------------------------------------------------
+
+TELEMETRY_OVERHEAD_CEILING_PCT = 3.0
+
+
+def bench_telemetry_overhead(quick: bool) -> dict:
+    from repro.obs import Collector
+    from repro.runtime.options import RunOptions
+
+    group = MODEL_GROUPS["set"]
+    config = GeneratorConfig.small()
+    if quick:
+        kwargs = dict(per_class_target=3, max_seeds=40)
+    else:
+        kwargs = dict(per_class_target=5, max_seeds=120)
+    repeats = 5
+
+    def timed(options: RunOptions | None) -> float:
+        start = time.perf_counter()
+        run_phase1(group, config, CORE2, options=options, **kwargs)
+        return time.perf_counter() - start
+
+    timed(None)  # warm caches; neither variant pays first-run costs
+    # Interleave the variants so clock drift (turbo, thermal, noisy
+    # neighbours) hits both equally; min-of-N discards the slow tail.
+    null_times, live_times = [], []
+    for _ in range(repeats):
+        null_times.append(timed(None))
+        live_times.append(timed(RunOptions(telemetry=Collector())))
+    null_s = min(null_times)
+    live_s = min(live_times)
+    overhead_pct = (live_s - null_s) / null_s * 100.0
+    print(f"  telemetry  null {null_s:6.3f}s  live {live_s:6.3f}s  "
+          f"overhead {overhead_pct:+.2f}%")
+    if overhead_pct > TELEMETRY_OVERHEAD_CEILING_PCT:
+        raise AssertionError(
+            f"telemetry overhead {overhead_pct:.2f}% exceeds the "
+            f"{TELEMETRY_OVERHEAD_CEILING_PCT}% ceiling"
+        )
+    return {
+        "group": group.name,
+        **kwargs,
+        "repeats": repeats,
+        "null_collector_s": round(null_s, 4),
+        "live_collector_s": round(live_s, 4),
+        "overhead_pct": round(overhead_pct, 3),
+        "ceiling_pct": TELEMETRY_OVERHEAD_CEILING_PCT,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("--quick", action="store_true",
@@ -294,6 +351,8 @@ def main(argv: list[str] | None = None) -> int:
 
     print("machine-simulator microbench:")
     machine_sim = bench_machine_sim(args.quick)
+    print("telemetry overhead:")
+    telemetry = bench_telemetry_overhead(args.quick)
     print("phase-1 fan-out:")
     phase1 = bench_phase1(args.quick, jobs_list, scratch)
 
@@ -310,6 +369,7 @@ def main(argv: list[str] | None = None) -> int:
         "cpu_count": os.cpu_count(),
         "platform": platform.platform(),
         "python": sys.version.split()[0],
+        "telemetry_overhead": telemetry,
         "phase1_fanout": phase1,
         "machine_sim": machine_sim,
     }

@@ -6,20 +6,20 @@ per-operation costs, and hardware events — and predicts, with one neural
 network per container kind, which alternative implementation would run
 fastest for that program, input, and microarchitecture.
 
-Quickstart::
+Quickstart — the facade (:mod:`repro.api`) is the public API::
 
-    from repro import (BrainyAdvisor, BrainySuite, GeneratorConfig,
-                       CORE2)
+    import repro
 
-    suite = BrainySuite.train(CORE2, GeneratorConfig(),
-                              per_class_target=25, max_seeds=250)
-    # ... profile an application, then:
-    # report = BrainyAdvisor(suite).advise_app(app, CORE2)
+    handle = repro.train(machine="core2", scale="tiny")
+    report = repro.advise("chord", machine="core2", scale="tiny")
 
-See ``examples/quickstart.py`` for the end-to-end flow and DESIGN.md for
-the system inventory.
+The building blocks (suites, advisors, the machine simulator, the
+observability layer :mod:`repro.obs`) are re-exported here for direct
+use.  See ``examples/quickstart.py`` for the end-to-end flow and
+DESIGN.md for the system inventory.
 """
 
+import repro.obs as obs
 from repro.appgen import GeneratorConfig, SyntheticApp, generate_app
 from repro.containers import Container, DSKind, make_container
 from repro.core import BrainyAdvisor, Report, Suggestion
@@ -31,15 +31,37 @@ from repro.runtime import (
     FaultInjector,
     FaultPlan,
     RetryPolicy,
+    RunOptions,
     TrainingInterrupted,
 )
 from repro.training import TrainingSet, run_phase1, run_phase2
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro import api
+from repro.api import (
+    SuiteHandle,
+    UsageError,
+    advise,
+    census,
+    telemetry_summary,
+    train,
+    validate,
+)
 
 __all__ = [
     "ATOM",
     "ArtifactError",
+    "RunOptions",
+    "SuiteHandle",
+    "UsageError",
+    "advise",
+    "api",
+    "census",
+    "obs",
+    "telemetry_summary",
+    "train",
+    "validate",
     "BrainyAdvisor",
     "BrainyModel",
     "BrainySuite",

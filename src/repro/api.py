@@ -1,0 +1,352 @@
+"""The public programmatic API: what ``import repro`` is for.
+
+One facade fronts the toolkit's lifecycle verbs — :func:`train`,
+:func:`advise`, :func:`validate`, plus the smaller :func:`census`,
+:func:`appgen_probe` and :func:`telemetry_summary` — with plain-data
+inputs (machine/scale/group *names*, not config objects) and structured
+returns.  The CLI (:mod:`repro.cli`) is a thin argparse shim over these
+functions; scripts and notebooks call them directly::
+
+    import repro
+
+    handle = repro.train(scale="tiny", telemetry="train.telemetry.json")
+    report = repro.advise("chord", machine="core2", scale="tiny")
+
+Cross-cutting run knobs travel in a
+:class:`repro.runtime.options.RunOptions`; every verb also accepts
+``telemetry=PATH`` to record a structured telemetry artifact
+(:mod:`repro.obs`) for the run — written even when the run is
+interrupted, so a ``Ctrl-C`` leaves both a resumable checkpoint and the
+telemetry describing the partial run.
+
+Bad user input (unknown machine/scale/group/input names, nonsensical
+knob values) raises :class:`UsageError`, which the CLI maps to exit
+code 2.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+import repro.obs as obs
+from repro.appgen.config import GeneratorConfig
+from repro.appgen.configfile import load_config
+from repro.appgen.generator import SyntheticApp, generate_app
+from repro.appgen.workload import best_candidate, measure_candidates
+from repro.containers.registry import DSKind, MODEL_GROUPS, ModelGroup
+from repro.core.advisor import BrainyAdvisor
+from repro.core.report import Report
+from repro.machine.configs import ATOM, CORE2, MachineConfig
+from repro.models.brainy import BrainySuite
+from repro.models.cache import (
+    SCALES,
+    ScaleParams,
+    get_or_train_suite,
+    suite_path,
+)
+from repro.models.validation import ValidationResult, validate_model
+from repro.runtime.options import RunOptions
+
+MACHINES: dict[str, MachineConfig] = {"core2": CORE2, "atom": ATOM}
+
+#: Case-study applications and their input sets, keyed by CLI name.
+APPS: dict[str, tuple[type, tuple[str, ...]]] = {}
+
+
+def _load_apps() -> None:
+    # Deferred: repro.apps pulls in every case study; keep ``import
+    # repro`` light until an advise actually needs them.
+    if APPS:
+        return
+    from repro.apps import (
+        ChordSimulator,
+        Raytracer,
+        Relipmoc,
+        XalanStringCache,
+    )
+
+    APPS.update({
+        "xalan": (XalanStringCache, ("test", "train", "reference")),
+        "chord": (ChordSimulator, ("small", "medium", "large")),
+        "relipmoc": (Relipmoc, ("small", "default", "large")),
+        "raytrace": (Raytracer, ("small", "default", "large")),
+    })
+
+
+class UsageError(ValueError):
+    """Bad user input, reported with a friendly message (CLI exit 2)."""
+
+
+def resolve_machine(machine: str | MachineConfig) -> MachineConfig:
+    if isinstance(machine, MachineConfig):
+        return machine
+    try:
+        return MACHINES[machine]
+    except KeyError:
+        raise UsageError(
+            f"unknown machine {machine!r}; choose from {sorted(MACHINES)}"
+        ) from None
+
+
+def resolve_scale(scale: str | ScaleParams) -> ScaleParams:
+    if isinstance(scale, ScaleParams):
+        return scale
+    try:
+        return SCALES[scale]
+    except KeyError:
+        raise UsageError(
+            f"unknown scale {scale!r}; choose from {sorted(SCALES)}"
+        ) from None
+
+
+def resolve_group(group: str | ModelGroup) -> ModelGroup:
+    if isinstance(group, ModelGroup):
+        return group
+    try:
+        return MODEL_GROUPS[group]
+    except KeyError:
+        raise UsageError(
+            f"unknown model group {group!r}; "
+            f"choose from {sorted(MODEL_GROUPS)}"
+        ) from None
+
+
+def resolve_config(config: str | Path | GeneratorConfig | None
+                   ) -> GeneratorConfig:
+    if config is None:
+        return GeneratorConfig()
+    if isinstance(config, GeneratorConfig):
+        return config
+    return load_config(Path(config))
+
+
+def _resolve_options(options: RunOptions | None,
+                     jobs: int | None) -> RunOptions:
+    if options is None:
+        options = RunOptions()
+    if jobs is not None:
+        if jobs < 1:
+            raise UsageError("jobs must be >= 1")
+        options = options.with_overrides(jobs=jobs)
+    return options
+
+
+@contextmanager
+def _telemetry_run(path: str | Path | None,
+                   meta: dict) -> Iterator[obs.Collector | None]:
+    """Collect telemetry for the block and export it to ``path``.
+
+    The export happens in a ``finally``: an interrupted run (Ctrl-C →
+    ``TrainingInterrupted``) still leaves its telemetry artifact next to
+    the checkpoint it flushed.
+    """
+    if path is None:
+        yield None
+        return
+    collector = obs.Collector()
+    start = time.perf_counter()
+    try:
+        with obs.use_collector(collector):
+            yield collector
+    finally:
+        obs.export_telemetry(
+            collector, Path(path), meta=meta,
+            wall_time_s=time.perf_counter() - start,
+        )
+
+
+@dataclass(frozen=True)
+class SuiteHandle:
+    """What :func:`train` returns: the suite plus where things landed."""
+
+    suite: BrainySuite
+    machine: MachineConfig
+    scale: ScaleParams
+    path: Path
+    telemetry_path: Path | None = None
+
+    @property
+    def groups(self) -> tuple[str, ...]:
+        return tuple(sorted(self.suite.models))
+
+
+def train(machine: str | MachineConfig = "core2",
+          scale: str | ScaleParams = "small",
+          config: str | Path | GeneratorConfig | None = None,
+          *,
+          force: bool = False,
+          resume: bool = False,
+          options: RunOptions | None = None,
+          jobs: int | None = None,
+          checkpoint_every: int | None = None,
+          telemetry: str | Path | None = None) -> SuiteHandle:
+    """Install-time training (Phase I + Phase II + ANN fit per group).
+
+    Loads the cached suite when one exists (train once per machine,
+    reuse forever); ``force=True`` retrains.  ``checkpoint_every``
+    enables periodic checkpoints and ``resume=True`` continues an
+    interrupted run from them.  ``telemetry=PATH`` writes a telemetry
+    artifact describing the run — readable with
+    :func:`telemetry_summary` or ``repro telemetry PATH``.
+    """
+    machine = resolve_machine(machine)
+    scale = resolve_scale(scale)
+    options = _resolve_options(options, jobs)
+    if checkpoint_every is not None:
+        if checkpoint_every <= 0:
+            raise UsageError("checkpoint_every must be positive")
+        options = options.with_overrides(checkpoint_every=checkpoint_every)
+    meta = {"command": "train", "machine": machine.name,
+            "scale": scale.name, "jobs": options.jobs}
+    with _telemetry_run(telemetry, meta):
+        suite = get_or_train_suite(
+            machine, scale, config=resolve_config(config),
+            force=force, resume=resume, options=options,
+        )
+    return SuiteHandle(
+        suite=suite, machine=machine, scale=scale,
+        path=suite_path(machine, scale),
+        telemetry_path=Path(telemetry) if telemetry is not None else None,
+    )
+
+
+def advise(app: str,
+           input_name: str | None = None,
+           machine: str | MachineConfig = "core2",
+           scale: str | ScaleParams = "small",
+           *,
+           batched: bool = True,
+           options: RunOptions | None = None,
+           jobs: int | None = None,
+           telemetry: str | Path | None = None) -> Report:
+    """Profile a case-study application and report replacements.
+
+    Trains (or loads) the suite for ``machine``/``scale`` first, then
+    runs the app instrumented and feeds the trace to the advisor.
+    ``batched=False`` selects the record-at-a-time reference inference
+    path (identical report, slower).
+    """
+    _load_apps()
+    machine = resolve_machine(machine)
+    scale = resolve_scale(scale)
+    options = _resolve_options(options, jobs)
+    try:
+        app_cls, inputs = APPS[app]
+    except KeyError:
+        raise UsageError(
+            f"unknown app {app!r}; choose from {sorted(APPS)}"
+        ) from None
+    input_name = input_name or inputs[0]
+    if input_name not in inputs:
+        raise UsageError(
+            f"unknown input {input_name!r} for {app}; choose from {inputs}"
+        )
+    meta = {"command": "advise", "app": app, "input": input_name,
+            "machine": machine.name, "scale": scale.name}
+    with _telemetry_run(telemetry, meta):
+        suite = get_or_train_suite(machine, scale, options=options)
+        advisor = BrainyAdvisor(suite)
+        return advisor.advise_app(app_cls(input_name), machine,
+                                  batched=batched)
+
+
+def validate(group: str | ModelGroup = "vector_oo",
+             machine: str | MachineConfig = "core2",
+             scale: str | ScaleParams = "small",
+             config: str | Path | GeneratorConfig | None = None,
+             *,
+             apps: int = 40,
+             seed_base: int = 500_000,
+             options: RunOptions | None = None,
+             jobs: int | None = None,
+             telemetry: str | Path | None = None) -> ValidationResult:
+    """The Figure 9 protocol: fresh apps, empirical best vs prediction."""
+    machine = resolve_machine(machine)
+    scale = resolve_scale(scale)
+    group = resolve_group(group)
+    options = _resolve_options(options, jobs)
+    meta = {"command": "validate", "group": group.name,
+            "machine": machine.name, "scale": scale.name, "apps": apps}
+    with _telemetry_run(telemetry, meta):
+        suite = get_or_train_suite(machine, scale, options=options)
+        if group.name not in suite.models:
+            raise UsageError(
+                f"suite has no model for group {group.name!r}"
+            )
+        return validate_model(suite[group.name], group,
+                              resolve_config(config), machine,
+                              apps, seed_base=seed_base)
+
+
+def census(files: int = 200, seed: int = 0) -> dict[str, int]:
+    """The Figure 2 container census over a synthetic corpus."""
+    from repro.corpus.scanner import ranked, scan_corpus
+    from repro.corpus.synth import generate_corpus
+
+    if files < 1:
+        raise UsageError("files must be >= 1")
+    corpus = generate_corpus(files=files, seed=seed)
+    return dict(ranked(scan_corpus(corpus)))
+
+
+@dataclass(frozen=True)
+class AppgenProbe:
+    """What :func:`appgen_probe` returns: one synthetic app, measured."""
+
+    app: SyntheticApp
+    runtimes: dict[DSKind, int]
+    best: DSKind | None
+
+
+def appgen_probe(seed: int,
+                 group: str | ModelGroup = "vector_oo",
+                 machine: str | MachineConfig = "core2",
+                 config: str | Path | GeneratorConfig | None = None,
+                 ) -> AppgenProbe:
+    """Generate one synthetic app and measure every legal candidate."""
+    group = resolve_group(group)
+    machine = resolve_machine(machine)
+    app = generate_app(seed, group, resolve_config(config))
+    runtimes = measure_candidates(app, machine)
+    return AppgenProbe(app=app, runtimes=runtimes,
+                       best=best_candidate(runtimes))
+
+
+def telemetry_summary(path: str | Path, top: int = 5) -> str:
+    """Render a telemetry artifact written by ``telemetry=PATH``."""
+    from repro.runtime.artifacts import ArtifactError
+
+    try:
+        payload = obs.load_telemetry(path)
+    except FileNotFoundError:
+        raise UsageError(f"no telemetry file at {path}") from None
+    except ArtifactError as exc:
+        raise UsageError(f"unreadable telemetry file {path}: {exc}"
+                         ) from None
+    return obs.format_telemetry(payload, top=top)
+
+
+__all__ = [
+    "APPS",
+    "AppgenProbe",
+    "MACHINES",
+    "Report",
+    "RunOptions",
+    "SuiteHandle",
+    "UsageError",
+    "ValidationResult",
+    "advise",
+    "appgen_probe",
+    "census",
+    "resolve_config",
+    "resolve_group",
+    "resolve_machine",
+    "resolve_scale",
+    "telemetry_summary",
+    "train",
+    "validate",
+]

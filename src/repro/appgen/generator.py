@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+import repro.obs as obs
 from repro.appgen.config import BehaviorProfile, GeneratorConfig
 from repro.containers.base import Container
 from repro.containers.registry import DSKind, ModelGroup, make_container
@@ -149,6 +150,7 @@ class SyntheticApp:
         size = self._drive(target, rng)
         if size != len(container):  # pragma: no cover - internal check
             raise AssertionError("logical size diverged from replay model")
+        obs.record_sim_run(machine)
         return AppRun(
             kind=kind,
             cycles=machine.cycles,

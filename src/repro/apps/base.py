@@ -14,6 +14,7 @@ from __future__ import annotations
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
 
+import repro.obs as obs
 from repro.containers.base import Container
 from repro.containers.registry import (
     DSKind,
@@ -149,6 +150,7 @@ def run_case_study(app: CaseStudyApp,
         raise ValueError(f"unknown site overrides: {sorted(kinds)}")
 
     output = app.execute(machine, handles)
+    obs.record_sim_run(machine)
     result = AppResult(
         cycles=machine.cycles,
         seconds=machine.seconds,

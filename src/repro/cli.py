@@ -1,14 +1,17 @@
-"""Command-line interface.
+"""Command-line interface: a thin argparse shim over :mod:`repro.api`.
 
-Five subcommands mirror the tool's lifecycle:
+Six subcommands mirror the tool's lifecycle:
 
-* ``repro train``   — install-time training for a machine (Phase I+II+ANN)
-* ``repro advise``  — profile a case-study app and print the report
-* ``repro census``  — the Figure 2 container census over a corpus
-* ``repro appgen``  — generate one synthetic application's trace summary
-* ``repro validate`` — the Figure 9 protocol for one model group
+* ``repro train``     — install-time training for a machine (Phase I+II+ANN)
+* ``repro advise``    — profile a case-study app and print the report
+* ``repro census``    — the Figure 2 container census over a corpus
+* ``repro appgen``    — generate one synthetic application's trace summary
+* ``repro validate``  — the Figure 9 protocol for one model group
+* ``repro telemetry`` — summarise a telemetry artifact from ``--telemetry``
 
-Run ``python -m repro.cli --help`` (or any subcommand's ``--help``).
+Run ``repro --help`` (or any subcommand's ``--help``).  All behaviour
+lives in :mod:`repro.api`; this module only parses arguments, calls the
+facade, and formats results for the terminal.
 
 Exit codes: 0 success, 2 usage error (unknown machine/group/scale/input),
 130 interrupted (Ctrl-C; training flushes a checkpoint first and
@@ -19,154 +22,78 @@ from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
+from repro import api
+from repro.containers.registry import MODEL_GROUPS
+from repro.models.cache import SCALES
+from repro.reporting import bar_chart, format_table
 from repro.runtime.checkpoint import TrainingInterrupted
 
-from repro.appgen.config import GeneratorConfig
-from repro.appgen.configfile import load_config
-from repro.appgen.generator import generate_app
-from repro.appgen.workload import best_candidate, measure_candidates
-from repro.apps import (
-    ChordSimulator,
-    Raytracer,
-    Relipmoc,
-    XalanStringCache,
-)
-from repro.containers.registry import MODEL_GROUPS
-from repro.core.advisor import BrainyAdvisor
-from repro.corpus.scanner import ranked, scan_corpus
-from repro.corpus.synth import generate_corpus
-from repro.machine.configs import ATOM, CORE2, MachineConfig
-from repro.models.cache import SCALES, get_or_train_suite
-from repro.models.validation import validate_model
-from repro.reporting import bar_chart, format_table
+#: Back-compat alias: the CLI's usage-error type is the API's.
+CLIError = api.UsageError
 
-_MACHINES: dict[str, MachineConfig] = {"core2": CORE2, "atom": ATOM}
+_MACHINES = api.MACHINES
 
-_APPS = {
-    "xalan": (XalanStringCache, ("test", "train", "reference")),
-    "chord": (ChordSimulator, ("small", "medium", "large")),
-    "relipmoc": (Relipmoc, ("small", "default", "large")),
-    "raytrace": (Raytracer, ("small", "default", "large")),
-}
-
-
-class CLIError(Exception):
-    """A usage error reported with a friendly message and exit code 2."""
-
-
-def _machine(name: str) -> MachineConfig:
-    try:
-        return _MACHINES[name]
-    except KeyError:
-        raise CLIError(
-            f"unknown machine {name!r}; choose from {sorted(_MACHINES)}"
-        ) from None
-
-
-def _model_group(name: str):
-    try:
-        return MODEL_GROUPS[name]
-    except KeyError:
-        raise CLIError(
-            f"unknown model group {name!r}; "
-            f"choose from {sorted(MODEL_GROUPS)}"
-        ) from None
-
-
-def _scale(name: str):
-    try:
-        return SCALES[name]
-    except KeyError:
-        raise CLIError(
-            f"unknown scale {name!r}; choose from {sorted(SCALES)}"
-        ) from None
-
-
-def _load_generator_config(path: str | None) -> GeneratorConfig:
-    if path is None:
-        return GeneratorConfig()
-    return load_config(Path(path))
+#: App names for argparse choices (api.APPS loads lazily).
+_APP_NAMES = ("chord", "raytrace", "relipmoc", "xalan")
 
 
 def cmd_train(args: argparse.Namespace) -> int:
-    machine = _machine(args.machine)
-    scale = _scale(args.scale)
-    config = _load_generator_config(args.config)
-    if args.checkpoint_every is not None and args.checkpoint_every <= 0:
-        raise CLIError("--checkpoint-every must be positive")
-    if args.jobs is not None and args.jobs < 1:
-        raise CLIError("--jobs must be >= 1")
-    print(f"training suite for {machine.name} at scale {scale.name} ...")
-    suite = get_or_train_suite(machine, scale, config=config,
-                               force=args.force,
-                               checkpoint_every=args.checkpoint_every,
-                               resume=args.resume,
-                               jobs=args.jobs)
-    print(f"models: {', '.join(sorted(suite.models))}")
+    print(f"training suite for {args.machine} at scale {args.scale} ...")
+    handle = api.train(
+        machine=args.machine, scale=args.scale, config=args.config,
+        force=args.force, resume=args.resume,
+        checkpoint_every=args.checkpoint_every, jobs=args.jobs,
+        telemetry=args.telemetry,
+    )
+    print(f"models: {', '.join(handle.groups)}")
+    if handle.telemetry_path is not None:
+        print(f"telemetry: {handle.telemetry_path}")
     return 0
 
 
 def cmd_advise(args: argparse.Namespace) -> int:
-    machine = _machine(args.machine)
-    app_cls, inputs = _APPS[args.app]
-    input_name = args.input or inputs[0]
-    if input_name not in inputs:
-        print(f"error: unknown input {input_name!r}; choose from {inputs}",
-              file=sys.stderr)
-        return 2
-    if args.jobs is not None and args.jobs < 1:
-        raise CLIError("--jobs must be >= 1")
-    suite = get_or_train_suite(machine, _scale(args.scale),
-                               jobs=args.jobs)
-    advisor = BrainyAdvisor(suite)
-    report = advisor.advise_app(app_cls(input_name), machine,
-                                batched=not args.per_record)
+    report = api.advise(
+        args.app, input_name=args.input, machine=args.machine,
+        scale=args.scale, jobs=args.jobs,
+        batched=not args.per_record, telemetry=args.telemetry,
+    )
     print(report.format())
     return 0
 
 
 def cmd_census(args: argparse.Namespace) -> int:
-    corpus = generate_corpus(files=args.files, seed=args.seed)
-    counts = scan_corpus(corpus)
-    order = dict(ranked(counts))
+    counts = api.census(files=args.files, seed=args.seed)
     print(bar_chart({name: float(count)
-                     for name, count in order.items() if count}))
+                     for name, count in counts.items() if count}))
     return 0
 
 
 def cmd_appgen(args: argparse.Namespace) -> int:
-    config = _load_generator_config(args.config)
-    group = _model_group(args.group)
-    machine = _machine(args.machine)
-    app = generate_app(args.seed, group, config)
-    profile = app.profile
+    probe = api.appgen_probe(args.seed, group=args.group,
+                             machine=args.machine, config=args.config)
+    profile = probe.app.profile
     mix = {op: f"{weight:.2f}"
            for op, weight in zip(profile.ops, profile.op_weights)}
-    print(f"seed {args.seed}, group {group.name}: elem={profile.elem_size}B "
+    print(f"seed {args.seed}, group {probe.app.group.name}: "
+          f"elem={profile.elem_size}B "
           f"prefill={profile.prefill} mix={mix}")
-    runtimes = measure_candidates(app, machine)
     rows = [[kind.value, f"{cycles:,}"]
-            for kind, cycles in sorted(runtimes.items(),
+            for kind, cycles in sorted(probe.runtimes.items(),
                                        key=lambda kv: kv[1])]
     print(format_table(["candidate", "cycles"], rows, align_right=[1]))
-    best = best_candidate(runtimes)
-    print(f"best (5% margin): {best.value if best else 'none'}")
+    print(f"best (5% margin): "
+          f"{probe.best.value if probe.best else 'none'}")
     return 0
 
 
 def cmd_validate(args: argparse.Namespace) -> int:
-    machine = _machine(args.machine)
-    config = _load_generator_config(args.config)
-    if args.jobs is not None and args.jobs < 1:
-        raise CLIError("--jobs must be >= 1")
-    suite = get_or_train_suite(machine, _scale(args.scale),
-                               jobs=args.jobs)
-    group = _model_group(args.group)
-    outcome = validate_model(suite[group.name], group, config, machine,
-                             args.apps, seed_base=args.seed_base)
-    print(f"{group.name} on {machine.name}: "
+    outcome = api.validate(
+        group=args.group, machine=args.machine, scale=args.scale,
+        config=args.config, apps=args.apps, seed_base=args.seed_base,
+        jobs=args.jobs, telemetry=args.telemetry,
+    )
+    print(f"{outcome.group_name} on {outcome.machine_name}: "
           f"{outcome.correct}/{outcome.total} "
           f"= {100 * outcome.accuracy:.0f}% "
           f"({outcome.skipped} apps had no margin winner)")
@@ -174,11 +101,27 @@ def cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_telemetry(args: argparse.Namespace) -> int:
+    print(api.telemetry_summary(args.file, top=args.top))
+    return 0
+
+
+def _add_telemetry_arg(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--telemetry", metavar="PATH",
+                        help="write a telemetry artifact (spans, "
+                             "metrics) for this run to PATH; inspect "
+                             "with `repro telemetry PATH`")
+
+
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Brainy (PLDI 2011) reproduction toolkit",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"%(prog)s {__version__}")
     sub = parser.add_subparsers(dest="command", required=True)
 
     train = sub.add_parser("train", help="install-time model training")
@@ -197,11 +140,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fan seeds out over N worker processes "
                             "(results are identical to a serial run; "
                             "default: REPRO_JOBS or serial)")
+    _add_telemetry_arg(train)
     train.set_defaults(fn=cmd_train)
 
     advise = sub.add_parser("advise",
                             help="advise a case-study application")
-    advise.add_argument("app", choices=sorted(_APPS))
+    advise.add_argument("app", choices=_APP_NAMES)
     advise.add_argument("--input", help="application input set")
     advise.add_argument("--machine", choices=sorted(_MACHINES),
                         default="core2")
@@ -215,6 +159,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="use record-at-a-time model inference "
                              "instead of the batched per-group path "
                              "(identical report, slower)")
+    _add_telemetry_arg(advise)
     advise.set_defaults(fn=cmd_advise)
 
     census = sub.add_parser("census", help="Figure 2 container census")
@@ -248,7 +193,17 @@ def build_parser() -> argparse.ArgumentParser:
                           help="worker processes if the suite must be "
                                "trained first (default: REPRO_JOBS or "
                                "serial)")
+    _add_telemetry_arg(validate)
     validate.set_defaults(fn=cmd_validate)
+
+    telemetry = sub.add_parser(
+        "telemetry", help="summarise a telemetry artifact"
+    )
+    telemetry.add_argument("file", help="telemetry artifact path "
+                                        "(from --telemetry)")
+    telemetry.add_argument("--top", type=int, default=5, metavar="N",
+                           help="slowest span instances to show")
+    telemetry.set_defaults(fn=cmd_telemetry)
 
     return parser
 
@@ -257,7 +212,7 @@ def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except CLIError as exc:
+    except api.UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except TrainingInterrupted as exc:

@@ -19,6 +19,7 @@ import math
 
 import numpy as np
 
+import repro.obs as obs
 from repro.apps.base import AppResult, CaseStudyApp, run_case_study
 from repro.containers.base import OpCost
 from repro.containers.registry import (
@@ -124,9 +125,15 @@ class BrainyAdvisor:
         to the record-at-a-time reference path, which
         ``batched=False`` keeps for comparison and debugging.
         """
-        if batched:
-            return self._advise_batched(trace, keyed_contexts)
-        return self._advise_sequential(trace, keyed_contexts)
+        with obs.span("advise", batched=batched):
+            if batched:
+                report = self._advise_batched(trace, keyed_contexts)
+            else:
+                report = self._advise_sequential(trace, keyed_contexts)
+            obs.counter("advise.records", len(trace))
+            obs.counter("advise.suggestions", len(report.suggestions))
+            obs.counter("advise.degraded", len(report.degraded_groups))
+            return report
 
     def _advise_sequential(self, trace: TraceSet,
                            keyed_contexts: frozenset[str]) -> Report:
@@ -199,6 +206,8 @@ class BrainyAdvisor:
 
         for group_name, slots in by_group.items():
             model = self.suite[group_name]
+            obs.observe("advise.batch_size", len(slots),
+                        group=group_name)
             # Legality depends only on (kind, order-obliviousness), so
             # each distinct usage shape pays for one mask, not one per
             # record.

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+import repro.obs as obs
+
 
 def _softmax(z: np.ndarray) -> np.ndarray:
     z = z - z.max(axis=1, keepdims=True)
@@ -131,6 +133,12 @@ class NeuralNetwork:
             ) -> "NeuralNetwork":
         """Train on integer class labels ``y``; optionally early-stop on a
         validation split."""
+        with obs.span("ann.fit"):
+            return self._fit(X, y, validation)
+
+    def _fit(self, X: np.ndarray, y: np.ndarray,
+             validation: tuple[np.ndarray, np.ndarray] | None
+             ) -> "NeuralNetwork":
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.int64)
         if X.ndim != 2 or X.shape[1] != self.layer_sizes[0]:
@@ -196,6 +204,9 @@ class NeuralNetwork:
                         break
         if best_params is not None:
             self.weights, self.biases = best_params
+        obs.counter("ann.epochs", len(self.loss_history_))
+        for epoch_mean in self.loss_history_:
+            obs.observe("ann.epoch_loss", epoch_mean)
         return self
 
     # -- inference ------------------------------------------------------------

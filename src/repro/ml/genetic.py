@@ -25,6 +25,7 @@ from typing import Callable
 
 import numpy as np
 
+import repro.obs as obs
 from repro.runtime.parallel import (
     make_executor,
     map_retry,
@@ -136,37 +137,44 @@ class GeneticFeatureSelector:
             # Dispatch is out-of-order across the pool; the merge is in
             # chromosome order, so this is exactly the serial
             # ``[fitness_fn(ch) for ch in population]``.
+            obs.counter("ga.fitness_evals", len(population))
             return np.array(list(map_retry(
                 fitness_fn, list(population),
                 jobs=jobs, window=window, executor=executor,
             )), dtype=np.float64)
 
-        try:
-            pop = self.rng.random((self.population_size, self.n_features))
-            # Seed one all-ones chromosome so "use everything" is in
-            # the pool.
-            pop[0] = 1.0
-            fitnesses = evaluate(pop)
-            history = [float(fitnesses.max())]
-
-            for _ in range(self.generations):
-                order = np.argsort(-fitnesses)
-                next_pop = [pop[i].copy() for i in order[:self.elitism]]
-                while len(next_pop) < self.population_size:
-                    a = pop[self._tournament_pick(fitnesses)]
-                    b = pop[self._tournament_pick(fitnesses)]
-                    next_pop.append(self._mutate(self._crossover(a, b)))
-                pop = np.asarray(next_pop)
+        with obs.span("ga.run"):
+            try:
+                pop = self.rng.random(
+                    (self.population_size, self.n_features))
+                # Seed one all-ones chromosome so "use everything" is in
+                # the pool.
+                pop[0] = 1.0
                 fitnesses = evaluate(pop)
-                history.append(float(fitnesses.max()))
-        finally:
-            if own_executor:
-                executor.shutdown()
+                history = [float(fitnesses.max())]
 
-        best = int(np.argmax(fitnesses))
-        return GAResult(
-            weights=pop[best].copy(),
-            fitness=float(fitnesses[best]),
-            history=history,
-            feature_names=self.feature_names,
-        )
+                for _ in range(self.generations):
+                    order = np.argsort(-fitnesses)
+                    next_pop = [pop[i].copy()
+                                for i in order[:self.elitism]]
+                    while len(next_pop) < self.population_size:
+                        a = pop[self._tournament_pick(fitnesses)]
+                        b = pop[self._tournament_pick(fitnesses)]
+                        next_pop.append(
+                            self._mutate(self._crossover(a, b)))
+                    pop = np.asarray(next_pop)
+                    fitnesses = evaluate(pop)
+                    history.append(float(fitnesses.max()))
+                    obs.counter("ga.generations")
+            finally:
+                if own_executor:
+                    executor.shutdown()
+
+            best = int(np.argmax(fitnesses))
+            obs.gauge("ga.best_fitness", float(fitnesses[best]))
+            return GAResult(
+                weights=pop[best].copy(),
+                fitness=float(fitnesses[best]),
+                history=history,
+                feature_names=self.feature_names,
+            )

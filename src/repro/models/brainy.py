@@ -9,12 +9,15 @@ training run can be reused.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 from typing import Iterable
 
 import numpy as np
+
+import repro.obs as obs
 
 from repro.appgen.config import GeneratorConfig
 from repro.containers.registry import (
@@ -36,6 +39,7 @@ from repro.runtime.artifacts import (
 )
 from repro.runtime.checkpoint import TrainingInterrupted
 from repro.runtime.faults import RetryPolicy
+from repro.runtime.options import RunOptions, resolve_run_options
 from repro.runtime.parallel import map_retry, resolve_jobs, usable_jobs
 from repro.training.dataset import TrainingSet
 from repro.training.phase1 import run_phase1
@@ -290,6 +294,13 @@ def _train_group(group_name: str,
     the same path.
     """
     group = MODEL_GROUPS[group_name]
+    # Rebuilt worker-side from plain (picklable) arguments; a live
+    # telemetry collector never crosses the process boundary.
+    phase_options = RunOptions(
+        jobs=jobs, checkpoint_every=checkpoint_every,
+        retry_policy=retry_policy,
+        seed_budget_seconds=seed_budget_seconds,
+    )
     p1_path = p2_path = None
     p1_resume = p2_resume = None
     if checkpoint_dir is not None:
@@ -299,25 +310,20 @@ def _train_group(group_name: str,
         if resume:
             p1_resume = p1_path if p1_path.exists() else None
             p2_resume = p2_path if p2_path.exists() else None
-    phase1 = run_phase1(
-        group, config, machine_config,
-        per_class_target=per_class_target,
-        max_seeds=max_seeds, seed_base=seed_base,
-        resume_from=p1_resume, checkpoint_path=p1_path,
-        checkpoint_every=checkpoint_every,
-        retry_policy=retry_policy,
-        seed_budget_seconds=seed_budget_seconds,
-        jobs=jobs,
-    )
-    training_set = run_phase2(
-        phase1, config, machine_config,
-        resume_from=p2_resume, checkpoint_path=p2_path,
-        checkpoint_every=checkpoint_every,
-        retry_policy=retry_policy,
-        seed_budget_seconds=seed_budget_seconds,
-        jobs=jobs,
-    )
-    return BrainyModel.train(training_set, hidden=hidden, seed=seed)
+    with obs.span("train.group", group=group_name):
+        phase1 = run_phase1(
+            group, config, machine_config,
+            per_class_target=per_class_target,
+            max_seeds=max_seeds, seed_base=seed_base,
+            resume_from=p1_resume, checkpoint_path=p1_path,
+            options=phase_options,
+        )
+        training_set = run_phase2(
+            phase1, config, machine_config,
+            resume_from=p2_resume, checkpoint_path=p2_path,
+            options=phase_options,
+        )
+        return BrainyModel.train(training_set, hidden=hidden, seed=seed)
 
 
 class BrainySuite:
@@ -363,8 +369,9 @@ class BrainySuite:
               seed: int = 0,
               *,
               checkpoint_dir: str | Path | None = None,
-              checkpoint_every: int | None = None,
               resume: bool = False,
+              options: RunOptions | None = None,
+              checkpoint_every: int | None = None,
               retry_policy: RetryPolicy | None = None,
               seed_budget_seconds: float | None = None,
               jobs: int | None = None,
@@ -379,14 +386,19 @@ class BrainySuite:
         skips finished work.  Checkpoints are removed once the whole
         suite trains successfully.
 
-        ``jobs`` parallelises training (``None`` reads ``REPRO_JOBS``,
-        default serial).  With several groups, whole group pipelines
-        overlap across the worker pool — each pipeline's own seed loop
-        then runs serially inside its worker, since pool workers are
-        daemonic and cannot host a nested pool.  With a single group the
-        parallelism goes into the per-seed fan-out instead.  Either way
-        the deterministic in-order merge keeps the trained suite
-        byte-identical for any ``jobs`` value.  ``executor`` overrides
+        Cross-cutting run knobs (``jobs``, ``checkpoint_every``, fault
+        tuning, ``telemetry``) arrive via ``options=RunOptions(...)``;
+        the matching bare keywords are the deprecated spelling.
+
+        ``RunOptions.jobs`` parallelises training (``None`` reads
+        ``REPRO_JOBS``, default serial).  With several groups, whole
+        group pipelines overlap across the worker pool — each pipeline's
+        own seed loop then runs serially inside its worker, since pool
+        workers are daemonic and cannot host a nested pool.  With a
+        single group the parallelism goes into the per-seed fan-out
+        instead.  Either way the deterministic in-order merge keeps the
+        trained suite byte-identical for any ``jobs`` value (and the
+        merged telemetry content identical too).  ``executor`` overrides
         the group-level pool (the test seam for fault injection).
         """
         config = config or GeneratorConfig()
@@ -394,7 +406,15 @@ class BrainySuite:
             else list(MODEL_GROUPS.values())
         checkpoint_dir = (Path(checkpoint_dir)
                           if checkpoint_dir is not None else None)
-        jobs = resolve_jobs(jobs)
+        options = resolve_run_options(
+            options, jobs=jobs, checkpoint_every=checkpoint_every,
+            retry_policy=retry_policy,
+            seed_budget_seconds=seed_budget_seconds,
+        )
+        checkpoint_every = options.checkpoint_every
+        retry_policy = options.retry_policy
+        seed_budget_seconds = options.seed_budget_seconds
+        jobs = resolve_jobs(options.jobs)
         group_jobs = min(jobs, len(groups)) if len(groups) > 1 else 1
         if executor is None and group_jobs == 1:
             # All parallelism fits inside one pipeline's seed fan-out.
@@ -422,34 +442,41 @@ class BrainySuite:
             if group_jobs == 1:
                 worker = make_worker(jobs)
 
-        suite = cls(machine_name=machine_config.name)
-        names = [group.name for group in groups]
-        merged = map_retry(worker, names, jobs=group_jobs,
-                           executor=executor,
-                           reraise=(TrainingInterrupted,))
-        try:
+        telemetry_scope = (obs.use_collector(options.telemetry)
+                           if options.telemetry is not None
+                           else nullcontext())
+        with telemetry_scope, obs.span("train",
+                                       machine=machine_config.name):
+            suite = cls(machine_name=machine_config.name)
+            names = [group.name for group in groups]
+            merged = map_retry(worker, names, jobs=group_jobs,
+                               executor=executor,
+                               reraise=(TrainingInterrupted,))
             try:
-                for name, model in zip(names, merged):
-                    suite.models[name] = model
-            finally:
-                merged.close()
-        except KeyboardInterrupt:
-            if checkpoint_dir is None:
-                raise
-            # Workers ignore SIGINT and flush per-group checkpoints at
-            # merged-prefix boundaries; surface the same resumable
-            # signal the serial path raises.
-            raise TrainingInterrupted(
-                "suite training interrupted; per-group checkpoints "
-                f"under {checkpoint_dir}",
-                checkpoint_path=checkpoint_dir,
-            ) from None
-        if checkpoint_dir is not None:
-            for group in groups:
-                for phase in ("phase1", "phase2"):
-                    (checkpoint_dir
-                     / f"{group.name}.{phase}.json").unlink(missing_ok=True)
-        return suite
+                try:
+                    for name, model in zip(names, merged):
+                        suite.models[name] = model
+                        obs.counter("train.groups")
+                finally:
+                    merged.close()
+            except KeyboardInterrupt:
+                if checkpoint_dir is None:
+                    raise
+                # Workers ignore SIGINT and flush per-group checkpoints
+                # at merged-prefix boundaries; surface the same
+                # resumable signal the serial path raises.
+                raise TrainingInterrupted(
+                    "suite training interrupted; per-group checkpoints "
+                    f"under {checkpoint_dir}",
+                    checkpoint_path=checkpoint_dir,
+                ) from None
+            if checkpoint_dir is not None:
+                for group in groups:
+                    for phase in ("phase1", "phase2"):
+                        (checkpoint_dir
+                         / f"{group.name}.{phase}.json"
+                         ).unlink(missing_ok=True)
+            return suite
 
     # -- persistence ---------------------------------------------------------
 

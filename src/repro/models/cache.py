@@ -25,6 +25,7 @@ from repro.appgen.config import GeneratorConfig
 from repro.machine.configs import MachineConfig
 from repro.models.brainy import BrainySuite
 from repro.runtime.artifacts import ArtifactError
+from repro.runtime.options import RunOptions, resolve_run_options
 
 
 def _resolve_cache_dir() -> Path:
@@ -111,17 +112,21 @@ def get_or_build_dataset(group_name: str,
                          config: GeneratorConfig | None = None,
                          force: bool = False,
                          *,
+                         options: RunOptions | None = None,
                          jobs: int | None = None):
     """Load (or run Phase I+II to build) one group's training set.
 
     A corrupt or schema-stale cached dataset is rebuilt, not raised.
-    ``jobs`` parallelises the build (``None`` reads ``REPRO_JOBS``).
+    ``options`` carries the cross-cutting run knobs
+    (:class:`repro.runtime.options.RunOptions`); ``jobs`` is the
+    deprecated spelling of ``options.jobs``.
     """
     from repro.containers.registry import MODEL_GROUPS
     from repro.training.dataset import TrainingSet
     from repro.training.phase1 import run_phase1
     from repro.training.phase2 import run_phase2
 
+    options = resolve_run_options(options, jobs=jobs)
     scale = scale or current_scale()
     path = (CACHE_DIR / "datasets"
             / f"{machine_config.name}-{scale.name}-{group_name}.json")
@@ -135,8 +140,9 @@ def get_or_build_dataset(group_name: str,
     group = MODEL_GROUPS[group_name]
     phase1 = run_phase1(group, config, machine_config,
                         per_class_target=scale.per_class_target,
-                        max_seeds=scale.max_seeds, jobs=jobs)
-    training_set = run_phase2(phase1, config, machine_config, jobs=jobs)
+                        max_seeds=scale.max_seeds, options=options)
+    training_set = run_phase2(phase1, config, machine_config,
+                              options=options)
     training_set.save(path)
     return training_set
 
@@ -146,18 +152,22 @@ def get_or_train_suite(machine_config: MachineConfig,
                        config: GeneratorConfig | None = None,
                        force: bool = False,
                        *,
-                       checkpoint_every: int | None = None,
                        resume: bool = False,
+                       options: RunOptions | None = None,
+                       checkpoint_every: int | None = None,
                        jobs: int | None = None) -> BrainySuite:
     """Load the cached suite for this machine/scale, training on a miss.
 
     A corrupt or schema-stale cached suite is retrained, not raised.
-    ``checkpoint_every`` enables periodic training checkpoints under the
-    cache's ``checkpoints/`` directory; ``resume=True`` continues an
-    interrupted training run from them.  ``jobs`` fans training seeds
-    out over worker processes (``None`` reads ``REPRO_JOBS``; the
-    trained suite is identical for any value).
+    ``options.checkpoint_every`` enables periodic training checkpoints
+    under the cache's ``checkpoints/`` directory; ``resume=True``
+    continues an interrupted training run from them.  ``options.jobs``
+    fans training seeds out over worker processes (``None`` reads
+    ``REPRO_JOBS``; the trained suite is identical for any value).
+    ``checkpoint_every`` / ``jobs`` are the deprecated spellings.
     """
+    options = resolve_run_options(options, jobs=jobs,
+                                  checkpoint_every=checkpoint_every)
     scale = scale or current_scale()
     path = suite_path(machine_config, scale)
     if not force and (path / "suite.json").exists():
@@ -168,7 +178,8 @@ def get_or_train_suite(machine_config: MachineConfig,
             _warn(f"unusable cached suite {path} ({exc}); retraining")
     _ensure_writable(CACHE_DIR)
     ckpt_dir = (checkpoint_dir(machine_config, scale)
-                if checkpoint_every is not None or resume else None)
+                if options.checkpoint_every is not None or resume
+                else None)
     suite = BrainySuite.train(
         machine_config=machine_config,
         config=config or GeneratorConfig(),
@@ -176,9 +187,8 @@ def get_or_train_suite(machine_config: MachineConfig,
         max_seeds=scale.max_seeds,
         hidden=scale.hidden,
         checkpoint_dir=ckpt_dir,
-        checkpoint_every=checkpoint_every,
         resume=resume,
-        jobs=jobs,
+        options=options,
     )
     suite.save(path)
     return suite

@@ -1,0 +1,146 @@
+"""Counter / gauge / histogram registry.
+
+Metric identity is ``name`` plus optional sorted labels, rendered as
+``name{k=v,…}`` — the label form carries low-cardinality dimensions such
+as the fault taxonomy (``phase1.quarantined{category=deterministic,
+stage=measure}``) or a per-group histogram.
+
+* **counter** — monotonically accumulating value (seeds tried, rows
+  emitted, retries, simulator cycles).  Merging sums.
+* **gauge** — last-written value (final GA fitness).  Merging is
+  last-write-wins in merge order, which the ordered consume loops keep
+  deterministic.
+* **histogram** — count/total/min/max plus the observed values
+  themselves up to :data:`HISTOGRAM_VALUE_CAP` (enough for an ANN epoch
+  loss curve); past the cap only the aggregates keep growing and
+  ``dropped`` records how many raw values were discarded.
+
+The registry shares its caller's lock (the collector's) so a span exit
+and a counter bump never interleave mid-update, and snapshots are
+consistent.  A registry built with ``enabled=False`` (the null
+collector's) turns every mutator into an immediate return.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Raw observations retained per histogram before only aggregating.
+HISTOGRAM_VALUE_CAP = 512
+
+
+def metric_key(name: str, labels: dict) -> str:
+    """Canonical ``name{k=v,…}`` identity for a metric + labels."""
+    if not labels:
+        return name
+    inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+class MetricsRegistry:
+    """Thread-safe named counters, gauges, and histograms."""
+
+    def __init__(self, lock: threading.Lock | None = None,
+                 enabled: bool = True) -> None:
+        self._lock = lock if lock is not None else threading.Lock()
+        self.enabled = enabled
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, dict] = {}
+
+    # -- mutators ----------------------------------------------------------
+
+    def count(self, name: str, value: float = 1, **labels: object) -> None:
+        """Add ``value`` to the counter ``name`` (created at zero)."""
+        if not self.enabled:
+            return
+        key = metric_key(name, labels)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0) + value
+
+    def gauge(self, name: str, value: float, **labels: object) -> None:
+        """Set the gauge ``name`` to ``value`` (last write wins)."""
+        if not self.enabled:
+            return
+        key = metric_key(name, labels)
+        with self._lock:
+            self._gauges[key] = value
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        """Record one observation into the histogram ``name``."""
+        if not self.enabled:
+            return
+        key = metric_key(name, labels)
+        with self._lock:
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = {
+                    "count": 0, "total": 0.0,
+                    "min": value, "max": value,
+                    "values": [], "dropped": 0,
+                }
+            hist["count"] += 1
+            hist["total"] += value
+            if value < hist["min"]:
+                hist["min"] = value
+            if value > hist["max"]:
+                hist["max"] = value
+            if len(hist["values"]) < HISTOGRAM_VALUE_CAP:
+                hist["values"].append(value)
+            else:
+                hist["dropped"] += 1
+
+    # -- snapshots ---------------------------------------------------------
+
+    def _snapshot_locked(self) -> dict:
+        """Plain-dict copy; caller must hold the shared lock."""
+        return {
+            "counters": dict(sorted(self._counters.items())),
+            "gauges": dict(sorted(self._gauges.items())),
+            "histograms": {
+                key: {**hist, "values": list(hist["values"])}
+                for key, hist in sorted(self._histograms.items())
+            },
+        }
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return self._snapshot_locked()
+
+    def _merge_locked(self, payload: dict) -> None:
+        """Fold a shipped snapshot in; caller must hold the shared lock."""
+        for key, value in payload.get("counters", {}).items():
+            self._counters[key] = self._counters.get(key, 0) + value
+        for key, value in payload.get("gauges", {}).items():
+            self._gauges[key] = value
+        for key, other in payload.get("histograms", {}).items():
+            hist = self._histograms.get(key)
+            if hist is None:
+                hist = self._histograms[key] = {
+                    "count": 0, "total": 0.0,
+                    "min": other["min"], "max": other["max"],
+                    "values": [], "dropped": 0,
+                }
+            hist["count"] += other["count"]
+            hist["total"] += other["total"]
+            hist["min"] = min(hist["min"], other["min"])
+            hist["max"] = max(hist["max"], other["max"])
+            room = HISTOGRAM_VALUE_CAP - len(hist["values"])
+            incoming = other.get("values", [])
+            hist["values"].extend(incoming[:room])
+            hist["dropped"] += (other.get("dropped", 0)
+                                + max(0, len(incoming) - room))
+
+    def merge(self, payload: dict) -> None:
+        with self._lock:
+            self._merge_locked(payload)
+
+    # -- reads (tests and the export layer) --------------------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        with self._lock:
+            return self._counters.get(metric_key(name, labels), 0)
+
+    def gauge_value(self, name: str, **labels: object) -> float | None:
+        with self._lock:
+            return self._gauges.get(metric_key(name, labels))

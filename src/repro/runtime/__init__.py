@@ -33,6 +33,7 @@ from repro.runtime.faults import (
     run_guarded,
 )
 from repro.runtime.inject import FaultInjector, FaultPlan
+from repro.runtime.options import RunOptions, resolve_run_options
 from repro.runtime.parallel import (
     PoolExecutor,
     SerialExecutor,
@@ -68,4 +69,6 @@ __all__ = [
     "run_guarded",
     "FaultInjector",
     "FaultPlan",
+    "RunOptions",
+    "resolve_run_options",
 ]

@@ -162,6 +162,9 @@ def run_guarded(fn: Callable[[], object], *,
                 except StopIteration:
                     pass  # retries exhausted; fall through to quarantine
                 else:
+                    import repro.obs as obs
+
+                    obs.counter("faults.retries", stage=stage)
                     if delay > 0:
                         sleep(delay)
                     continue

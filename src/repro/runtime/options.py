@@ -1,0 +1,87 @@
+"""Unified run-knob plumbing: one frozen :class:`RunOptions` per run.
+
+The training entry points (:func:`repro.training.phase1.run_phase1`,
+:func:`repro.training.phase2.run_phase2`,
+:meth:`repro.models.brainy.BrainySuite.train`) historically grew one
+keyword per knob — ``jobs``, ``window``, ``checkpoint_every``, the
+fault-injection tuning (``retry_policy`` / ``seed_budget_seconds``), and
+now ``telemetry``.  They all collapse into a single immutable
+:class:`RunOptions` value accepted as ``options=``; the old kwarg
+spellings keep working for one release through
+:func:`resolve_run_options`, which folds them in under a
+``DeprecationWarning``.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import dataclass, replace
+
+from repro.runtime.faults import RetryPolicy
+
+#: Knob names the legacy shim recognises (also used by the tests).
+LEGACY_KNOBS = ("jobs", "window", "checkpoint_every", "retry_policy",
+                "seed_budget_seconds")
+
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Immutable cross-cutting knobs for one training/advising run.
+
+    Parameters
+    ----------
+    jobs:
+        Worker processes for seed/group fan-out (``None`` reads
+        ``REPRO_JOBS``, default serial).
+    window:
+        In-flight speculation bound for :func:`map_ordered`.
+    checkpoint_every:
+        Periodic checkpoint cadence, in seeds/records.
+    retry_policy / seed_budget_seconds:
+        Fault-boundary tuning (transient retries; per-seed wall budget).
+    telemetry:
+        A :class:`repro.obs.Collector` activated for the run's duration;
+        ``None`` leaves whatever collector is already active (the null
+        collector by default).
+    """
+
+    jobs: int | None = None
+    window: int | None = None
+    checkpoint_every: int | None = None
+    retry_policy: RetryPolicy | None = None
+    seed_budget_seconds: float | None = None
+    telemetry: object | None = None
+
+    def with_overrides(self, **changes: object) -> "RunOptions":
+        """A copy with ``changes`` applied (frozen-safe ``replace``)."""
+        return replace(self, **changes)
+
+
+def resolve_run_options(options: RunOptions | None,
+                        stacklevel: int = 3,
+                        **legacy: object) -> RunOptions:
+    """Collapse legacy kwarg spellings into a :class:`RunOptions`.
+
+    ``legacy`` holds the values of the deprecated keywords exactly as the
+    caller received them (``None`` meaning "not passed").  Passing any of
+    them alongside an explicit ``options`` is an error — the two
+    spellings must not silently fight; passing them *instead of*
+    ``options`` works but warns.
+    """
+    supplied = {name: value for name, value in legacy.items()
+                if value is not None}
+    if options is not None:
+        if supplied:
+            raise TypeError(
+                "pass run knobs either via options=RunOptions(...) or "
+                "via the legacy keywords, not both: "
+                + ", ".join(sorted(supplied))
+            )
+        return options
+    if supplied:
+        warnings.warn(
+            "passing " + ", ".join(sorted(supplied)) + " directly is "
+            "deprecated; pass options=RunOptions(...) instead",
+            DeprecationWarning, stacklevel=stacklevel,
+        )
+    return RunOptions(**supplied)

@@ -23,6 +23,16 @@ Worker processes are initialised deterministically (fixed ``random`` /
 NumPy global seeds, independent of ``PYTHONHASHSEED`` and of which
 worker picks up which task) and ignore SIGINT so an interrupt is handled
 solely by the parent, which flushes a checkpoint at the merged prefix.
+
+Telemetry composes with the fan-out the same way results do: when the
+parent's :mod:`repro.obs` collector is enabled and tasks cross a process
+boundary, each task runs under a fresh buffering collector and its
+snapshot ships back with the result; :func:`map_ordered` merges it into
+the parent collector at the in-order consume point.  On the in-process
+path tasks evaluate lazily at that same consume point, so their spans
+nest directly into the parent collector at the identical graft point.
+Span paths, counts, and metric totals are therefore identical for any
+``jobs`` value — only wall-times differ.
 """
 
 from __future__ import annotations
@@ -56,6 +66,39 @@ def resolve_jobs(jobs: int | None) -> int:
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs
+
+
+class _ShippedResult:
+    """A task result bundled with the worker-side telemetry snapshot."""
+
+    __slots__ = ("result", "telemetry")
+
+    def __init__(self, result: Any, telemetry: dict) -> None:
+        self.result = result
+        self.telemetry = telemetry
+
+
+class _TelemetryTask:
+    """Wrap a task callable so its telemetry ships back with its result.
+
+    Used only across process boundaries, where the parent collector is
+    unreachable: the wrapped call runs under a fresh enabled collector
+    whose snapshot travels home with the result.  Picklable iff the
+    wrapped callable is.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn: Callable) -> None:
+        self.fn = fn
+
+    def __call__(self, *args: Any) -> _ShippedResult:
+        from repro.obs import Collector, use_collector
+
+        collector = Collector()
+        with use_collector(collector):
+            result = self.fn(*args)
+        return _ShippedResult(result, collector.snapshot())
 
 
 @dataclass
@@ -209,10 +252,28 @@ def map_ordered(fn: Callable[[Any], Any],
     (the generator's ``finally`` shuts the pool down).  Closing the
     generator early (e.g. on an early-stop break) discards speculative
     in-flight work.
+
+    When the active :mod:`repro.obs` collector is enabled, each task's
+    telemetry lands in the parent collector at the task's in-order
+    consume point (discarded tasks' telemetry is discarded with them) —
+    via a shipped snapshot for pool workers, directly for in-process
+    execution — keeping telemetry content deterministic across ``jobs``
+    values.
     """
+    from repro.obs import get_collector
+
+    parent_collector = get_collector()
     own_executor = executor is None
     if executor is None:
         executor = make_executor(jobs)
+    # In-process executors evaluate lazily at the consume point below,
+    # where the parent collector is active and spans nest directly at
+    # the same graft point a shipped snapshot would merge into — so only
+    # real process boundaries pay the snapshot/merge cost.
+    ship_telemetry = (parent_collector.enabled
+                      and not getattr(executor, "in_process", False))
+    if ship_telemetry:
+        fn = _TelemetryTask(fn)
     if window is None:
         window = max(2, jobs * DEFAULT_WINDOW_PER_JOB)
     pending: deque[tuple[Any, Any]] = deque()
@@ -236,6 +297,9 @@ def map_ordered(fn: Callable[[Any], Any],
                 raise
             except Exception as exc:
                 result = TaskFailure(task, exc)
+            if ship_telemetry and isinstance(result, _ShippedResult):
+                parent_collector.merge(result.telemetry)
+                result = result.result
             yield result
     finally:
         if own_executor:

@@ -26,11 +26,13 @@ indistinguishable from a serial run's.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from functools import partial
 from pathlib import Path
 from typing import Callable
 
+import repro.obs as obs
 from repro.appgen.config import GeneratorConfig
 from repro.appgen.generator import generate_app
 from repro.appgen.workload import DEFAULT_MARGIN, best_candidate, measure_candidates
@@ -47,6 +49,7 @@ from repro.runtime.faults import (
     classify,
     run_guarded,
 )
+from repro.runtime.options import RunOptions, resolve_run_options
 from repro.runtime.parallel import (
     TaskFailure,
     map_ordered,
@@ -166,19 +169,22 @@ def evaluate_seed(seed: int,
     two produce identical outcomes.
     """
     budget = WorkBudget(seed_budget_seconds).start()
-    try:
-        app = run_guarded(
-            lambda: generate_fn(seed, group, config),
-            seed=seed, stage="generate", policy=retry_policy,
-            budget=budget,
-        )
-        runtimes = run_guarded(
-            lambda: measure_fn(app, machine_config),
-            seed=seed, stage="measure", policy=retry_policy,
-            budget=budget,
-        )
-    except SeedQuarantined as quarantine:
-        return SeedOutcome(seed=seed, quarantine=quarantine.record)
+    with obs.span("phase1.seed", seed=seed):
+        try:
+            with obs.span("generate"):
+                app = run_guarded(
+                    lambda: generate_fn(seed, group, config),
+                    seed=seed, stage="generate", policy=retry_policy,
+                    budget=budget,
+                )
+            with obs.span("measure"):
+                runtimes = run_guarded(
+                    lambda: measure_fn(app, machine_config),
+                    seed=seed, stage="measure", policy=retry_policy,
+                    budget=budget,
+                )
+        except SeedQuarantined as quarantine:
+            return SeedOutcome(seed=seed, quarantine=quarantine.record)
     return SeedOutcome(seed=seed, runtimes=runtimes)
 
 
@@ -272,6 +278,7 @@ def run_phase1(group: ModelGroup,
                *,
                resume_from: Phase1Checkpoint | str | Path | None = None,
                checkpoint_path: str | Path | None = None,
+               options: RunOptions | None = None,
                checkpoint_every: int | None = None,
                retry_policy: RetryPolicy | None = None,
                seed_budget_seconds: float | None = None,
@@ -297,114 +304,139 @@ def run_phase1(group: ModelGroup,
     resume_from:
         A :class:`Phase1Checkpoint` (or path to one) from an interrupted
         run; the loop continues deterministically where it left off.
-    checkpoint_path / checkpoint_every:
-        Write a checkpoint to ``checkpoint_path`` after every
-        ``checkpoint_every`` seeds, and on interruption.  A completed run
-        leaves a ``complete=True`` checkpoint behind so resuming a
+    checkpoint_path:
+        Where periodic checkpoints are written (cadence comes from
+        ``options.checkpoint_every``), and on interruption.  A completed
+        run leaves a ``complete=True`` checkpoint behind so resuming a
         finished phase is instant.
-    retry_policy / seed_budget_seconds:
-        Error-boundary tuning: transient-fault retries and the wall-clock
-        budget for one seed (generation + measurement + retries).
+    options:
+        The cross-cutting run knobs as one frozen
+        :class:`~repro.runtime.options.RunOptions` (``jobs``, ``window``,
+        ``checkpoint_every``, fault-boundary tuning, telemetry
+        collector).  The individual keyword spellings below still work
+        for one release but emit a ``DeprecationWarning``.
+    checkpoint_every / retry_policy / seed_budget_seconds / jobs / window:
+        Deprecated spellings of the corresponding ``options`` fields.
     generate_fn / measure_fn:
         Pluggable seams for the app generator and the candidate sweep
         (used by the fault-injection harness); defaults are the real
         :func:`generate_app` / :func:`measure_candidates`.
-    jobs / window / executor:
-        Seed fan-out (:mod:`repro.runtime.parallel`): ``jobs`` worker
-        processes evaluate seeds out-of-order while the merge loop folds
-        them in in seed order, keeping the result byte-identical to a
-        serial run.  ``jobs=None`` reads ``REPRO_JOBS``; ``window``
-        bounds in-flight speculation; ``executor`` overrides the pool
-        entirely (tests pass an in-process
+    executor:
+        Overrides the worker pool entirely (tests pass an in-process
         :class:`~repro.runtime.parallel.SerialExecutor` so stateful
         injected ``generate_fn``/``measure_fn`` work under any jobs).
+
+    Seed fan-out (:mod:`repro.runtime.parallel`): ``options.jobs`` worker
+    processes evaluate seeds out-of-order while the merge loop folds them
+    in in seed order, keeping the result byte-identical to a serial run.
     """
     if per_class_target <= 0:
         raise ValueError("per_class_target must be positive")
+    options = resolve_run_options(
+        options, jobs=jobs, window=window,
+        checkpoint_every=checkpoint_every, retry_policy=retry_policy,
+        seed_budget_seconds=seed_budget_seconds,
+    )
+    checkpoint_every = options.checkpoint_every
+    retry_policy = options.retry_policy
+    seed_budget_seconds = options.seed_budget_seconds
+    window = options.window
     if checkpoint_every is not None and checkpoint_path is None:
         raise ValueError("checkpoint_every requires checkpoint_path")
-    jobs = resolve_jobs(jobs)
+    jobs = resolve_jobs(options.jobs)
     generate_fn = generate_fn or generate_app
     measure_fn = measure_fn or measure_candidates
+    telemetry_scope = (obs.use_collector(options.telemetry)
+                       if options.telemetry is not None else nullcontext())
 
-    if resume_from is not None:
-        result, counts, start_offset, complete = _restore_checkpoint(
-            resume_from, group, machine_config, seed_base
+    with telemetry_scope, obs.span("phase1", group=group.name,
+                                   machine=machine_config.name):
+        if resume_from is not None:
+            result, counts, start_offset, complete = _restore_checkpoint(
+                resume_from, group, machine_config, seed_base
+            )
+            if complete:
+                return result
+        else:
+            result = Phase1Result(group=group,
+                                  machine_name=machine_config.name)
+            counts = {kind: 0 for kind in group.classes}
+            start_offset = 0
+
+        def flush(next_offset: int, complete: bool = False) -> None:
+            if checkpoint_path is not None:
+                _checkpoint_state(result, counts, seed_base, next_offset,
+                                  complete).save(checkpoint_path)
+                obs.counter("phase1.checkpoints")
+
+        worker = partial(
+            evaluate_seed,
+            group=group, config=config, machine_config=machine_config,
+            retry_policy=retry_policy,
+            seed_budget_seconds=seed_budget_seconds,
+            generate_fn=generate_fn, measure_fn=measure_fn,
         )
-        if complete:
-            return result
-    else:
-        result = Phase1Result(group=group,
-                              machine_name=machine_config.name)
-        counts = {kind: 0 for kind in group.classes}
-        start_offset = 0
-
-    def flush(next_offset: int, complete: bool = False) -> None:
-        if checkpoint_path is not None:
-            _checkpoint_state(result, counts, seed_base, next_offset,
-                              complete).save(checkpoint_path)
-
-    worker = partial(
-        evaluate_seed,
-        group=group, config=config, machine_config=machine_config,
-        retry_policy=retry_policy,
-        seed_budget_seconds=seed_budget_seconds,
-        generate_fn=generate_fn, measure_fn=measure_fn,
-    )
-    if executor is None:
-        jobs = usable_jobs(worker, jobs, "the Phase-I seed worker")
-    outcomes = map_ordered(
-        worker,
-        (seed_base + off for off in range(start_offset, max_seeds)),
-        jobs=jobs, window=window, executor=executor,
-    )
-    try:
-        offset = start_offset
-        for offset in range(start_offset, max_seeds):
-            if all(count >= per_class_target
-                   for count in counts.values()):
-                break
-            seed = seed_base + offset
-            try:
-                outcome = next(outcomes)
-            except KeyboardInterrupt:
-                # State reflects only fully-applied seeds; resuming at
-                # ``offset`` replays nothing and skips nothing.
-                flush(next_offset=offset)
-                raise TrainingInterrupted(
-                    f"phase 1 interrupted at seed {seed}"
-                    + (f"; checkpoint at {checkpoint_path}"
-                       if checkpoint_path is not None else ""),
-                    checkpoint_path=(
-                        Path(checkpoint_path)
-                        if checkpoint_path is not None else None),
-                ) from None
-            if isinstance(outcome, TaskFailure):
-                outcome = _recover_worker_crash(outcome, worker)
-            result.seeds_tried += 1
-            if outcome.quarantine is not None:
-                result.quarantined.append(outcome.quarantine)
-                continue
-            best = best_candidate(outcome.runtimes, margin=margin)
-            if best is None:
-                result.no_winner += 1
-            elif counts[best] >= per_class_target:
-                # Phase I's early filter (§4.3): extra applications for
-                # an already-full class are not handed to the expensive
-                # Phase II.
-                pass
-            else:
-                counts[best] += 1
-                result.records.append(
-                    SeedRecord(seed=seed, best=best,
-                               runtimes=outcome.runtimes))
-                if progress is not None:
-                    progress(seed, result)
-            if (checkpoint_every is not None
-                    and (offset + 1 - start_offset) % checkpoint_every
-                    == 0):
-                flush(next_offset=offset + 1)
-    finally:
-        outcomes.close()
-    flush(next_offset=offset + 1, complete=True)
-    return result
+        if executor is None:
+            jobs = usable_jobs(worker, jobs, "the Phase-I seed worker")
+        outcomes = map_ordered(
+            worker,
+            (seed_base + off for off in range(start_offset, max_seeds)),
+            jobs=jobs, window=window, executor=executor,
+        )
+        try:
+            offset = start_offset
+            for offset in range(start_offset, max_seeds):
+                if all(count >= per_class_target
+                       for count in counts.values()):
+                    break
+                seed = seed_base + offset
+                try:
+                    outcome = next(outcomes)
+                except KeyboardInterrupt:
+                    # State reflects only fully-applied seeds; resuming
+                    # at ``offset`` replays nothing and skips nothing.
+                    flush(next_offset=offset)
+                    raise TrainingInterrupted(
+                        f"phase 1 interrupted at seed {seed}"
+                        + (f"; checkpoint at {checkpoint_path}"
+                           if checkpoint_path is not None else ""),
+                        checkpoint_path=(
+                            Path(checkpoint_path)
+                            if checkpoint_path is not None else None),
+                    ) from None
+                if isinstance(outcome, TaskFailure):
+                    obs.counter("phase1.worker_crashes")
+                    outcome = _recover_worker_crash(outcome, worker)
+                result.seeds_tried += 1
+                obs.counter("phase1.seeds")
+                if outcome.quarantine is not None:
+                    result.quarantined.append(outcome.quarantine)
+                    obs.counter("phase1.quarantined",
+                                stage=outcome.quarantine.stage,
+                                category=outcome.quarantine.category)
+                    continue
+                best = best_candidate(outcome.runtimes, margin=margin)
+                if best is None:
+                    result.no_winner += 1
+                    obs.counter("phase1.no_winner")
+                elif counts[best] >= per_class_target:
+                    # Phase I's early filter (§4.3): extra applications
+                    # for an already-full class are not handed to the
+                    # expensive Phase II.
+                    pass
+                else:
+                    counts[best] += 1
+                    result.records.append(
+                        SeedRecord(seed=seed, best=best,
+                                   runtimes=outcome.runtimes))
+                    obs.counter("phase1.records", best=best.value)
+                    if progress is not None:
+                        progress(seed, result)
+                if (checkpoint_every is not None
+                        and (offset + 1 - start_offset) % checkpoint_every
+                        == 0):
+                    flush(next_offset=offset + 1)
+        finally:
+            outcomes.close()
+        flush(next_offset=offset + 1, complete=True)
+        return result

@@ -19,12 +19,15 @@ resume is deterministic and the training set is byte-identical for any
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass
 from functools import partial
 from pathlib import Path
 from typing import Callable
 
 import numpy as np
+
+import repro.obs as obs
 
 from repro.appgen.config import GeneratorConfig
 from repro.appgen.generator import generate_app
@@ -40,6 +43,7 @@ from repro.runtime.faults import (
     classify,
     run_guarded,
 )
+from repro.runtime.options import RunOptions, resolve_run_options
 from repro.runtime.parallel import (
     TaskFailure,
     map_ordered,
@@ -106,21 +110,24 @@ def replay_seed(seed: int,
     small array crosses the process boundary.
     """
     budget = WorkBudget(seed_budget_seconds).start()
-    try:
-        app = run_guarded(
-            lambda: generate_fn(seed, group, config),
-            seed=seed, stage="generate", policy=retry_policy,
-            budget=budget,
-        )
-        run = run_guarded(
-            lambda: app.run(group.original, machine_config,
-                            instrument=True),
-            seed=seed, stage="replay", policy=retry_policy,
-            budget=budget,
-        )
-    except SeedQuarantined as quarantine:
-        return ReplayOutcome(seed=seed, quarantine=quarantine.record)
-    return ReplayOutcome(seed=seed, features=run.features())
+    with obs.span("phase2.seed", seed=seed):
+        try:
+            with obs.span("generate"):
+                app = run_guarded(
+                    lambda: generate_fn(seed, group, config),
+                    seed=seed, stage="generate", policy=retry_policy,
+                    budget=budget,
+                )
+            with obs.span("replay"):
+                run = run_guarded(
+                    lambda: app.run(group.original, machine_config,
+                                    instrument=True),
+                    seed=seed, stage="replay", policy=retry_policy,
+                    budget=budget,
+                )
+        except SeedQuarantined as quarantine:
+            return ReplayOutcome(seed=seed, quarantine=quarantine.record)
+        return ReplayOutcome(seed=seed, features=run.features())
 
 
 def _recover_worker_crash(failure: TaskFailure,
@@ -151,6 +158,7 @@ def run_phase2(phase1: Phase1Result,
                *,
                resume_from: Phase2Checkpoint | str | Path | None = None,
                checkpoint_path: str | Path | None = None,
+               options: RunOptions | None = None,
                checkpoint_every: int | None = None,
                retry_policy: RetryPolicy | None = None,
                seed_budget_seconds: float | None = None,
@@ -162,11 +170,11 @@ def run_phase2(phase1: Phase1Result,
                ) -> TrainingSet:
     """Algorithm 2: build the training set from recorded seed/DS pairs.
 
-    ``resume_from`` / ``checkpoint_path`` / ``checkpoint_every`` and
-    ``jobs`` / ``window`` / ``executor`` mirror
-    :func:`repro.training.phase1.run_phase1`.  A record whose replay
-    fails deterministically is skipped (reported through ``on_fault``)
-    instead of aborting the phase.
+    ``resume_from`` / ``checkpoint_path`` and ``options`` /  ``executor``
+    mirror :func:`repro.training.phase1.run_phase1`; the remaining knob
+    keywords are the deprecated spelling of :class:`RunOptions` fields.
+    A record whose replay fails deterministically is skipped (reported
+    through ``on_fault``) instead of aborting the phase.
     """
     group: ModelGroup = phase1.group
     if machine_config.name != phase1.machine_name:
@@ -174,81 +182,100 @@ def run_phase2(phase1: Phase1Result,
             "Phase II must replay on the same machine Phase I measured "
             f"({phase1.machine_name!r}), got {machine_config.name!r}"
         )
+    options = resolve_run_options(
+        options, jobs=jobs, window=window,
+        checkpoint_every=checkpoint_every, retry_policy=retry_policy,
+        seed_budget_seconds=seed_budget_seconds,
+    )
+    checkpoint_every = options.checkpoint_every
+    retry_policy = options.retry_policy
+    seed_budget_seconds = options.seed_budget_seconds
+    window = options.window
     if checkpoint_every is not None and checkpoint_path is None:
         raise ValueError("checkpoint_every requires checkpoint_path")
-    jobs = resolve_jobs(jobs)
+    jobs = resolve_jobs(options.jobs)
     generate_fn = generate_fn or generate_app
-    train_set = TrainingSet(
-        group_name=group.name,
-        machine_name=machine_config.name,
-        classes=group.classes,
-    )
-    if resume_from is not None:
-        start_index, complete = _restore_checkpoint(
-            resume_from, phase1, machine_config, train_set
+    telemetry_scope = (obs.use_collector(options.telemetry)
+                       if options.telemetry is not None else nullcontext())
+    with telemetry_scope, obs.span("phase2", group=group.name,
+                                   machine=machine_config.name):
+        train_set = TrainingSet(
+            group_name=group.name,
+            machine_name=machine_config.name,
+            classes=group.classes,
         )
-        if complete:
-            return train_set
-    else:
-        start_index = 0
+        if resume_from is not None:
+            start_index, complete = _restore_checkpoint(
+                resume_from, phase1, machine_config, train_set
+            )
+            if complete:
+                return train_set
+        else:
+            start_index = 0
 
-    def flush(next_index: int, complete: bool = False) -> None:
-        if checkpoint_path is not None:
-            Phase2Checkpoint(
-                group_name=group.name,
-                machine_name=machine_config.name,
-                next_index=next_index,
-                total_records=len(phase1.records),
-                X=train_set.X.tolist(),
-                y=train_set.y.tolist(),
-                seeds=list(train_set.seeds),
-                complete=complete,
-            ).save(checkpoint_path)
+        def flush(next_index: int, complete: bool = False) -> None:
+            if checkpoint_path is not None:
+                Phase2Checkpoint(
+                    group_name=group.name,
+                    machine_name=machine_config.name,
+                    next_index=next_index,
+                    total_records=len(phase1.records),
+                    X=train_set.X.tolist(),
+                    y=train_set.y.tolist(),
+                    seeds=list(train_set.seeds),
+                    complete=complete,
+                ).save(checkpoint_path)
+                obs.counter("phase2.checkpoints")
 
-    worker = partial(
-        replay_seed,
-        group=group, config=config, machine_config=machine_config,
-        retry_policy=retry_policy,
-        seed_budget_seconds=seed_budget_seconds,
-        generate_fn=generate_fn,
-    )
-    if executor is None:
-        jobs = usable_jobs(worker, jobs, "the Phase-II replay worker")
-    outcomes = map_ordered(
-        worker,
-        (phase1.records[i].seed
-         for i in range(start_index, len(phase1.records))),
-        jobs=jobs, window=window, executor=executor,
-    )
-    try:
-        index = start_index
-        for index in range(start_index, len(phase1.records)):
-            record = phase1.records[index]
-            try:
-                outcome = next(outcomes)
-            except KeyboardInterrupt:
-                flush(next_index=index)
-                raise TrainingInterrupted(
-                    f"phase 2 interrupted at record {index} "
-                    f"(seed {record.seed})"
-                    + (f"; checkpoint at {checkpoint_path}"
-                       if checkpoint_path is not None else ""),
-                    checkpoint_path=(
-                        Path(checkpoint_path)
-                        if checkpoint_path is not None else None),
-                ) from None
-            if isinstance(outcome, TaskFailure):
-                outcome = _recover_worker_crash(outcome, worker)
-            if outcome.quarantine is not None:
-                if on_fault is not None:
-                    on_fault(outcome.quarantine)
-                continue
-            train_set.add(outcome.features, record.best, record.seed)
-            if (checkpoint_every is not None
-                    and (index + 1 - start_index) % checkpoint_every
-                    == 0):
-                flush(next_index=index + 1)
-    finally:
-        outcomes.close()
-    flush(next_index=index + 1, complete=True)
-    return train_set
+        worker = partial(
+            replay_seed,
+            group=group, config=config, machine_config=machine_config,
+            retry_policy=retry_policy,
+            seed_budget_seconds=seed_budget_seconds,
+            generate_fn=generate_fn,
+        )
+        if executor is None:
+            jobs = usable_jobs(worker, jobs, "the Phase-II replay worker")
+        outcomes = map_ordered(
+            worker,
+            (phase1.records[i].seed
+             for i in range(start_index, len(phase1.records))),
+            jobs=jobs, window=window, executor=executor,
+        )
+        try:
+            index = start_index
+            for index in range(start_index, len(phase1.records)):
+                record = phase1.records[index]
+                try:
+                    outcome = next(outcomes)
+                except KeyboardInterrupt:
+                    flush(next_index=index)
+                    raise TrainingInterrupted(
+                        f"phase 2 interrupted at record {index} "
+                        f"(seed {record.seed})"
+                        + (f"; checkpoint at {checkpoint_path}"
+                           if checkpoint_path is not None else ""),
+                        checkpoint_path=(
+                            Path(checkpoint_path)
+                            if checkpoint_path is not None else None),
+                    ) from None
+                if isinstance(outcome, TaskFailure):
+                    obs.counter("phase2.worker_crashes")
+                    outcome = _recover_worker_crash(outcome, worker)
+                if outcome.quarantine is not None:
+                    obs.counter("phase2.quarantined",
+                                stage=outcome.quarantine.stage,
+                                category=outcome.quarantine.category)
+                    if on_fault is not None:
+                        on_fault(outcome.quarantine)
+                    continue
+                train_set.add(outcome.features, record.best, record.seed)
+                obs.counter("phase2.rows", best=record.best.value)
+                if (checkpoint_every is not None
+                        and (index + 1 - start_index) % checkpoint_every
+                        == 0):
+                    flush(next_index=index + 1)
+        finally:
+            outcomes.close()
+        flush(next_index=index + 1, complete=True)
+        return train_set

@@ -1,0 +1,178 @@
+"""Unit tests for the public facade (:mod:`repro.api`) and RunOptions."""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+import repro
+from repro import api
+from repro.core.report import Report
+from repro.machine.configs import CORE2
+from repro.models import cache as cache_mod
+from repro.models.validation import ValidationResult
+from repro.runtime.checkpoint import TrainingInterrupted
+from repro.runtime.faults import RetryPolicy
+from repro.runtime.options import (
+    LEGACY_KNOBS,
+    RunOptions,
+    resolve_run_options,
+)
+
+TINY = cache_mod.ScaleParams("unit-api", per_class_target=3, max_seeds=60,
+                             validation_apps=5, hidden=(8,))
+
+
+@pytest.fixture
+def tmp_cache(tmp_path, monkeypatch):
+    monkeypatch.setattr(cache_mod, "CACHE_DIR", tmp_path / "cache")
+    monkeypatch.setitem(cache_mod.SCALES, "unit-api", TINY)
+    return tmp_path
+
+
+class TestFacadeExports:
+    def test_top_level_reexports(self):
+        assert repro.train is api.train
+        assert repro.advise is api.advise
+        assert repro.validate is api.validate
+        assert repro.UsageError is api.UsageError
+        assert repro.SuiteHandle is api.SuiteHandle
+        assert issubclass(api.UsageError, ValueError)
+
+    def test_machines_table(self):
+        assert set(api.MACHINES) == {"core2", "atom"}
+        assert api.resolve_machine("core2") is CORE2
+        assert api.resolve_machine(CORE2) is CORE2
+
+
+class TestTrain:
+    def test_train_returns_handle(self, tmp_cache):
+        handle = api.train(machine="core2", scale="unit-api")
+        assert isinstance(handle, api.SuiteHandle)
+        assert handle.machine is CORE2
+        assert handle.scale.name == "unit-api"
+        assert handle.path.exists()
+        assert handle.telemetry_path is None
+        assert handle.groups == tuple(sorted(handle.suite.models))
+        assert len(handle.groups) >= 5
+
+    def test_train_writes_telemetry(self, tmp_cache):
+        telemetry = tmp_cache / "train.telemetry.json"
+        handle = api.train(scale="unit-api", telemetry=telemetry)
+        assert handle.telemetry_path == telemetry
+        payload = repro.obs.load_telemetry(telemetry)
+        assert payload["meta"]["command"] == "train"
+        assert payload["meta"]["scale"] == "unit-api"
+        assert payload["spans"]["train"]["count"] == 1
+        assert payload["metrics"]["counters"]["train.groups"] \
+            == len(handle.groups)
+
+    def test_interrupted_train_still_exports_telemetry(
+            self, tmp_cache, monkeypatch):
+        telemetry = tmp_cache / "partial.telemetry.json"
+
+        def interrupted(machine_config, scale, **kwargs):
+            raise TrainingInterrupted("phase 1 interrupted at seed 7")
+
+        monkeypatch.setattr(api, "get_or_train_suite", interrupted)
+        with pytest.raises(TrainingInterrupted):
+            api.train(scale="unit-api", telemetry=telemetry)
+        assert telemetry.exists()
+        payload = repro.obs.load_telemetry(telemetry)
+        assert payload["meta"]["command"] == "train"
+
+    def test_bad_inputs_raise_usage_error(self):
+        with pytest.raises(api.UsageError, match="unknown machine"):
+            api.train(machine="i860")
+        with pytest.raises(api.UsageError, match="unknown scale"):
+            api.train(scale="galactic")
+        with pytest.raises(api.UsageError, match="jobs"):
+            api.train(scale="tiny", jobs=0)
+        with pytest.raises(api.UsageError, match="checkpoint_every"):
+            api.train(scale="tiny", checkpoint_every=0)
+
+
+class TestAdviseAndValidate:
+    def test_advise_returns_report(self, tmp_cache):
+        report = api.advise("relipmoc", input_name="small",
+                            scale="unit-api")
+        assert isinstance(report, Report)
+        assert len(report) > 0
+
+    def test_advise_bad_app_and_input(self):
+        with pytest.raises(api.UsageError, match="unknown app"):
+            api.advise("doom")
+        with pytest.raises(api.UsageError, match="unknown input"):
+            api.advise("relipmoc", input_name="bogus")
+
+    def test_validate_returns_result(self, tmp_cache):
+        result = api.validate(group="map", scale="unit-api", apps=5)
+        assert isinstance(result, ValidationResult)
+        assert result.group_name == "map"
+        assert result.total <= 5
+        assert 0.0 <= result.accuracy <= 1.0
+
+    def test_validate_unknown_group(self):
+        with pytest.raises(api.UsageError, match="unknown model group"):
+            api.validate(group="trie")
+
+
+class TestSmallVerbs:
+    def test_census_shape(self):
+        counts = api.census(files=20, seed=3)
+        assert counts
+        assert all(isinstance(v, int) for v in counts.values())
+        with pytest.raises(api.UsageError, match="files"):
+            api.census(files=0)
+
+    def test_appgen_probe(self):
+        probe = api.appgen_probe(5, group="map")
+        assert probe.runtimes
+        assert probe.app.group.name == "map"
+
+    def test_telemetry_summary_missing_file(self, tmp_path):
+        with pytest.raises(api.UsageError, match="no telemetry file"):
+            api.telemetry_summary(tmp_path / "nope.json")
+
+    def test_telemetry_summary_unreadable_file(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{\"not\": \"an artifact\"}")
+        with pytest.raises(api.UsageError, match="unreadable"):
+            api.telemetry_summary(bad)
+
+
+class TestRunOptions:
+    def test_defaults_and_overrides(self):
+        base = RunOptions()
+        assert base.jobs is None and base.telemetry is None
+        bumped = base.with_overrides(jobs=4, checkpoint_every=10)
+        assert (bumped.jobs, bumped.checkpoint_every) == (4, 10)
+        assert base.jobs is None  # frozen: original untouched
+
+    def test_explicit_options_pass_through_silently(self):
+        opts = RunOptions(jobs=2)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert resolve_run_options(opts) is opts
+
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="jobs"):
+            resolved = resolve_run_options(None, jobs=2,
+                                           checkpoint_every=5)
+        assert resolved.jobs == 2
+        assert resolved.checkpoint_every == 5
+
+    def test_both_spellings_is_an_error(self):
+        with pytest.raises(TypeError, match="not both"):
+            resolve_run_options(RunOptions(jobs=2), jobs=4)
+
+    def test_entry_points_accept_legacy_kwargs(self):
+        """Every documented legacy knob still resolves."""
+        legacy = dict.fromkeys(LEGACY_KNOBS)
+        legacy.update(jobs=1, retry_policy=RetryPolicy(retries=1,
+                                                       backoff=0.0))
+        with pytest.warns(DeprecationWarning):
+            resolved = resolve_run_options(None, **legacy)
+        assert resolved.jobs == 1
+        assert resolved.retry_policy.retries == 1

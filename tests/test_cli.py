@@ -38,14 +38,15 @@ class TestErrorPaths:
             build_parser().parse_args(["appgen", "1", "--group", "trie"])
         assert exc_info.value.code == 2
 
-    def test_machine_helper_raises_friendly_error(self):
-        from repro.cli import CLIError, _machine, _model_group, _scale
+    def test_resolvers_raise_friendly_errors(self):
+        from repro import api
+        from repro.cli import CLIError
         with pytest.raises(CLIError, match="unknown machine"):
-            _machine("i860")
+            api.resolve_machine("i860")
         with pytest.raises(CLIError, match="unknown model group"):
-            _model_group("trie")
+            api.resolve_group("trie")
         with pytest.raises(CLIError, match="unknown scale"):
-            _scale("galactic")
+            api.resolve_scale("galactic")
 
     def test_cli_error_exits_2(self, monkeypatch, capsys):
         from repro import cli as cli_mod
@@ -64,14 +65,14 @@ class TestErrorPaths:
         assert "unknown machine" in capsys.readouterr().err
 
     def test_interrupted_training_exits_130(self, monkeypatch, capsys):
-        from repro import cli as cli_mod
+        from repro import api, cli as cli_mod
         from repro.runtime.checkpoint import TrainingInterrupted
 
         def interrupted(machine_config, scale, config=None, force=False,
                         **kwargs):
             raise TrainingInterrupted("phase 1 interrupted at seed 7")
 
-        monkeypatch.setattr(cli_mod, "get_or_train_suite", interrupted)
+        monkeypatch.setattr(api, "get_or_train_suite", interrupted)
         assert cli_mod.main(["train", "--scale", "tiny"]) == 130
         err = capsys.readouterr().err
         assert "interrupted" in err
@@ -79,7 +80,15 @@ class TestErrorPaths:
 
     def test_bad_checkpoint_every_exits_2(self, capsys):
         assert main(["train", "--checkpoint-every", "0"]) == 2
-        assert "checkpoint-every" in capsys.readouterr().err
+        assert "checkpoint_every" in capsys.readouterr().err
+
+    def test_bad_jobs_exits_2(self, capsys):
+        assert main(["train", "--jobs", "0"]) == 2
+        assert "jobs" in capsys.readouterr().err
+
+    def test_missing_telemetry_file_exits_2(self, tmp_path, capsys):
+        assert main(["telemetry", str(tmp_path / "nope.json")]) == 2
+        assert "no telemetry file" in capsys.readouterr().err
 
 
 class _FixedParser:
@@ -140,6 +149,43 @@ class TestTrainAndAdvise:
         code = main(["advise", "relipmoc", "--input", "bogus"])
         assert code == 2
         assert "unknown input" in capsys.readouterr().err
+
+
+class TestVersion:
+    def test_version_flag(self, capsys):
+        import repro
+        with pytest.raises(SystemExit) as exc_info:
+            main(["--version"])
+        assert exc_info.value.code == 0
+        assert repro.__version__ in capsys.readouterr().out
+
+
+class TestTelemetryCommand:
+    def test_train_writes_telemetry_and_summary_renders(
+            self, tmp_path, monkeypatch, capsys):
+        from repro.models import cache as cache_mod
+        monkeypatch.setattr(cache_mod, "CACHE_DIR", tmp_path / "cache")
+        tiny = cache_mod.ScaleParams("clitel", per_class_target=2,
+                                     max_seeds=40, validation_apps=5,
+                                     hidden=(8,))
+        monkeypatch.setitem(cache_mod.SCALES, "clitel", tiny)
+        telemetry_path = tmp_path / "train.telemetry.json"
+
+        assert main(["train", "--scale", "clitel",
+                     "--telemetry", str(telemetry_path)]) == 0
+        out = capsys.readouterr().out
+        assert str(telemetry_path) in out
+        assert telemetry_path.exists()
+
+        assert main(["telemetry", str(telemetry_path)]) == 0
+        summary = capsys.readouterr().out
+        assert "telemetry: train" in summary
+        assert "span tree" in summary
+        assert "train.group" in summary
+        assert "phase1.seed" in summary
+        assert "phase1.seeds" in summary
+        assert "sim.runs" in summary
+        assert "fault taxonomy" in summary
 
 
 class TestValidateCommand:
