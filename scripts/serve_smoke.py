@@ -1,0 +1,178 @@
+#!/usr/bin/env python
+"""CI smoke test for the serving runtime.
+
+Trains a tiny suite, starts ``repro serve`` against it as a real
+subprocess, then exercises the serving guarantees end to end:
+
+* concurrent advise requests, all answered with structured statuses;
+* one request with a hopeless (1 ms) deadline — must come back as a
+  structured response (``degraded`` baseline or ``ok``), never hang;
+* a hot reload mid-traffic (rewrite the suite, trigger the reload op,
+  advise across the swap) plus a *corrupt* reload that must be rejected
+  while the last-known-good suite keeps serving;
+* SIGTERM — graceful drain, exit 0, telemetry artifact on disk.
+
+Exits non-zero (with a diagnostic) on the first violated expectation.
+Run from the repo root: ``PYTHONPATH=src python scripts/serve_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.runtime.inject import corrupt_artifact  # noqa: E402
+from repro.serve.protocol import encode  # noqa: E402
+from repro.serve.testing import (  # noqa: E402
+    advise_payload,
+    make_trace,
+    tiny_suite,
+)
+
+
+def fail(message: str) -> None:
+    print(f"serve-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"serve-smoke: ok: {message}")
+
+
+def request(host: str, port: int, payload: dict,
+            timeout: float = 30.0) -> dict:
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(encode(payload))
+        line = conn.makefile("rb").readline()
+    if not line:
+        fail("server closed the connection without answering")
+    return json.loads(line)
+
+
+def read_address(proc: subprocess.Popen, timeout: float = 60.0
+                 ) -> tuple[str, int]:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("serving on "):
+            host, _, port = line.strip().rpartition(":")
+            return host.removeprefix("serving on "), int(port)
+        if not line and proc.poll() is not None:
+            break
+    fail("server never announced its address")
+    raise AssertionError  # unreachable
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
+    suite_dir = tmp / "suite"
+    telemetry = tmp / "serve.telemetry.json"
+
+    print("serve-smoke: training tiny suite ...")
+    tiny_suite().save(suite_dir)
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"),
+               PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--suite-dir", str(suite_dir), "--port", "0",
+         "--deadline", "30", "--poll-interval", "0.1",
+         "--workers", "2", "--telemetry", str(telemetry)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env,
+    )
+    try:
+        host, port = read_address(proc)
+        print(f"serve-smoke: server up on {host}:{port}")
+
+        # Concurrent requests, one of them past-deadline; every answer
+        # must be structured.
+        payloads = [advise_payload(make_trace(seed=i),
+                                   request_id=f"c{i}")
+                    for i in range(6)]
+        payloads.append(advise_payload(make_trace(),
+                                       request_id="past-deadline",
+                                       deadline_seconds=0.001))
+        with ThreadPoolExecutor(max_workers=7) as pool:
+            responses = list(pool.map(
+                lambda p: request(host, port, p), payloads
+            ))
+        check(all(r["status"] in ("ok", "degraded", "overloaded")
+                  for r in responses),
+              "concurrent burst: every response structured "
+              f"({[r['status'] for r in responses]})")
+        tight = next(r for r in responses
+                     if r.get("id") == "past-deadline")
+        check(tight["status"] in ("ok", "degraded"),
+              f"past-deadline request answered ({tight['status']}), "
+              "not hung")
+
+        # Hot reload mid-traffic: rewrite the suite and advise while
+        # the reload lands.
+        tiny_suite(seed=1).save(suite_dir)
+        with ThreadPoolExecutor(max_workers=2) as pool:
+            reload_future = pool.submit(request, host, port,
+                                        {"op": "reload"})
+            during = request(host, port, advise_payload(
+                make_trace(), request_id="during-reload"))
+            reloaded = reload_future.result()
+        check(reloaded["status"] == "ok",
+              "reload op answered structurally")
+        check(during["status"] in ("ok", "degraded"),
+              f"advise during hot reload answered ({during['status']})")
+
+        # Corrupt reload: rejected, last-known-good keeps serving.
+        corrupt_artifact(suite_dir / "vector_oo.json")
+        rejected = request(host, port, {"op": "reload"})
+        check(rejected["detail"]["reloaded"] is False
+              and rejected["detail"]["stale"] is True,
+              "corrupt suite version rejected (stale flag up)")
+        still = request(host, port, advise_payload(make_trace()))
+        check(still["status"] == "ok",
+              "last-known-good suite still serving after corrupt "
+              "reload")
+
+        metrics = request(host, port, {"op": "metrics"})
+        counters = metrics["detail"]["counters"]
+        check(counters.get("serve.reload_rejected", 0) >= 1,
+              "serve.reload_rejected counted")
+        check(any(k.startswith("serve.requests")
+                  for k in counters),
+              "serve.requests counters exported")
+
+        # Graceful drain on SIGTERM.
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60.0)
+        check(proc.returncode == 0,
+              f"SIGTERM drained cleanly (exit {proc.returncode})"
+              + ("" if proc.returncode == 0 else f"; stderr: {err}"))
+        check("drained cleanly" in out, "drain reported on stdout")
+        check(telemetry.exists(), "telemetry artifact exported")
+        payload = json.loads(telemetry.read_text())["payload"]
+        check(payload["meta"]["command"] == "serve"
+              and payload["meta"]["drained"] is True,
+              "telemetry meta records the drained serve run")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    print("serve-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,8 +1,9 @@
 """The public programmatic API: what ``import repro`` is for.
 
 One facade fronts the toolkit's lifecycle verbs — :func:`train`,
-:func:`advise`, :func:`validate`, plus the smaller :func:`census`,
-:func:`appgen_probe` and :func:`telemetry_summary` — with plain-data
+:func:`advise`, :func:`validate`, :func:`serve`, plus the smaller
+:func:`census`, :func:`appgen_probe` and :func:`telemetry_summary` —
+with plain-data
 inputs (machine/scale/group *names*, not config objects) and structured
 returns.  The CLI (:mod:`repro.cli`) is a thin argparse shim over these
 functions; scripts and notebooks call them directly::
@@ -282,6 +283,60 @@ def validate(group: str | ModelGroup = "vector_oo",
                               apps, seed_base=seed_base)
 
 
+def serve(machine: str | MachineConfig = "core2",
+          scale: str | ScaleParams = "small",
+          *,
+          suite_dir: str | Path | None = None,
+          host: str = "127.0.0.1",
+          port: int = 0,
+          workers: int = 2,
+          options: RunOptions | None = None,
+          jobs: int | None = None,
+          poll_interval: float = 1.0,
+          telemetry: str | Path | None = None) -> int:
+    """Run the resilient advisor service until SIGTERM/SIGINT.
+
+    With ``suite_dir`` the service loads (and watches, for hot reload) a
+    suite saved there by :meth:`BrainySuite.save`; otherwise it trains
+    or loads the cached suite for ``machine``/``scale`` and serves from
+    the cache directory.  Serving knobs — ``deadline_seconds``,
+    ``queue_depth``, ``breaker_threshold``,
+    ``breaker_cooldown_seconds``, ``drain_seconds`` — travel in
+    ``options`` (:class:`repro.runtime.options.RunOptions`).
+
+    Blocks until the process is signalled, then drains and (with
+    ``telemetry=PATH``) exports the serving telemetry artifact; returns
+    the exit code (0 clean drain, 1 drain budget expired).
+    """
+    from repro.serve import AdvisorService, run_server
+
+    if workers < 1:
+        raise UsageError("workers must be >= 1")
+    if poll_interval <= 0:
+        raise UsageError("poll_interval must be positive")
+    options = _resolve_options(options, jobs)
+    if suite_dir is not None:
+        suite_dir = Path(suite_dir)
+        if not (suite_dir / "suite.json").exists():
+            raise UsageError(
+                f"no saved suite at {suite_dir} (expected "
+                f"{suite_dir / 'suite.json'}; train one with "
+                "`repro train` or BrainySuite.save)"
+            )
+    else:
+        machine = resolve_machine(machine)
+        scale = resolve_scale(scale)
+        get_or_train_suite(machine, scale, options=options)
+        suite_dir = suite_path(machine, scale)
+    try:
+        service = AdvisorService(suite_dir, options=options,
+                                 workers=workers)
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    return run_server(service, host=host, port=port,
+                      telemetry=telemetry, poll_interval=poll_interval)
+
+
 def census(files: int = 200, seed: int = 0) -> dict[str, int]:
     """The Figure 2 container census over a synthetic corpus."""
     from repro.corpus.scanner import ranked, scan_corpus
@@ -346,6 +401,7 @@ __all__ = [
     "resolve_group",
     "resolve_machine",
     "resolve_scale",
+    "serve",
     "telemetry_summary",
     "train",
     "validate",

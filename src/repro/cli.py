@@ -1,9 +1,10 @@
 """Command-line interface: a thin argparse shim over :mod:`repro.api`.
 
-Six subcommands mirror the tool's lifecycle:
+Seven subcommands mirror the tool's lifecycle:
 
 * ``repro train``     — install-time training for a machine (Phase I+II+ANN)
 * ``repro advise``    — profile a case-study app and print the report
+* ``repro serve``     — run the resilient advisor service (long-running)
 * ``repro census``    — the Figure 2 container census over a corpus
 * ``repro appgen``    — generate one synthetic application's trace summary
 * ``repro validate``  — the Figure 9 protocol for one model group
@@ -15,12 +16,16 @@ facade, and formats results for the terminal.
 
 Exit codes: 0 success, 2 usage error (unknown machine/group/scale/input),
 130 interrupted (Ctrl-C; training flushes a checkpoint first and
-``repro train --resume`` continues where it left off), 1 anything else.
+``repro train --resume`` continues where it left off), 143 terminated
+(SIGTERM; same checkpoint-and-flush path as Ctrl-C, conventional
+``128 + 15`` code for supervisors), 1 anything else.  ``repro serve``
+handles SIGTERM itself: graceful drain, exit 0.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro import api
@@ -60,6 +65,24 @@ def cmd_advise(args: argparse.Namespace) -> int:
     )
     print(report.format())
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.runtime.options import RunOptions
+
+    options = RunOptions(
+        deadline_seconds=args.deadline,
+        queue_depth=args.queue_depth,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_seconds=args.breaker_cooldown,
+        drain_seconds=args.drain,
+    )
+    return api.serve(
+        machine=args.machine, scale=args.scale,
+        suite_dir=args.suite_dir, host=args.host, port=args.port,
+        workers=args.workers, options=options,
+        poll_interval=args.poll_interval, telemetry=args.telemetry,
+    )
 
 
 def cmd_census(args: argparse.Namespace) -> int:
@@ -162,6 +185,60 @@ def build_parser() -> argparse.ArgumentParser:
     _add_telemetry_arg(advise)
     advise.set_defaults(fn=cmd_advise)
 
+    from repro.runtime.options import RunOptions
+
+    defaults = RunOptions()
+    serve = sub.add_parser(
+        "serve", help="run the resilient advisor service"
+    )
+    serve.add_argument("--machine", choices=sorted(_MACHINES),
+                       default="core2")
+    serve.add_argument("--scale", choices=sorted(SCALES),
+                       default="small")
+    serve.add_argument("--suite-dir", metavar="DIR",
+                       help="serve a suite saved at DIR (skips "
+                            "training; the directory is watched for "
+                            "hot reload)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="TCP port (0 picks a free one; the bound "
+                            "address is printed on startup)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="inference worker threads (bounded "
+                            "concurrency; default 2)")
+    serve.add_argument("--deadline", type=float, metavar="SECONDS",
+                       default=defaults.deadline_seconds,
+                       help="per-request budget before answering from "
+                            "the baseline flagged degraded=deadline "
+                            f"(default {defaults.deadline_seconds})")
+    serve.add_argument("--queue-depth", type=int, metavar="N",
+                       default=defaults.queue_depth,
+                       help="bounded work queue; excess requests are "
+                            "shed with status=overloaded "
+                            f"(default {defaults.queue_depth})")
+    serve.add_argument("--breaker-threshold", type=int, metavar="N",
+                       default=defaults.breaker_threshold,
+                       help="consecutive inference failures that open "
+                            "a model group's circuit breaker "
+                            f"(default {defaults.breaker_threshold})")
+    serve.add_argument("--breaker-cooldown", type=float,
+                       metavar="SECONDS",
+                       default=defaults.breaker_cooldown_seconds,
+                       help="open time before a breaker half-opens "
+                            "for a probe request (default "
+                            f"{defaults.breaker_cooldown_seconds})")
+    serve.add_argument("--drain", type=float, metavar="SECONDS",
+                       default=defaults.drain_seconds,
+                       help="SIGTERM drain budget for in-flight "
+                            "requests "
+                            f"(default {defaults.drain_seconds})")
+    serve.add_argument("--poll-interval", type=float,
+                       metavar="SECONDS", default=1.0,
+                       help="how often to check the suite artifact "
+                            "for hot reload (default 1.0)")
+    _add_telemetry_arg(serve)
+    serve.set_defaults(fn=cmd_serve)
+
     census = sub.add_parser("census", help="Figure 2 container census")
     census.add_argument("--files", type=int, default=200)
     census.add_argument("--seed", type=int, default=0)
@@ -208,21 +285,53 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _install_sigterm_as_interrupt() -> tuple[dict, object | None]:
+    """Route SIGTERM through the Ctrl-C path.
+
+    Training already handles ``KeyboardInterrupt`` by flushing a
+    checkpoint and the telemetry artifact; raising it from the SIGTERM
+    handler gives a supervisor's ``kill`` the exact same safety, with
+    the returned flag distinguishing the exit code (143 vs 130).
+    ``repro serve`` replaces this handler with its own graceful-drain
+    one for the duration of the serve loop.
+    """
+    terminated: dict = {"flag": False}
+
+    def _on_sigterm(signum, frame):  # pragma: no cover - signal path
+        terminated["flag"] = True
+        raise KeyboardInterrupt("terminated (SIGTERM)")
+
+    try:
+        previous = signal.signal(signal.SIGTERM, _on_sigterm)
+    except (ValueError, OSError):  # non-main thread / exotic platform
+        previous = None
+    return terminated, previous
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    terminated, previous = _install_sigterm_as_interrupt()
     try:
         return args.fn(args)
     except api.UsageError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except TrainingInterrupted as exc:
-        print(f"interrupted: {exc}", file=sys.stderr)
+        word = "terminated" if terminated["flag"] else "interrupted"
+        print(f"{word}: {exc}", file=sys.stderr)
         print("rerun with --resume to continue from the checkpoint",
               file=sys.stderr)
-        return 130
+        return 143 if terminated["flag"] else 130
     except KeyboardInterrupt:
-        print("interrupted", file=sys.stderr)
-        return 130
+        print("terminated" if terminated["flag"] else "interrupted",
+              file=sys.stderr)
+        return 143 if terminated["flag"] else 130
+    finally:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                pass
 
 
 if __name__ == "__main__":  # pragma: no cover - direct execution

@@ -10,12 +10,20 @@ order-preserving alternates; keyed usages get map-flavoured suggestions).
 Graceful degradation: when the suite has no usable model for an
 instance's group (missing or corrupt on disk, loaded leniently), the
 advisor does not raise — it falls back to a Perflint-style asymptotic
-baseline for that instance and flags the downgrade in the report.
+baseline for that instance and flags the downgrade (with an explicit
+reason) in the report.  The serving runtime (:mod:`repro.serve`) reuses
+the same fallback through two seams: an injectable per-group inference
+hook (``infer=``) that may raise
+:class:`repro.runtime.faults.InferenceUnavailable` to force a flagged
+baseline answer (circuit breaker open, model crashed), and
+:meth:`BrainyAdvisor.baseline_report`, the whole-trace fallback used
+when a request's deadline expires.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 import numpy as np
 
@@ -32,7 +40,11 @@ from repro.core.report import Report, Suggestion
 from repro.instrumentation.features import FEATURE_NAMES
 from repro.instrumentation.trace import TraceSet
 from repro.machine.configs import MachineConfig
-from repro.models.brainy import BrainySuite
+from repro.models.brainy import BrainyModel, BrainySuite
+from repro.runtime.faults import (
+    DEGRADED_MODEL_UNAVAILABLE,
+    InferenceUnavailable,
+)
 
 #: Kinds the models can advise on (Table 1 targets).
 _ADVISABLE = frozenset(
@@ -82,14 +94,26 @@ def _stats_from_features(features: np.ndarray) -> OpCost:
     )
 
 
+#: Per-group inference hook: ``(group_name, model, rows, legal_masks)``
+#: -> predicted kinds.  May raise
+#: :class:`~repro.runtime.faults.InferenceUnavailable` to route the
+#: group's records to the Perflint baseline (flagged, never silent).
+InferFn = Callable[[str, BrainyModel, np.ndarray, np.ndarray],
+                   "list[DSKind]"]
+
+
 class BrainyAdvisor:
     """Suggest container replacements using a trained model suite."""
 
-    def __init__(self, suite: BrainySuite, fallback=None) -> None:
+    def __init__(self, suite: BrainySuite, fallback=None, *,
+                 infer: InferFn | None = None) -> None:
         self.suite = suite
         #: Perflint-style baseline used when a group's model is absent;
         #: built lazily with unit coefficients unless injected.
         self._fallback = fallback
+        #: Optional per-group inference hook (the serving runtime wraps
+        #: the model call with breaker accounting here).
+        self._infer = infer
 
     def _fallback_model(self):
         if self._fallback is None:
@@ -113,6 +137,56 @@ class BrainyAdvisor:
         if suggested not in legal:
             return kind
         return suggested
+
+    def _infer_rows(self, group_name: str, model: BrainyModel,
+                    rows: np.ndarray, masks: np.ndarray) -> list[DSKind]:
+        """Group inference through the serving seam (default: direct)."""
+        if self._infer is None:
+            return model.predict_kinds(rows, legal_masks=masks)
+        return self._infer(group_name, model, rows, masks)
+
+    def _infer_record(self, group_name: str, model: BrainyModel,
+                      features: np.ndarray,
+                      legal: tuple[DSKind, ...]) -> DSKind:
+        """One record's inference through the same seam as the batch."""
+        if self._infer is None:
+            return model.predict_kind(features, legal=legal)
+        rows = np.asarray(features, dtype=np.float64).reshape(1, -1)
+        masks = model.legal_mask(legal).reshape(1, -1)
+        return self._infer(group_name, model, rows, masks)[0]
+
+    def baseline_report(self, trace: TraceSet,
+                        keyed_contexts: frozenset[str] = frozenset(),
+                        *, reason: str) -> Report:
+        """Answer the whole trace from the Perflint baseline.
+
+        The serving runtime uses this when a request cannot be given
+        model inference at all (deadline expired, service still warming
+        up): every advisable record gets the asymptotic-baseline
+        suggestion, and every touched group carries ``reason`` in
+        :attr:`Report.degraded_reasons` — the caller always sees *why*
+        the answer is a baseline.
+        """
+        report = Report(program_cycles=trace.program_cycles)
+        for record in trace:
+            if record.kind not in _ADVISABLE:
+                continue
+            keyed = record.context in keyed_contexts or getattr(
+                record, "keyed", False
+            )
+            group = model_group_for(record.kind, record.order_oblivious)
+            legal = candidates_for(record.kind, record.order_oblivious)
+            suggested = self._baseline_suggest(
+                record.kind, record.features, legal
+            )
+            report.mark_degraded(group.name, reason)
+            if keyed:
+                suggested = as_map_kind(suggested)
+            report.suggestions.append(
+                self._suggestion(record, suggested, keyed,
+                                 trace.program_cycles, True)
+            )
+        return report
 
     def advise_trace(self, trace: TraceSet,
                      keyed_contexts: frozenset[str] = frozenset(),
@@ -153,11 +227,20 @@ class BrainyAdvisor:
                 suggested = self._baseline_suggest(
                     record.kind, record.features, legal
                 )
-                report.degraded_groups.add(group.name)
+                report.mark_degraded(group.name,
+                                     DEGRADED_MODEL_UNAVAILABLE)
             else:
                 model = self.suite[group.name]
-                suggested = model.predict_kind(record.features,
-                                               legal=legal)
+                try:
+                    suggested = self._infer_record(
+                        group.name, model, record.features, legal
+                    )
+                except InferenceUnavailable as exc:
+                    suggested = self._baseline_suggest(
+                        record.kind, record.features, legal
+                    )
+                    report.mark_degraded(group.name, exc.reason)
+                    degraded = True
             if keyed:
                 suggested = as_map_kind(suggested)
             report.suggestions.append(
@@ -177,8 +260,11 @@ class BrainyAdvisor:
         identical to :meth:`_advise_sequential`'s.
         """
         report = Report(program_cycles=trace.program_cycles)
-        # (record, group_name, legal, keyed, degraded) in trace order.
+        # (record, group_name, legal, keyed) in trace order, with the
+        # per-slot degraded flag kept separately (group-inference
+        # fallback flips it after the fact).
         pending = []
+        degraded_flags: list[bool] = []
         for record in trace:
             if record.kind not in _ADVISABLE:
                 continue
@@ -190,14 +276,15 @@ class BrainyAdvisor:
             degraded = (group.name not in self.suite.models
                         or group.name in self.suite.degraded)
             if degraded:
-                report.degraded_groups.add(group.name)
-            pending.append((record, group.name, legal, keyed, degraded))
+                report.mark_degraded(group.name,
+                                     DEGRADED_MODEL_UNAVAILABLE)
+            pending.append((record, group.name, legal, keyed))
+            degraded_flags.append(degraded)
 
         suggested: list[DSKind | None] = [None] * len(pending)
         by_group: dict[str, list[int]] = {}
-        for slot, (record, group_name, legal, _, degraded) in \
-                enumerate(pending):
-            if degraded:
+        for slot, (record, group_name, legal, _) in enumerate(pending):
+            if degraded_flags[slot]:
                 suggested[slot] = self._baseline_suggest(
                     record.kind, record.features, legal
                 )
@@ -216,7 +303,7 @@ class BrainyAdvisor:
                              dtype=bool)
             rows = np.empty((len(slots), len(FEATURE_NAMES)))
             for row, slot in enumerate(slots):
-                record, _, legal, _, _ = pending[slot]
+                record, _, legal, _ = pending[slot]
                 usage = (record.kind, record.order_oblivious)
                 mask = mask_cache.get(usage)
                 if mask is None:
@@ -225,17 +312,30 @@ class BrainyAdvisor:
                 masks[row] = mask
                 rows[row] = np.asarray(record.features,
                                        dtype=np.float64).reshape(-1)
-            kinds = model.predict_kinds(rows, legal_masks=masks)
+            try:
+                kinds = self._infer_rows(group_name, model, rows, masks)
+            except InferenceUnavailable as exc:
+                # The whole group falls back together (breaker open or
+                # the model call crashed) — flagged, never silent.
+                report.mark_degraded(group_name, exc.reason)
+                for slot in slots:
+                    record, _, legal, _ = pending[slot]
+                    suggested[slot] = self._baseline_suggest(
+                        record.kind, record.features, legal
+                    )
+                    degraded_flags[slot] = True
+                continue
             for slot, kind in zip(slots, kinds):
                 suggested[slot] = kind
 
-        for slot, (record, _, _, keyed, degraded) in enumerate(pending):
+        for slot, (record, _, _, keyed) in enumerate(pending):
             kind = suggested[slot]
             if keyed:
                 kind = as_map_kind(kind)
             report.suggestions.append(
                 self._suggestion(record, kind, keyed,
-                                 trace.program_cycles, degraded)
+                                 trace.program_cycles,
+                                 degraded_flags[slot])
             )
         return report
 

@@ -3,6 +3,13 @@
 The paper's runtime sorts profiled data structures "by relative execution
 time and calling context ... to provide developers with a prioritized
 list of which data structures are most important to change" (§3).
+
+Degradation is never silent: whenever a suggestion comes from the
+Perflint baseline instead of a trained model, the report records *why*
+in :attr:`Report.degraded_reasons` (``model_unavailable``, ``breaker``,
+``deadline``, ``inference_error`` — see :mod:`repro.runtime.faults`),
+keyed by model group.  The serving runtime surfaces the same reasons in
+its structured responses.
 """
 
 from __future__ import annotations
@@ -32,6 +39,31 @@ class Suggestion:
     def is_replacement(self) -> bool:
         return self.suggested != self.original
 
+    def to_payload(self) -> dict:
+        return {
+            "context": self.context,
+            "original": self.original.value,
+            "suggested": self.suggested.value,
+            "relative_time": self.relative_time,
+            "order_oblivious": self.order_oblivious,
+            "keyed": self.keyed,
+            "allocated_bytes": self.allocated_bytes,
+            "degraded": self.degraded,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Suggestion":
+        return cls(
+            context=payload["context"],
+            original=DSKind(payload["original"]),
+            suggested=DSKind(payload["suggested"]),
+            relative_time=payload["relative_time"],
+            order_oblivious=payload["order_oblivious"],
+            keyed=payload["keyed"],
+            allocated_bytes=payload["allocated_bytes"],
+            degraded=payload["degraded"],
+        )
+
 
 @dataclass
 class Report:
@@ -42,6 +74,16 @@ class Report:
     #: Model groups that fell back to the Perflint baseline because
     #: their trained model was missing or corrupt.
     degraded_groups: set[str] = field(default_factory=set)
+    #: Why each degraded group fell back: group name -> reason
+    #: (``model_unavailable`` | ``inference_error`` | ``breaker`` |
+    #: ``deadline``).  Populated whenever :attr:`degraded_groups` is —
+    #: a baseline answer always carries an explicit reason.
+    degraded_reasons: dict[str, str] = field(default_factory=dict)
+
+    def mark_degraded(self, group_name: str, reason: str) -> None:
+        """Record that ``group_name`` answered from the baseline and why."""
+        self.degraded_groups.add(group_name)
+        self.degraded_reasons[group_name] = reason
 
     def replacements(self) -> dict[str, DSKind]:
         """Context -> suggested kind, for sites worth changing."""
@@ -56,6 +98,30 @@ class Report:
 
     def __len__(self) -> int:
         return len(self.suggestions)
+
+    # -- persistence (the serving wire format) --------------------------
+
+    def to_payload(self) -> dict:
+        """Plain-JSON form, used by the serving protocol."""
+        return {
+            "program_cycles": self.program_cycles,
+            "suggestions": [s.to_payload() for s in self.suggestions],
+            "degraded_groups": sorted(self.degraded_groups),
+            "degraded_reasons": {
+                name: self.degraded_reasons[name]
+                for name in sorted(self.degraded_reasons)
+            },
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "Report":
+        return cls(
+            program_cycles=payload["program_cycles"],
+            suggestions=[Suggestion.from_payload(s)
+                         for s in payload["suggestions"]],
+            degraded_groups=set(payload.get("degraded_groups", ())),
+            degraded_reasons=dict(payload.get("degraded_reasons", {})),
+        )
 
     def format(self) -> str:
         """Human-readable table (the developer-facing trace report)."""
@@ -77,9 +143,12 @@ class Report:
                 f"{flag}"
             )
         if self.degraded_groups:
-            names = ", ".join(sorted(self.degraded_groups))
+            reasons = ", ".join(
+                f"{name} ({self.degraded_reasons.get(name, 'unknown')})"
+                for name in sorted(self.degraded_groups)
+            )
             lines.append(
-                f"WARNING: no trained model for group(s) {names}; "
-                "fell back to the Perflint baseline for those instances"
+                f"WARNING: fell back to the Perflint baseline for "
+                f"group(s) {reasons}"
             )
         return "\n".join(lines)

@@ -84,10 +84,11 @@ class TraceSet:
     def __len__(self) -> int:
         return len(self.records)
 
-    # -- persistence (the paper's trace files) ------------------------------
+    # -- persistence (the paper's trace files; also the serving wire
+    # format carried inside an advise request) ------------------------------
 
-    def save(self, path: str | Path) -> None:
-        payload = {
+    def to_payload(self) -> dict:
+        return {
             "program_cycles": self.program_cycles,
             "feature_names": list(FEATURE_NAMES),
             "records": [
@@ -104,13 +105,9 @@ class TraceSet:
                 for r in self.records
             ],
         }
-        path = Path(path)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        path.write_text(json.dumps(payload))
 
     @classmethod
-    def load(cls, path: str | Path) -> "TraceSet":
-        payload = json.loads(Path(path).read_text())
+    def from_payload(cls, payload: dict) -> "TraceSet":
         if payload["feature_names"] != list(FEATURE_NAMES):
             raise ValueError(
                 "trace was recorded with a different feature schema"
@@ -130,3 +127,12 @@ class TraceSet:
         ]
         return cls(program_cycles=payload["program_cycles"],
                    records=records)
+
+    def save(self, path: str | Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_payload()))
+
+    @classmethod
+    def load(cls, path: str | Path) -> "TraceSet":
+        return cls.from_payload(json.loads(Path(path).read_text()))

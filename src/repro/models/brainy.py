@@ -501,22 +501,31 @@ class BrainySuite:
 
         With ``lenient=True`` a missing or corrupt per-group model file
         is skipped instead of raised: the group lands in
-        :attr:`degraded` and the advisor falls back to the Perflint
-        baseline for it.
+        :attr:`degraded` (with a ``RuntimeWarning`` naming the file and
+        the error, so the downgrade is never silent) and the advisor
+        falls back to the Perflint baseline for it.
         """
+        import warnings
+
         directory = Path(directory)
         index = read_artifact(directory / "suite.json",
                               kind=SUITE_INDEX_KIND,
                               schema_version=SUITE_SCHEMA_VERSION)
         suite = cls(machine_name=index["machine_name"])
         for name in index["groups"]:
+            path = directory / f"{name}.json"
             try:
-                state = read_artifact(directory / f"{name}.json",
+                state = read_artifact(path,
                                       kind=MODEL_ARTIFACT_KIND,
                                       schema_version=SUITE_SCHEMA_VERSION)
                 suite.models[name] = BrainyModel.from_state(state)
-            except (ArtifactError, ValueError, KeyError):
+            except (ArtifactError, ValueError, KeyError) as exc:
                 if not lenient:
                     raise
+                warnings.warn(
+                    f"suite model {path} unusable ({exc}); group "
+                    f"{name!r} will degrade to the Perflint baseline",
+                    RuntimeWarning, stacklevel=2,
+                )
                 suite.degraded.add(name)
         return suite

@@ -24,7 +24,7 @@ from pathlib import Path
 from repro.appgen.config import GeneratorConfig
 from repro.machine.configs import MachineConfig
 from repro.models.brainy import BrainySuite
-from repro.runtime.artifacts import ArtifactError
+from repro.runtime.artifacts import ArtifactError, quarantine_artifact
 from repro.runtime.options import RunOptions, resolve_run_options
 
 
@@ -106,6 +106,15 @@ def _warn(message: str) -> None:
     print(f"repro cache: {message}", file=sys.stderr)
 
 
+def _quarantine_and_warn(path: Path, what: str, exc: Exception) -> None:
+    """Set a bad cached artifact aside (never silently discard it) and
+    tell the operator where it went before the rebuild starts."""
+    quarantined = quarantine_artifact(path)
+    where = (f"; quarantined to {quarantined} for inspection"
+             if quarantined is not None else "")
+    _warn(f"unusable cached {what} {path} ({exc}){where}; rebuilding")
+
+
 def get_or_build_dataset(group_name: str,
                          machine_config: MachineConfig,
                          scale: ScaleParams | None = None,
@@ -134,7 +143,7 @@ def get_or_build_dataset(group_name: str,
         try:
             return TrainingSet.load(path)
         except (ArtifactError, ValueError) as exc:
-            _warn(f"unusable cached dataset {path} ({exc}); rebuilding")
+            _quarantine_and_warn(path, "dataset", exc)
     _ensure_writable(CACHE_DIR)
     config = config or GeneratorConfig()
     group = MODEL_GROUPS[group_name]
@@ -175,7 +184,7 @@ def get_or_train_suite(machine_config: MachineConfig,
             return BrainySuite.load(path)
         except (ArtifactError, ValueError, KeyError,
                 FileNotFoundError) as exc:
-            _warn(f"unusable cached suite {path} ({exc}); retraining")
+            _quarantine_and_warn(path, "suite", exc)
     _ensure_writable(CACHE_DIR)
     ckpt_dir = (checkpoint_dir(machine_config, scale)
                 if options.checkpoint_every is not None or resume

@@ -144,3 +144,13 @@ class MetricsRegistry:
     def gauge_value(self, name: str, **labels: object) -> float | None:
         with self._lock:
             return self._gauges.get(metric_key(name, labels))
+
+    def histogram_stats(self, name: str, **labels: object) -> dict | None:
+        """One histogram's aggregates (count/total/min/max/values copy),
+        or ``None`` if nothing was observed — the serving tests and the
+        health endpoint read request-latency distributions through this."""
+        with self._lock:
+            hist = self._histograms.get(metric_key(name, labels))
+            if hist is None:
+                return None
+            return {**hist, "values": list(hist["values"])}

@@ -22,17 +22,27 @@ from repro.runtime.checkpoint import (
     TrainingInterrupted,
 )
 from repro.runtime.faults import (
+    DeadlineExceeded,
     DeterministicFault,
+    InferenceUnavailable,
+    Overloaded,
     QuarantineRecord,
     RetryPolicy,
     SeedBudgetExceeded,
     SeedQuarantined,
+    ServingFault,
     TransientFault,
     WorkBudget,
     classify,
     run_guarded,
 )
-from repro.runtime.inject import FaultInjector, FaultPlan
+from repro.runtime.inject import (
+    FaultInjector,
+    FaultPlan,
+    ServeFaultInjector,
+    ServeFaultPlan,
+    corrupt_artifact,
+)
 from repro.runtime.options import RunOptions, resolve_run_options
 from repro.runtime.parallel import (
     PoolExecutor,
@@ -58,17 +68,24 @@ __all__ = [
     "Phase1Checkpoint",
     "Phase2Checkpoint",
     "TrainingInterrupted",
+    "DeadlineExceeded",
     "DeterministicFault",
+    "InferenceUnavailable",
+    "Overloaded",
     "QuarantineRecord",
     "RetryPolicy",
     "SeedBudgetExceeded",
     "SeedQuarantined",
+    "ServingFault",
     "TransientFault",
     "WorkBudget",
     "classify",
     "run_guarded",
     "FaultInjector",
     "FaultPlan",
+    "ServeFaultInjector",
+    "ServeFaultPlan",
+    "corrupt_artifact",
     "RunOptions",
     "resolve_run_options",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import shutil
 import tempfile
 from pathlib import Path
 
@@ -141,8 +142,37 @@ def read_artifact(path: str | Path, *,
     payload = envelope.get("payload")
     if payload is None:
         raise ArtifactCorrupt(f"{path}: envelope has no payload")
-    if envelope.get("checksum") != payload_checksum(payload):
+    actual = payload_checksum(payload)
+    if envelope.get("checksum") != actual:
         raise ArtifactCorrupt(
-            f"{path}: checksum mismatch (truncated or corrupted write)"
+            f"{path}: checksum mismatch: envelope declares "
+            f"{envelope.get('checksum')!r} but the payload hashes to "
+            f"{actual!r} (truncated or corrupted write)"
         )
     return payload
+
+
+def quarantine_artifact(path: str | Path) -> Path | None:
+    """Move an unusable artifact (file or suite directory) aside.
+
+    The corrupt→rebuild recovery path must not silently discard bytes an
+    operator may want to inspect: the offender is renamed to
+    ``<name>.quarantined`` next to where it was (replacing any previous
+    quarantine of the same artifact) and the new location is returned so
+    the caller can log it.  Returns ``None`` when there was nothing to
+    preserve or the rename failed — quarantining is best-effort and must
+    never block the rebuild.
+    """
+    path = Path(path)
+    if not path.exists():
+        return None
+    target = path.with_name(path.name + ".quarantined")
+    try:
+        if target.is_dir():
+            shutil.rmtree(target)
+        elif target.exists():
+            target.unlink()
+        os.replace(path, target)
+    except OSError:
+        return None
+    return target

@@ -28,6 +28,45 @@ class SeedBudgetExceeded(DeterministicFault):
     """The per-seed work budget ran out; the seed is quarantined."""
 
 
+# -- serving fault taxonomy (repro serve) -------------------------------
+
+#: Reasons a suggestion fell back to the Perflint baseline.  Every
+#: baseline answer must carry one of these in
+#: ``Report.degraded_reasons`` — the serving contract is "never
+#: silently baseline".
+DEGRADED_MODEL_UNAVAILABLE = "model_unavailable"
+DEGRADED_INFERENCE_ERROR = "inference_error"
+DEGRADED_BREAKER = "breaker"
+DEGRADED_DEADLINE = "deadline"
+
+
+class ServingFault(RuntimeError):
+    """Base class for faults raised on the advisor serving path."""
+
+
+class Overloaded(ServingFault):
+    """The bounded work queue is full; the request was shed."""
+
+
+class DeadlineExceeded(ServingFault):
+    """A request's deadline elapsed before inference finished."""
+
+
+class InferenceUnavailable(ServingFault):
+    """A serving inference seam declined to run a group's model.
+
+    The advisor catches this and answers the group's records with the
+    Perflint baseline, recording :attr:`reason` in
+    ``Report.degraded_reasons`` — an open circuit breaker and a crashed
+    model both turn into a flagged baseline answer instead of a failed
+    request.
+    """
+
+    def __init__(self, reason: str, detail: str = "") -> None:
+        super().__init__(detail or reason)
+        self.reason = reason
+
+
 #: Exception types treated as transient even when raised by third-party
 #: code that knows nothing of our taxonomy.
 TRANSIENT_TYPES: tuple[type[BaseException], ...] = (

@@ -11,8 +11,11 @@ interrupt/resume determinism test needs.
 
 from __future__ import annotations
 
+import json
 import random
-from dataclasses import dataclass
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable
 
 from repro.runtime.faults import DeterministicFault, TransientFault
@@ -108,3 +111,77 @@ class FaultInjector:
             return fn(app, machine_config)
 
         return wrapped
+
+
+# -- serving-side injection ------------------------------------------------
+
+
+@dataclass
+class ServeFaultPlan:
+    """Deterministic failure behavior for the serving inference seam.
+
+    ``fail_groups`` maps a model-group name to how many *consecutive*
+    inference calls for that group should raise (``-1`` = fail forever)
+    — exactly what circuit-breaker trip/half-open tests need.
+    ``slow_groups`` lists groups whose inference blocks until the test
+    releases :attr:`ServeFaultInjector.release` — how deadline tests
+    make "slow" deterministic instead of sleep-based.
+    """
+
+    fail_groups: dict[str, int] = field(default_factory=dict)
+    slow_groups: frozenset[str] = frozenset()
+
+
+class ServeFaultInjector:
+    """Wraps an ``InferenceFn`` (see :mod:`repro.serve.loop`) with the
+    plan's failures and stalls; thread-safe, since the serving dispatch
+    loop calls inference from worker threads."""
+
+    def __init__(self, plan: ServeFaultPlan) -> None:
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._failures_left = dict(plan.fail_groups)
+        #: Set by a test to unblock every stalled ``slow_groups`` call.
+        self.release = threading.Event()
+        #: Set by the injector when a stalled call has actually started
+        #: — lets tests wait for "inference is now hung" before acting.
+        self.started = threading.Event()
+        #: Total inference calls that reached the wrapped function.
+        self.calls = 0
+
+    def wrap_inference(self, fn: Callable | None = None) -> Callable:
+        """A drop-in for the serving ``inference`` seam."""
+        if fn is None:
+            from repro.serve.loop import _direct_inference as fn
+
+        def wrapped(group_name, model, rows, masks):
+            with self._lock:
+                self.calls += 1
+                remaining = self._failures_left.get(group_name, 0)
+                if remaining:
+                    if remaining > 0:
+                        self._failures_left[group_name] = remaining - 1
+                    raise RuntimeError(
+                        f"injected inference failure for group "
+                        f"{group_name!r}"
+                    )
+            if group_name in self.plan.slow_groups:
+                self.started.set()
+                self.release.wait()
+            return fn(group_name, model, rows, masks)
+
+        return wrapped
+
+
+def corrupt_artifact(path: str | Path,
+                     declared_checksum: str = "0" * 64) -> None:
+    """Corrupt a saved artifact envelope in place (deterministically).
+
+    The payload bytes stay intact but the envelope's declared checksum
+    is replaced, so a strict load fails exactly the way a torn or
+    bit-flipped write does — the hot-reload rejection tests' seam.
+    """
+    path = Path(path)
+    envelope = json.loads(path.read_text())
+    envelope["checksum"] = declared_checksum
+    path.write_text(json.dumps(envelope))

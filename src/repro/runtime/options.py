@@ -10,12 +10,21 @@ now ``telemetry``.  They all collapse into a single immutable
 spellings keep working for one release through
 :func:`resolve_run_options`, which folds them in under a
 ``DeprecationWarning``.
+
+The serving runtime (:mod:`repro.serve`) reads its knobs from the same
+object — :attr:`RunOptions.deadline_seconds`,
+:attr:`RunOptions.queue_depth`, :attr:`RunOptions.breaker_threshold`,
+:attr:`RunOptions.breaker_cooldown_seconds` and
+:attr:`RunOptions.drain_seconds`.  Unlike the training knobs (``None``
+means "unset, use the callee's default"), the serving knobs carry their
+defaults right here, so this dataclass is the single place serving
+defaults are defined and documented.
 """
 
 from __future__ import annotations
 
 import warnings
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 from repro.runtime.faults import RetryPolicy
 
@@ -26,7 +35,7 @@ LEGACY_KNOBS = ("jobs", "window", "checkpoint_every", "retry_policy",
 
 @dataclass(frozen=True)
 class RunOptions:
-    """Immutable cross-cutting knobs for one training/advising run.
+    """Immutable cross-cutting knobs for one training/advising/serving run.
 
     Parameters
     ----------
@@ -43,6 +52,22 @@ class RunOptions:
         A :class:`repro.obs.Collector` activated for the run's duration;
         ``None`` leaves whatever collector is already active (the null
         collector by default).
+    deadline_seconds:
+        Serving: per-request wall budget; a request that misses it is
+        answered with the Perflint baseline flagged
+        ``degraded=deadline``, never a hang.
+    queue_depth:
+        Serving: bounded work-queue size; requests beyond it are shed
+        with a structured ``overloaded`` response.
+    breaker_threshold:
+        Serving: consecutive inference failures that open a model
+        group's circuit breaker.
+    breaker_cooldown_seconds:
+        Serving: how long an open breaker waits before allowing one
+        half-open probe request through.
+    drain_seconds:
+        Serving: budget for finishing in-flight requests on SIGTERM
+        before the process exits anyway.
     """
 
     jobs: int | None = None
@@ -51,10 +76,20 @@ class RunOptions:
     retry_policy: RetryPolicy | None = None
     seed_budget_seconds: float | None = None
     telemetry: object | None = None
+    # -- serving knobs (defaults live here; see the class docstring) -----
+    deadline_seconds: float = 2.0
+    queue_depth: int = 32
+    breaker_threshold: int = 5
+    breaker_cooldown_seconds: float = 30.0
+    drain_seconds: float = 5.0
 
     def with_overrides(self, **changes: object) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-safe ``replace``)."""
         return replace(self, **changes)
+
+
+#: Every knob name a RunOptions carries (legacy and current spellings).
+KNOWN_KNOBS: tuple[str, ...] = tuple(f.name for f in fields(RunOptions))
 
 
 def resolve_run_options(options: RunOptions | None,
@@ -66,8 +101,17 @@ def resolve_run_options(options: RunOptions | None,
     caller received them (``None`` meaning "not passed").  Passing any of
     them alongside an explicit ``options`` is an error — the two
     spellings must not silently fight; passing them *instead of*
-    ``options`` works but warns.
+    ``options`` works but warns.  A keyword that is not a
+    :class:`RunOptions` knob at all raises the same ``TypeError``
+    contract in either spelling, naming the offender and the valid
+    knobs, instead of surfacing as a dataclass constructor error.
     """
+    unknown = sorted(set(legacy) - set(KNOWN_KNOBS))
+    if unknown:
+        raise TypeError(
+            "unknown run option(s) " + ", ".join(unknown)
+            + "; valid knobs: " + ", ".join(KNOWN_KNOBS)
+        )
     supplied = {name: value for name, value in legacy.items()
                 if value is not None}
     if options is not None:

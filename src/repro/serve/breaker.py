@@ -1,0 +1,113 @@
+"""Per-model-group circuit breakers for the serving path.
+
+A breaker guards one model group's inference.  ``closed`` is normal
+operation; :attr:`CircuitBreaker.threshold` *consecutive* failures open
+it, after which every request for that group is answered from the
+Perflint baseline (flagged ``degraded=breaker``) without touching the
+model.  After :attr:`CircuitBreaker.cooldown_seconds` the breaker
+half-opens: exactly one probe request is allowed through — success
+closes the breaker, failure reopens it and restarts the cool-down.
+
+State is exported as the gauge ``serve.breaker_state{group=...}`` using
+:data:`STATE_GAUGE` (0 closed, 1 open, 2 half-open), so dashboards and
+the fault-injection tests read the same signal.  The clock is
+injectable, which is what makes the cool-down transitions deterministic
+under test.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+from repro.obs.metrics import MetricsRegistry
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding of breaker states (``serve.breaker_state{group=…}``).
+STATE_GAUGE = {CLOSED: 0.0, OPEN: 1.0, HALF_OPEN: 2.0}
+
+
+class CircuitBreaker:
+    """Consecutive-failure gate for one model group."""
+
+    def __init__(self, group_name: str, *,
+                 threshold: int = 5,
+                 cooldown_seconds: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic,
+                 metrics: MetricsRegistry | None = None) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be >= 1")
+        if cooldown_seconds < 0:
+            raise ValueError("breaker cooldown must be >= 0")
+        self.group_name = group_name
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        self._export(CLOSED)
+
+    def _export(self, state: str) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("serve.breaker_state", STATE_GAUGE[state],
+                                group=self.group_name)
+
+    def _state_locked(self) -> str:
+        """Current state, applying the open→half-open cool-down lapse."""
+        if (self._state == OPEN
+                and self._opened_at is not None
+                and self._clock() - self._opened_at
+                >= self.cooldown_seconds):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+            self._export(HALF_OPEN)
+        return self._state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    def allow(self) -> bool:
+        """May a request use the model right now?
+
+        ``closed`` always passes; ``open`` never does; ``half_open``
+        passes exactly one probe until its outcome is recorded.
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        """A model call completed: reset to ``closed``."""
+        with self._lock:
+            self._failures = 0
+            self._probe_in_flight = False
+            if self._state != CLOSED:
+                self._state = CLOSED
+                self._export(CLOSED)
+
+    def record_failure(self) -> None:
+        """A model call failed: count it; trip at the threshold, and
+        reopen immediately when a half-open probe fails."""
+        with self._lock:
+            state = self._state_locked()
+            self._failures += 1
+            self._probe_in_flight = False
+            if state == HALF_OPEN or self._failures >= self.threshold:
+                self._state = OPEN
+                self._opened_at = self._clock()
+                self._export(OPEN)

@@ -1,0 +1,499 @@
+"""The advisor service core: a bounded-concurrency dispatch loop.
+
+:class:`AdvisorService` wraps :class:`repro.core.advisor.BrainyAdvisor`
+behind the four serving guarantees:
+
+* **Deadlines** — :meth:`AdvisorService.submit` waits at most the
+  request's budget (``RunOptions.deadline_seconds`` by default) for the
+  dispatched inference; past it, the caller gets the Perflint-baseline
+  answer flagged ``degraded=deadline`` immediately.  A hung model call
+  can never hang a request.
+* **Load shedding** — work enters through a bounded queue
+  (``RunOptions.queue_depth``) feeding a fixed pool of daemon worker
+  threads; when the queue is full the request is answered
+  ``overloaded`` at once (counted in ``serve.shed``), never queued
+  unboundedly.
+* **Circuit breakers** — every model group's inference runs behind a
+  :class:`repro.serve.breaker.CircuitBreaker`; the guarded-inference
+  seam converts failures and open breakers into
+  :class:`~repro.runtime.faults.InferenceUnavailable`, which the
+  advisor answers with a flagged baseline for just that group.
+* **Hot reload** — :meth:`AdvisorService.reload_now` (also called by
+  the server's poll loop) stages a strict validation load through
+  :class:`repro.serve.reload.SuiteReloader` and atomically swaps the
+  advisor only on success; a corrupt new artifact leaves the
+  last-known-good suite serving.
+
+All service metrics go directly to the service's own collector
+(``serve.requests{status=…}``, ``serve.shed``, ``serve.deadline``,
+``serve.breaker_state{group=…}``, ``serve.latency_ms``), so tests and
+the ``metrics`` op read one coherent registry.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+import repro.obs as obs
+from repro.core.advisor import BrainyAdvisor
+from repro.models.brainy import BrainyModel, BrainySuite
+from repro.runtime.faults import (
+    DEGRADED_BREAKER,
+    DEGRADED_DEADLINE,
+    DEGRADED_INFERENCE_ERROR,
+    InferenceUnavailable,
+)
+from repro.runtime.options import RunOptions
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.protocol import (
+    OP_ADVISE,
+    OP_HEALTH,
+    OP_METRICS,
+    OP_READY,
+    OP_RELOAD,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_OVERLOADED,
+    STATUS_UNAVAILABLE,
+    AdviseRequest,
+    ProtocolError,
+    ServeResponse,
+    response_for_report,
+)
+from repro.serve.reload import SuiteReloader
+
+#: Raw per-group inference call, before breaker accounting.  The serving
+#: fault injector substitutes this to model slow or crashing models.
+InferenceFn = Callable[[str, BrainyModel, np.ndarray, np.ndarray], list]
+
+
+def _direct_inference(group_name: str, model: BrainyModel,
+                      rows: np.ndarray, masks: np.ndarray) -> list:
+    return model.predict_kinds(rows, legal_masks=masks)
+
+
+class _Task:
+    """One queued inference; the submitter waits with its own timeout."""
+
+    __slots__ = ("fn", "result", "error", "done", "cancelled")
+
+    def __init__(self, fn: Callable[[], object]) -> None:
+        self.fn = fn
+        self.result: object | None = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self.cancelled = False
+
+    def run(self) -> None:
+        try:
+            self.result = self.fn()
+        except BaseException as exc:
+            self.error = exc
+        finally:
+            self.done.set()
+
+
+class Dispatcher:
+    """Fixed worker pool over a bounded queue.
+
+    Workers are daemon threads: a model call that never returns cannot
+    block process exit (the drain budget, not thread join, bounds
+    shutdown).  ``try_submit`` never blocks — a full queue returns
+    ``None``, which is the load-shedding signal.
+    """
+
+    def __init__(self, workers: int, queue_depth: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if queue_depth < 1:
+            raise ValueError("queue_depth must be >= 1")
+        self._queue: queue.Queue[_Task] = queue.Queue(maxsize=queue_depth)
+        self._lock = threading.Lock()
+        self._settled = threading.Condition(self._lock)
+        self._active = 0
+        self.workers = workers
+        self.queue_depth = queue_depth
+        for i in range(workers):
+            thread = threading.Thread(
+                target=self._run, name=f"repro-serve-worker-{i}",
+                daemon=True,
+            )
+            thread.start()
+
+    @property
+    def queued(self) -> int:
+        return self._queue.qsize()
+
+    @property
+    def active(self) -> int:
+        with self._lock:
+            return self._active
+
+    def try_submit(self, fn: Callable[[], object]) -> _Task | None:
+        task = _Task(fn)
+        try:
+            self._queue.put_nowait(task)
+        except queue.Full:
+            return None
+        return task
+
+    def _run(self) -> None:
+        while True:
+            task = self._queue.get()
+            if task.cancelled:
+                # The submitter gave up while the task still sat in the
+                # queue; don't burn a worker on a dead request.
+                task.done.set()
+                with self._settled:
+                    self._settled.notify_all()
+                continue
+            with self._lock:
+                self._active += 1
+            try:
+                task.run()
+            finally:
+                with self._lock:
+                    self._active -= 1
+                    self._settled.notify_all()
+
+    def quiesce(self, timeout: float,
+                clock: Callable[[], float] = time.monotonic) -> bool:
+        """Wait until no work is queued or running; False on timeout."""
+        deadline = clock() + timeout
+        with self._settled:
+            while self._queue.qsize() or self._active:
+                remaining = deadline - clock()
+                if remaining <= 0:
+                    return False
+                self._settled.wait(min(remaining, 0.05))
+            return True
+
+
+class AdvisorService:
+    """The long-running advisor: deadlines, shedding, breakers, reload.
+
+    Parameters
+    ----------
+    suite_dir:
+        Saved-suite directory to serve (and watch for hot reload).
+    suite:
+        An in-memory suite instead (tests); reload is disabled unless
+        ``suite_dir`` is also given.
+    options:
+        Serving knobs (:class:`repro.runtime.options.RunOptions` —
+        ``deadline_seconds``, ``queue_depth``, ``breaker_threshold``,
+        ``breaker_cooldown_seconds``, ``drain_seconds``).
+    workers:
+        Inference worker threads (bounded concurrency).
+    clock:
+        Injectable monotonic clock for breaker cool-downs and drain
+        budgets — what makes the fault-injection tests deterministic.
+    inference:
+        Raw per-group inference seam (the serving fault injector's
+        hook); defaults to the direct model call.
+    fallback:
+        Perflint baseline override, forwarded to the advisor.
+    """
+
+    def __init__(self, suite_dir: str | Path | None = None, *,
+                 suite: BrainySuite | None = None,
+                 options: RunOptions | None = None,
+                 workers: int = 2,
+                 clock: Callable[[], float] = time.monotonic,
+                 collector=None,
+                 inference: InferenceFn | None = None,
+                 fallback=None) -> None:
+        if suite is None and suite_dir is None:
+            raise ValueError("need a suite_dir or an in-memory suite")
+        self.options = options or RunOptions()
+        if self.options.deadline_seconds <= 0:
+            raise ValueError("deadline_seconds must be positive")
+        if self.options.drain_seconds < 0:
+            raise ValueError("drain_seconds must be >= 0")
+        self._clock = clock
+        self.collector = collector if collector is not None \
+            else obs.Collector()
+        self.metrics = self.collector.metrics
+        self._inference = inference or _direct_inference
+        self._fallback = fallback
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
+        self._reloader = (SuiteReloader(suite_dir, metrics=self.metrics)
+                          if suite_dir is not None else None)
+        self._reload_lock = threading.Lock()
+        if suite is None:
+            suite = self._reloader.load_initial()
+        elif self._reloader is not None:
+            self._reloader.load_initial()
+        self._advisor = self._make_advisor(suite)
+        self._dispatcher = Dispatcher(workers,
+                                      self.options.queue_depth)
+        self._draining = threading.Event()
+        self._started = self._clock()
+
+    # -- advisor plumbing -------------------------------------------------
+
+    def _make_advisor(self, suite: BrainySuite) -> BrainyAdvisor:
+        return BrainyAdvisor(suite, self._fallback,
+                             infer=self._guarded_infer)
+
+    @property
+    def advisor(self) -> BrainyAdvisor:
+        return self._advisor
+
+    @property
+    def suite(self) -> BrainySuite:
+        return self._advisor.suite
+
+    def breaker(self, group_name: str) -> CircuitBreaker:
+        with self._breaker_lock:
+            breaker = self._breakers.get(group_name)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    group_name,
+                    threshold=self.options.breaker_threshold,
+                    cooldown_seconds=(
+                        self.options.breaker_cooldown_seconds),
+                    clock=self._clock,
+                    metrics=self.metrics,
+                )
+                self._breakers[group_name] = breaker
+            return breaker
+
+    def _guarded_infer(self, group_name: str, model: BrainyModel,
+                       rows: np.ndarray, masks: np.ndarray) -> list:
+        """Breaker-accounted inference: the advisor's ``infer`` seam.
+
+        Open breaker → :class:`InferenceUnavailable` without touching
+        the model; model failure → breaker bookkeeping, then
+        :class:`InferenceUnavailable` — either way the advisor answers
+        that group from the flagged baseline instead of failing the
+        request.
+        """
+        breaker = self.breaker(group_name)
+        if not breaker.allow():
+            self.metrics.count("serve.breaker_short_circuit",
+                               group=group_name)
+            raise InferenceUnavailable(DEGRADED_BREAKER)
+        try:
+            kinds = self._inference(group_name, model, rows, masks)
+        except InferenceUnavailable:
+            raise
+        except Exception as exc:
+            breaker.record_failure()
+            self.metrics.count("serve.inference_failures",
+                               group=group_name)
+            raise InferenceUnavailable(
+                DEGRADED_INFERENCE_ERROR,
+                f"{type(exc).__name__}: {exc}",
+            ) from exc
+        breaker.record_success()
+        return kinds
+
+    # -- the request path -------------------------------------------------
+
+    def submit(self, request: AdviseRequest) -> ServeResponse:
+        """One advise request, end to end — always answers, never hangs.
+
+        Admission (shed when the queue is full) → dispatch → bounded
+        wait (deadline) → structured response.
+        """
+        if self._draining.is_set():
+            self.metrics.count("serve.requests",
+                               status=STATUS_UNAVAILABLE)
+            return ServeResponse(
+                status=STATUS_UNAVAILABLE,
+                request_id=request.request_id,
+                error="service is draining",
+            )
+        start = self._clock()
+        advisor = self._advisor  # one suite generation per request
+        task = self._dispatcher.try_submit(
+            lambda: advisor.advise_trace(
+                request.trace, request.keyed_contexts,
+                batched=request.batched,
+            )
+        )
+        if task is None:
+            self.metrics.count("serve.shed")
+            self.metrics.count("serve.requests",
+                               status=STATUS_OVERLOADED)
+            return ServeResponse(
+                status=STATUS_OVERLOADED,
+                request_id=request.request_id,
+                error=(f"work queue full "
+                       f"({self.options.queue_depth} waiting, "
+                       f"{self._dispatcher.workers} in flight); "
+                       "retry later"),
+            )
+        deadline = (request.deadline_seconds
+                    if request.deadline_seconds is not None
+                    else self.options.deadline_seconds)
+        if not task.done.wait(deadline):
+            # Deadline missed: abandon the task (a queued one is
+            # skipped outright; a running one finishes into the void)
+            # and answer from the baseline right now.
+            task.cancelled = True
+            self.metrics.count("serve.deadline")
+            report = advisor.baseline_report(
+                request.trace, request.keyed_contexts,
+                reason=DEGRADED_DEADLINE,
+            )
+            response = response_for_report(report, request.request_id)
+        elif task.cancelled:
+            # Skipped in the queue by a previous abandonment sweep;
+            # treat as shed (it never ran).
+            self.metrics.count("serve.shed")
+            response = ServeResponse(
+                status=STATUS_OVERLOADED,
+                request_id=request.request_id,
+                error="request abandoned before it ran; retry later",
+            )
+        elif task.error is not None:
+            self.metrics.count("serve.errors")
+            response = ServeResponse(
+                status=STATUS_ERROR,
+                request_id=request.request_id,
+                error=(f"{type(task.error).__name__}: "
+                       f"{task.error}"),
+            )
+        else:
+            response = response_for_report(task.result,
+                                           request.request_id)
+        self.metrics.observe("serve.latency_ms",
+                             (self._clock() - start) * 1000.0)
+        self.metrics.count("serve.requests", status=response.status)
+        return response
+
+    # -- probes and admin -------------------------------------------------
+
+    def health(self) -> dict:
+        """Liveness: answers while the process runs, even mid-drain."""
+        return {
+            "uptime_s": self._clock() - self._started,
+            "draining": self._draining.is_set(),
+            "queued": self._dispatcher.queued,
+            "active": self._dispatcher.active,
+            "groups": sorted(self.suite.models),
+            "degraded_groups": sorted(self.suite.degraded),
+            "generation": (self._reloader.generation
+                           if self._reloader is not None else 0),
+            "reload_stale": (self._reloader.last_error is not None
+                             if self._reloader is not None else False),
+        }
+
+    def ready(self) -> tuple[bool, str | None]:
+        """Readiness: can this instance take traffic right now?"""
+        if self._draining.is_set():
+            return False, "service is draining"
+        if not self.suite.models:
+            return False, "no usable models loaded"
+        return True, None
+
+    def reload_now(self) -> dict:
+        """Check the watched suite artifact and swap if it validates.
+
+        The swap is a single reference assignment: in-flight requests
+        keep the advisor (and suite) they started with, new requests see
+        the new one.  A rejected version changes nothing except the
+        stale flag and the rejection counter.
+        """
+        if self._reloader is None:
+            return {"reloaded": False, "watching": False}
+        with self._reload_lock:
+            suite = self._reloader.maybe_reload()
+            if suite is not None:
+                self._advisor = self._make_advisor(suite)
+            return {
+                "reloaded": suite is not None,
+                "watching": True,
+                "generation": self._reloader.generation,
+                "stale": self._reloader.last_error is not None,
+                "error": self._reloader.last_error,
+            }
+
+    def metrics_snapshot(self) -> dict:
+        snapshot = self.metrics.snapshot()
+        return {"counters": snapshot["counters"],
+                "gauges": snapshot["gauges"]}
+
+    # -- lifecycle --------------------------------------------------------
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def begin_drain(self) -> None:
+        """Stop accepting new requests (SIGTERM step one)."""
+        self._draining.set()
+
+    def drain(self, drain_seconds: float | None = None) -> bool:
+        """Stop accepting, then wait for in-flight work within the
+        budget (``RunOptions.drain_seconds`` by default).  Returns
+        whether everything finished; either way the gauge
+        ``serve.drained`` records the outcome for the telemetry
+        artifact."""
+        self.begin_drain()
+        budget = (drain_seconds if drain_seconds is not None
+                  else self.options.drain_seconds)
+        drained = self._dispatcher.quiesce(budget)
+        self.metrics.gauge("serve.drained", 1.0 if drained else 0.0)
+        return drained
+
+    def export_telemetry(self, path: str | Path,
+                         meta: dict | None = None) -> None:
+        obs.export_telemetry(
+            self.collector, Path(path),
+            meta={"command": "serve", **(meta or {})},
+            wall_time_s=self._clock() - self._started,
+        )
+
+    # -- protocol dispatch ------------------------------------------------
+
+    def handle_payload(self, payload: dict) -> dict:
+        """One decoded request payload → one response payload.
+
+        This is the single entry point the TCP handler (and the tests)
+        use; every outcome — including malformed advise bodies — is a
+        structured response, never an exception.
+        """
+        op = payload.get("op")
+        request_id = str(payload.get("id", ""))
+        if op == OP_ADVISE:
+            try:
+                request = AdviseRequest.from_payload(payload)
+            except ProtocolError as exc:
+                return ServeResponse(
+                    status=STATUS_ERROR, request_id=request_id,
+                    error=str(exc),
+                ).to_payload()
+            return self.submit(request).to_payload()
+        if op == OP_HEALTH:
+            return ServeResponse(status=STATUS_OK,
+                                 request_id=request_id,
+                                 detail=self.health()).to_payload()
+        if op == OP_READY:
+            ready, why = self.ready()
+            return ServeResponse(
+                status=STATUS_OK if ready else STATUS_UNAVAILABLE,
+                request_id=request_id,
+                error=why,
+            ).to_payload()
+        if op == OP_RELOAD:
+            return ServeResponse(status=STATUS_OK,
+                                 request_id=request_id,
+                                 detail=self.reload_now()).to_payload()
+        if op == OP_METRICS:
+            return ServeResponse(
+                status=STATUS_OK, request_id=request_id,
+                detail=self.metrics_snapshot(),
+            ).to_payload()
+        return ServeResponse(status=STATUS_ERROR,
+                             request_id=request_id,
+                             error=f"unknown op {op!r}").to_payload()

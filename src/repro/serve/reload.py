@@ -1,0 +1,103 @@
+"""Hot-reload of the model-suite artifact with last-known-good fallback.
+
+The reloader watches a saved suite directory (``suite.json`` index plus
+one artifact per group, all on the checksummed envelope from
+:mod:`repro.runtime.artifacts`).  When the files change it *stages* a
+strict load — envelope checksum verification plus
+``BrainyModel.from_state`` cross-shape validation — and only hands the
+new suite to the service once the whole load succeeds.  A corrupt or
+half-written new version is rejected: the service keeps serving the
+previous suite, the rejection is counted
+(``serve.reload_rejected``) and flagged (gauge ``serve.reload_stale``
+= 1) until a good version lands, and the offending error is kept on
+:attr:`SuiteReloader.last_error` for the runbook.
+
+Change detection is by file fingerprint (name, size, mtime_ns of every
+``*.json`` in the directory), so a rejected version is not re-validated
+on every poll — only when the bytes change again.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.models.brainy import BrainySuite
+from repro.obs.metrics import MetricsRegistry
+from repro.runtime.artifacts import ArtifactError
+
+Fingerprint = tuple
+
+
+class SuiteReloader:
+    """Watch one saved-suite directory; swap in validated versions only."""
+
+    def __init__(self, directory: str | Path, *,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.directory = Path(directory)
+        self._metrics = metrics
+        self._fingerprint: Fingerprint | None = None
+        #: Successful swaps so far (0 = still the initial suite).
+        self.generation = 0
+        #: The last rejected version's error, for probes and logs.
+        self.last_error: str | None = None
+
+    # -- change detection -------------------------------------------------
+
+    def fingerprint(self) -> Fingerprint:
+        entries = []
+        try:
+            files = sorted(self.directory.glob("*.json"))
+        except OSError:
+            files = []
+        for path in files:
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((path.name, stat.st_size, stat.st_mtime_ns))
+        return tuple(entries)
+
+    # -- loading ----------------------------------------------------------
+
+    def load_initial(self) -> BrainySuite:
+        """The boot-time load: lenient, so a partially-damaged suite
+        still serves (damaged groups degrade to the baseline)."""
+        self._fingerprint = self.fingerprint()
+        suite = BrainySuite.load(self.directory, lenient=True)
+        self._export_stale(False)
+        return suite
+
+    def _export_stale(self, stale: bool) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge("serve.reload_stale",
+                                1.0 if stale else 0.0)
+
+    def maybe_reload(self) -> BrainySuite | None:
+        """Swap candidate if the artifact changed and validates.
+
+        Returns the new suite on a successful strict load, ``None`` when
+        the files are unchanged *or* the new version is unusable — in
+        the latter case the caller keeps its current suite
+        (last-known-good) and the rejection is recorded.
+        """
+        fingerprint = self.fingerprint()
+        if fingerprint == self._fingerprint:
+            return None
+        # Record the fingerprint up front either way: a corrupt version
+        # is not revalidated until its bytes change again.
+        self._fingerprint = fingerprint
+        try:
+            suite = BrainySuite.load(self.directory, lenient=False)
+        except (ArtifactError, ValueError, KeyError,
+                FileNotFoundError, OSError) as exc:
+            self.last_error = f"{type(exc).__name__}: {exc}"
+            if self._metrics is not None:
+                self._metrics.count("serve.reload_rejected")
+            self._export_stale(True)
+            return None
+        self.generation += 1
+        self.last_error = None
+        if self._metrics is not None:
+            self._metrics.count("serve.reload")
+        self._export_stale(False)
+        return suite

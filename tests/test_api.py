@@ -176,3 +176,29 @@ class TestRunOptions:
             resolved = resolve_run_options(None, **legacy)
         assert resolved.jobs == 1
         assert resolved.retry_policy.retries == 1
+
+    def test_unknown_knob_raises_the_same_typeerror_contract(self):
+        """An unrecognised keyword fails the same way whether it rides
+        alone or alongside ``options=`` — a ``TypeError`` naming the
+        offender and the valid knobs."""
+        with pytest.raises(TypeError, match="unknown run option.*jbos"):
+            resolve_run_options(None, jbos=4)
+        with pytest.raises(TypeError, match="jbos.*valid knobs.*jobs"):
+            resolve_run_options(RunOptions(jobs=2), jbos=4)
+        # Unknown wins over both-spellings: diagnose the typo first.
+        with pytest.raises(TypeError, match="unknown run option"):
+            resolve_run_options(RunOptions(jobs=2), jbos=4, jobs=1)
+
+    def test_serving_knobs_have_real_defaults(self):
+        """Serving knobs default in RunOptions itself (unlike the
+        training knobs, where ``None`` defers to the callee)."""
+        opts = RunOptions()
+        assert opts.deadline_seconds == 2.0
+        assert opts.queue_depth == 32
+        assert opts.breaker_threshold == 5
+        assert opts.breaker_cooldown_seconds == 30.0
+        assert opts.drain_seconds == 5.0
+        bumped = opts.with_overrides(deadline_seconds=0.5,
+                                     queue_depth=4)
+        assert (bumped.deadline_seconds, bumped.queue_depth) == (0.5, 4)
+        assert opts.queue_depth == 32  # frozen: original untouched

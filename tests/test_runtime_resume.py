@@ -222,7 +222,13 @@ class TestCacheRecovery:
         model_file.write_text(model_file.read_text()[:100])  # truncate
         suite = get_or_train_suite(CORE2, TINY, config=config)
         assert "map" in suite.models
-        assert "retraining" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "rebuilding" in err
+        assert "quarantined to" in err
+        suite_dir = suite_path(CORE2, TINY)
+        quarantined = suite_dir.with_name(suite_dir.name + ".quarantined")
+        assert str(quarantined) in err
+        assert quarantined.exists()
 
     def test_truncated_suite_index_rebuilt(self, tmp_cache):
         config = GeneratorConfig.small()

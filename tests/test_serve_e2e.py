@@ -1,0 +1,197 @@
+"""End-to-end serving tests: real process, real sockets, real signals.
+
+Starts ``repro serve`` as a subprocess against a saved tiny suite, talks
+to it over TCP (including a past-deadline request and a request during a
+hot reload), then SIGTERMs it and asserts the clean-drain exit code and
+the exported telemetry artifact.  Also covers the SIGTERM satellite for
+the training CLI: ``kill`` lands on the checkpoint-and-flush path and
+exits 143.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve.protocol import encode
+from repro.serve.testing import advise_payload, make_trace, tiny_suite
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture(scope="module")
+def suite_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("served-suite")
+    tiny_suite().save(directory)
+    return directory
+
+
+def _spawn_serve(suite_dir, *extra):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--suite-dir", str(suite_dir), "--port", "0",
+         "--poll-interval", "0.1", *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env,
+    )
+
+
+def _read_address(proc, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("serving on "):
+            host, _, port = line.strip().rpartition(":")
+            return host.removeprefix("serving on "), int(port)
+        if not line and proc.poll() is not None:
+            break
+    raise AssertionError(
+        f"server never announced its address; stderr:\n"
+        f"{proc.stderr.read()}"
+    )
+
+
+def _request(host, port, payload, timeout=30.0):
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(encode(payload))
+        return json.loads(conn.makefile("rb").readline())
+
+
+class TestServeProcess:
+    def test_serve_drain_and_telemetry_on_sigterm(self, suite_dir,
+                                                  tmp_path):
+        telemetry = tmp_path / "serve.telemetry.json"
+        proc = _spawn_serve(suite_dir, "--deadline", "30",
+                            "--telemetry", str(telemetry))
+        try:
+            host, port = _read_address(proc)
+
+            ok = _request(host, port, advise_payload(make_trace()))
+            assert ok["status"] == "ok"
+            assert len(ok["report"]["suggestions"]) == 4
+
+            # A request whose per-request deadline has no chance: the
+            # trace is fine but the budget is 1ms — the service must
+            # answer (degraded baseline), not hang.
+            past_deadline = _request(
+                host, port,
+                advise_payload(make_trace(), deadline_seconds=0.001,
+                               request_id="tight"),
+            )
+            assert past_deadline["status"] in ("ok", "degraded")
+
+            # Hot reload: rewrite the suite (new mtime), trigger the
+            # check explicitly, and advise across the swap.
+            tiny_suite(seed=1).save(suite_dir)
+            reload_out = _request(host, port, {"op": "reload"})
+            assert reload_out["status"] == "ok"
+            during = _request(host, port, advise_payload(make_trace()))
+            assert during["status"] == "ok"
+
+            health = _request(host, port, {"op": "health"})
+            assert health["detail"]["draining"] is False
+
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60.0)
+            assert proc.returncode == 0, (out, err)
+            assert "drained cleanly" in out
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+        payload = json.loads(telemetry.read_text())
+        meta = payload["payload"]["meta"]
+        assert meta["command"] == "serve"
+        assert meta["drained"] is True
+        counters = payload["payload"]["metrics"]["counters"]
+        assert counters.get("serve.requests{status=ok}", 0) >= 2
+
+    def test_serve_rejects_missing_suite_dir(self, tmp_path):
+        proc = _spawn_serve(tmp_path / "nonexistent")
+        out, err = proc.communicate(timeout=60.0)
+        assert proc.returncode == 2
+        assert "no saved suite" in err
+
+
+class TestTrainingSigterm:
+    def test_sigterm_exits_143_via_interrupt_path(self, monkeypatch,
+                                                  capsys):
+        """SIGTERM mid-command takes the KeyboardInterrupt path (same
+        checkpoint/flush semantics as Ctrl-C) but exits 143."""
+        from repro import cli as cli_mod
+
+        def hit_by_sigterm(args):
+            os.kill(os.getpid(), signal.SIGTERM)
+            time.sleep(30)  # the handler interrupts this
+            raise AssertionError("signal never delivered")
+
+        monkeypatch.setattr(cli_mod, "cmd_census", hit_by_sigterm)
+        parser = cli_mod.build_parser()
+        args = parser.parse_args(["census"])
+        args.fn = hit_by_sigterm
+        monkeypatch.setattr(cli_mod, "build_parser",
+                            lambda: _FixedParser(args))
+        assert cli_mod.main(["census"]) == 143
+        assert "terminated" in capsys.readouterr().err
+
+    def test_sigterm_during_training_exits_143_with_checkpoint_hint(
+            self, monkeypatch, capsys):
+        """A SIGTERM that surfaces as TrainingInterrupted (training's
+        checkpoint-flush path) also maps to 143."""
+        from repro import api, cli as cli_mod
+        from repro.runtime.checkpoint import TrainingInterrupted
+
+        def terminated_mid_training(machine_config, scale, config=None,
+                                    force=False, **kwargs):
+            try:
+                os.kill(os.getpid(), signal.SIGTERM)
+                time.sleep(30)
+            except KeyboardInterrupt:
+                raise TrainingInterrupted(
+                    "phase 1 interrupted at seed 7"
+                ) from None
+            raise AssertionError("signal never delivered")
+
+        monkeypatch.setattr(api, "get_or_train_suite",
+                            terminated_mid_training)
+        assert cli_mod.main(["train", "--scale", "tiny"]) == 143
+        err = capsys.readouterr().err
+        assert "terminated" in err
+        assert "--resume" in err
+
+    def test_plain_interrupt_still_exits_130(self, monkeypatch, capsys):
+        from repro import cli as cli_mod
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        parser = cli_mod.build_parser()
+        args = parser.parse_args(["census"])
+        args.fn = interrupted
+        monkeypatch.setattr(cli_mod, "build_parser",
+                            lambda: _FixedParser(args))
+        assert cli_mod.main(["census"]) == 130
+        assert "interrupted" in capsys.readouterr().err
+
+    def test_sigterm_handler_restored_after_main(self):
+        from repro import cli as cli_mod
+
+        before = signal.getsignal(signal.SIGTERM)
+        cli_mod.main(["census", "--files", "1"])
+        assert signal.getsignal(signal.SIGTERM) == before
+
+
+class _FixedParser:
+    def __init__(self, args):
+        self._args = args
+
+    def parse_args(self, argv=None):
+        return self._args
