@@ -12,12 +12,18 @@ subprocess, then exercises the serving guarantees end to end:
   while the last-known-good suite keeps serving;
 * SIGTERM — graceful drain, exit 0, telemetry artifact on disk.
 
+With ``--registry`` it exercises the registry serving mode instead:
+register → serve → shadow a new candidate off live traffic → gated
+auto-promotion → operator rollback, all against a live ``repro serve
+--registry`` process that never fails a request.
+
 Exits non-zero (with a diagnostic) on the first violated expectation.
 Run from the repo root: ``PYTHONPATH=src python scripts/serve_smoke.py``.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import signal
@@ -32,6 +38,7 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.registry.store import RegistryKey, SuiteRegistry  # noqa: E402
 from repro.runtime.inject import corrupt_artifact  # noqa: E402
 from repro.serve.protocol import encode  # noqa: E402
 from repro.serve.testing import (  # noqa: E402
@@ -76,7 +83,88 @@ def read_address(proc: subprocess.Popen, timeout: float = 60.0
     raise AssertionError  # unreachable
 
 
+def registry_mode() -> int:
+    """register → shadow → auto-promote → rollback, live server."""
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-reg-"))
+    root = tmp / "registry"
+    key = RegistryKey("core2", "5m0ke5m0ke50")
+
+    print("serve-smoke: seeding registry with v1 ...")
+    registry = SuiteRegistry(root)
+    registry.register(tiny_suite(0), key, validation={"green": True})
+    registry.promote(key)
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"),
+               PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--registry", str(root), "--port", "0",
+         "--poll-interval", "0.1", "--shadow-min-samples", "3",
+         "--shadow-min-agreement", "0.5"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env,
+    )
+    try:
+        host, port = read_address(proc)
+        print(f"serve-smoke: registry server up on {host}:{port}")
+
+        health = request(host, port, {"op": "health"})["detail"]
+        check(health["suite_version"] == 1
+              and health["suite_fingerprint"].startswith("sha256:"),
+              "health names live version and fingerprint")
+
+        first = request(host, port,
+                        advise_payload(make_trace(3), request_id="r0"))
+        check(first["status"] in ("ok", "degraded"),
+              f"advise against v1 answered ({first['status']})")
+
+        # Same weights → full shadow agreement; live traffic alone
+        # must carry the candidate through the gates.
+        registry.register(tiny_suite(0), key,
+                          validation={"green": True})
+        deadline = time.monotonic() + 60.0
+        version = 1
+        while time.monotonic() < deadline and version != 2:
+            response = request(host, port, advise_payload(
+                make_trace(3), request_id="shadow"))
+            if response["status"] not in ("ok", "degraded"):
+                fail(f"live answer failed during shadowing: {response}")
+            version = request(host, port,
+                              {"op": "health"})["detail"]["suite_version"]
+            time.sleep(0.1)
+        check(version == 2, "candidate auto-promoted off live traffic")
+
+        rolled = request(host, port, {"op": "rollback",
+                                      "reason": "smoke"})
+        check(rolled["status"] == "ok"
+              and rolled["detail"]["version"] == 1,
+              "operator rollback op restored v1")
+        after = request(host, port,
+                        advise_payload(make_trace(3), request_id="r1"))
+        check(after["status"] in ("ok", "degraded"),
+              "still answering after rollback")
+
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=60.0)
+        check(proc.returncode == 0,
+              f"SIGTERM drained cleanly (exit {proc.returncode})"
+              + ("" if proc.returncode == 0 else f"; stderr: {err}"))
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    print("serve-smoke: PASS (registry mode)")
+    return 0
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--registry", action="store_true",
+                        help="smoke the registry serving mode instead")
+    if parser.parse_args().registry:
+        return registry_mode()
+
     tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
     suite_dir = tmp / "suite"
     telemetry = tmp / "serve.telemetry.json"

@@ -44,6 +44,9 @@ from repro.api import (
     UsageError,
     advise,
     census,
+    pipeline,
+    registry_status,
+    rollback,
     telemetry_summary,
     train,
     validate,
@@ -59,6 +62,9 @@ __all__ = [
     "api",
     "census",
     "obs",
+    "pipeline",
+    "registry_status",
+    "rollback",
     "telemetry_summary",
     "train",
     "validate",

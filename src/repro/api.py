@@ -287,6 +287,9 @@ def serve(machine: str | MachineConfig = "core2",
           scale: str | ScaleParams = "small",
           *,
           suite_dir: str | Path | None = None,
+          registry: str | Path | None = None,
+          registry_key: str | None = None,
+          auto_promote: bool = True,
           host: str = "127.0.0.1",
           port: int = 0,
           workers: int = 2,
@@ -297,12 +300,18 @@ def serve(machine: str | MachineConfig = "core2",
     """Run the resilient advisor service until SIGTERM/SIGINT.
 
     With ``suite_dir`` the service loads (and watches, for hot reload) a
-    suite saved there by :meth:`BrainySuite.save`; otherwise it trains
-    or loads the cached suite for ``machine``/``scale`` and serves from
-    the cache directory.  Serving knobs — ``deadline_seconds``,
-    ``queue_depth``, ``breaker_threshold``,
-    ``breaker_cooldown_seconds``, ``drain_seconds`` — travel in
-    ``options`` (:class:`repro.runtime.options.RunOptions`).
+    suite saved there by :meth:`BrainySuite.save`; with ``registry`` it
+    serves a versioned suite registry instead — routing by request tag,
+    shadow-evaluating candidates, promoting them when the gates pass
+    (unless ``auto_promote=False``), and rolling a regressing promotion
+    back automatically.  Otherwise it trains or loads the cached suite
+    for ``machine``/``scale`` and serves from the cache directory.
+    Serving knobs — ``deadline_seconds``, ``queue_depth``,
+    ``breaker_threshold``, ``breaker_cooldown_seconds``,
+    ``drain_seconds``, and the registry's ``shadow_*`` /
+    ``auto_demote_failures`` / ``post_promote_window`` — travel in
+    ``options`` (:class:`repro.runtime.options.RunOptions`) and are
+    validated up front (:class:`UsageError`, CLI exit 2).
 
     Blocks until the process is signalled, then drains and (with
     ``telemetry=PATH``) exports the serving telemetry artifact; returns
@@ -314,8 +323,25 @@ def serve(machine: str | MachineConfig = "core2",
         raise UsageError("workers must be >= 1")
     if poll_interval <= 0:
         raise UsageError("poll_interval must be positive")
+    if registry is not None and suite_dir is not None:
+        raise UsageError("pass either registry or suite_dir, not both")
     options = _resolve_options(options, jobs)
-    if suite_dir is not None:
+    try:
+        options.validate_serving()
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    store = None
+    if registry is not None:
+        from repro.registry.store import SuiteRegistry
+
+        registry = Path(registry)
+        if not registry.is_dir():
+            raise UsageError(
+                f"no registry directory at {registry} (create one with "
+                "`repro pipeline --registry DIR`)"
+            )
+        store = SuiteRegistry(registry)
+    elif suite_dir is not None:
         suite_dir = Path(suite_dir)
         if not (suite_dir / "suite.json").exists():
             raise UsageError(
@@ -329,12 +355,133 @@ def serve(machine: str | MachineConfig = "core2",
         get_or_train_suite(machine, scale, options=options)
         suite_dir = suite_path(machine, scale)
     try:
-        service = AdvisorService(suite_dir, options=options,
-                                 workers=workers)
-    except ValueError as exc:
+        if store is not None:
+            service = AdvisorService(
+                registry=store, registry_key=registry_key,
+                auto_promote=auto_promote, options=options,
+                workers=workers,
+            )
+        else:
+            service = AdvisorService(suite_dir, options=options,
+                                     workers=workers)
+    except (ValueError, RuntimeError) as exc:
         raise UsageError(str(exc)) from None
     return run_server(service, host=host, port=port,
                       telemetry=telemetry, poll_interval=poll_interval)
+
+
+def pipeline(machine: str | MachineConfig = "core2",
+             scale: str | ScaleParams = "tiny",
+             config: str | Path | GeneratorConfig | None = None,
+             *,
+             registry: str | Path,
+             promote: bool = False,
+             resume: bool = True,
+             min_accuracy: float = 0.0,
+             validation_apps: int | None = None,
+             workdir: str | Path | None = None,
+             options: RunOptions | None = None,
+             jobs: int | None = None,
+             fault_spec: str | None = None,
+             telemetry: str | Path | None = None,
+             announce=None):
+    """One unattended retraining cycle: appgen → train → validate →
+    register (→ promote); see :func:`repro.registry.run_pipeline`.
+
+    Crash-safe and resumable: each completed stage is recorded in the
+    work directory's stage ledger, training resumes from its own
+    checkpoints, and re-running after any interruption picks up where
+    it stopped.  Transient faults retry with backoff; deterministic
+    failures quarantine the candidate (exit stays 0 — the structured
+    quarantine record is the outcome) rather than crash the loop.
+    ``fault_spec`` (``stage:kind:count``, e.g. ``train:transient:1``)
+    injects faults for smoke tests.
+    """
+    from repro.registry.pipeline import run_pipeline
+    from repro.registry.store import SuiteRegistry
+    from repro.runtime.inject import PipelineFaultInjector
+
+    machine = resolve_machine(machine)
+    scale = resolve_scale(scale)
+    options = _resolve_options(options, jobs)
+    try:
+        options.validate_serving()
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    if min_accuracy < 0 or min_accuracy > 1:
+        raise UsageError("min_accuracy must be within [0, 1]")
+    if validation_apps is not None and validation_apps < 1:
+        raise UsageError("validation_apps must be >= 1")
+    fault_hook = None
+    if fault_spec is not None:
+        try:
+            fault_hook = PipelineFaultInjector.from_spec(fault_spec)
+        except ValueError as exc:
+            raise UsageError(str(exc)) from None
+    store = SuiteRegistry(registry)
+    meta = {"command": "pipeline", "machine": machine.name,
+            "scale": scale.name, "registry": str(store.root)}
+    with _telemetry_run(telemetry, meta):
+        return run_pipeline(
+            machine, scale, resolve_config(config), store,
+            promote=promote, options=options, workdir=workdir,
+            resume=resume, min_accuracy=min_accuracy,
+            validation_apps=validation_apps, fault_hook=fault_hook,
+            announce=announce,
+        )
+
+
+def rollback(registry: str | Path, *,
+             machine: str | None = None,
+             key: str | None = None,
+             reason: str | None = None) -> dict:
+    """Restore a registry key's previous live version (atomic flip).
+
+    A running ``repro serve --registry`` instance picks the flip up on
+    its next poll; the demoted version is barred from candidacy.
+    """
+    from repro.registry.store import RegistryError, SuiteRegistry
+
+    registry = Path(registry)
+    if not registry.is_dir():
+        raise UsageError(f"no registry directory at {registry}")
+    store = SuiteRegistry(registry)
+    try:
+        resolved = store.resolve_key(machine=machine, key=key)
+        info = store.rollback(resolved, reason=reason)
+    except RegistryError as exc:
+        raise UsageError(str(exc)) from None
+    return {"key": str(resolved), "version": info.version,
+            "fingerprint": info.fingerprint, "status": info.status}
+
+
+def registry_status(registry: str | Path) -> dict:
+    """Every key's versions and liveness, for ``repro registry list``."""
+    from repro.registry.store import SuiteRegistry
+
+    registry = Path(registry)
+    if not registry.is_dir():
+        raise UsageError(f"no registry directory at {registry}")
+    store = SuiteRegistry(registry)
+    payload: dict = {"root": str(store.root), "keys": {}}
+    for reg_key in store.keys():
+        live = store.live(reg_key)
+        payload["keys"][str(reg_key)] = {
+            "live": live.version if live is not None else None,
+            "previous": store.previous(reg_key),
+            "versions": [
+                {"version": info.version, "status": info.status,
+                 "created": info.created,
+                 "fingerprint": info.fingerprint,
+                 "source": info.source,
+                 "reason": info.reason,
+                 "validation_green": (
+                     info.validation.get("green")
+                     if isinstance(info.validation, dict) else None)}
+                for info in store.versions(reg_key)
+            ],
+        }
+    return payload
 
 
 def census(files: int = 200, seed: int = 0) -> dict[str, int]:
@@ -397,10 +544,13 @@ __all__ = [
     "advise",
     "appgen_probe",
     "census",
+    "pipeline",
+    "registry_status",
     "resolve_config",
     "resolve_group",
     "resolve_machine",
     "resolve_scale",
+    "rollback",
     "serve",
     "telemetry_summary",
     "train",

@@ -1,10 +1,13 @@
 """Command-line interface: a thin argparse shim over :mod:`repro.api`.
 
-Seven subcommands mirror the tool's lifecycle:
+The subcommands mirror the tool's lifecycle:
 
 * ``repro train``     — install-time training for a machine (Phase I+II+ANN)
 * ``repro advise``    — profile a case-study app and print the report
 * ``repro serve``     — run the resilient advisor service (long-running)
+* ``repro pipeline``  — one unattended retraining cycle into a registry
+* ``repro rollback``  — restore a registry key's previous live version
+* ``repro registry``  — inspect a suite registry (``registry list``)
 * ``repro census``    — the Figure 2 container census over a corpus
 * ``repro appgen``    — generate one synthetic application's trace summary
 * ``repro validate``  — the Figure 9 protocol for one model group
@@ -76,13 +79,77 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_seconds=args.breaker_cooldown,
         drain_seconds=args.drain,
+        shadow_queue_depth=args.shadow_queue_depth,
+        shadow_min_samples=args.shadow_min_samples,
+        shadow_min_agreement=args.shadow_min_agreement,
+        auto_demote_failures=args.auto_demote_failures,
+        post_promote_window=args.post_promote_window,
     )
     return api.serve(
         machine=args.machine, scale=args.scale,
-        suite_dir=args.suite_dir, host=args.host, port=args.port,
+        suite_dir=args.suite_dir, registry=args.registry,
+        registry_key=args.registry_key,
+        auto_promote=not args.no_auto_promote,
+        host=args.host, port=args.port,
         workers=args.workers, options=options,
         poll_interval=args.poll_interval, telemetry=args.telemetry,
     )
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.runtime.options import RunOptions
+
+    result = api.pipeline(
+        machine=args.machine, scale=args.scale, config=args.config,
+        registry=args.registry, promote=args.promote,
+        resume=not args.fresh, min_accuracy=args.min_accuracy,
+        validation_apps=args.validation_apps, workdir=args.workdir,
+        options=RunOptions(), jobs=args.jobs,
+        fault_spec=args.inject_fault, telemetry=args.telemetry,
+        announce=print,
+    )
+    print(result.summary())
+    if not result.ok and args.strict:
+        return 1
+    return 0
+
+
+def cmd_rollback(args: argparse.Namespace) -> int:
+    outcome = api.rollback(args.registry, machine=args.machine,
+                           key=args.key, reason=args.reason)
+    print(f"rolled {outcome['key']} back to v{outcome['version']} "
+          f"({outcome['fingerprint'][:19]}…)")
+    return 0
+
+
+def cmd_registry(args: argparse.Namespace) -> int:
+    status = api.registry_status(args.registry)
+    print(f"registry {status['root']}")
+    if not status["keys"]:
+        print("  (no keys)")
+        return 0
+    for key_name, entry in sorted(status["keys"].items()):
+        live = entry["live"]
+        print(f"  {key_name}: live="
+              f"{'v%d' % live if live is not None else 'none'}"
+              + (f" previous=v{entry['previous']}"
+                 if entry["previous"] is not None else ""))
+        rows = []
+        for version in entry["versions"]:
+            green = version["validation_green"]
+            rows.append([
+                f"v{version['version']}",
+                version["status"],
+                ("green" if green else
+                 "red" if green is not None else "-"),
+                (version["source"] or "-"),
+                (version["reason"] or "")[:48],
+            ])
+        print(format_table(
+            ["version", "status", "validation", "source", "reason"],
+            rows,
+        ))
+    return 0
 
 
 def cmd_census(args: argparse.Namespace) -> int:
@@ -199,6 +266,46 @@ def build_parser() -> argparse.ArgumentParser:
                        help="serve a suite saved at DIR (skips "
                             "training; the directory is watched for "
                             "hot reload)")
+    serve.add_argument("--registry", metavar="DIR",
+                       help="serve a versioned suite registry at DIR "
+                            "(tag routing, shadow evaluation, gated "
+                            "promotion, auto rollback); mutually "
+                            "exclusive with --suite-dir")
+    serve.add_argument("--registry-key", metavar="KEY",
+                       help="default routing key for untagged requests "
+                            "(machine/corpus, or a unique machine "
+                            "preset name; optional when the registry "
+                            "has exactly one key)")
+    serve.add_argument("--no-auto-promote", action="store_true",
+                       help="registry mode: never promote candidates "
+                            "automatically; only the explicit promote "
+                            "op flips liveness")
+    serve.add_argument("--shadow-queue-depth", type=int, metavar="N",
+                       default=defaults.shadow_queue_depth,
+                       help="bounded shadow-evaluation queue; a full "
+                            "queue sheds the shadow sample, never the "
+                            "live answer "
+                            f"(default {defaults.shadow_queue_depth})")
+    serve.add_argument("--shadow-min-samples", type=int, metavar="N",
+                       default=defaults.shadow_min_samples,
+                       help="shadow samples required before promotion "
+                            f"(default {defaults.shadow_min_samples})")
+    serve.add_argument("--shadow-min-agreement", type=float,
+                       metavar="FRACTION",
+                       default=defaults.shadow_min_agreement,
+                       help="minimum mean shadow agreement for "
+                            "promotion "
+                            f"(default {defaults.shadow_min_agreement})")
+    serve.add_argument("--auto-demote-failures", type=int, metavar="N",
+                       default=defaults.auto_demote_failures,
+                       help="model failures inside the post-promote "
+                            "watch that trigger automatic rollback "
+                            f"(default {defaults.auto_demote_failures})")
+    serve.add_argument("--post-promote-window", type=int, metavar="N",
+                       default=defaults.post_promote_window,
+                       help="answered requests the post-promote watch "
+                            "covers; 0 disables it "
+                            f"(default {defaults.post_promote_window})")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (0 picks a free one; the bound "
@@ -238,6 +345,75 @@ def build_parser() -> argparse.ArgumentParser:
                             "for hot reload (default 1.0)")
     _add_telemetry_arg(serve)
     serve.set_defaults(fn=cmd_serve)
+
+    pipeline = sub.add_parser(
+        "pipeline",
+        help="one unattended retraining cycle into a suite registry",
+    )
+    pipeline.add_argument("--registry", metavar="DIR", required=True,
+                          help="registry root directory (created if "
+                               "missing)")
+    pipeline.add_argument("--machine", choices=sorted(_MACHINES),
+                          default="core2")
+    pipeline.add_argument("--scale", choices=sorted(SCALES),
+                          default="tiny")
+    pipeline.add_argument("--config", help="Table 2 configuration file")
+    pipeline.add_argument("--promote", action="store_true",
+                          help="promote the registered version when "
+                               "validation is green (bootstrap / "
+                               "operator-forced path; otherwise the "
+                               "serving router promotes after shadow "
+                               "gating)")
+    pipeline.add_argument("--fresh", action="store_true",
+                          help="ignore the stage ledger and start the "
+                               "cycle over (default: resume)")
+    pipeline.add_argument("--min-accuracy", type=float, default=0.0,
+                          metavar="FRACTION",
+                          help="per-group validation accuracy floor "
+                               "for a green outcome (default 0.0)")
+    pipeline.add_argument("--validation-apps", type=int, metavar="N",
+                          help="validation apps per group (default: "
+                               "the scale's setting)")
+    pipeline.add_argument("--workdir", metavar="DIR",
+                          help="stage ledger + checkpoint directory "
+                               "(default: under the registry root)")
+    pipeline.add_argument("--jobs", type=int, metavar="N",
+                          help="worker processes for training "
+                               "(default: REPRO_JOBS or serial)")
+    pipeline.add_argument("--inject-fault", metavar="SPEC",
+                          help="inject a fault: stage:kind[:count], "
+                               "e.g. train:transient:1 (smoke tests)")
+    pipeline.add_argument("--strict", action="store_true",
+                          help="exit 1 when the candidate was "
+                               "quarantined (default: exit 0 with the "
+                               "structured quarantine outcome)")
+    _add_telemetry_arg(pipeline)
+    pipeline.set_defaults(fn=cmd_pipeline)
+
+    rollback = sub.add_parser(
+        "rollback",
+        help="restore a registry key's previous live version",
+    )
+    rollback.add_argument("--registry", metavar="DIR", required=True)
+    rollback.add_argument("--machine", help="machine preset (resolves "
+                                            "the key when unique)")
+    rollback.add_argument("--key", metavar="MACHINE/CORPUS",
+                          help="explicit registry key")
+    rollback.add_argument("--reason", help="recorded on the demoted "
+                                           "version's metadata")
+    rollback.set_defaults(fn=cmd_rollback)
+
+    registry = sub.add_parser(
+        "registry", help="inspect a suite registry"
+    )
+    registry_sub = registry.add_subparsers(dest="registry_command",
+                                           required=True)
+    registry_list = registry_sub.add_parser(
+        "list", help="every key's versions and liveness"
+    )
+    registry_list.add_argument("--registry", metavar="DIR",
+                               required=True)
+    registry_list.set_defaults(fn=cmd_registry)
 
     census = sub.add_parser("census", help="Figure 2 container census")
     census.add_argument("--files", type=int, default=200)

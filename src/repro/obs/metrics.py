@@ -141,6 +141,22 @@ class MetricsRegistry:
         with self._lock:
             return self._counters.get(metric_key(name, labels), 0)
 
+    def find(self, prefix: str) -> dict[str, float]:
+        """Every counter and gauge whose key starts with ``prefix``.
+
+        The registry/shadow health surfaces read whole metric families
+        (``registry.shadow.*``) through this instead of enumerating
+        label combinations by hand.
+        """
+        with self._lock:
+            matched = {key: value
+                       for key, value in self._counters.items()
+                       if key.startswith(prefix)}
+            matched.update((key, value)
+                           for key, value in self._gauges.items()
+                           if key.startswith(prefix))
+            return dict(sorted(matched.items()))
+
     def gauge_value(self, name: str, **labels: object) -> float | None:
         with self._lock:
             return self._gauges.get(metric_key(name, labels))

@@ -1,0 +1,79 @@
+"""The versioned suite registry: the production train→serve cycle.
+
+Four pieces close the loop between unattended retraining and safe
+serving:
+
+* :mod:`repro.registry.store` — the versioned on-disk store
+  (:class:`SuiteRegistry`): atomic manifest flips, staged + validated
+  registration, quarantine, crash recovery;
+* :mod:`repro.registry.shadow` — :class:`ShadowEvaluator`, scoring a
+  candidate suite on mirrored live traffic off the hot path;
+* :mod:`repro.registry.gates` — :class:`PromotionGates`, the policy a
+  candidate must clear before an atomic promotion;
+* :mod:`repro.registry.pipeline` — :func:`run_pipeline`, the resumable
+  ``repro pipeline`` verb chaining appgen → train → validate → register
+  → (optionally) promote.
+
+``repro serve --registry`` (see :mod:`repro.serve.reload`) routes
+traffic to each key's live version, shadows candidates, promotes when
+the gates pass, and rolls back — automatically on post-promote
+regressions, or via ``repro rollback``.
+"""
+
+from repro.registry.gates import (
+    GateDecision,
+    PromotionGates,
+    evaluate_gates,
+)
+from repro.registry.pipeline import (
+    PipelineResult,
+    RESULT_PROMOTED,
+    RESULT_QUARANTINED,
+    RESULT_REGISTERED,
+    STAGES,
+    run_pipeline,
+)
+from repro.registry.shadow import (
+    ShadowEvaluator,
+    ShadowStats,
+    report_agreement,
+)
+from repro.registry.store import (
+    RegistryError,
+    RegistryKey,
+    STATUS_LIVE,
+    STATUS_QUARANTINED,
+    STATUS_REGISTERED,
+    STATUS_RETIRED,
+    STATUS_ROLLED_BACK,
+    SuiteRegistry,
+    VersionInfo,
+    corpus_fingerprint,
+    suite_fingerprint,
+)
+
+__all__ = [
+    "GateDecision",
+    "PipelineResult",
+    "PromotionGates",
+    "RESULT_PROMOTED",
+    "RESULT_QUARANTINED",
+    "RESULT_REGISTERED",
+    "RegistryError",
+    "RegistryKey",
+    "STAGES",
+    "STATUS_LIVE",
+    "STATUS_QUARANTINED",
+    "STATUS_REGISTERED",
+    "STATUS_RETIRED",
+    "STATUS_ROLLED_BACK",
+    "ShadowEvaluator",
+    "ShadowStats",
+    "SuiteRegistry",
+    "VersionInfo",
+    "corpus_fingerprint",
+    "evaluate_gates",
+    "report_agreement",
+    "run_pipeline",
+    "suite_fingerprint",
+]

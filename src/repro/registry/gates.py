@@ -1,0 +1,82 @@
+"""Promotion gates: the policy between "registered" and "live".
+
+A candidate suite only takes traffic when every configured gate passes:
+
+* **min_shadow_samples** — the candidate scored at least this much real
+  shadow traffic (no promotion on an idle service).
+* **min_agreement** — mean shadow agreement with the live suite's
+  answers is at or above the threshold.
+* **max_shadow_errors** — the candidate's shadow inference never (by
+  default) raised; a crashing candidate cannot be promoted no matter
+  how well the calls that survived agreed.
+* **require_validation** — the version meta carries a green validation
+  outcome from the pipeline's validate stage.
+
+:func:`evaluate_gates` is pure — the router and the tests feed it
+numbers and get a :class:`GateDecision` with one human-readable reason
+per failed gate, which ends up in metrics and the promote op's detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.runtime.options import RunOptions
+
+
+@dataclass(frozen=True)
+class PromotionGates:
+    """The configured thresholds (see module docstring)."""
+
+    min_shadow_samples: int = 25
+    min_agreement: float = 0.9
+    max_shadow_errors: int = 0
+    require_validation: bool = True
+
+    @classmethod
+    def from_options(cls, options: RunOptions) -> "PromotionGates":
+        return cls(
+            min_shadow_samples=options.shadow_min_samples,
+            min_agreement=options.shadow_min_agreement,
+        )
+
+
+@dataclass(frozen=True)
+class GateDecision:
+    """The verdict plus one reason per failed gate (empty = promote)."""
+
+    passed: bool
+    reasons: tuple[str, ...] = ()
+
+
+def evaluate_gates(gates: PromotionGates, *,
+                   samples: int,
+                   agreement: float,
+                   errors: int = 0,
+                   validation_green: bool | None = None) -> GateDecision:
+    """Check every gate; ``validation_green=None`` means the version was
+    registered without a validation outcome (fails the gate when
+    required)."""
+    reasons = []
+    if samples < gates.min_shadow_samples:
+        reasons.append(
+            f"shadow samples {samples} < {gates.min_shadow_samples}"
+        )
+    elif agreement < gates.min_agreement:
+        # Agreement over too few samples is noise, not signal; only
+        # judge it once the sample gate is satisfied.
+        reasons.append(
+            f"shadow agreement {agreement:.3f} < "
+            f"{gates.min_agreement:.3f}"
+        )
+    if errors > gates.max_shadow_errors:
+        reasons.append(
+            f"shadow errors {errors} > {gates.max_shadow_errors}"
+        )
+    if gates.require_validation and validation_green is not True:
+        reasons.append(
+            "validation suite not green"
+            if validation_green is False
+            else "no validation outcome recorded"
+        )
+    return GateDecision(passed=not reasons, reasons=tuple(reasons))

@@ -1,0 +1,196 @@
+"""Shadow evaluation: score a candidate suite on live traffic, off the
+hot path.
+
+The serving loop hands every answered advise request (trace + the live
+report it just returned) to :meth:`ShadowEvaluator.submit`, which either
+enqueues it or sheds it — the bounded queue and single daemon worker
+guarantee shadowing can never slow a live answer, only lose shadow
+coverage (counted in ``registry.shadow.shed``).
+
+The worker replays each sample through the *candidate* advisor and
+scores agreement: the fraction of profiled container sites where the
+candidate suggests the same replacement the live suite did.  Running
+totals surface as metrics (``registry.shadow.samples``,
+``registry.shadow.agreement``, ``registry.shadow.latency_delta_ms``,
+``registry.shadow.errors``) and as :meth:`stats`, which the promotion
+gates consume.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.report import Report
+
+
+def report_agreement(live: Report, candidate: Report) -> float:
+    """Fraction of container sites both reports suggest identically.
+
+    Sites are compared over the union of both reports' contexts (a
+    site one report covered and the other dropped counts as
+    disagreement).  Two empty reports agree trivially.
+    """
+    a = {s.context: s.suggested.value for s in live.suggestions}
+    b = {s.context: s.suggested.value for s in candidate.suggestions}
+    contexts = set(a) | set(b)
+    if not contexts:
+        return 1.0
+    return sum(a.get(c) == b.get(c) for c in contexts) / len(contexts)
+
+
+@dataclass(frozen=True)
+class ShadowStats:
+    """Running shadow totals for one candidate version."""
+
+    version: int
+    samples: int
+    agreement: float  # mean over samples; 0.0 when no samples yet
+    errors: int
+    shed: int
+    mean_latency_delta_ms: float
+
+
+class ShadowEvaluator:
+    """One candidate advisor scored against mirrored live traffic."""
+
+    def __init__(self, advisor, version: int, *,
+                 key: str = "",
+                 queue_depth: int = 16,
+                 metrics=None,
+                 clock: Callable[[], float] = time.perf_counter) -> None:
+        if queue_depth < 1:
+            raise ValueError("shadow queue_depth must be >= 1")
+        self.advisor = advisor
+        self.version = version
+        self.key = key
+        self._metrics = metrics
+        self._clock = clock
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_depth)
+        self._lock = threading.Lock()
+        self._idle = threading.Condition(self._lock)
+        self._submitted = 0
+        self._settled = 0  # processed or shed
+        self._shed = 0
+        self._samples = 0
+        self._agreement_total = 0.0
+        self._errors = 0
+        self._latency_delta_total = 0.0
+        self._closed = False
+        self._worker = threading.Thread(
+            target=self._run, name="repro-shadow-eval", daemon=True,
+        )
+        self._worker.start()
+
+    # -- the mirror path ---------------------------------------------------
+
+    def submit(self, trace, keyed_contexts, live_report: Report,
+               live_latency_ms: float = 0.0) -> bool:
+        """Mirror one answered request; never blocks.
+
+        Returns ``False`` (and counts the shed) when the bounded queue
+        is full or the evaluator is closed — live serving is unaffected
+        either way.
+        """
+        with self._lock:
+            if self._closed:
+                return False
+            self._submitted += 1
+        try:
+            self._queue.put_nowait(
+                (trace, keyed_contexts, live_report, live_latency_ms)
+            )
+        except queue.Full:
+            with self._idle:
+                self._shed += 1
+                self._settled += 1
+                self._idle.notify_all()
+            if self._metrics is not None:
+                self._metrics.count("registry.shadow.shed",
+                                    key=self.key)
+            return False
+        return True
+
+    def _run(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            trace, keyed_contexts, live_report, live_latency_ms = item
+            started = self._clock()
+            try:
+                candidate_report = self.advisor.advise_trace(
+                    trace, keyed_contexts,
+                )
+            except Exception:
+                with self._idle:
+                    self._errors += 1
+                    self._settled += 1
+                    self._idle.notify_all()
+                if self._metrics is not None:
+                    self._metrics.count("registry.shadow.errors",
+                                        key=self.key)
+                continue
+            latency_ms = (self._clock() - started) * 1000.0
+            agreement = report_agreement(live_report, candidate_report)
+            delta = latency_ms - live_latency_ms
+            with self._idle:
+                self._samples += 1
+                self._agreement_total += agreement
+                self._latency_delta_total += delta
+                mean_agreement = self._agreement_total / self._samples
+                self._settled += 1
+                self._idle.notify_all()
+            if self._metrics is not None:
+                self._metrics.count("registry.shadow.samples",
+                                    key=self.key)
+                self._metrics.gauge("registry.shadow.agreement",
+                                    mean_agreement, key=self.key)
+                self._metrics.observe("registry.shadow.latency_delta_ms",
+                                      delta, key=self.key)
+
+    # -- reads and lifecycle -----------------------------------------------
+
+    def stats(self) -> ShadowStats:
+        with self._lock:
+            samples = self._samples
+            return ShadowStats(
+                version=self.version,
+                samples=samples,
+                agreement=(self._agreement_total / samples
+                           if samples else 0.0),
+                errors=self._errors,
+                shed=self._shed,
+                mean_latency_delta_ms=(
+                    self._latency_delta_total / samples
+                    if samples else 0.0),
+            )
+
+    def wait_idle(self, timeout: float = 5.0) -> bool:
+        """Block until every submitted sample settled (tests only)."""
+        deadline = time.monotonic() + timeout
+        with self._idle:
+            while self._settled < self._submitted:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._idle.wait(min(remaining, 0.05))
+            return True
+
+    def close(self, timeout: float = 1.0) -> None:
+        """Stop accepting and stop the worker (best-effort join)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        try:
+            self._queue.put_nowait(None)
+        except queue.Full:
+            # The worker will drain the queue and then block on get();
+            # a second put after the drain will stop it.  Daemon thread,
+            # so a stuck close can never block process exit.
+            pass
+        self._worker.join(timeout)

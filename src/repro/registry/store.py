@@ -1,0 +1,567 @@
+"""The versioned on-disk suite registry.
+
+A registry root holds trained suites keyed by ``(machine preset,
+corpus fingerprint)`` with monotonically increasing versions::
+
+    <root>/
+      MANIFEST.json                 # the single source of liveness truth
+      .lock                         # flock'd around every mutation
+      <machine>/<corpus>/v0001/     # one saved suite per version
+      <machine>/<corpus>/v0001.meta.json
+
+Every persisted file rides the checksummed artifact envelope
+(:mod:`repro.runtime.artifacts`), so writes are atomic (temp + fsync +
+rename) and corruption is detected on load.  Crash-safety rests on two
+rules:
+
+* **The manifest is the only liveness authority.**  Each key's entry
+  names at most one ``live`` version and at most one ``previous``
+  version; flipping liveness (promote, rollback, quarantine of the live
+  version) is a single atomic manifest write.  A ``kill -9`` at any
+  instant leaves either the old manifest or the new one, never a blend.
+* **A version exists iff its meta file exists.**  Registration stages
+  the suite into a dot-prefixed directory, validates it strictly,
+  renames it into place, and only then writes the meta file.  A crash
+  mid-registration leaves a staging directory or a meta-less version
+  directory, both of which :meth:`SuiteRegistry.recover` sweeps away on
+  the next open.
+
+Version meta files record lifecycle status (``registered`` → ``live`` →
+``retired`` / ``rolled_back`` / ``quarantined``), the suite fingerprint,
+and any validation outcome attached at registration.  Statuses are
+advisory bookkeeping reconciled against the manifest on open; the
+exception is ``quarantined``, which permanently bars a version from
+serving or candidacy.
+
+The ``crash_hook`` constructor seam is called with a named point before
+and after every durable step — the crash-consistency tests use it to
+simulate ``kill -9`` at every stage boundary.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+import time
+from contextlib import contextmanager
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Callable, Iterator
+
+from repro.appgen.config import GeneratorConfig
+from repro.models.brainy import BrainySuite
+from repro.runtime.artifacts import (
+    ArtifactError,
+    canonical_json,
+    envelope_checksum,
+    read_artifact,
+    write_artifact,
+)
+
+MANIFEST_KIND = "suite-registry-manifest"
+VERSION_META_KIND = "suite-registry-version"
+REGISTRY_SCHEMA_VERSION = 1
+
+STATUS_REGISTERED = "registered"
+STATUS_LIVE = "live"
+STATUS_RETIRED = "retired"
+STATUS_ROLLED_BACK = "rolled_back"
+STATUS_QUARANTINED = "quarantined"
+
+#: Statuses that permanently bar a version from serving or candidacy.
+_BARRED = frozenset({STATUS_QUARANTINED})
+
+
+class RegistryError(RuntimeError):
+    """A registry operation that cannot proceed (bad key/version,
+    failed candidate validation, nothing to roll back to)."""
+
+
+@dataclass(frozen=True)
+class RegistryKey:
+    """One (machine preset, corpus fingerprint) suite lineage."""
+
+    machine: str
+    corpus: str
+
+    def __str__(self) -> str:
+        return f"{self.machine}/{self.corpus}"
+
+    @classmethod
+    def parse(cls, text: str) -> "RegistryKey":
+        machine, sep, corpus = text.partition("/")
+        if not sep or not machine or not corpus:
+            raise RegistryError(
+                f"bad registry key {text!r}; expected 'machine/corpus'"
+            )
+        return cls(machine=machine, corpus=corpus)
+
+
+@dataclass(frozen=True)
+class VersionInfo:
+    """One registered version's durable metadata."""
+
+    key: RegistryKey
+    version: int
+    status: str
+    fingerprint: str
+    created: float
+    validation: dict | None = None
+    reason: str | None = None
+    source: str | None = None
+
+    @property
+    def barred(self) -> bool:
+        return self.status in _BARRED
+
+    def to_payload(self) -> dict:
+        payload = asdict(self)
+        payload["key"] = str(self.key)
+        return payload
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "VersionInfo":
+        return cls(
+            key=RegistryKey.parse(payload["key"]),
+            version=int(payload["version"]),
+            status=payload["status"],
+            fingerprint=payload["fingerprint"],
+            created=float(payload.get("created", 0.0)),
+            validation=payload.get("validation"),
+            reason=payload.get("reason"),
+            source=payload.get("source"),
+        )
+
+
+def corpus_fingerprint(config: GeneratorConfig,
+                       scale_name: str) -> str:
+    """A short stable fingerprint of the training corpus definition.
+
+    Two pipelines training from the same generator configuration at the
+    same scale land in the same registry lineage; changing either knob
+    starts a new one.
+    """
+    payload = {"config": asdict(config), "scale": scale_name}
+    digest = hashlib.sha256(canonical_json(payload).encode("utf-8"))
+    return digest.hexdigest()[:12]
+
+
+def suite_fingerprint(directory: str | Path) -> str:
+    """A fingerprint of a saved suite: sha256 over every artifact's
+    declared payload checksum.
+
+    Cheap (envelope reads only, no payload hashing) yet byte-stable:
+    two suite directories fingerprint equal iff every artifact's payload
+    is identical.  Raises :class:`ArtifactError` when any file in the
+    directory is not a valid envelope.
+    """
+    directory = Path(directory)
+    entries = [(path.name, envelope_checksum(path))
+               for path in sorted(directory.glob("*.json"))]
+    if not entries:
+        raise RegistryError(f"no suite artifacts under {directory}")
+    digest = hashlib.sha256(canonical_json(entries).encode("utf-8"))
+    return f"sha256:{digest.hexdigest()}"
+
+
+class SuiteRegistry:
+    """Versioned suite store with atomic liveness flips.
+
+    All mutations run under an exclusive ``flock`` on ``<root>/.lock``,
+    so concurrent pipelines and servers sharing one registry serialize
+    cleanly.  ``crash_hook(point)`` (tests only) is invoked at every
+    durable-step boundary.
+    """
+
+    def __init__(self, root: str | Path, *,
+                 crash_hook: Callable[[str], None] | None = None,
+                 clock: Callable[[], float] = time.time) -> None:
+        self.root = Path(root)
+        self._crash_hook = crash_hook
+        self._clock = clock
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.recover()
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _crash(self, point: str) -> None:
+        if self._crash_hook is not None:
+            self._crash_hook(point)
+
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        import fcntl
+
+        lock_path = self.root / ".lock"
+        with open(lock_path, "a") as handle:
+            fcntl.flock(handle, fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle, fcntl.LOCK_UN)
+
+    @property
+    def manifest_path(self) -> Path:
+        return self.root / "MANIFEST.json"
+
+    def _read_manifest(self) -> dict:
+        try:
+            payload = read_artifact(self.manifest_path,
+                                    kind=MANIFEST_KIND,
+                                    schema_version=REGISTRY_SCHEMA_VERSION)
+        except FileNotFoundError:
+            return {"keys": {}}
+        return payload
+
+    def _write_manifest(self, payload: dict) -> None:
+        write_artifact(self.manifest_path, payload,
+                       kind=MANIFEST_KIND,
+                       schema_version=REGISTRY_SCHEMA_VERSION)
+
+    def key_dir(self, key: RegistryKey) -> Path:
+        return self.root / key.machine / key.corpus
+
+    def version_dir(self, key: RegistryKey, version: int) -> Path:
+        return self.key_dir(key) / f"v{version:04d}"
+
+    def meta_path(self, key: RegistryKey, version: int) -> Path:
+        return self.key_dir(key) / f"v{version:04d}.meta.json"
+
+    def _write_meta(self, info: VersionInfo) -> None:
+        write_artifact(self.meta_path(info.key, info.version),
+                       info.to_payload(),
+                       kind=VERSION_META_KIND,
+                       schema_version=REGISTRY_SCHEMA_VERSION)
+
+    def _set_status(self, key: RegistryKey, version: int,
+                    status: str, reason: str | None = None) -> None:
+        info = self.version_info(key, version)
+        if info is None:
+            return
+        self._write_meta(VersionInfo(
+            key=key, version=version, status=status,
+            fingerprint=info.fingerprint, created=info.created,
+            validation=info.validation,
+            reason=reason if reason is not None else info.reason,
+            source=info.source,
+        ))
+
+    # -- reads -------------------------------------------------------------
+
+    def keys(self) -> list[RegistryKey]:
+        """Every lineage known to the registry (manifest or on disk)."""
+        found: set[RegistryKey] = set()
+        for entry in self._read_manifest()["keys"]:
+            found.add(RegistryKey.parse(entry))
+        try:
+            machine_dirs = [d for d in self.root.iterdir() if d.is_dir()]
+        except OSError:
+            machine_dirs = []
+        for machine_dir in machine_dirs:
+            for corpus_dir in machine_dir.iterdir():
+                if not corpus_dir.is_dir():
+                    continue
+                key = RegistryKey(machine_dir.name, corpus_dir.name)
+                if any(True for _ in corpus_dir.glob("v*.meta.json")):
+                    found.add(key)
+        return sorted(found, key=str)
+
+    def versions(self, key: RegistryKey) -> list[VersionInfo]:
+        """All versions of ``key``, ascending; unreadable metas skipped."""
+        infos = []
+        for path in sorted(self.key_dir(key).glob("v*.meta.json")):
+            try:
+                payload = read_artifact(
+                    path, kind=VERSION_META_KIND,
+                    schema_version=REGISTRY_SCHEMA_VERSION)
+                infos.append(VersionInfo.from_payload(payload))
+            except (ArtifactError, ValueError, KeyError):
+                continue
+        return sorted(infos, key=lambda info: info.version)
+
+    def version_info(self, key: RegistryKey,
+                     version: int) -> VersionInfo | None:
+        try:
+            payload = read_artifact(
+                self.meta_path(key, version), kind=VERSION_META_KIND,
+                schema_version=REGISTRY_SCHEMA_VERSION)
+        except (ArtifactError, ValueError, KeyError):
+            return None
+        return VersionInfo.from_payload(payload)
+
+    def _entry(self, manifest: dict, key: RegistryKey) -> dict:
+        return manifest["keys"].get(str(key),
+                                    {"live": None, "previous": None})
+
+    def live(self, key: RegistryKey) -> VersionInfo | None:
+        """The manifest-live version of ``key`` (or ``None``)."""
+        version = self._entry(self._read_manifest(), key)["live"]
+        if version is None:
+            return None
+        return self.version_info(key, version)
+
+    def previous(self, key: RegistryKey) -> int | None:
+        return self._entry(self._read_manifest(), key)["previous"]
+
+    def candidate(self, key: RegistryKey) -> VersionInfo | None:
+        """The newest registered (not live/barred) version, if any."""
+        entry = self._entry(self._read_manifest(), key)
+        for info in reversed(self.versions(key)):
+            if info.version == entry["live"] or info.barred:
+                continue
+            if info.status == STATUS_REGISTERED:
+                return info
+        return None
+
+    def resolve_key(self, machine: str | None = None,
+                    key: str | None = None) -> RegistryKey:
+        """Resolve a key from ``machine`` (unique lineage for that
+        preset) or an explicit ``machine/corpus`` string."""
+        if key is not None:
+            return RegistryKey.parse(key)
+        matches = [k for k in self.keys()
+                   if machine is None or k.machine == machine]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise RegistryError(
+                f"registry {self.root} has no keys"
+                + (f" for machine {machine!r}" if machine else "")
+            )
+        raise RegistryError(
+            "ambiguous registry key; pass --key, choose from: "
+            + ", ".join(str(k) for k in matches)
+        )
+
+    # -- mutations ---------------------------------------------------------
+
+    def register(self, suite_source: str | Path | BrainySuite,
+                 key: RegistryKey, *,
+                 validation: dict | None = None,
+                 source: str | None = None) -> VersionInfo:
+        """Stage, validate, and commit a new version (not yet live).
+
+        ``suite_source`` is a saved-suite directory (copied) or an
+        in-memory :class:`BrainySuite` (saved).  The version only exists
+        once its meta file lands; any earlier crash leaves debris
+        :meth:`recover` removes.  Raises :class:`RegistryError` when the
+        candidate fails its strict validation load.
+        """
+        with self._locked():
+            self._crash("register:begin")
+            existing = [info.version for info in self.versions(key)]
+            entry = self._entry(self._read_manifest(), key)
+            for version in (entry["live"], entry["previous"]):
+                if version is not None:
+                    existing.append(version)
+            version = max(existing, default=0) + 1
+            key_dir = self.key_dir(key)
+            key_dir.mkdir(parents=True, exist_ok=True)
+            staging = key_dir / f".staging-v{version:04d}"
+            if staging.exists():
+                shutil.rmtree(staging)
+            if isinstance(suite_source, BrainySuite):
+                suite_source.save(staging)
+            else:
+                source_dir = Path(suite_source)
+                staging.mkdir(parents=True)
+                for path in sorted(source_dir.glob("*.json")):
+                    shutil.copy2(path, staging / path.name)
+            try:
+                BrainySuite.load(staging, lenient=False)
+                fingerprint = suite_fingerprint(staging)
+            except (ArtifactError, RegistryError, ValueError, KeyError,
+                    FileNotFoundError) as exc:
+                shutil.rmtree(staging, ignore_errors=True)
+                raise RegistryError(
+                    f"candidate for {key} failed validation: "
+                    f"{type(exc).__name__}: {exc}"
+                ) from exc
+            self._crash("register:staged")
+            staging.replace(self.version_dir(key, version))
+            self._crash("register:renamed")
+            info = VersionInfo(
+                key=key, version=version, status=STATUS_REGISTERED,
+                fingerprint=fingerprint, created=self._clock(),
+                validation=validation, source=source,
+            )
+            self._write_meta(info)
+            self._crash("register:complete")
+            return info
+
+    def promote(self, key: RegistryKey,
+                version: int | None = None) -> VersionInfo:
+        """Make ``version`` (default: the candidate) live — one atomic
+        manifest flip; the outgoing live version becomes ``previous``.
+
+        The version directory is strict-validated immediately before the
+        flip: a corrupt candidate is quarantined and never promoted.
+        """
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = self._entry(manifest, key)
+            if version is None:
+                candidate = self.candidate(key)
+                if candidate is None:
+                    raise RegistryError(
+                        f"{key} has no candidate version to promote"
+                    )
+                version = candidate.version
+            info = self.version_info(key, version)
+            if info is None:
+                raise RegistryError(
+                    f"{key} has no version {version}"
+                )
+            if info.barred:
+                raise RegistryError(
+                    f"{key} v{version} is {info.status}; not promotable"
+                )
+            if entry["live"] == version:
+                return info
+            try:
+                BrainySuite.load(self.version_dir(key, version),
+                                 lenient=False)
+            except (ArtifactError, ValueError, KeyError,
+                    FileNotFoundError) as exc:
+                reason = (f"failed pre-promote validation: "
+                          f"{type(exc).__name__}: {exc}")
+                self._set_status(key, version, STATUS_QUARANTINED,
+                                 reason)
+                raise RegistryError(
+                    f"{key} v{version} {reason}"
+                ) from exc
+            self._crash("promote:validated")
+            manifest["keys"][str(key)] = {
+                "live": version, "previous": entry["live"],
+            }
+            self._crash("promote:before-flip")
+            self._write_manifest(manifest)
+            self._crash("promote:flipped")
+            if entry["live"] is not None:
+                self._set_status(key, entry["live"], STATUS_RETIRED)
+            self._set_status(key, version, STATUS_LIVE)
+            self._crash("promote:complete")
+            return self.version_info(key, version)
+
+    def rollback(self, key: RegistryKey,
+                 reason: str | None = None) -> VersionInfo:
+        """Restore the previous version in one atomic manifest flip.
+
+        The demoted version is marked ``rolled_back`` (with ``reason``)
+        so it never becomes a candidate again.
+        """
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = self._entry(manifest, key)
+            demoted, restored = entry["live"], entry["previous"]
+            if restored is None:
+                raise RegistryError(
+                    f"{key} has no previous version to roll back to"
+                )
+            self._crash("rollback:before-flip")
+            manifest["keys"][str(key)] = {
+                "live": restored, "previous": None,
+            }
+            self._write_manifest(manifest)
+            self._crash("rollback:flipped")
+            if demoted is not None:
+                self._set_status(key, demoted, STATUS_ROLLED_BACK,
+                                 reason or "rolled back")
+            self._set_status(key, restored, STATUS_LIVE)
+            self._crash("rollback:complete")
+            return self.version_info(key, restored)
+
+    def quarantine_version(self, key: RegistryKey, version: int,
+                           reason: str) -> VersionInfo | None:
+        """Permanently bar ``version``; if it is live, fall back to the
+        previous version first (atomic flip), so a corrupt live version
+        is never served again."""
+        with self._locked():
+            manifest = self._read_manifest()
+            entry = self._entry(manifest, key)
+            if entry["live"] == version:
+                manifest["keys"][str(key)] = {
+                    "live": entry["previous"], "previous": None,
+                }
+                self._crash("quarantine:before-flip")
+                self._write_manifest(manifest)
+                self._crash("quarantine:flipped")
+                if entry["previous"] is not None:
+                    self._set_status(key, entry["previous"], STATUS_LIVE)
+            elif entry["previous"] == version:
+                manifest["keys"][str(key)] = {
+                    "live": entry["live"], "previous": None,
+                }
+                self._write_manifest(manifest)
+            self._set_status(key, version, STATUS_QUARANTINED, reason)
+            self._crash("quarantine:complete")
+            return self.version_info(key, version)
+
+    # -- recovery ----------------------------------------------------------
+
+    def recover(self) -> dict:
+        """Reopen to a consistent state (idempotent; runs on open).
+
+        Sweeps registration debris (staging directories, meta-less
+        version directories), repairs manifest entries whose versions no
+        longer exist (live falls back to previous, then to none), and
+        reconciles advisory meta statuses with the manifest.  Returns a
+        summary of what was repaired.
+        """
+        summary = {"swept": [], "repaired_keys": [], "reconciled": []}
+        with self._locked():
+            manifest = self._read_manifest()
+            changed = False
+            # Sweep debris from interrupted registrations.
+            for meta_glob in ("*/*/.staging-*",):
+                for staging in self.root.glob(meta_glob):
+                    shutil.rmtree(staging, ignore_errors=True)
+                    summary["swept"].append(str(staging))
+            for version_dir in self.root.glob("*/*/v*"):
+                if not version_dir.is_dir():
+                    continue
+                meta = version_dir.with_name(version_dir.name
+                                             + ".meta.json")
+                if not meta.exists():
+                    shutil.rmtree(version_dir, ignore_errors=True)
+                    summary["swept"].append(str(version_dir))
+            # Repair manifest entries pointing at vanished versions.
+            for key_text, entry in list(manifest["keys"].items()):
+                key = RegistryKey.parse(key_text)
+                repaired = dict(entry)
+                for slot in ("previous", "live"):
+                    version = repaired.get(slot)
+                    if version is None:
+                        continue
+                    if (self.version_info(key, version) is None
+                            or not self.version_dir(key,
+                                                    version).is_dir()):
+                        repaired[slot] = None
+                if repaired["live"] is None and \
+                        repaired["previous"] is not None:
+                    repaired = {"live": repaired["previous"],
+                                "previous": None}
+                if repaired != entry:
+                    manifest["keys"][key_text] = repaired
+                    summary["repaired_keys"].append(key_text)
+                    changed = True
+            if changed:
+                self._write_manifest(manifest)
+            # Reconcile advisory statuses with manifest liveness.
+            for key_text, entry in manifest["keys"].items():
+                key = RegistryKey.parse(key_text)
+                for info in self.versions(key):
+                    if info.barred:
+                        continue
+                    expected = (STATUS_LIVE
+                                if info.version == entry["live"]
+                                else info.status)
+                    if (info.status == STATUS_LIVE
+                            and info.version != entry["live"]):
+                        expected = STATUS_RETIRED
+                    if expected != info.status:
+                        self._set_status(key, info.version, expected)
+                        summary["reconciled"].append(
+                            f"{key_text}:v{info.version}"
+                        )
+        return summary

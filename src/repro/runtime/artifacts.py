@@ -152,6 +152,32 @@ def read_artifact(path: str | Path, *,
     return payload
 
 
+def envelope_checksum(path: str | Path) -> str:
+    """The declared payload checksum of an artifact envelope.
+
+    Reads only the envelope (no payload verification) — cheap enough to
+    fingerprint a whole suite directory on every registry refresh.
+    Raises the usual :class:`ArtifactError` taxonomy on files that are
+    not artifact envelopes at all.
+    """
+    path = Path(path)
+    try:
+        envelope = json.loads(path.read_text())
+    except FileNotFoundError:
+        raise ArtifactMissing(f"artifact missing: {path}") from None
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorrupt(f"{path}: invalid JSON ({exc})") from exc
+    if (not isinstance(envelope, dict)
+            or envelope.get("format") != ENVELOPE_FORMAT):
+        raise ArtifactVersionMismatch(
+            f"{path}: no artifact envelope (legacy or foreign file)"
+        )
+    checksum = envelope.get("checksum")
+    if not isinstance(checksum, str):
+        raise ArtifactCorrupt(f"{path}: envelope has no checksum")
+    return checksum
+
+
 def quarantine_artifact(path: str | Path) -> Path | None:
     """Move an unusable artifact (file or suite directory) aside.
 

@@ -173,6 +173,68 @@ class ServeFaultInjector:
         return wrapped
 
 
+class PipelineFaultInjector:
+    """Stage-level faults for ``repro pipeline`` (the ``--inject-fault``
+    seam).
+
+    Built from a spec ``stage:kind:count`` — e.g. ``train:transient:1``
+    raises one :class:`TransientFault` the first time the train stage
+    runs (the retry then succeeds), ``validate:deterministic:1``
+    quarantines the candidate at validation.  The instance is the
+    ``fault_hook(stage)`` callable
+    :func:`repro.registry.pipeline.run_pipeline` accepts.
+    """
+
+    KINDS = ("transient", "deterministic")
+
+    def __init__(self, stage: str, kind: str, count: int = 1) -> None:
+        if kind not in self.KINDS:
+            raise ValueError(
+                f"unknown fault kind {kind!r}; choose from {self.KINDS}"
+            )
+        if count < 1:
+            raise ValueError("fault count must be >= 1")
+        self.stage = stage
+        self.kind = kind
+        self.remaining = count
+        #: Faults actually raised so far.
+        self.raised = 0
+
+    @classmethod
+    def from_spec(cls, spec: str) -> "PipelineFaultInjector":
+        """Parse ``stage:kind[:count]`` (count defaults to 1)."""
+        parts = spec.split(":")
+        if len(parts) == 2:
+            stage, kind = parts
+            count = 1
+        elif len(parts) == 3:
+            stage, kind = parts[0], parts[1]
+            try:
+                count = int(parts[2])
+            except ValueError:
+                raise ValueError(
+                    f"bad fault count in spec {spec!r}") from None
+        else:
+            raise ValueError(
+                f"bad fault spec {spec!r}; expected stage:kind[:count] "
+                "e.g. train:transient:1"
+            )
+        return cls(stage, kind, count)
+
+    def __call__(self, stage: str) -> None:
+        if stage != self.stage or self.remaining <= 0:
+            return
+        self.remaining -= 1
+        self.raised += 1
+        if self.kind == "transient":
+            raise TransientFault(
+                f"injected transient fault at pipeline stage {stage}"
+            )
+        raise DeterministicFault(
+            f"injected deterministic fault at pipeline stage {stage}"
+        )
+
+
 def corrupt_artifact(path: str | Path,
                      declared_checksum: str = "0" * 64) -> None:
     """Corrupt a saved artifact envelope in place (deterministically).

@@ -68,6 +68,22 @@ class RunOptions:
     drain_seconds:
         Serving: budget for finishing in-flight requests on SIGTERM
         before the process exits anyway.
+    shadow_queue_depth:
+        Registry serving: bounded queue feeding the shadow evaluator;
+        a full queue sheds the shadow sample, never the live answer.
+    shadow_min_samples:
+        Registry serving: minimum shadow-scored requests before a
+        candidate may be promoted.
+    shadow_min_agreement:
+        Registry serving: minimum mean shadow agreement (0..1) with the
+        live suite's answers for promotion.
+    auto_demote_failures:
+        Registry serving: model-level failures (breaker trips /
+        inference errors) inside the post-promote watch window that
+        trigger an automatic rollback.
+    post_promote_window:
+        Registry serving: how many answered requests after a promotion
+        the auto-demote watch covers (0 disables the watch).
     """
 
     jobs: int | None = None
@@ -82,10 +98,51 @@ class RunOptions:
     breaker_threshold: int = 5
     breaker_cooldown_seconds: float = 30.0
     drain_seconds: float = 5.0
+    # -- registry / shadow-evaluation knobs ------------------------------
+    shadow_queue_depth: int = 16
+    shadow_min_samples: int = 25
+    shadow_min_agreement: float = 0.9
+    auto_demote_failures: int = 3
+    post_promote_window: int = 200
 
     def with_overrides(self, **changes: object) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-safe ``replace``)."""
         return replace(self, **changes)
+
+    def validate_serving(self) -> "RunOptions":
+        """Check every serving/pipeline knob up front.
+
+        Raises ``ValueError`` naming the offending knob — the API layer
+        converts it to the friendly ``UsageError`` (CLI exit 2) so a
+        non-positive deadline or queue depth fails before the dispatcher
+        ever starts, not deep inside it.  Returns ``self`` so call sites
+        can validate inline.
+        """
+        problems = []
+        if self.deadline_seconds <= 0:
+            problems.append("deadline_seconds must be positive")
+        if self.queue_depth < 1:
+            problems.append("queue_depth must be >= 1")
+        if self.breaker_threshold < 1:
+            problems.append("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_seconds < 0:
+            problems.append("breaker_cooldown_seconds must be >= 0")
+        if self.drain_seconds < 0:
+            problems.append("drain_seconds must be >= 0")
+        if self.shadow_queue_depth < 1:
+            problems.append("shadow_queue_depth must be >= 1")
+        if self.shadow_min_samples < 1:
+            problems.append("shadow_min_samples must be >= 1")
+        if not 0.0 <= self.shadow_min_agreement <= 1.0:
+            problems.append("shadow_min_agreement must be within "
+                            "[0, 1]")
+        if self.auto_demote_failures < 1:
+            problems.append("auto_demote_failures must be >= 1")
+        if self.post_promote_window < 0:
+            problems.append("post_promote_window must be >= 0")
+        if problems:
+            raise ValueError("; ".join(problems))
+        return self
 
 
 #: Every knob name a RunOptions carries (legacy and current spellings).

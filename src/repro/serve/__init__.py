@@ -11,6 +11,13 @@ bounded-concurrency dispatch loop with four guarantees:
 * **hot reload** with last-known-good fallback (a corrupt new suite
   artifact never replaces a working one).
 
+With ``--registry`` the same service serves a versioned
+:class:`~repro.registry.store.SuiteRegistry` instead of one directory:
+requests route by tag to each key's live version, candidates are
+shadow-evaluated on mirrored traffic, promotion is gated, and a
+regressing promotion is rolled back automatically (see
+:class:`~repro.serve.reload.RegistryRouter` and ``docs/registry.md``).
+
 See ``docs/serving.md`` for the operator guide.
 """
 
@@ -26,7 +33,11 @@ from repro.serve.protocol import (
     ProtocolError,
     ServeResponse,
 )
-from repro.serve.reload import SuiteReloader
+from repro.serve.reload import (
+    RegistryRouter,
+    RegistryRouterError,
+    SuiteReloader,
+)
 from repro.serve.server import AdvisorServer, request_once, run_server
 
 __all__ = [
@@ -39,6 +50,8 @@ __all__ = [
     "HALF_OPEN",
     "OPEN",
     "ProtocolError",
+    "RegistryRouter",
+    "RegistryRouterError",
     "request_once",
     "run_server",
     "ServeResponse",

@@ -43,6 +43,7 @@ import numpy as np
 import repro.obs as obs
 from repro.core.advisor import BrainyAdvisor
 from repro.models.brainy import BrainyModel, BrainySuite
+from repro.registry.store import RegistryError
 from repro.runtime.faults import (
     DEGRADED_BREAKER,
     DEGRADED_DEADLINE,
@@ -55,8 +56,10 @@ from repro.serve.protocol import (
     OP_ADVISE,
     OP_HEALTH,
     OP_METRICS,
+    OP_PROMOTE,
     OP_READY,
     OP_RELOAD,
+    OP_ROLLBACK,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_OVERLOADED,
@@ -66,7 +69,11 @@ from repro.serve.protocol import (
     ServeResponse,
     response_for_report,
 )
-from repro.serve.reload import SuiteReloader
+from repro.serve.reload import (
+    RegistryRouter,
+    RegistryRouterError,
+    SuiteReloader,
+)
 
 #: Raw per-group inference call, before breaker accounting.  The serving
 #: fault injector substitutes this to model slow or crashing models.
@@ -199,6 +206,20 @@ class AdvisorService:
         hook); defaults to the direct model call.
     fallback:
         Perflint baseline override, forwarded to the advisor.
+    registry:
+        A :class:`repro.registry.store.SuiteRegistry` to serve instead
+        of a single suite — requests route by tag to each key's live
+        version through a :class:`RegistryRouter` (shadow evaluation,
+        gated promotion, auto-demote).  Mutually exclusive with
+        ``suite_dir`` / ``suite``.
+    registry_key:
+        The default routing key for untagged requests (a full
+        ``machine/corpus`` key or a unique machine preset name);
+        optional when the registry has exactly one key.
+    auto_promote:
+        Registry mode: let the router promote gate-clearing candidates
+        on its own (default); ``False`` restricts promotion to the
+        explicit ``promote`` op.
     """
 
     def __init__(self, suite_dir: str | Path | None = None, *,
@@ -208,14 +229,18 @@ class AdvisorService:
                  clock: Callable[[], float] = time.monotonic,
                  collector=None,
                  inference: InferenceFn | None = None,
-                 fallback=None) -> None:
-        if suite is None and suite_dir is None:
-            raise ValueError("need a suite_dir or an in-memory suite")
-        self.options = options or RunOptions()
-        if self.options.deadline_seconds <= 0:
-            raise ValueError("deadline_seconds must be positive")
-        if self.options.drain_seconds < 0:
-            raise ValueError("drain_seconds must be >= 0")
+                 fallback=None,
+                 registry=None,
+                 registry_key: str | None = None,
+                 auto_promote: bool = True) -> None:
+        if registry is not None and (suite is not None
+                                     or suite_dir is not None):
+            raise ValueError(
+                "pass either a registry or a suite_dir/suite, not both")
+        if registry is None and suite is None and suite_dir is None:
+            raise ValueError(
+                "need a suite_dir, an in-memory suite, or a registry")
+        self.options = (options or RunOptions()).validate_serving()
         self._clock = clock
         self.collector = collector if collector is not None \
             else obs.Collector()
@@ -224,14 +249,25 @@ class AdvisorService:
         self._fallback = fallback
         self._breakers: dict[str, CircuitBreaker] = {}
         self._breaker_lock = threading.Lock()
-        self._reloader = (SuiteReloader(suite_dir, metrics=self.metrics)
-                          if suite_dir is not None else None)
         self._reload_lock = threading.Lock()
-        if suite is None:
-            suite = self._reloader.load_initial()
-        elif self._reloader is not None:
-            self._reloader.load_initial()
-        self._advisor = self._make_advisor(suite)
+        self._advisor: BrainyAdvisor | None = None
+        self._reloader: SuiteReloader | None = None
+        self.router: RegistryRouter | None = None
+        if registry is not None:
+            self.router = RegistryRouter(
+                registry, self._make_advisor,
+                options=self.options, metrics=self.metrics,
+                default_key=registry_key, auto_promote=auto_promote,
+            )
+        else:
+            self._reloader = (SuiteReloader(suite_dir,
+                                            metrics=self.metrics)
+                              if suite_dir is not None else None)
+            if suite is None:
+                suite = self._reloader.load_initial()
+            elif self._reloader is not None:
+                self._reloader.load_initial()
+            self._advisor = self._make_advisor(suite)
         self._dispatcher = Dispatcher(workers,
                                       self.options.queue_depth)
         self._draining = threading.Event()
@@ -244,12 +280,16 @@ class AdvisorService:
                              infer=self._guarded_infer)
 
     @property
-    def advisor(self) -> BrainyAdvisor:
+    def advisor(self) -> BrainyAdvisor | None:
+        if self.router is not None:
+            routed = self.router.route()
+            return routed[1] if routed is not None else None
         return self._advisor
 
     @property
-    def suite(self) -> BrainySuite:
-        return self._advisor.suite
+    def suite(self) -> BrainySuite | None:
+        advisor = self.advisor
+        return advisor.suite if advisor is not None else None
 
     def breaker(self, group_name: str) -> CircuitBreaker:
         with self._breaker_lock:
@@ -312,8 +352,31 @@ class AdvisorService:
                 request_id=request.request_id,
                 error="service is draining",
             )
+        route_key: str | None = None
+        if self.router is not None:
+            routed = self.router.route(request.tag)
+            if routed is None:
+                self.metrics.count("serve.requests",
+                                   status=STATUS_ERROR)
+                return ServeResponse(
+                    status=STATUS_ERROR,
+                    request_id=request.request_id,
+                    error=(f"unknown or unserveable routing tag "
+                           f"{request.tag!r}; known keys: "
+                           + ", ".join(self.router.keys())),
+                )
+            route_key, advisor = routed
+        elif request.tag:
+            self.metrics.count("serve.requests", status=STATUS_ERROR)
+            return ServeResponse(
+                status=STATUS_ERROR,
+                request_id=request.request_id,
+                error=(f"routing tag {request.tag!r} given but this "
+                       "server is not in registry mode"),
+            )
+        else:
+            advisor = self._advisor  # one suite generation per request
         start = self._clock()
-        advisor = self._advisor  # one suite generation per request
         task = self._dispatcher.try_submit(
             lambda: advisor.advise_trace(
                 request.trace, request.keyed_contexts,
@@ -366,44 +429,101 @@ class AdvisorService:
         else:
             response = response_for_report(task.result,
                                            request.request_id)
-        self.metrics.observe("serve.latency_ms",
-                             (self._clock() - start) * 1000.0)
+        latency_ms = (self._clock() - start) * 1000.0
+        self.metrics.observe("serve.latency_ms", latency_ms)
         self.metrics.count("serve.requests", status=response.status)
+        if route_key is not None and response.report is not None:
+            self._mirror_to_shadow(route_key, request, response,
+                                   latency_ms)
         return response
+
+    def _mirror_to_shadow(self, route_key: str,
+                          request: AdviseRequest,
+                          response: ServeResponse,
+                          latency_ms: float) -> None:
+        """Feed an answered request to the key's shadow evaluator and
+        the post-promote watch — strictly off the live answer path
+        (non-blocking submit; the response is already built)."""
+        shadow = self.router.shadow_for(route_key)
+        if shadow is not None:
+            shadow.submit(request.trace, request.keyed_contexts,
+                          response.report, live_latency_ms=latency_ms)
+        reasons = set(response.report.degraded_reasons.values())
+        failure = bool(reasons & {DEGRADED_BREAKER,
+                                  DEGRADED_INFERENCE_ERROR})
+        self.router.report_outcome(route_key, failure=failure)
 
     # -- probes and admin -------------------------------------------------
 
     def health(self) -> dict:
-        """Liveness: answers while the process runs, even mid-drain."""
-        return {
+        """Liveness: answers while the process runs, even mid-drain.
+
+        Always names the suite actually serving: ``suite_version``
+        (registry version, or the reload generation in single-suite
+        mode) and ``suite_fingerprint`` (the envelope fingerprint from
+        :func:`repro.registry.store.suite_fingerprint`).
+        """
+        suite = self.suite
+        payload = {
             "uptime_s": self._clock() - self._started,
             "draining": self._draining.is_set(),
             "queued": self._dispatcher.queued,
             "active": self._dispatcher.active,
-            "groups": sorted(self.suite.models),
-            "degraded_groups": sorted(self.suite.degraded),
-            "generation": (self._reloader.generation
-                           if self._reloader is not None else 0),
-            "reload_stale": (self._reloader.last_error is not None
-                             if self._reloader is not None else False),
+            "groups": sorted(suite.models) if suite is not None else [],
+            "degraded_groups": (sorted(suite.degraded)
+                                if suite is not None else []),
         }
+        if self.router is not None:
+            default = self.router.resolve_tag("")
+            registry_detail = self.router.health()
+            entry = (registry_detail.get(default)
+                     if default is not None else None)
+            payload["suite_version"] = (entry["version"]
+                                        if entry else None)
+            payload["suite_fingerprint"] = (entry["fingerprint"]
+                                            if entry else None)
+            payload["registry"] = registry_detail
+            payload["shadow"] = self.metrics.find("registry.shadow.")
+        else:
+            payload["generation"] = (self._reloader.generation
+                                     if self._reloader is not None
+                                     else 0)
+            payload["reload_stale"] = (
+                self._reloader.last_error is not None
+                if self._reloader is not None else False)
+            payload["suite_version"] = payload["generation"]
+            payload["suite_fingerprint"] = (
+                self._reloader.suite_fingerprint
+                if self._reloader is not None else None)
+        return payload
 
     def ready(self) -> tuple[bool, str | None]:
         """Readiness: can this instance take traffic right now?"""
         if self._draining.is_set():
             return False, "service is draining"
-        if not self.suite.models:
+        suite = self.suite
+        if suite is None:
+            return False, "no live suite loaded"
+        if not suite.models:
             return False, "no usable models loaded"
         return True, None
 
     def reload_now(self) -> dict:
-        """Check the watched suite artifact and swap if it validates.
+        """Check for a newer suite and swap if it validates.
 
         The swap is a single reference assignment: in-flight requests
         keep the advisor (and suite) they started with, new requests see
         the new one.  A rejected version changes nothing except the
-        stale flag and the rejection counter.
+        stale flag and the rejection counter.  In registry mode this is
+        the router reconciliation pass (liveness changes, shadow
+        spin-up, gated promotion, scheduled auto-demotes).
         """
+        if self.router is not None:
+            with self._reload_lock:
+                summary = self.router.refresh()
+                return {"watching": True, "registry": True,
+                        "reloaded": bool(summary["changed"]),
+                        **summary}
         if self._reloader is None:
             return {"reloaded": False, "watching": False}
         with self._reload_lock:
@@ -443,6 +563,8 @@ class AdvisorService:
         budget = (drain_seconds if drain_seconds is not None
                   else self.options.drain_seconds)
         drained = self._dispatcher.quiesce(budget)
+        if self.router is not None:
+            self.router.close()
         self.metrics.gauge("serve.drained", 1.0 if drained else 0.0)
         return drained
 
@@ -494,6 +616,39 @@ class AdvisorService:
                 status=STATUS_OK, request_id=request_id,
                 detail=self.metrics_snapshot(),
             ).to_payload()
+        if op in (OP_PROMOTE, OP_ROLLBACK):
+            return self._handle_registry_op(op, payload, request_id)
         return ServeResponse(status=STATUS_ERROR,
                              request_id=request_id,
                              error=f"unknown op {op!r}").to_payload()
+
+    def _handle_registry_op(self, op: str, payload: dict,
+                            request_id: str) -> dict:
+        """The promote / rollback ops (registry mode only)."""
+        if self.router is None:
+            return ServeResponse(
+                status=STATUS_ERROR, request_id=request_id,
+                error=f"op {op!r} requires registry mode",
+            ).to_payload()
+        key = self.router.resolve_tag(str(payload.get("tag", "")))
+        if key is None:
+            return ServeResponse(
+                status=STATUS_ERROR, request_id=request_id,
+                error=("unknown routing tag; known keys: "
+                       + ", ".join(self.router.keys())),
+            ).to_payload()
+        try:
+            with self._reload_lock:
+                if op == OP_PROMOTE:
+                    detail = self.router.promote_now(
+                        key, force=bool(payload.get("force", False)))
+                else:
+                    detail = self.router.rollback_now(
+                        key, reason=payload.get("reason"))
+        except (RegistryRouterError, RegistryError) as exc:
+            return ServeResponse(
+                status=STATUS_ERROR, request_id=request_id,
+                error=str(exc),
+            ).to_payload()
+        return ServeResponse(status=STATUS_OK, request_id=request_id,
+                             detail=detail).to_payload()

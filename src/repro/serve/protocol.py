@@ -14,6 +14,16 @@ object on its own line, in request order.  Ops:
   (the service also polls; this makes hot-reload deterministic for
   tests and operators).
 * ``{"op": "metrics"}`` — snapshot of the service's counters/gauges.
+* ``{"op": "promote"}`` / ``{"op": "rollback"}`` — registry-mode only:
+  flip the (tagged) key's liveness now, through the same gated path the
+  automatic promotion and auto-demote use.  Both take an optional
+  ``tag`` naming the registry key (``machine/corpus`` or a unique
+  machine preset); promote also takes ``force`` to bypass the shadow
+  gates (validation and strict load still apply).
+
+Advise requests may carry a ``tag`` as well — in registry mode it
+routes the request to that key's live suite; unknown tags answer
+``error``, and in single-suite mode any tag is rejected the same way.
 
 Every response carries ``status``:
 
@@ -47,8 +57,11 @@ OP_HEALTH = "health"
 OP_READY = "ready"
 OP_RELOAD = "reload"
 OP_METRICS = "metrics"
+OP_PROMOTE = "promote"
+OP_ROLLBACK = "rollback"
 
-OPS = (OP_ADVISE, OP_HEALTH, OP_READY, OP_RELOAD, OP_METRICS)
+OPS = (OP_ADVISE, OP_HEALTH, OP_READY, OP_RELOAD, OP_METRICS,
+       OP_PROMOTE, OP_ROLLBACK)
 
 
 class ProtocolError(ValueError):
@@ -66,6 +79,9 @@ class AdviseRequest:
     #: (``RunOptions.deadline_seconds``).
     deadline_seconds: float | None = None
     batched: bool = True
+    #: Registry-mode routing tag (``machine/corpus`` key or a unique
+    #: machine preset name); empty routes to the default key.
+    tag: str = ""
 
     @classmethod
     def from_payload(cls, payload: dict) -> "AdviseRequest":
@@ -86,6 +102,7 @@ class AdviseRequest:
             request_id=str(payload.get("id", "")),
             deadline_seconds=deadline,
             batched=bool(payload.get("batched", True)),
+            tag=str(payload.get("tag", "")),
         )
 
     def to_payload(self) -> dict:
@@ -98,6 +115,8 @@ class AdviseRequest:
             payload["deadline_seconds"] = self.deadline_seconds
         if not self.batched:
             payload["batched"] = False
+        if self.tag:
+            payload["tag"] = self.tag
         return payload
 
 

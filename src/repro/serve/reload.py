@@ -15,17 +15,53 @@ previous suite, the rejection is counted
 Change detection is by file fingerprint (name, size, mtime_ns of every
 ``*.json`` in the directory), so a rejected version is not re-validated
 on every poll — only when the bytes change again.
+
+:class:`RegistryRouter` is the registry-mode counterpart (``repro serve
+--registry``): instead of one watched directory it tracks a
+:class:`~repro.registry.store.SuiteRegistry` — one live advisor per
+registry key routed by request tag, a :class:`ShadowEvaluator` per
+candidate version, gated auto-promotion, and automatic demotion when a
+freshly-promoted version regresses.  Every liveness change still flows
+through the same staged-strict-load / last-known-good discipline this
+module established for directory reloads.
 """
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
+from typing import Callable
 
 from repro.models.brainy import BrainySuite
 from repro.obs.metrics import MetricsRegistry
+from repro.registry.gates import PromotionGates, evaluate_gates
+from repro.registry.shadow import ShadowEvaluator
+from repro.registry.store import (
+    RegistryError,
+    RegistryKey,
+    SuiteRegistry,
+    suite_fingerprint,
+)
 from repro.runtime.artifacts import ArtifactError
+from repro.runtime.options import RunOptions
 
 Fingerprint = tuple
+
+
+def directory_fingerprint(directory: Path) -> Fingerprint:
+    """(name, size, mtime_ns) of every ``*.json`` under ``directory``."""
+    entries = []
+    try:
+        files = sorted(directory.glob("*.json"))
+    except OSError:
+        files = []
+    for path in files:
+        try:
+            stat = path.stat()
+        except OSError:
+            continue
+        entries.append((path.name, stat.st_size, stat.st_mtime_ns))
+    return tuple(entries)
 
 
 class SuiteReloader:
@@ -40,22 +76,21 @@ class SuiteReloader:
         self.generation = 0
         #: The last rejected version's error, for probes and logs.
         self.last_error: str | None = None
+        #: Envelope fingerprint of the suite currently served (see
+        #: :func:`repro.registry.store.suite_fingerprint`); ``None``
+        #: when the loaded suite has unreadable envelopes (lenient boot).
+        self.suite_fingerprint: str | None = None
 
     # -- change detection -------------------------------------------------
 
     def fingerprint(self) -> Fingerprint:
-        entries = []
+        return directory_fingerprint(self.directory)
+
+    def _record_suite_fingerprint(self) -> None:
         try:
-            files = sorted(self.directory.glob("*.json"))
-        except OSError:
-            files = []
-        for path in files:
-            try:
-                stat = path.stat()
-            except OSError:
-                continue
-            entries.append((path.name, stat.st_size, stat.st_mtime_ns))
-        return tuple(entries)
+            self.suite_fingerprint = suite_fingerprint(self.directory)
+        except Exception:
+            self.suite_fingerprint = None
 
     # -- loading ----------------------------------------------------------
 
@@ -64,6 +99,7 @@ class SuiteReloader:
         still serves (damaged groups degrade to the baseline)."""
         self._fingerprint = self.fingerprint()
         suite = BrainySuite.load(self.directory, lenient=True)
+        self._record_suite_fingerprint()
         self._export_stale(False)
         return suite
 
@@ -97,7 +133,437 @@ class SuiteReloader:
             return None
         self.generation += 1
         self.last_error = None
+        self._record_suite_fingerprint()
         if self._metrics is not None:
             self._metrics.count("serve.reload")
         self._export_stale(False)
         return suite
+
+
+class _Route:
+    """Mutable per-key serving state inside :class:`RegistryRouter`."""
+
+    def __init__(self, key: RegistryKey) -> None:
+        self.key = key
+        self.advisor = None
+        self.version: int | None = None
+        self.dir_fingerprint: Fingerprint | None = None
+        self.suite_fingerprint: str | None = None
+        self.shadow: ShadowEvaluator | None = None
+        self.last_error: str | None = None
+        #: True while the in-memory advisor no longer matches the
+        #: manifest (the manifest-live version failed to load and there
+        #: was nothing to fall back to).
+        self.stale = False
+        # Post-promote auto-demote watch.
+        self.watch_left = 0
+        self.watch_failures = 0
+        self.demote_pending: str | None = None
+
+
+class RegistryRouter:
+    """Serve a :class:`SuiteRegistry`: route, shadow, promote, demote.
+
+    One :class:`_Route` per registry key holds the strict-loaded live
+    advisor.  :meth:`refresh` (the hot-reload poll seam) reconciles
+    every route with the manifest:
+
+    * a liveness change (promotion, rollback, external registration)
+      stages a strict load of the new live version — rejection keeps
+      the in-memory last-known-good advisor serving and counts
+      ``registry.live_rejected``;
+    * bytes changing *under* the currently-live version directory (the
+      injected-regression case) fail the same strict revalidation; the
+      version is quarantined in the registry — which atomically falls
+      back to the previous version — and the route reloads from there;
+    * the newest registered candidate gets a :class:`ShadowEvaluator`
+      fed from answered live traffic; when its stats clear the
+      :class:`PromotionGates` (and the version's recorded validation is
+      green) the router promotes it and arms the post-promote watch;
+    * failures reported into an armed watch
+      (:meth:`report_outcome`) past ``auto_demote_failures`` schedule a
+      rollback executed by the next refresh (``registry.auto_demote``).
+
+    All mutations run under one router lock; the request path only does
+    dict/attribute reads plus a non-blocking shadow submit.
+    """
+
+    def __init__(self, registry: SuiteRegistry,
+                 make_advisor: Callable, *,
+                 options: RunOptions | None = None,
+                 metrics=None,
+                 default_key: str | None = None,
+                 auto_promote: bool = True) -> None:
+        self.registry = registry
+        self._make_advisor = make_advisor
+        self.options = (options or RunOptions()).validate_serving()
+        self._metrics = metrics
+        self.auto_promote = auto_promote
+        self.gates = PromotionGates.from_options(self.options)
+        self._lock = threading.RLock()
+        self._routes: dict[str, _Route] = {}
+        self._default_key = default_key
+        self.refresh()
+        if not self._routes:
+            raise RegistryRouterError(
+                f"registry {registry.root} has no keys to serve"
+            )
+        if default_key is not None:
+            resolved = registry.resolve_key(
+                key=default_key if "/" in default_key else None,
+                machine=None if "/" in default_key else default_key,
+            )
+            self._default_key = str(resolved)
+            if self._default_key not in self._routes:
+                raise RegistryRouterError(
+                    f"default key {default_key!r} not in registry"
+                )
+        elif len(self._routes) == 1:
+            self._default_key = next(iter(self._routes))
+
+    # -- request-path reads ------------------------------------------------
+
+    def route(self, tag: str = "") -> tuple[str, object] | None:
+        """Resolve ``tag`` to ``(key, advisor)``; ``None`` when unknown
+        or when that key has nothing serveable loaded."""
+        name = self.resolve_tag(tag)
+        if name is None:
+            return None
+        route = self._routes.get(name)
+        if route is None or route.advisor is None:
+            return None
+        return name, route.advisor
+
+    def resolve_tag(self, tag: str = "") -> str | None:
+        if not tag:
+            return self._default_key
+        if tag in self._routes:
+            return tag
+        matches = [name for name in self._routes
+                   if name.split("/", 1)[0] == tag]
+        if len(matches) == 1:
+            return matches[0]
+        return None
+
+    def keys(self) -> list[str]:
+        return sorted(self._routes)
+
+    def shadow_for(self, key: str) -> ShadowEvaluator | None:
+        route = self._routes.get(key)
+        return route.shadow if route is not None else None
+
+    def suite_version(self, key: str | None = None) -> int | None:
+        name = key or self._default_key
+        route = self._routes.get(name) if name else None
+        return route.version if route is not None else None
+
+    # -- outcome reporting (auto-demote watch) -----------------------------
+
+    def report_outcome(self, key: str, *, failure: bool) -> None:
+        """Count one answered request against the post-promote watch.
+
+        ``failure`` means the answer leaned on a model-failure fallback
+        (breaker / inference error), the regression signal a freshly
+        promoted suite produces.  Crossing ``auto_demote_failures``
+        inside the watch window schedules a rollback; the next
+        :meth:`refresh` executes it off the request path.
+        """
+        with self._lock:
+            route = self._routes.get(key)
+            if route is None or route.watch_left <= 0:
+                return
+            route.watch_left -= 1
+            if failure:
+                route.watch_failures += 1
+            if (route.watch_failures
+                    >= self.options.auto_demote_failures
+                    and route.demote_pending is None):
+                route.demote_pending = (
+                    f"auto-demote: {route.watch_failures} model "
+                    f"failures within the post-promote watch"
+                )
+            elif route.watch_left == 0:
+                # Watch expired clean: the promotion sticks.
+                route.watch_failures = 0
+
+    # -- reconciliation ----------------------------------------------------
+
+    def refresh(self) -> dict:
+        """Reconcile every route with the registry (the poll seam)."""
+        summary: dict = {"changed": [], "rejected": [], "promoted": [],
+                         "demoted": []}
+        with self._lock:
+            for key in self.registry.keys():
+                name = str(key)
+                route = self._routes.get(name)
+                if route is None:
+                    route = self._routes[name] = _Route(key)
+                self._refresh_route(route, summary)
+        return summary
+
+    def close(self) -> None:
+        with self._lock:
+            for route in self._routes.values():
+                if route.shadow is not None:
+                    route.shadow.close()
+                    route.shadow = None
+
+    # -- internals ---------------------------------------------------------
+
+    def _count(self, name: str, **labels) -> None:
+        if self._metrics is not None:
+            self._metrics.count(name, **labels)
+
+    def _gauge(self, name: str, value: float, **labels) -> None:
+        if self._metrics is not None:
+            self._metrics.gauge(name, value, **labels)
+
+    def _refresh_route(self, route: _Route, summary: dict) -> None:
+        key, name = route.key, str(route.key)
+        # 1. Execute a scheduled auto-demote first: the rollback is one
+        #    atomic manifest flip, then the normal live-load path below
+        #    picks up the restored version.
+        if route.demote_pending is not None:
+            reason = route.demote_pending
+            route.demote_pending = None
+            route.watch_left = 0
+            route.watch_failures = 0
+            try:
+                self.registry.rollback(key, reason=reason)
+                self._count("registry.auto_demote", key=name)
+                summary["demoted"].append(name)
+            except RegistryError as exc:
+                # Nothing to roll back to: keep serving, flag it.
+                route.last_error = f"auto-demote failed: {exc}"
+        live = self.registry.live(key)
+        # 2. Bootstrap: no live version yet.  Promote a validation-green
+        #    candidate outright (there is no live traffic to shadow
+        #    against), otherwise the key stays unserveable.
+        if live is None and self.auto_promote:
+            candidate = self.registry.candidate(key)
+            if candidate is not None and _validation_green(candidate):
+                try:
+                    live = self.registry.promote(key, candidate.version)
+                    self._count("registry.promoted", key=name,
+                                kind="bootstrap")
+                    summary["promoted"].append(name)
+                except RegistryError as exc:
+                    route.last_error = str(exc)
+        # 3. Load/confirm the live version (strict; LKG on rejection).
+        self._load_live(route, live, summary)
+        # 4. Shadow the newest candidate; maybe gate-promote it.
+        self._refresh_shadow(route, summary)
+
+    def _load_live(self, route: _Route, live, summary: dict,
+                   depth: int = 0) -> None:
+        key, name = route.key, str(route.key)
+        if live is None:
+            route.stale = route.advisor is not None
+            return
+        live_dir = self.registry.version_dir(key, live.version)
+        fingerprint = directory_fingerprint(live_dir)
+        if (route.version == live.version
+                and route.dir_fingerprint == fingerprint):
+            return
+        try:
+            suite = BrainySuite.load(live_dir, lenient=False)
+            suite_fp = suite_fingerprint(live_dir)
+        except (ArtifactError, RegistryError, ValueError, KeyError,
+                FileNotFoundError, OSError) as exc:
+            route.last_error = f"{type(exc).__name__}: {exc}"
+            self._count("registry.live_rejected", key=name)
+            summary["rejected"].append(f"{name}:v{live.version}")
+            # The manifest-live version is unusable (corrupted in place
+            # or half-replaced).  Quarantine it — the registry flips to
+            # the previous version atomically — and serve from there.
+            self.registry.quarantine_version(
+                key, live.version,
+                f"live version failed revalidation: {route.last_error}",
+            )
+            fallback = self.registry.live(key)
+            if (depth < 3 and fallback is not None
+                    and fallback.version != live.version):
+                self._load_live(route, fallback, summary,
+                                depth=depth + 1)
+            else:
+                # No previous version: the in-memory advisor (if any)
+                # is the only remaining last-known-good.
+                route.stale = True
+                self._gauge("registry.stale", 1.0, key=name)
+            return
+        route.advisor = self._make_advisor(suite)
+        route.version = live.version
+        route.dir_fingerprint = fingerprint
+        route.suite_fingerprint = suite_fp
+        route.stale = False
+        route.last_error = None
+        summary["changed"].append(f"{name}:v{live.version}")
+        self._count("registry.reload", key=name)
+        self._gauge("registry.live_version", float(live.version),
+                    key=name)
+        self._gauge("registry.stale", 0.0, key=name)
+
+    def _refresh_shadow(self, route: _Route, summary: dict) -> None:
+        key, name = route.key, str(route.key)
+        candidate = self.registry.candidate(key)
+        if candidate is None or route.advisor is None:
+            if route.shadow is not None:
+                route.shadow.close()
+                route.shadow = None
+                self._gauge("registry.shadow.active", 0.0, key=name)
+            return
+        if (route.shadow is None
+                or route.shadow.version != candidate.version):
+            if route.shadow is not None:
+                route.shadow.close()
+                route.shadow = None
+            candidate_dir = self.registry.version_dir(
+                key, candidate.version)
+            try:
+                suite = BrainySuite.load(candidate_dir, lenient=False)
+            except (ArtifactError, ValueError, KeyError,
+                    FileNotFoundError, OSError) as exc:
+                self._count("registry.candidate_rejected", key=name)
+                self.registry.quarantine_version(
+                    key, candidate.version,
+                    f"candidate failed shadow load: "
+                    f"{type(exc).__name__}: {exc}",
+                )
+                summary["rejected"].append(
+                    f"{name}:v{candidate.version}")
+                return
+            route.shadow = ShadowEvaluator(
+                self._make_advisor(suite), candidate.version,
+                key=name,
+                queue_depth=self.options.shadow_queue_depth,
+                metrics=self._metrics,
+            )
+            self._gauge("registry.shadow.active", 1.0, key=name)
+        if not self.auto_promote:
+            return
+        stats = route.shadow.stats()
+        decision = evaluate_gates(
+            self.gates,
+            samples=stats.samples,
+            agreement=stats.agreement,
+            errors=stats.errors,
+            validation_green=_validation_green(candidate),
+        )
+        if not decision.passed:
+            return
+        self.promote_now(name, version=candidate.version,
+                         summary=summary)
+
+    def promote_now(self, key: str, *, version: int | None = None,
+                    force: bool = False,
+                    summary: dict | None = None) -> dict:
+        """Promote ``key``'s candidate (gated unless ``force``).
+
+        The non-forced path re-checks the gates against current shadow
+        stats, so the op endpoint and the automatic path enforce the
+        same policy.
+        """
+        with self._lock:
+            route = self._routes.get(key)
+            if route is None:
+                raise RegistryRouterError(f"unknown key {key!r}")
+            candidate = self.registry.candidate(route.key)
+            if candidate is None:
+                raise RegistryRouterError(
+                    f"{key} has no candidate to promote")
+            if version is None:
+                version = candidate.version
+            if not force and route.advisor is not None:
+                stats = (route.shadow.stats()
+                         if route.shadow is not None
+                         and route.shadow.version == version
+                         else None)
+                decision = evaluate_gates(
+                    self.gates,
+                    samples=stats.samples if stats else 0,
+                    agreement=stats.agreement if stats else 0.0,
+                    errors=stats.errors if stats else 0,
+                    validation_green=_validation_green(candidate),
+                )
+                if not decision.passed:
+                    raise RegistryRouterError(
+                        "promotion gates not met: "
+                        + "; ".join(decision.reasons))
+            info = self.registry.promote(route.key, version)
+            self._count("registry.promoted", key=key,
+                        kind="forced" if force else "gated")
+            if summary is not None:
+                summary["promoted"].append(key)
+            if route.shadow is not None:
+                route.shadow.close()
+                route.shadow = None
+                self._gauge("registry.shadow.active", 0.0, key=key)
+            # Arm the post-promote watch and load the new live version.
+            route.watch_left = self.options.post_promote_window
+            route.watch_failures = 0
+            route.demote_pending = None
+            local = summary if summary is not None else {
+                "changed": [], "rejected": [], "promoted": [],
+                "demoted": []}
+            self._load_live(route, info, local)
+            return {"key": key, "version": info.version,
+                    "fingerprint": info.fingerprint}
+
+    def rollback_now(self, key: str,
+                     reason: str | None = None) -> dict:
+        """Operator rollback: one atomic flip, then reload the route."""
+        with self._lock:
+            route = self._routes.get(key)
+            if route is None:
+                raise RegistryRouterError(f"unknown key {key!r}")
+            try:
+                info = self.registry.rollback(
+                    route.key, reason=reason or "operator rollback")
+            except RegistryError as exc:
+                raise RegistryRouterError(str(exc)) from exc
+            self._count("registry.rollback", key=key)
+            route.watch_left = 0
+            route.watch_failures = 0
+            route.demote_pending = None
+            summary: dict = {"changed": [], "rejected": [],
+                             "promoted": [], "demoted": []}
+            self._load_live(route, info, summary)
+            return {"key": key, "version": info.version,
+                    "fingerprint": info.fingerprint}
+
+    # -- probes ------------------------------------------------------------
+
+    def health(self) -> dict:
+        detail = {}
+        with self._lock:
+            for name, route in sorted(self._routes.items()):
+                entry: dict = {
+                    "version": route.version,
+                    "fingerprint": route.suite_fingerprint,
+                    "stale": route.stale,
+                    "error": route.last_error,
+                    "watch_left": route.watch_left,
+                }
+                if route.shadow is not None:
+                    stats = route.shadow.stats()
+                    entry["shadow"] = {
+                        "version": stats.version,
+                        "samples": stats.samples,
+                        "agreement": round(stats.agreement, 4),
+                        "errors": stats.errors,
+                        "shed": stats.shed,
+                    }
+                detail[name] = entry
+        return detail
+
+
+class RegistryRouterError(RuntimeError):
+    """A routing/promotion operation that cannot proceed."""
+
+
+def _validation_green(info) -> bool | None:
+    """The version's recorded validation outcome (``None`` = absent)."""
+    validation = info.validation
+    if not isinstance(validation, dict) or "green" not in validation:
+        return None
+    return bool(validation["green"])

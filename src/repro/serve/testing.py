@@ -65,11 +65,13 @@ def make_trace(n_records: int = 4, *, kind: DSKind = DSKind.VECTOR,
 
 def advise_payload(trace: TraceSet, *, request_id: str = "r1",
                    deadline_seconds: float | None = None,
-                   batched: bool = True) -> dict:
+                   batched: bool = True, tag: str = "") -> dict:
     """An ``advise`` request payload ready for the wire or
     :meth:`~repro.serve.loop.AdvisorService.handle_payload`."""
     payload: dict = {"op": "advise", "id": request_id,
                      "trace": trace.to_payload(), "batched": batched}
     if deadline_seconds is not None:
         payload["deadline_seconds"] = deadline_seconds
+    if tag:
+        payload["tag"] = tag
     return payload

@@ -1,0 +1,307 @@
+"""The versioned suite registry: lifecycle, locking, crash consistency.
+
+The crash tests drive every named ``crash_hook`` point two ways: a
+simulated crash (the hook raises, the op aborts mid-way, a *fresh*
+registry object reopens the same root) and one real ``kill -9`` (a child
+process SIGKILLs itself between the durable steps of a promote).  After
+every crash the invariants must hold: the manifest names the expected
+last-known-good live version, that version strict-loads, and no
+registration debris (staging directories, meta-less version
+directories) survives recovery.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.registry.store import (
+    RegistryError,
+    RegistryKey,
+    STATUS_LIVE,
+    STATUS_QUARANTINED,
+    STATUS_REGISTERED,
+    STATUS_RETIRED,
+    STATUS_ROLLED_BACK,
+    SuiteRegistry,
+    corpus_fingerprint,
+    suite_fingerprint,
+)
+from repro.appgen.config import GeneratorConfig
+from repro.models.brainy import BrainySuite
+from repro.runtime.inject import corrupt_artifact
+from repro.serve.testing import tiny_suite
+
+KEY = RegistryKey("core2", "deadbeef0123")
+
+
+@pytest.fixture(scope="module")
+def suite_dirs(tmp_path_factory):
+    """Two distinct saved suites (different seeds → different bytes)."""
+    base = tmp_path_factory.mktemp("suites")
+    a, b = base / "a", base / "b"
+    tiny_suite(0).save(a)
+    tiny_suite(1).save(b)
+    return a, b
+
+
+class _SimulatedCrash(BaseException):
+    """Raised by the crash hook; BaseException so nothing swallows it."""
+
+
+def _crash_at(point: str):
+    def hook(reached: str) -> None:
+        if reached == point:
+            raise _SimulatedCrash(point)
+    return hook
+
+
+def _assert_consistent(root: Path) -> SuiteRegistry:
+    """Reopen (running recovery) and check the structural invariants."""
+    registry = SuiteRegistry(root)
+    assert not list(root.glob("*/*/.staging-*"))
+    for version_dir in root.glob("*/*/v*"):
+        if version_dir.is_dir():
+            meta = version_dir.with_name(version_dir.name
+                                         + ".meta.json")
+            assert meta.exists(), f"meta-less {version_dir} survived"
+    for key in registry.keys():
+        live = registry.live(key)
+        if live is not None:
+            BrainySuite.load(registry.version_dir(key, live.version),
+                             lenient=False)
+            assert not live.barred
+    return registry
+
+
+class TestLifecycle:
+    def test_register_promote_rollback_cycle(self, suite_dirs,
+                                             tmp_path):
+        a, b = suite_dirs
+        registry = SuiteRegistry(tmp_path / "reg")
+        v1 = registry.register(a, KEY, validation={"green": True})
+        assert v1.version == 1 and v1.status == STATUS_REGISTERED
+        assert registry.live(KEY) is None
+        assert registry.candidate(KEY).version == 1
+
+        registry.promote(KEY)
+        assert registry.live(KEY).version == 1
+        assert registry.version_info(KEY, 1).status == STATUS_LIVE
+        assert registry.candidate(KEY) is None
+
+        v2 = registry.register(b, KEY)
+        registry.promote(KEY, v2.version)
+        assert registry.live(KEY).version == 2
+        assert registry.previous(KEY) == 1
+        assert registry.version_info(KEY, 1).status == STATUS_RETIRED
+
+        restored = registry.rollback(KEY, reason="operator said so")
+        assert restored.version == 1
+        info = registry.version_info(KEY, 2)
+        assert info.status == STATUS_ROLLED_BACK
+        assert info.reason == "operator said so"
+        # A rolled-back version never becomes a candidate again.
+        assert registry.candidate(KEY) is None
+        with pytest.raises(RegistryError):
+            registry.rollback(KEY)
+
+    def test_register_validates_and_rejects_corrupt_source(
+            self, suite_dirs, tmp_path):
+        a, _ = suite_dirs
+        registry = SuiteRegistry(tmp_path / "reg")
+        bad = tmp_path / "bad"
+        bad.mkdir()
+        for path in a.glob("*.json"):
+            (bad / path.name).write_bytes(path.read_bytes())
+        corrupt_artifact(next(bad.glob("*.json")))
+        with pytest.raises(RegistryError, match="failed validation"):
+            registry.register(bad, KEY)
+        assert registry.versions(KEY) == []
+        _assert_consistent(tmp_path / "reg")
+
+    def test_promote_quarantines_corrupt_candidate(self, suite_dirs,
+                                                   tmp_path):
+        a, b = suite_dirs
+        registry = SuiteRegistry(tmp_path / "reg")
+        registry.register(a, KEY)
+        registry.promote(KEY)
+        v2 = registry.register(b, KEY)
+        corrupt_artifact(
+            next(registry.version_dir(KEY, v2.version).glob("*.json")))
+        with pytest.raises(RegistryError, match="pre-promote"):
+            registry.promote(KEY, v2.version)
+        assert registry.live(KEY).version == 1
+        info = registry.version_info(KEY, v2.version)
+        assert info.status == STATUS_QUARANTINED
+        with pytest.raises(RegistryError, match="not promotable"):
+            registry.promote(KEY, v2.version)
+
+    def test_quarantine_live_falls_back_to_previous(self, suite_dirs,
+                                                    tmp_path):
+        a, b = suite_dirs
+        registry = SuiteRegistry(tmp_path / "reg")
+        registry.register(a, KEY)
+        registry.promote(KEY)
+        registry.register(b, KEY)
+        registry.promote(KEY, 2)
+        registry.quarantine_version(KEY, 2, "served garbage")
+        assert registry.live(KEY).version == 1
+        assert registry.previous(KEY) is None
+        assert (registry.version_info(KEY, 2).status
+                == STATUS_QUARANTINED)
+
+    def test_fingerprints(self, suite_dirs, tmp_path):
+        a, b = suite_dirs
+        assert suite_fingerprint(a) == suite_fingerprint(a)
+        assert suite_fingerprint(a) != suite_fingerprint(b)
+        assert suite_fingerprint(a).startswith("sha256:")
+        with pytest.raises(RegistryError):
+            suite_fingerprint(tmp_path)  # no artifacts
+
+        config = GeneratorConfig()
+        assert (corpus_fingerprint(config, "tiny")
+                == corpus_fingerprint(GeneratorConfig(), "tiny"))
+        assert (corpus_fingerprint(config, "tiny")
+                != corpus_fingerprint(config, "small"))
+
+    def test_resolve_key(self, suite_dirs, tmp_path):
+        a, _ = suite_dirs
+        registry = SuiteRegistry(tmp_path / "reg")
+        with pytest.raises(RegistryError, match="no keys"):
+            registry.resolve_key()
+        registry.register(a, KEY)
+        assert registry.resolve_key() == KEY
+        assert registry.resolve_key(machine="core2") == KEY
+        assert registry.resolve_key(key=str(KEY)) == KEY
+        registry.register(a, RegistryKey("atom", "deadbeef0123"))
+        with pytest.raises(RegistryError, match="ambiguous"):
+            registry.resolve_key()
+        assert registry.resolve_key(machine="atom").machine == "atom"
+        with pytest.raises(RegistryError, match="bad registry key"):
+            registry.resolve_key(key="nonsense")
+
+
+#: (operation, crash point, live version expected after recovery).
+#: The fixture registers v1 (live) and v2 (candidate) first; ``op``
+#: drives the next mutation with a crash injected at ``point``.
+CRASH_CASES = [
+    ("register", "register:begin", 1),
+    ("register", "register:staged", 1),
+    ("register", "register:renamed", 1),
+    ("register", "register:complete", 1),
+    ("promote", "promote:validated", 1),
+    ("promote", "promote:before-flip", 1),
+    ("promote", "promote:flipped", 2),
+    ("promote", "promote:complete", 2),
+    ("rollback2", "rollback:before-flip", 2),
+    ("rollback2", "rollback:flipped", 1),
+    ("rollback2", "rollback:complete", 1),
+    ("quarantine2", "quarantine:before-flip", 2),
+    ("quarantine2", "quarantine:flipped", 1),
+    ("quarantine2", "quarantine:complete", 1),
+]
+
+
+class TestCrashConsistency:
+    @pytest.mark.parametrize("op,point,expected_live", CRASH_CASES,
+                             ids=[f"{op}@{point}" for op, point, _
+                                  in CRASH_CASES])
+    def test_crash_at_every_stage_boundary(self, suite_dirs, tmp_path,
+                                           op, point, expected_live):
+        a, b = suite_dirs
+        root = tmp_path / "reg"
+        setup = SuiteRegistry(root)
+        setup.register(a, KEY)
+        setup.promote(KEY)  # v1 live
+        setup.register(b, KEY)  # v2 candidate
+        if op.startswith(("rollback", "quarantine")):
+            setup.promote(KEY, 2)  # v2 live, v1 previous
+
+        crashing = SuiteRegistry(root, crash_hook=_crash_at(point))
+        with pytest.raises(_SimulatedCrash):
+            if op == "register":
+                crashing.register(a, KEY)
+            elif op == "promote":
+                crashing.promote(KEY, 2)
+            elif op == "rollback2":
+                crashing.rollback(KEY, reason="crash test")
+            else:
+                crashing.quarantine_version(KEY, 2, "crash test")
+
+        recovered = _assert_consistent(root)
+        live = recovered.live(KEY)
+        assert live is not None and live.version == expected_live
+        # Advisory statuses agree with the manifest after recovery.
+        assert recovered.version_info(KEY,
+                                      expected_live).status == STATUS_LIVE
+
+    def test_crashed_registration_never_leaks_a_version(
+            self, suite_dirs, tmp_path):
+        a, b = suite_dirs
+        root = tmp_path / "reg"
+        SuiteRegistry(root).register(a, KEY)
+        for point in ("register:staged", "register:renamed"):
+            crashing = SuiteRegistry(root, crash_hook=_crash_at(point))
+            with pytest.raises(_SimulatedCrash):
+                crashing.register(b, KEY)
+            recovered = _assert_consistent(root)
+            assert [info.version
+                    for info in recovered.versions(KEY)] == [1]
+        # The swept version number is safely reusable.
+        info = SuiteRegistry(root).register(b, KEY)
+        assert info.version == 2
+
+    def test_real_sigkill_mid_promote_preserves_lkg(self, suite_dirs,
+                                                    tmp_path):
+        """A child process kill -9s itself between promote's validation
+        and the manifest flip; the manifest must still name v1."""
+        a, b = suite_dirs
+        root = tmp_path / "reg"
+        setup = SuiteRegistry(root)
+        setup.register(a, KEY)
+        setup.promote(KEY)
+        setup.register(b, KEY)
+        manifest_before = setup.manifest_path.read_bytes()
+
+        child = textwrap.dedent(f"""
+            import os, signal
+            from repro.registry.store import SuiteRegistry, RegistryKey
+
+            def hook(point):
+                if point == "promote:before-flip":
+                    os.kill(os.getpid(), signal.SIGKILL)
+
+            registry = SuiteRegistry({str(root)!r}, crash_hook=hook)
+            registry.promote(RegistryKey("core2", "deadbeef0123"), 2)
+        """)
+        env = dict(os.environ, PYTHONPATH=str(
+            Path(__file__).resolve().parents[1] / "src"))
+        proc = subprocess.run([sys.executable, "-c", child], env=env,
+                              capture_output=True, timeout=120)
+        assert proc.returncode == -signal.SIGKILL
+
+        recovered = _assert_consistent(root)
+        assert recovered.live(KEY).version == 1
+        # Byte-identical manifest: the flip never became durable.
+        assert recovered.manifest_path.read_bytes() == manifest_before
+
+    def test_recover_repairs_vanished_live_version(self, suite_dirs,
+                                                   tmp_path):
+        import shutil
+
+        a, b = suite_dirs
+        root = tmp_path / "reg"
+        registry = SuiteRegistry(root)
+        registry.register(a, KEY)
+        registry.promote(KEY)
+        registry.register(b, KEY)
+        registry.promote(KEY, 2)
+        # Simulate external loss of the live version's files.
+        shutil.rmtree(registry.version_dir(KEY, 2))
+        registry.meta_path(KEY, 2).unlink()
+        recovered = _assert_consistent(root)
+        assert recovered.live(KEY).version == 1

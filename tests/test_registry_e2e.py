@@ -1,0 +1,200 @@
+"""Acceptance: the full registry loop against a real server process.
+
+Drives register → shadow → gated promotion → injected regression →
+automatic quarantine/rollback over TCP against a ``repro serve
+--registry`` subprocess, asserting that live traffic never sees an
+error at any point.  A second test SIGKILLs a promote between its
+durable steps and proves the manifest *and* the served answers are
+byte-identical to the last-known-good state.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.registry.store import (
+    RegistryKey,
+    STATUS_QUARANTINED,
+    SuiteRegistry,
+)
+from repro.runtime.inject import corrupt_artifact
+from repro.serve.protocol import encode
+from repro.serve.testing import advise_payload, make_trace, tiny_suite
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+KEY = RegistryKey("core2", "feedface5678")
+
+
+def _spawn_serve(registry_root, *extra):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--registry", str(registry_root), "--port", "0",
+         "--poll-interval", "0.1",
+         "--shadow-min-samples", "3",
+         "--shadow-min-agreement", "0.5",
+         "--auto-demote-failures", "2",
+         *extra],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env,
+    )
+
+
+def _read_address(proc, timeout=60.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("serving on "):
+            host, _, port = line.strip().rpartition(":")
+            return host.removeprefix("serving on "), int(port)
+        if not line and proc.poll() is not None:
+            break
+    raise AssertionError(
+        f"server never announced its address; stderr:\n"
+        f"{proc.stderr.read()}"
+    )
+
+
+def _request(host, port, payload, timeout=30.0):
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(encode(payload))
+        return json.loads(conn.makefile("rb").readline())
+
+
+def _advise(host, port, request_id):
+    response = _request(host, port,
+                        advise_payload(make_trace(3),
+                                       request_id=request_id))
+    # The acceptance bar: live traffic never errors, ever.
+    assert response["status"] in ("ok", "degraded"), response
+    return response
+
+
+def _health(host, port):
+    return _request(host, port, {"op": "health"})["detail"]
+
+
+def _wait_for_version(host, port, version, timeout=60.0):
+    """Advise-then-check until the served version changes; every advise
+    along the way must succeed (that's the point of the loop)."""
+    deadline = time.monotonic() + timeout
+    tick = 0
+    while time.monotonic() < deadline:
+        _advise(host, port, f"wait-{version}-{tick}")
+        detail = _health(host, port)
+        if detail["suite_version"] == version:
+            return detail
+        tick += 1
+        time.sleep(0.1)
+    raise AssertionError(
+        f"served version never reached {version}: {_health(host, port)}")
+
+
+class TestRegistryLoop:
+    def test_register_shadow_promote_regress_rollback(self, tmp_path):
+        root = tmp_path / "reg"
+        registry = SuiteRegistry(root)
+        registry.register(tiny_suite(0), KEY,
+                          validation={"green": True})
+        registry.promote(KEY)
+
+        proc = _spawn_serve(root)
+        try:
+            host, port = _read_address(proc)
+
+            detail = _health(host, port)
+            assert detail["suite_version"] == 1
+            fingerprint = detail["suite_fingerprint"]
+            assert fingerprint == registry.live(KEY).fingerprint
+            ready = _request(host, port, {"op": "ready"})
+            assert ready["status"] == "ok"
+            _advise(host, port, "warm")
+
+            # Same weights as live → full shadow agreement; the gates
+            # (3 samples, validation green) pass from live traffic
+            # alone and the poll loop promotes unattended.
+            registry.register(tiny_suite(0), KEY,
+                              validation={"green": True})
+            detail = _wait_for_version(host, port, 2)
+            assert detail["suite_fingerprint"] != ""
+            assert registry.live(KEY).version == 2
+
+            # Injected regression: the live version's bytes rot on
+            # disk.  The next poll must quarantine v2 and fall back to
+            # v1 without a single failed answer.
+            corrupt_artifact(
+                next(registry.version_dir(KEY, 2).glob("*.json")))
+            detail = _wait_for_version(host, port, 1)
+            assert detail["suite_fingerprint"] == fingerprint
+            assert (registry.version_info(KEY, 2).status
+                    == STATUS_QUARANTINED)
+            _advise(host, port, "after-rollback")
+
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60.0)
+            assert proc.returncode == 0, (out, err)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
+
+    def test_mid_promote_crash_leaves_lkg_byte_identical(self, tmp_path):
+        root = tmp_path / "reg"
+        registry = SuiteRegistry(root)
+        registry.register(tiny_suite(0), KEY,
+                          validation={"green": True})
+        registry.promote(KEY)
+        # A live candidate, but red: the server must not auto-promote
+        # it, and the crashing operator promote below never lands.
+        registry.register(tiny_suite(1), KEY,
+                          validation={"green": False})
+        manifest_before = registry.manifest_path.read_bytes()
+
+        proc = _spawn_serve(root)
+        try:
+            host, port = _read_address(proc)
+            before = _advise(host, port, "before-crash")
+
+            child = textwrap.dedent(f"""
+                import os, signal
+                from repro.registry.store import (
+                    SuiteRegistry, RegistryKey)
+
+                def hook(point):
+                    if point == "promote:before-flip":
+                        os.kill(os.getpid(), signal.SIGKILL)
+
+                registry = SuiteRegistry({str(root)!r}, crash_hook=hook)
+                registry.promote(
+                    RegistryKey("core2", "feedface5678"), 2)
+            """)
+            env = dict(os.environ, PYTHONPATH=REPO_SRC)
+            crashed = subprocess.run(
+                [sys.executable, "-c", child], env=env,
+                capture_output=True, timeout=120)
+            assert crashed.returncode == -signal.SIGKILL
+
+            # The manifest never flipped ...
+            assert registry.manifest_path.read_bytes() == manifest_before
+            # ... and the server keeps answering from the same suite,
+            # byte-for-byte, across several poll intervals.
+            time.sleep(0.5)
+            after = _advise(host, port, "before-crash")
+            assert after == before
+            assert _health(host, port)["suite_version"] == 1
+
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60.0)
+            assert proc.returncode == 0, (out, err)
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()

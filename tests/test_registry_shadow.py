@@ -1,0 +1,179 @@
+"""Shadow evaluation and promotion gates.
+
+The evaluator's contract: never block or fail the live path (bounded
+queue sheds, candidate exceptions are counted, both observable), score
+agreement as the fraction of identically-suggested container sites, and
+expose running stats the pure gate function judges.
+"""
+
+import threading
+
+import pytest
+
+from repro.containers.registry import DSKind
+from repro.core.report import Report, Suggestion
+from repro.obs.metrics import MetricsRegistry
+from repro.registry.gates import PromotionGates, evaluate_gates
+from repro.registry.shadow import ShadowEvaluator, report_agreement
+from repro.serve.testing import make_trace
+
+
+def _report(mapping: dict[str, DSKind]) -> Report:
+    return Report(program_cycles=1000, suggestions=[
+        Suggestion(context=context, original=DSKind.VECTOR,
+                   suggested=kind, relative_time=0.5,
+                   order_oblivious=True)
+        for context, kind in mapping.items()
+    ])
+
+
+class _FixedAdvisor:
+    """Returns a canned report; optionally raises."""
+
+    def __init__(self, report=None, error=None, gate=None):
+        self.report = report
+        self.error = error
+        self.gate = gate
+        self.calls = 0
+
+    def advise_trace(self, trace, keyed_contexts):
+        if self.gate is not None:
+            self.gate.wait(5.0)
+        self.calls += 1
+        if self.error is not None:
+            raise self.error
+        return self.report
+
+
+class TestReportAgreement:
+    def test_identical_reports_agree_fully(self):
+        live = _report({"a": DSKind.LIST, "b": DSKind.AVL_SET})
+        assert report_agreement(live, live) == 1.0
+
+    def test_partial_and_disjoint_coverage(self):
+        live = _report({"a": DSKind.LIST, "b": DSKind.AVL_MAP})
+        candidate = _report({"a": DSKind.LIST, "b": DSKind.HASH_MAP})
+        assert report_agreement(live, candidate) == pytest.approx(0.5)
+        # A site only one report covered counts as disagreement.
+        wider = _report({"a": DSKind.LIST, "b": DSKind.AVL_MAP,
+                         "c": DSKind.DEQUE})
+        assert report_agreement(live, wider) == pytest.approx(2 / 3)
+
+    def test_empty_reports_agree_trivially(self):
+        assert report_agreement(_report({}), _report({})) == 1.0
+
+
+class TestShadowEvaluator:
+    def test_scores_mirrored_traffic(self):
+        live = _report({"a": DSKind.LIST, "b": DSKind.AVL_SET})
+        candidate = _report({"a": DSKind.LIST, "b": DSKind.HASH_MAP})
+        metrics = MetricsRegistry()
+        shadow = ShadowEvaluator(_FixedAdvisor(candidate), 2,
+                                 key="k", metrics=metrics)
+        try:
+            for _ in range(4):
+                assert shadow.submit(make_trace(2), frozenset(), live)
+            assert shadow.wait_idle()
+            stats = shadow.stats()
+            assert stats.samples == 4
+            assert stats.agreement == pytest.approx(0.5)
+            assert stats.errors == 0 and stats.shed == 0
+            snapshot = metrics.find("registry.shadow.")
+            assert snapshot["registry.shadow.samples{key=k}"] == 4
+            assert (snapshot["registry.shadow.agreement{key=k}"]
+                    == pytest.approx(0.5))
+        finally:
+            shadow.close()
+
+    def test_full_queue_sheds_instead_of_blocking(self):
+        gate = threading.Event()
+        metrics = MetricsRegistry()
+        advisor = _FixedAdvisor(_report({}), gate=gate)
+        shadow = ShadowEvaluator(advisor, 1, key="k", queue_depth=1,
+                                 metrics=metrics)
+        try:
+            live = _report({})
+            # First fills the worker, second fills the queue; the rest
+            # must shed immediately (submit never blocks).
+            results = [shadow.submit(make_trace(1), frozenset(), live)
+                       for _ in range(5)]
+            assert results.count(False) >= 3
+            gate.set()
+            assert shadow.wait_idle()
+            stats = shadow.stats()
+            assert stats.shed >= 3
+            assert stats.samples + stats.shed == 5
+            assert (metrics.find("registry.shadow.")
+                    ["registry.shadow.shed{key=k}"] == stats.shed)
+        finally:
+            gate.set()
+            shadow.close()
+
+    def test_candidate_errors_are_counted_not_raised(self):
+        metrics = MetricsRegistry()
+        advisor = _FixedAdvisor(error=RuntimeError("candidate broke"))
+        shadow = ShadowEvaluator(advisor, 3, key="k", metrics=metrics)
+        try:
+            for _ in range(3):
+                shadow.submit(make_trace(1), frozenset(), _report({}))
+            assert shadow.wait_idle()
+            stats = shadow.stats()
+            assert stats.errors == 3 and stats.samples == 0
+            assert (metrics.find("registry.shadow.")
+                    ["registry.shadow.errors{key=k}"] == 3)
+        finally:
+            shadow.close()
+
+    def test_closed_evaluator_refuses_quietly(self):
+        shadow = ShadowEvaluator(_FixedAdvisor(_report({})), 1)
+        shadow.close()
+        assert shadow.submit(make_trace(1), frozenset(),
+                             _report({})) is False
+
+
+class TestPromotionGates:
+    GATES = PromotionGates(min_shadow_samples=10, min_agreement=0.9)
+
+    def test_all_gates_pass(self):
+        decision = evaluate_gates(self.GATES, samples=10,
+                                  agreement=0.95, errors=0,
+                                  validation_green=True)
+        assert decision.passed and decision.reasons == ()
+
+    def test_sample_gate_blocks_agreement_judgement(self):
+        # Too few samples: agreement (even 0.0) is not judged yet.
+        decision = evaluate_gates(self.GATES, samples=3, agreement=0.0,
+                                  validation_green=True)
+        assert not decision.passed
+        assert len(decision.reasons) == 1
+        assert "samples 3 < 10" in decision.reasons[0]
+
+    def test_agreement_gate(self):
+        decision = evaluate_gates(self.GATES, samples=10,
+                                  agreement=0.5,
+                                  validation_green=True)
+        assert not decision.passed
+        assert "agreement 0.500" in decision.reasons[0]
+
+    def test_error_gate(self):
+        decision = evaluate_gates(self.GATES, samples=10,
+                                  agreement=1.0, errors=1,
+                                  validation_green=True)
+        assert not decision.passed
+        assert "errors 1 > 0" in decision.reasons[0]
+
+    def test_validation_gate_distinguishes_red_from_absent(self):
+        red = evaluate_gates(self.GATES, samples=10, agreement=1.0,
+                             validation_green=False)
+        absent = evaluate_gates(self.GATES, samples=10, agreement=1.0,
+                                validation_green=None)
+        assert red.reasons == ("validation suite not green",)
+        assert absent.reasons == ("no validation outcome recorded",)
+
+    def test_from_options(self):
+        from repro.runtime.options import RunOptions
+
+        gates = PromotionGates.from_options(
+            RunOptions(shadow_min_samples=7, shadow_min_agreement=0.5))
+        assert gates.min_shadow_samples == 7
+        assert gates.min_agreement == 0.5
