@@ -46,6 +46,8 @@ from repro.machine.configs import MachineConfig
 from repro.models.brainy import BrainySuite
 from repro.models.validation import validate_model
 from repro.registry.store import (
+    STATUS_LIVE,
+    STATUS_REGISTERED,
     RegistryError,
     RegistryKey,
     SuiteRegistry,
@@ -278,6 +280,20 @@ def run_pipeline(machine_config: MachineConfig, scale,
 
     def stage_register() -> dict:
         validation = state.completed[STAGE_VALIDATE]
+        fingerprint = state.completed[STAGE_TRAIN]["fingerprint"]
+        # Idempotence: a crash between a successful register and the
+        # ledger commit leaves the version registered but unrecorded.
+        # Reuse it on resume instead of registering a duplicate (which
+        # would also become a stale shadow candidate).
+        for info in reversed(registry.versions(key)):
+            if (info.fingerprint == fingerprint
+                    and info.source == "pipeline"
+                    and info.status in (STATUS_REGISTERED,
+                                        STATUS_LIVE)):
+                say(f"pipeline: register found existing v{info.version}"
+                    " with this suite's fingerprint; reusing")
+                return {"version": info.version,
+                        "fingerprint": info.fingerprint}
         try:
             info = registry.register(
                 suite_dir, key,

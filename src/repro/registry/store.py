@@ -304,10 +304,18 @@ class SuiteRegistry:
         return self._entry(self._read_manifest(), key)["previous"]
 
     def candidate(self, key: RegistryKey) -> VersionInfo | None:
-        """The newest registered (not live/barred) version, if any."""
-        entry = self._entry(self._read_manifest(), key)
+        """The newest registered version *newer than live*, if any.
+
+        Versions at or below the manifest-live version are never
+        candidates: a leftover older registered version (two pipeline
+        runs before any server promoted, say) must not be
+        shadow-evaluated and auto-promoted over the newer live suite.
+        """
+        live = self._entry(self._read_manifest(), key)["live"]
         for info in reversed(self.versions(key)):
-            if info.version == entry["live"] or info.barred:
+            if live is not None and info.version <= live:
+                break  # versions ascend; everything left is older
+            if info.barred:
                 continue
             if info.status == STATUS_REGISTERED:
                 return info

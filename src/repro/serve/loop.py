@@ -608,9 +608,21 @@ class AdvisorService:
                 error=why,
             ).to_payload()
         if op == OP_RELOAD:
+            try:
+                detail = self.reload_now()
+            except Exception as exc:
+                # The advisor keeps serving last-known-good; the op
+                # reports the failure instead of dropping the
+                # connection.
+                self.metrics.count("serve.reload_errors")
+                return ServeResponse(
+                    status=STATUS_ERROR, request_id=request_id,
+                    error=(f"reload failed: "
+                           f"{type(exc).__name__}: {exc}"),
+                ).to_payload()
             return ServeResponse(status=STATUS_OK,
                                  request_id=request_id,
-                                 detail=self.reload_now()).to_payload()
+                                 detail=detail).to_payload()
         if op == OP_METRICS:
             return ServeResponse(
                 status=STATUS_OK, request_id=request_id,

@@ -185,7 +185,9 @@ class RegistryRouter:
       rollback executed by the next refresh (``registry.auto_demote``).
 
     All mutations run under one router lock; the request path only does
-    dict/attribute reads plus a non-blocking shadow submit.
+    dict/attribute reads plus a non-blocking shadow submit, taking the
+    lock only while a post-promote watch is armed (the bounded window
+    where outcome accounting must be consistent with refresh()).
     """
 
     def __init__(self, registry: SuiteRegistry,
@@ -268,6 +270,14 @@ class RegistryRouter:
         inside the watch window schedules a rollback; the next
         :meth:`refresh` executes it off the request path.
         """
+        # Lock-free fast path: with no watch armed (the steady state)
+        # the request path must not contend with refresh(), which holds
+        # the router lock across strict suite loads.  A race that reads
+        # a stale watch_left is benign — the locked re-check below is
+        # authoritative.
+        route = self._routes.get(key)
+        if route is None or route.watch_left <= 0:
+            return
         with self._lock:
             route = self._routes.get(key)
             if route is None or route.watch_left <= 0:
@@ -451,8 +461,20 @@ class RegistryRouter:
         )
         if not decision.passed:
             return
-        self.promote_now(name, version=candidate.version,
-                         summary=summary)
+        try:
+            self.promote_now(name, version=candidate.version,
+                             summary=summary)
+        except (RegistryRouterError, RegistryError) as exc:
+            # The gates re-evaluate inside promote_now against fresh
+            # shadow stats (a settling sample can drop below the bar),
+            # the candidate can vanish under a concurrent pipeline
+            # promote, or it can corrupt after shadow spin-up.  None of
+            # these may escape the poll loop: record, count, and let the
+            # next refresh try again.
+            route.last_error = f"auto-promote failed: {exc}"
+            self._count("registry.promote_rejected", key=name)
+            summary["rejected"].append(
+                f"{name}:v{candidate.version}:promote")
 
     def promote_now(self, key: str, *, version: int | None = None,
                     force: bool = False,
@@ -473,22 +495,32 @@ class RegistryRouter:
                     f"{key} has no candidate to promote")
             if version is None:
                 version = candidate.version
-            if not force and route.advisor is not None:
-                stats = (route.shadow.stats()
-                         if route.shadow is not None
-                         and route.shadow.version == version
-                         else None)
-                decision = evaluate_gates(
-                    self.gates,
-                    samples=stats.samples if stats else 0,
-                    agreement=stats.agreement if stats else 0.0,
-                    errors=stats.errors if stats else 0,
-                    validation_green=_validation_green(candidate),
-                )
-                if not decision.passed:
+            if not force:
+                if route.advisor is not None:
+                    stats = (route.shadow.stats()
+                             if route.shadow is not None
+                             and route.shadow.version == version
+                             else None)
+                    decision = evaluate_gates(
+                        self.gates,
+                        samples=stats.samples if stats else 0,
+                        agreement=stats.agreement if stats else 0.0,
+                        errors=stats.errors if stats else 0,
+                        validation_green=_validation_green(candidate),
+                    )
+                    if not decision.passed:
+                        raise RegistryRouterError(
+                            "promotion gates not met: "
+                            + "; ".join(decision.reasons))
+                elif _validation_green(candidate) is not True:
+                    # No live advisor means no shadow traffic to gate
+                    # on, but the bootstrap bar still applies: only a
+                    # validation-green candidate promotes unforced
+                    # (same policy as _refresh_route's bootstrap path).
                     raise RegistryRouterError(
-                        "promotion gates not met: "
-                        + "; ".join(decision.reasons))
+                        f"{key} has no live version and candidate "
+                        f"v{version} is not validation-green; "
+                        "pass force to promote anyway")
             info = self.registry.promote(route.key, version)
             self._count("registry.promoted", key=key,
                         kind="forced" if force else "gated")

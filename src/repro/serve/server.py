@@ -150,8 +150,24 @@ def run_server(service: AdvisorService,
     announce(f"serving on {bound_host}:{bound_port}", flush=True)
     try:
         with obs.use_collector(service.collector):
+            last_reload_error: str | None = None
             while not stop.wait(poll_interval):
-                service.reload_now()
+                # A reconciliation failure (corrupt registry, racing
+                # pipeline, transient I/O) must never take the serving
+                # process down — keep answering from last-known-good
+                # and retry on the next poll.
+                try:
+                    service.reload_now()
+                    last_reload_error = None
+                except Exception as exc:
+                    message = f"{type(exc).__name__}: {exc}"
+                    if message != last_reload_error:
+                        announce(
+                            "reload failed (serving last-known-good): "
+                            + message,
+                            flush=True,
+                        )
+                        last_reload_error = message
             # Signal received: stop accepting, then drain in-flight
             # work within the budget.
             server.stop_accepting()

@@ -109,6 +109,21 @@ class TestLifecycle:
         with pytest.raises(RegistryError):
             registry.rollback(KEY)
 
+    def test_older_registered_version_never_a_candidate(
+            self, suite_dirs, tmp_path):
+        """Two registrations before any promote: once the newest goes
+        live, the leftover older version must not become a candidate —
+        shadow-promoting it would silently downgrade the live suite."""
+        a, b = suite_dirs
+        registry = SuiteRegistry(tmp_path / "reg")
+        registry.register(a, KEY)
+        registry.register(b, KEY)
+        assert registry.candidate(KEY).version == 2
+        registry.promote(KEY)  # promotes the candidate, v2
+        assert registry.live(KEY).version == 2
+        assert registry.version_info(KEY, 1).status == STATUS_REGISTERED
+        assert registry.candidate(KEY) is None
+
     def test_register_validates_and_rejects_corrupt_source(
             self, suite_dirs, tmp_path):
         a, _ = suite_dirs

@@ -183,6 +183,32 @@ class TestResume:
         assert second.ok
         assert calls == []  # the train stage was never re-run
 
+    def test_crash_between_register_and_ledger_commit_is_idempotent(
+            self, tmp_path):
+        """A crash after registry.register succeeds but before the
+        ledger commit must not register a duplicate version on resume:
+        the register stage finds the existing version by its train
+        fingerprint and reuses it."""
+        from repro.runtime.artifacts import read_artifact, write_artifact
+
+        registry = SuiteRegistry(tmp_path / "reg")
+        workdir = tmp_path / "work"
+        first = _run(registry, workdir=workdir)
+        assert first.ok and first.version == 1
+        # Simulate the crash window: drop the register stage from the
+        # ledger while the registered version stays on disk.
+        state_path = workdir / "pipeline.state.json"
+        payload = read_artifact(state_path, kind="pipeline-state",
+                                schema_version=1)
+        del payload["completed"][STAGE_REGISTER]
+        write_artifact(state_path, payload, kind="pipeline-state",
+                       schema_version=1)
+
+        second = _run(registry, workdir=workdir)
+        assert second.ok and second.version == 1
+        key = result_key(registry)
+        assert [info.version for info in registry.versions(key)] == [1]
+
     def test_fresh_run_ignores_the_ledger(self, tmp_path):
         registry = SuiteRegistry(tmp_path / "reg")
         workdir = tmp_path / "work"

@@ -9,10 +9,16 @@ counts.  The subprocess acceptance path lives in
 ``test_registry_e2e.py``.
 """
 
+import os
+import signal
+import threading
+import time
+
 import pytest
 
 from repro import api
 from repro.registry.store import (
+    RegistryError,
     RegistryKey,
     STATUS_QUARANTINED,
     STATUS_ROLLED_BACK,
@@ -166,6 +172,40 @@ class TestShadowAndPromotion:
             assert response["status"] == "error"
             assert "registry mode" in response["error"]
 
+    def test_bootstrap_with_two_candidates_never_downgrades(
+            self, tmp_path):
+        """Two registered versions before serving starts: bootstrap
+        promotes the newest, and the leftover older version must not be
+        shadow-evaluated back over it."""
+        store = SuiteRegistry(tmp_path / "reg")
+        store.register(tiny_suite(0), KEY, validation={"green": True})
+        store.register(tiny_suite(1), KEY, validation={"green": True})
+        service = _service(store)
+        assert store.live(KEY).version == 2
+        assert service.router.shadow_for(str(KEY)) is None
+        for i in range(4):
+            assert _advise(service, request_id=f"b{i}")["status"] == "ok"
+        service.reload_now()
+        assert store.live(KEY).version == 2
+
+    def test_unforced_promote_without_live_requires_green(
+            self, tmp_path):
+        """With no live version there is no shadow traffic to gate on,
+        but an unforced promote op still demands validation green —
+        same bar as the bootstrap path."""
+        store = SuiteRegistry(tmp_path / "reg")
+        store.register(tiny_suite(0), KEY, validation={"green": False})
+        service = _service(store)
+        refused = service.handle_payload({"op": "promote", "id": "p"})
+        assert refused["status"] == "error"
+        assert "validation-green" in refused["error"]
+        assert store.live(KEY) is None
+        forced = service.handle_payload({"op": "promote", "id": "p",
+                                         "force": True})
+        assert forced["status"] == "ok"
+        assert store.live(KEY).version == 1
+        assert _advise(service)["status"] == "ok"
+
 
 class TestRegression:
     def test_corrupt_live_version_quarantined_with_fallback(
@@ -213,6 +253,69 @@ class TestRegression:
         injector._failures_left["vector_oo"] = 0
         assert _advise(service)["status"] == "ok"
 
+    def test_gate_passing_candidate_that_corrupts_is_not_fatal(
+            self, registry):
+        """The gates pass on shadow stats, but the candidate corrupted
+        after shadow spin-up: pre-promote validation fails inside
+        promote_now.  The poll tick must swallow that (LKG keeps
+        serving), not crash the serving process."""
+        service = _service(registry)
+        registry.register(tiny_suite(0), KEY,
+                          validation={"green": True})
+        service.reload_now()
+        for i in range(4):
+            _advise(service, request_id=f"s{i}")
+        service.router.shadow_for(str(KEY)).wait_idle()
+        corrupt_artifact(
+            next(registry.version_dir(KEY, 2).glob("*.json")))
+        tick = service.reload_now()  # must not raise
+        assert str(KEY) not in tick["promoted"]
+        assert registry.live(KEY).version == 1
+        assert (registry.version_info(KEY, 2).status
+                == STATUS_QUARANTINED)
+        assert _advise(service)["status"] == "ok"
+        detail = service.router.health()[str(KEY)]
+        assert "auto-promote failed" in detail["error"]
+        counters = service.metrics.snapshot()["counters"]
+        assert any(name.startswith("registry.promote_rejected")
+                   for name in counters)
+
+    def test_reload_op_survives_router_failure(self, registry,
+                                               monkeypatch):
+        service = _service(registry)
+
+        def boom():
+            raise RegistryError("registry exploded")
+
+        monkeypatch.setattr(service.router, "refresh", boom)
+        response = service.handle_payload({"op": "reload", "id": "r"})
+        assert response["status"] == "error"
+        assert "reload failed" in response["error"]
+        assert "registry exploded" in response["error"]
+        # Live answers are unaffected.
+        assert _advise(service)["status"] == "ok"
+
+    def test_report_outcome_lock_free_without_a_watch(self, registry):
+        """With no post-promote watch armed, the request path must not
+        touch the router lock (refresh() holds it across strict suite
+        loads)."""
+        service = _service(registry)
+        router = service.router
+        assert router._lock.acquire(blocking=False)
+        try:
+            done = []
+
+            def report():
+                router.report_outcome(str(KEY), failure=True)
+                done.append(True)
+
+            thread = threading.Thread(target=report, daemon=True)
+            thread.start()
+            thread.join(timeout=2.0)
+            assert done, "report_outcome blocked on the router lock"
+        finally:
+            router._lock.release()
+
     def test_clean_watch_window_keeps_the_promotion(self, registry):
         service = _service(registry, options=FAST_OPTIONS.with_overrides(
             post_promote_window=3))
@@ -224,6 +327,38 @@ class TestRegression:
             assert _advise(service, request_id=f"c{i}")["status"] == "ok"
         service.reload_now()
         assert registry.live(KEY).version == 2
+
+
+class TestPollLoopResilience:
+    def test_run_server_survives_reload_failure(self, registry,
+                                                monkeypatch):
+        """A failing reconciliation pass must not take the server down:
+        the poll loop keeps serving, announces the failure once, and
+        the process still drains cleanly on SIGTERM."""
+        from repro.serve.server import run_server
+
+        service = _service(registry)
+
+        def boom():
+            raise RegistryError("manifest unreadable")
+
+        monkeypatch.setattr(service, "reload_now", boom)
+        messages = []
+
+        def announce(message, flush=False):
+            messages.append(message)
+
+        def fire_sigterm():
+            time.sleep(0.4)
+            os.kill(os.getpid(), signal.SIGTERM)
+
+        threading.Thread(target=fire_sigterm, daemon=True).start()
+        code = run_server(service, poll_interval=0.05,
+                          announce=announce)
+        assert code == 0
+        failures = [m for m in messages if "reload failed" in m]
+        assert len(failures) == 1  # announced once, not per poll
+        assert "manifest unreadable" in failures[0]
 
 
 class TestKnobValidation:
