@@ -1,0 +1,354 @@
+"""Serving benchmark: micro-batched dispatch × multi-worker scale-out.
+
+Two measurements, reported separately because they isolate different
+layers (the pSTL-Bench discipline: publish the scaling curve per layer,
+don't launder one layer's overhead through another's speedup):
+
+* **dispatch_loop** — the component under test.  Closed-loop concurrent
+  clients drive :meth:`AdvisorService.handle_payload` directly (no
+  sockets), interleaving baseline (``batch_window_ms=0`` — exactly the
+  PR-5 single-dispatch loop) and micro-batched runs A/B/A/B and taking
+  the median of several rounds, so host noise hits both arms equally.
+  This is where the ≥2x req/s acceptance bar is checked.
+* **end_to_end_tcp** — the full ``repro serve`` process (fleet mode
+  included) driven over real sockets by persistent NDJSON clients, for
+  every ``workers`` × ``batch_window_ms`` cell.  Includes per-request
+  TCP/JSON framing, which is identical in both arms and therefore
+  dilutes the visible ratio — the honest deployment numbers.
+
+Every answer in both measurements is compared byte-for-byte against a
+locally computed reference report; a cell that got faster by answering
+wrong fails the run.  The benchmark trace spans every model group
+(:func:`repro.serve.testing.make_mixed_trace` — a handful of hot
+containers across kinds, the shape real Brainy traces have), because
+the per-group forward-pass overhead is precisely what micro-batching
+amortizes.  ``cpu_count`` is recorded: multi-process scaling cannot
+beat the physical core budget, so on a single-core CI box the batching
+column, not the workers column, is where the win shows up (see
+``docs/serving.md``).
+
+Writes ``BENCH_serve.json`` at the repo root (see ``--out``)::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import signal
+import socket
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.advisor import BrainyAdvisor  # noqa: E402
+from repro.runtime.options import RunOptions  # noqa: E402
+from repro.serve.loop import AdvisorService  # noqa: E402
+from repro.serve.testing import (  # noqa: E402
+    advise_payload,
+    make_mixed_trace,
+    save_tiny_suite,
+    tiny_suite,
+)
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1,
+                max(0, round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _stats(latencies: list[list[float]], wall: float) -> dict:
+    flat = sorted(lat for per in latencies for lat in per)
+    return {
+        "requests": len(flat),
+        "wall_seconds": round(wall, 4),
+        "req_per_s": round(len(flat) / wall, 1) if wall else 0.0,
+        "p50_ms": round(_percentile(flat, 0.50) * 1000.0, 3),
+        "p99_ms": round(_percentile(flat, 0.99) * 1000.0, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Part one: the dispatch loop in isolation (no sockets).
+# ---------------------------------------------------------------------------
+
+def _loop_run(suite, payload, expected: str, *, window_ms: float,
+              batch_max: int, concurrency: int,
+              per_client: int) -> dict:
+    options = RunOptions(batch_window_ms=window_ms, batch_max=batch_max)
+    service = AdvisorService(suite=suite, options=options, workers=2)
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    bad = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(index: int) -> None:
+        for _ in range(3):  # warmup
+            service.handle_payload(payload)
+        barrier.wait()
+        for _ in range(per_client):
+            t0 = time.perf_counter()
+            answer = service.handle_payload(payload)
+            latencies[index].append(time.perf_counter() - t0)
+            if (answer.get("status") != "ok"
+                    or json.dumps(answer["report"], sort_keys=True)
+                    != expected):
+                bad[index] += 1
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    service.drain()
+    hist = service.metrics.snapshot()["histograms"].get(
+        "serve.batch_size", {})
+    result = _stats(latencies, wall)
+    result["bad_answers"] = sum(bad)
+    result["mean_batch"] = (round(hist["total"] / hist["count"], 1)
+                            if hist.get("count") else None)
+    return result
+
+
+def bench_dispatch_loop(*, concurrencies: list[int], window_ms: float,
+                        rounds: int, per_client: int) -> dict:
+    trace = make_mixed_trace(1, seed=42)
+    suite = tiny_suite()
+    expected = json.dumps(
+        BrainyAdvisor(suite).advise_trace(trace).to_payload(),
+        sort_keys=True)
+    payload = advise_payload(trace, request_id="bench")
+
+    sections = []
+    for concurrency in concurrencies:
+        baseline_runs, batched_runs = [], []
+        for _ in range(rounds):  # interleaved A/B: noise hits both
+            baseline_runs.append(_loop_run(
+                suite, payload, expected, window_ms=0, batch_max=16,
+                concurrency=concurrency, per_client=per_client))
+            batched_runs.append(_loop_run(
+                suite, payload, expected, window_ms=window_ms,
+                batch_max=concurrency, concurrency=concurrency,
+                per_client=per_client))
+        baseline = statistics.median(
+            run["req_per_s"] for run in baseline_runs)
+        batched = statistics.median(
+            run["req_per_s"] for run in batched_runs)
+        # Paired ratios: each batched run divided by the baseline run
+        # interleaved right before it, so host-speed drift cancels.
+        speedup = statistics.median(
+            bat["req_per_s"] / base["req_per_s"]
+            for base, bat in zip(baseline_runs, batched_runs))
+        best_baseline = max(baseline_runs, key=lambda r: r["req_per_s"])
+        best_batched = max(batched_runs, key=lambda r: r["req_per_s"])
+        sections.append({
+            "concurrency": concurrency,
+            "rounds": rounds,
+            "baseline_req_per_s": baseline,
+            "batched_req_per_s": batched,
+            "speedup": round(speedup, 2),
+            "baseline_best": best_baseline,
+            "batched_best": best_batched,
+            "bad_answers": (sum(r["bad_answers"] for r in baseline_runs)
+                            + sum(r["bad_answers"]
+                                  for r in batched_runs)),
+        })
+    return {
+        "batch_window_ms": window_ms,
+        "requests_per_client": per_client,
+        "note": ("baseline is the PR-5 single-dispatch loop "
+                 "(batch_window_ms=0); batched uses "
+                 "batch_max=concurrency"),
+        "by_concurrency": sections,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Part two: the full server over TCP (fleet mode included).
+# ---------------------------------------------------------------------------
+
+def spawn_server(suite_dir: Path, *, workers: int, window_ms: float,
+                 threads: int = 2) -> tuple[subprocess.Popen,
+                                            tuple[str, int]]:
+    """Start ``repro serve`` and wait for its address announcement."""
+    env = {**os.environ, "PYTHONPATH": str(REPO_ROOT / "src")}
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--suite-dir", str(suite_dir),
+         "--workers", str(workers), "--threads", str(threads),
+         "--batch-window-ms", str(window_ms),
+         "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        text=True, env=env,
+    )
+    deadline = time.monotonic() + 120.0
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError("server exited before announcing")
+        if line.startswith("serving on "):
+            host, _, port = line[len("serving on "):].strip() \
+                .rpartition(":")
+            return proc, (host, int(port))
+    proc.kill()
+    raise RuntimeError("server never announced its address")
+
+
+def stop_server(proc: subprocess.Popen) -> None:
+    proc.send_signal(signal.SIGTERM)
+    try:
+        proc.communicate(timeout=60)
+    except subprocess.TimeoutExpired:  # pragma: no cover - safety net
+        proc.kill()
+        proc.communicate()
+
+
+def run_load(address: tuple[str, int], *, concurrency: int,
+             per_client: int, request_line: bytes,
+             expected_report: str) -> dict:
+    """Closed-loop burst: persistent clients, next request the moment
+    the previous answer lands."""
+    latencies: list[list[float]] = [[] for _ in range(concurrency)]
+    bad = [0] * concurrency
+    barrier = threading.Barrier(concurrency + 1)
+
+    def client(index: int) -> None:
+        with socket.create_connection(address, timeout=60.0) as conn:
+            reader = conn.makefile("rb")
+            conn.sendall(request_line)  # warmup, untimed
+            reader.readline()
+            barrier.wait()
+            for _ in range(per_client):
+                t0 = time.perf_counter()
+                conn.sendall(request_line)
+                answer = json.loads(reader.readline())
+                latencies[index].append(time.perf_counter() - t0)
+                if (answer.get("status") != "ok"
+                        or json.dumps(answer["report"], sort_keys=True)
+                        != expected_report):
+                    bad[index] += 1
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(concurrency)]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    t0 = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - t0
+    result = _stats(latencies, wall)
+    result["bad_answers"] = sum(bad)
+    return result
+
+
+def bench_tcp_grid(suite_dir: Path, *, workers_list: list[int],
+                   windows_ms: list[float], concurrency: int,
+                   per_client: int) -> dict:
+    trace = make_mixed_trace(1, seed=42)
+    expected = json.dumps(
+        BrainyAdvisor(tiny_suite()).advise_trace(trace).to_payload(),
+        sort_keys=True)
+    request_line = (json.dumps(advise_payload(trace,
+                                              request_id="bench"))
+                    + "\n").encode()
+
+    cells = []
+    baseline_rps: float | None = None
+    for workers in workers_list:
+        for window_ms in windows_ms:
+            proc, address = spawn_server(suite_dir, workers=workers,
+                                         window_ms=window_ms)
+            try:
+                result = run_load(address, concurrency=concurrency,
+                                  per_client=per_client,
+                                  request_line=request_line,
+                                  expected_report=expected)
+            finally:
+                stop_server(proc)
+            cell = {"workers": workers,
+                    "batch_window_ms": window_ms, **result}
+            if workers == 1 and window_ms == 0:
+                baseline_rps = cell["req_per_s"]
+            cells.append(cell)
+    for cell in cells:
+        cell["speedup_vs_single"] = (
+            round(cell["req_per_s"] / baseline_rps, 2)
+            if baseline_rps else None)
+    return {
+        "concurrency": concurrency,
+        "requests_per_client": per_client,
+        "note": ("includes per-request TCP/JSON framing, identical in "
+                 "every cell; see dispatch_loop for the isolated "
+                 "loop comparison"),
+        "cells": cells,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small grid for CI smoke")
+    parser.add_argument("--out", type=Path,
+                        default=REPO_ROOT / "BENCH_serve.json")
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        loop_kwargs = dict(concurrencies=[8], window_ms=2.0,
+                           rounds=3, per_client=30)
+        tcp_kwargs = dict(workers_list=[1, 2], windows_ms=[0, 2.0],
+                          concurrency=8, per_client=15)
+    else:
+        loop_kwargs = dict(concurrencies=[8, 16, 32], window_ms=2.0,
+                           rounds=7, per_client=60)
+        tcp_kwargs = dict(workers_list=[1, 2],
+                          windows_ms=[0, 2.0, 5.0],
+                          concurrency=8, per_client=50)
+
+    dispatch_loop = bench_dispatch_loop(**loop_kwargs)
+    with tempfile.TemporaryDirectory() as tmp:
+        suite_dir = Path(tmp) / "suite"
+        save_tiny_suite(suite_dir)
+        tcp_grid = bench_tcp_grid(suite_dir, **tcp_kwargs)
+
+    bad = (sum(s["bad_answers"]
+               for s in dispatch_loop["by_concurrency"])
+           + sum(c["bad_answers"] for c in tcp_grid["cells"]))
+    payload = {
+        "benchmark": "serve-loop",
+        "quick": args.quick,
+        "cpu_count": os.cpu_count(),
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+        "trace_records": len(make_mixed_trace(1).records),
+        "reports_identical": bad == 0,
+        "dispatch_loop": dispatch_loop,
+        "end_to_end_tcp": tcp_grid,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if bad:
+        print("FAIL: some answers were wrong or errored",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,12 +5,22 @@ Trains a tiny suite, starts ``repro serve`` against it as a real
 subprocess, then exercises the serving guarantees end to end:
 
 * concurrent advise requests, all answered with structured statuses;
+* a multi-client burst — persistent connections all firing at once
+  through the micro-batching window, every answer compared
+  byte-for-byte against a locally computed reference report (this is
+  the stage that catches dispatch-ordering and batch fan-out
+  regressions);
 * one request with a hopeless (1 ms) deadline — must come back as a
   structured response (``degraded`` baseline or ``ok``), never hang;
 * a hot reload mid-traffic (rewrite the suite, trigger the reload op,
   advise across the swap) plus a *corrupt* reload that must be rejected
   while the last-known-good suite keeps serving;
 * SIGTERM — graceful drain, exit 0, telemetry artifact on disk.
+
+With ``--workers N`` (N > 1) it smokes the multi-process fleet
+instead: the burst lands on one shared port, health identifies the
+answering worker, SIGTERM drains every worker, and the exported
+telemetry is the merged per-worker view.
 
 With ``--registry`` it exercises the registry serving mode instead:
 register → serve → shadow a new candidate off live traffic → gated
@@ -31,6 +41,7 @@ import socket
 import subprocess
 import sys
 import tempfile
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
@@ -38,11 +49,13 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro.core.advisor import BrainyAdvisor  # noqa: E402
 from repro.registry.store import RegistryKey, SuiteRegistry  # noqa: E402
 from repro.runtime.inject import corrupt_artifact  # noqa: E402
 from repro.serve.protocol import encode  # noqa: E402
 from repro.serve.testing import (  # noqa: E402
     advise_payload,
+    make_mixed_trace,
     make_trace,
     tiny_suite,
 )
@@ -81,6 +94,59 @@ def read_address(proc: subprocess.Popen, timeout: float = 60.0
             break
     fail("server never announced its address")
     raise AssertionError  # unreachable
+
+
+def burst(host: str, port: int, *, clients: int = 8,
+          per_client: int = 20) -> None:
+    """Persistent multi-client burst through the batching window.
+
+    Every client holds one connection and fires requests back to back,
+    so the server sees genuinely overlapping arrivals — the traffic
+    shape that exercises micro-batch coalescing and fan-out.  Every
+    ``ok`` answer must match the locally computed report byte for byte;
+    a batching bug that crosses wires between requests fails here.
+    """
+    trace = make_mixed_trace(1, seed=7)
+    expected = json.dumps(
+        BrainyAdvisor(tiny_suite()).advise_trace(trace).to_payload(),
+        sort_keys=True)
+    line = encode(advise_payload(trace, request_id="burst"))
+    barrier = threading.Barrier(clients)
+    failures: list[str] = []
+
+    def client(index: int) -> None:
+        try:
+            with socket.create_connection((host, port),
+                                          timeout=60.0) as conn:
+                reader = conn.makefile("rb")
+                barrier.wait()
+                for seq in range(per_client):
+                    conn.sendall(line)
+                    answer = json.loads(reader.readline())
+                    if answer.get("status") != "ok":
+                        failures.append(
+                            f"client {index} req {seq}: status "
+                            f"{answer.get('status')}")
+                        return
+                    got = json.dumps(answer["report"], sort_keys=True)
+                    if got != expected:
+                        failures.append(
+                            f"client {index} req {seq}: report "
+                            "differs from local advisor")
+                        return
+        except Exception as exc:  # noqa: BLE001 - report, don't hang
+            failures.append(f"client {index}: {exc!r}")
+
+    threads = [threading.Thread(target=client, args=(i,), daemon=True)
+               for i in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    check(not failures,
+          f"burst: {clients} clients x {per_client} requests, every "
+          "answer ok and byte-identical"
+          + (f" ({failures[0]})" if failures else ""))
 
 
 def registry_mode() -> int:
@@ -158,12 +224,71 @@ def registry_mode() -> int:
     return 0
 
 
+def fleet_mode(workers: int) -> int:
+    """Multi-process fleet: one port, merged telemetry, clean drain."""
+    tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-fleet-"))
+    suite_dir = tmp / "suite"
+    telemetry = tmp / "serve.telemetry.json"
+
+    print("serve-smoke: training tiny suite ...")
+    tiny_suite().save(suite_dir)
+
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"),
+               PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--suite-dir", str(suite_dir), "--port", "0",
+         "--workers", str(workers), "--threads", "2",
+         "--batch-window-ms", "2", "--deadline", "30",
+         "--telemetry", str(telemetry)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env,
+    )
+    try:
+        host, port = read_address(proc, timeout=180.0)
+        print(f"serve-smoke: fleet up on {host}:{port}")
+
+        health = request(host, port, {"op": "health"})["detail"]
+        worker = health.get("worker", {})
+        check("id" in worker and "pid" in worker,
+              f"health identifies the answering worker ({worker})")
+
+        burst(host, port)
+
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120.0)
+        check(proc.returncode == 0,
+              f"SIGTERM drained the fleet cleanly "
+              f"(exit {proc.returncode})"
+              + ("" if proc.returncode == 0 else f"; stderr: {err}"))
+        check("fleet drained cleanly" in out,
+              "fleet drain reported on stdout")
+        check(telemetry.exists(), "merged telemetry artifact exported")
+        payload = json.loads(telemetry.read_text())["payload"]
+        check(payload["meta"].get("fleet") is True
+              and len(payload["meta"].get("workers", [])) == workers,
+              "telemetry meta records the merged fleet view")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+    print(f"serve-smoke: PASS (fleet mode, {workers} workers)")
+    return 0
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--registry", action="store_true",
                         help="smoke the registry serving mode instead")
-    if parser.parse_args().registry:
+    parser.add_argument("--workers", type=int, default=1,
+                        help="smoke the multi-process fleet with this "
+                             "many workers (default: single process)")
+    args = parser.parse_args()
+    if args.registry:
         return registry_mode()
+    if args.workers > 1:
+        return fleet_mode(args.workers)
 
     tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
     suite_dir = tmp / "suite"
@@ -178,13 +303,22 @@ def main() -> int:
         [sys.executable, "-m", "repro.cli", "serve",
          "--suite-dir", str(suite_dir), "--port", "0",
          "--deadline", "30", "--poll-interval", "0.1",
-         "--workers", "2", "--telemetry", str(telemetry)],
+         "--threads", "2", "--batch-window-ms", "2",
+         "--telemetry", str(telemetry)],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         env=env,
     )
     try:
         host, port = read_address(proc)
         print(f"serve-smoke: server up on {host}:{port}")
+
+        health = request(host, port, {"op": "health"})["detail"]
+        worker = health.get("worker", {})
+        check("id" in worker and "pid" in worker,
+              f"health identifies the answering worker ({worker})")
+
+        # Persistent multi-client burst through the batching window.
+        burst(host, port)
 
         # Concurrent requests, one of them past-deadline; every answer
         # must be structured.

@@ -292,7 +292,8 @@ def serve(machine: str | MachineConfig = "core2",
           auto_promote: bool = True,
           host: str = "127.0.0.1",
           port: int = 0,
-          workers: int = 2,
+          workers: int = 1,
+          threads: int = 2,
           options: RunOptions | None = None,
           jobs: int | None = None,
           poll_interval: float = 1.0,
@@ -308,19 +309,29 @@ def serve(machine: str | MachineConfig = "core2",
     for ``machine``/``scale`` and serves from the cache directory.
     Serving knobs — ``deadline_seconds``, ``queue_depth``,
     ``breaker_threshold``, ``breaker_cooldown_seconds``,
-    ``drain_seconds``, and the registry's ``shadow_*`` /
-    ``auto_demote_failures`` / ``post_promote_window`` — travel in
-    ``options`` (:class:`repro.runtime.options.RunOptions`) and are
-    validated up front (:class:`UsageError`, CLI exit 2).
+    ``drain_seconds``, the micro-batching window
+    (``batch_window_ms`` / ``batch_max``), and the registry's
+    ``shadow_*`` / ``auto_demote_failures`` / ``post_promote_window`` —
+    travel in ``options`` (:class:`repro.runtime.options.RunOptions`)
+    and are validated up front (:class:`UsageError`, CLI exit 2).
+
+    ``workers`` is the number of shared-nothing server *processes* on
+    the one port (``SO_REUSEPORT`` kernel balancing, or the front-door
+    fallback — see :mod:`repro.serve.fleet`); ``threads`` bounds each
+    process's inference concurrency.  With ``workers > 1`` the
+    telemetry artifact merges every worker's ``serve.*`` metrics.
 
     Blocks until the process is signalled, then drains and (with
     ``telemetry=PATH``) exports the serving telemetry artifact; returns
     the exit code (0 clean drain, 1 drain budget expired).
     """
-    from repro.serve import AdvisorService, run_server
+    from repro.serve import AdvisorService, FleetSpec, run_fleet, \
+        run_server
 
     if workers < 1:
         raise UsageError("workers must be >= 1")
+    if threads < 1:
+        raise UsageError("threads must be >= 1")
     if poll_interval <= 0:
         raise UsageError("poll_interval must be positive")
     if registry is not None and suite_dir is not None:
@@ -354,16 +365,28 @@ def serve(machine: str | MachineConfig = "core2",
         scale = resolve_scale(scale)
         get_or_train_suite(machine, scale, options=options)
         suite_dir = suite_path(machine, scale)
+    if workers > 1:
+        spec = FleetSpec(
+            suite_dir=(str(suite_dir) if suite_dir is not None
+                       else None),
+            registry=(str(registry) if registry is not None else None),
+            registry_key=registry_key, auto_promote=auto_promote,
+            options=options, threads=threads, host=host, port=port,
+            poll_interval=poll_interval,
+            telemetry=(str(telemetry) if telemetry is not None
+                       else None),
+        )
+        return run_fleet(spec, workers)
     try:
         if store is not None:
             service = AdvisorService(
                 registry=store, registry_key=registry_key,
                 auto_promote=auto_promote, options=options,
-                workers=workers,
+                workers=threads,
             )
         else:
             service = AdvisorService(suite_dir, options=options,
-                                     workers=workers)
+                                     workers=threads)
     except (ValueError, RuntimeError) as exc:
         raise UsageError(str(exc)) from None
     return run_server(service, host=host, port=port,

@@ -79,6 +79,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         breaker_threshold=args.breaker_threshold,
         breaker_cooldown_seconds=args.breaker_cooldown,
         drain_seconds=args.drain,
+        batch_window_ms=args.batch_window_ms,
+        batch_max=args.batch_max,
         shadow_queue_depth=args.shadow_queue_depth,
         shadow_min_samples=args.shadow_min_samples,
         shadow_min_agreement=args.shadow_min_agreement,
@@ -91,7 +93,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         registry_key=args.registry_key,
         auto_promote=not args.no_auto_promote,
         host=args.host, port=args.port,
-        workers=args.workers, options=options,
+        workers=args.workers, threads=args.threads, options=options,
         poll_interval=args.poll_interval, telemetry=args.telemetry,
     )
 
@@ -310,9 +312,27 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--port", type=int, default=0,
                        help="TCP port (0 picks a free one; the bound "
                             "address is printed on startup)")
-    serve.add_argument("--workers", type=int, default=2, metavar="N",
-                       help="inference worker threads (bounded "
-                            "concurrency; default 2)")
+    serve.add_argument("--workers", type=int, default=1, metavar="N",
+                       help="shared-nothing server processes on the "
+                            "one port (SO_REUSEPORT, or the front-"
+                            "door fallback; default 1)")
+    serve.add_argument("--threads", type=int, default=2, metavar="N",
+                       help="inference worker threads per process "
+                            "(bounded concurrency; default 2)")
+    serve.add_argument("--batch-window-ms", type=float,
+                       metavar="MILLISECONDS",
+                       default=defaults.batch_window_ms,
+                       help="micro-batching window: concurrent advise "
+                            "requests arriving within it coalesce "
+                            "into one vectorized forward pass per "
+                            "model group; 0 disables coalescing "
+                            f"(default {defaults.batch_window_ms})")
+    serve.add_argument("--batch-max", type=int, metavar="N",
+                       default=defaults.batch_max,
+                       help="most requests coalesced per micro-batch; "
+                            "a full batch flushes without waiting "
+                            "out the window "
+                            f"(default {defaults.batch_max})")
     serve.add_argument("--deadline", type=float, metavar="SECONDS",
                        default=defaults.deadline_seconds,
                        help="per-request budget before answering from "

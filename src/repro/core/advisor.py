@@ -257,33 +257,61 @@ class BrainyAdvisor:
         scaler pass, the network forward pass, and the legality-masked
         argmax all run once per group over a stacked feature matrix.
         Suggestions are emitted in trace order, so the Report is
-        identical to :meth:`_advise_sequential`'s.
+        identical to :meth:`_advise_sequential`'s.  This is the
+        single-trace view of :meth:`advise_traces`.
         """
-        report = Report(program_cycles=trace.program_cycles)
-        # (record, group_name, legal, keyed) in trace order, with the
-        # per-slot degraded flag kept separately (group-inference
-        # fallback flips it after the fact).
+        return self.advise_traces([(trace, keyed_contexts)])[0]
+
+    def advise_traces(self, batch: "list[tuple[TraceSet, frozenset[str]]]"
+                      ) -> list[Report]:
+        """Many traces, one vectorized forward pass per model group.
+
+        The multi-trace generalization of the batched advise path — the
+        serving runtime's micro-batching stage feeds whole *requests*
+        through here so that queued requests coalesced within a batch
+        window share the scaler and network passes.  Records from every
+        trace are stacked per model group, inferred together, and fanned
+        back out into per-trace Reports.
+
+        The contract the serving layer leans on: each returned Report is
+        **byte-identical** to calling :meth:`advise_trace` on that trace
+        alone — including degraded answers.  A group whose inference is
+        refused (:class:`InferenceUnavailable` — open breaker, crashed
+        model) degrades *only that group*, and only in the reports of
+        traces that actually touch it.
+        """
+        reports = [Report(program_cycles=trace.program_cycles)
+                   for trace, _ in batch]
+        # (trace_index, record, group_name, legal, keyed) across all
+        # traces, trace order preserved within each; the per-slot
+        # degraded flag kept separately (group-inference fallback flips
+        # it after the fact).
         pending = []
         degraded_flags: list[bool] = []
-        for record in trace:
-            if record.kind not in _ADVISABLE:
-                continue
-            keyed = record.context in keyed_contexts or getattr(
-                record, "keyed", False
-            )
-            group = model_group_for(record.kind, record.order_oblivious)
-            legal = candidates_for(record.kind, record.order_oblivious)
-            degraded = (group.name not in self.suite.models
-                        or group.name in self.suite.degraded)
-            if degraded:
-                report.mark_degraded(group.name,
-                                     DEGRADED_MODEL_UNAVAILABLE)
-            pending.append((record, group.name, legal, keyed))
-            degraded_flags.append(degraded)
+        for trace_index, (trace, keyed_contexts) in enumerate(batch):
+            report = reports[trace_index]
+            for record in trace:
+                if record.kind not in _ADVISABLE:
+                    continue
+                keyed = record.context in keyed_contexts or getattr(
+                    record, "keyed", False
+                )
+                group = model_group_for(record.kind,
+                                        record.order_oblivious)
+                legal = candidates_for(record.kind,
+                                       record.order_oblivious)
+                degraded = (group.name not in self.suite.models
+                            or group.name in self.suite.degraded)
+                if degraded:
+                    report.mark_degraded(group.name,
+                                         DEGRADED_MODEL_UNAVAILABLE)
+                pending.append((trace_index, record, group.name, legal,
+                                keyed))
+                degraded_flags.append(degraded)
 
         suggested: list[DSKind | None] = [None] * len(pending)
         by_group: dict[str, list[int]] = {}
-        for slot, (record, group_name, legal, _) in enumerate(pending):
+        for slot, (_, record, group_name, legal, _) in enumerate(pending):
             if degraded_flags[slot]:
                 suggested[slot] = self._baseline_suggest(
                     record.kind, record.features, legal
@@ -303,7 +331,7 @@ class BrainyAdvisor:
                              dtype=bool)
             rows = np.empty((len(slots), len(FEATURE_NAMES)))
             for row, slot in enumerate(slots):
-                record, _, legal, _ = pending[slot]
+                _, record, _, legal, _ = pending[slot]
                 usage = (record.kind, record.order_oblivious)
                 mask = mask_cache.get(usage)
                 if mask is None:
@@ -316,10 +344,12 @@ class BrainyAdvisor:
                 kinds = self._infer_rows(group_name, model, rows, masks)
             except InferenceUnavailable as exc:
                 # The whole group falls back together (breaker open or
-                # the model call crashed) — flagged, never silent.
-                report.mark_degraded(group_name, exc.reason)
+                # the model call crashed) — flagged, never silent, and
+                # only in the traces that touch this group.
                 for slot in slots:
-                    record, _, legal, _ = pending[slot]
+                    trace_index, record, _, legal, _ = pending[slot]
+                    reports[trace_index].mark_degraded(group_name,
+                                                       exc.reason)
                     suggested[slot] = self._baseline_suggest(
                         record.kind, record.features, legal
                     )
@@ -328,16 +358,16 @@ class BrainyAdvisor:
             for slot, kind in zip(slots, kinds):
                 suggested[slot] = kind
 
-        for slot, (record, _, _, keyed) in enumerate(pending):
+        for slot, (trace_index, record, _, _, keyed) in enumerate(pending):
             kind = suggested[slot]
             if keyed:
                 kind = as_map_kind(kind)
-            report.suggestions.append(
+            reports[trace_index].suggestions.append(
                 self._suggestion(record, kind, keyed,
-                                 trace.program_cycles,
+                                 batch[trace_index][0].program_cycles,
                                  degraded_flags[slot])
             )
-        return report
+        return reports
 
     @staticmethod
     def _suggestion(record, suggested: DSKind, keyed: bool,

@@ -68,6 +68,16 @@ class RunOptions:
     drain_seconds:
         Serving: budget for finishing in-flight requests on SIGTERM
         before the process exits anyway.
+    batch_window_ms:
+        Serving: micro-batching coalescing window in milliseconds.
+        Concurrent ``advise`` requests arriving within the window are
+        stacked into one vectorized forward pass per model group; ``0``
+        (the default) disables coalescing and dispatches each request
+        on its own, exactly as before the knob existed.
+    batch_max:
+        Serving: maximum requests coalesced into one micro-batch; a
+        batch flushes as soon as it fills, without waiting out the
+        window.
     shadow_queue_depth:
         Registry serving: bounded queue feeding the shadow evaluator;
         a full queue sheds the shadow sample, never the live answer.
@@ -98,6 +108,8 @@ class RunOptions:
     breaker_threshold: int = 5
     breaker_cooldown_seconds: float = 30.0
     drain_seconds: float = 5.0
+    batch_window_ms: float = 0.0
+    batch_max: int = 16
     # -- registry / shadow-evaluation knobs ------------------------------
     shadow_queue_depth: int = 16
     shadow_min_samples: int = 25
@@ -129,6 +141,10 @@ class RunOptions:
             problems.append("breaker_cooldown_seconds must be >= 0")
         if self.drain_seconds < 0:
             problems.append("drain_seconds must be >= 0")
+        if self.batch_window_ms < 0:
+            problems.append("batch_window_ms must be >= 0")
+        if self.batch_max < 1:
+            problems.append("batch_max must be >= 1")
         if self.shadow_queue_depth < 1:
             problems.append("shadow_queue_depth must be >= 1")
         if self.shadow_min_samples < 1:

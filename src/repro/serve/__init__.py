@@ -22,7 +22,8 @@ See ``docs/serving.md`` for the operator guide.
 """
 
 from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
-from repro.serve.loop import AdvisorService, Dispatcher
+from repro.serve.fleet import FleetSpec, run_fleet
+from repro.serve.loop import AdvisorService, Dispatcher, MicroBatcher
 from repro.serve.protocol import (
     STATUS_DEGRADED,
     STATUS_ERROR,
@@ -38,7 +39,12 @@ from repro.serve.reload import (
     RegistryRouterError,
     SuiteReloader,
 )
-from repro.serve.server import AdvisorServer, request_once, run_server
+from repro.serve.server import (
+    AdvisorServer,
+    request_once,
+    reuse_port_supported,
+    run_server,
+)
 
 __all__ = [
     "AdviseRequest",
@@ -47,12 +53,16 @@ __all__ = [
     "CircuitBreaker",
     "CLOSED",
     "Dispatcher",
+    "FleetSpec",
     "HALF_OPEN",
+    "MicroBatcher",
     "OPEN",
     "ProtocolError",
     "RegistryRouter",
     "RegistryRouterError",
     "request_once",
+    "reuse_port_supported",
+    "run_fleet",
     "run_server",
     "ServeResponse",
     "STATUS_DEGRADED",

@@ -1,0 +1,450 @@
+"""Multi-worker scale-out for ``repro serve`` (``--workers N``).
+
+One parent process supervises ``N`` **shared-nothing** worker
+processes, each running the full single-process serving stack
+(:class:`~repro.serve.loop.AdvisorService` behind
+:func:`~repro.serve.server.run_server`): its own dispatcher threads,
+micro-batcher, circuit breakers, hot-reload watcher and — in registry
+mode — its own :class:`~repro.serve.reload.RegistryRouter`.  Nothing is
+shared between workers, so one worker's stuck model call, tripped
+breaker or corrupt reload cannot affect another's answers.
+
+Two ways onto one port:
+
+* **SO_REUSEPORT** (preferred, Linux/BSD): every worker binds its own
+  listening socket to the *same* address with ``SO_REUSEPORT`` and the
+  kernel balances incoming connections across them.  The parent
+  resolves ``port=0`` up front with a bound (never listening) probe
+  socket so all workers agree on the concrete port, then closes the
+  probe once the fleet is ready.
+* **Front-door fallback** (any platform, or forced with
+  ``REPRO_SERVE_NO_REUSEPORT=1``): workers bind loopback ephemeral
+  ports; the parent listens on the public address itself and splices
+  each accepted connection to the next live worker round-robin.  Pure
+  stdlib, byte-level, protocol-agnostic.
+
+Lifecycle: the parent announces ``serving on HOST:PORT`` only after
+every worker reported ready (same line supervisors already parse for
+the single-process server).  SIGTERM/SIGINT forwards to every worker,
+each drains within ``RunOptions.drain_seconds``, and the parent exits 0
+only when all workers drained cleanly.  With ``--telemetry PATH`` each
+worker exports ``PATH.workerN`` and the parent merges their ``serve.*``
+metrics (counters summed, histograms folded; spans are per-process and
+stay in the per-worker artifacts) into one artifact at ``PATH``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.runtime.options import RunOptions
+from repro.serve.server import reuse_port_supported
+
+#: Seconds the parent waits for each worker's ready report.
+READY_TIMEOUT_SECONDS = 120.0
+#: Slack on top of drain_seconds before stragglers are killed.
+JOIN_MARGIN_SECONDS = 10.0
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything a worker process needs to rebuild the service.
+
+    Kept to plain picklable values (paths as strings, knobs in
+    :class:`RunOptions`) because workers start via the ``spawn``
+    context — no parent state leaks in except what is listed here.
+    """
+
+    suite_dir: str | None = None
+    registry: str | None = None
+    registry_key: str | None = None
+    auto_promote: bool = True
+    options: RunOptions = RunOptions()
+    threads: int = 2
+    host: str = "127.0.0.1"
+    port: int = 0
+    reuse_port: bool = True
+    poll_interval: float = 1.0
+    telemetry: str | None = None
+
+
+def _build_service(spec: FleetSpec, worker_id: int):
+    from repro.serve.loop import AdvisorService
+
+    if spec.registry is not None:
+        from repro.registry.store import SuiteRegistry
+
+        return AdvisorService(
+            registry=SuiteRegistry(Path(spec.registry)),
+            registry_key=spec.registry_key,
+            auto_promote=spec.auto_promote,
+            options=spec.options, workers=spec.threads,
+            worker_id=worker_id,
+        )
+    return AdvisorService(spec.suite_dir, options=spec.options,
+                          workers=spec.threads, worker_id=worker_id)
+
+
+def _worker_main(worker_id: int, spec: FleetSpec, ready_queue) -> None:
+    """Entry point of one worker process: build, announce, serve."""
+    from repro.serve.server import run_server
+
+    pid = os.getpid()
+
+    def announce(message: str, flush: bool = True) -> None:
+        if message.startswith("serving on "):
+            host, _, port = message[len("serving on "):].rpartition(":")
+            ready_queue.put({"worker": worker_id, "pid": pid,
+                             "host": host, "port": int(port)})
+            return  # the parent announces the fleet address once
+        print(f"[worker {worker_id}] {message}", flush=flush)
+
+    try:
+        service = _build_service(spec, worker_id)
+    except Exception as exc:
+        ready_queue.put({"worker": worker_id, "pid": pid,
+                         "error": f"{type(exc).__name__}: {exc}"})
+        raise SystemExit(1)
+    telemetry = (f"{spec.telemetry}.worker{worker_id}"
+                 if spec.telemetry is not None else None)
+    if spec.reuse_port:
+        host, port = spec.host, spec.port
+    else:
+        host, port = "127.0.0.1", 0
+    code = run_server(service, host=host, port=port,
+                      telemetry=telemetry,
+                      poll_interval=spec.poll_interval,
+                      reuse_port=spec.reuse_port,
+                      announce=announce)
+    raise SystemExit(code)
+
+
+def _probe_socket(host: str, port: int) -> socket.socket:
+    """Reserve the fleet's concrete port without accepting anything.
+
+    Bound with ``SO_REUSEPORT`` but never listening, so it fixes the
+    ``port=0`` resolution for every worker while the kernel keeps
+    balancing real connections only among the workers' listening
+    sockets.
+    """
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        probe.bind((host, port))
+    except BaseException:
+        probe.close()
+        raise
+    return probe
+
+
+class _FrontDoor:
+    """Connection-sharding fallback when ``SO_REUSEPORT`` is absent.
+
+    The parent owns the public listening socket and splices every
+    accepted connection — raw bytes, both directions — to the next
+    live worker round-robin.  Slightly more copying than the kernel
+    path, but works on any platform the stdlib works on.
+    """
+
+    def __init__(self, host: str, port: int,
+                 workers: "list[tuple[multiprocessing.Process, tuple[str, int]]]",
+                 announce) -> None:
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET,
+                                  socket.SO_REUSEADDR, 1)
+        try:
+            self._listener.bind((host, port))
+            self._listener.listen(128)
+        except BaseException:
+            self._listener.close()
+            raise
+        self._workers = workers
+        self._announce = announce
+        self._next = 0
+        self._closing = threading.Event()
+        self._thread = threading.Thread(target=self._accept_loop,
+                                        name="repro-serve-frontdoor",
+                                        daemon=True)
+        self._thread.start()
+
+    @property
+    def address(self) -> tuple[str, int]:
+        host, port = self._listener.getsockname()[:2]
+        return str(host), int(port)
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            upstream = self._connect_next()
+            if upstream is None:
+                conn.close()
+                continue
+            threading.Thread(target=_splice, args=(conn, upstream),
+                             daemon=True).start()
+            threading.Thread(target=_splice, args=(upstream, conn),
+                             daemon=True).start()
+
+    def _connect_next(self) -> socket.socket | None:
+        """Next live worker, skipping dead ones; None when none left."""
+        for _ in range(len(self._workers)):
+            proc, address = self._workers[self._next
+                                          % len(self._workers)]
+            self._next += 1
+            if not proc.is_alive():
+                continue
+            try:
+                return socket.create_connection(address, timeout=5.0)
+            except OSError:
+                continue
+        self._announce("front door: no live workers to shard to",
+                       flush=True)
+        return None
+
+    def prune_dead(self) -> None:
+        self._workers = [pair for pair in self._workers
+                         if pair[0].is_alive()]
+
+    def close(self) -> None:
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        self._thread.join(timeout=5.0)
+
+
+def _splice(src: socket.socket, dst: socket.socket) -> None:
+    """Pump bytes one direction until EOF/error, then half-close."""
+    try:
+        while True:
+            data = src.recv(65536)
+            if not data:
+                break
+            dst.sendall(data)
+    except OSError:
+        pass
+    finally:
+        for sock, how in ((dst, socket.SHUT_WR), (src, socket.SHUT_RD)):
+            try:
+                sock.shutdown(how)
+            except OSError:
+                pass
+
+
+def _merge_worker_telemetry(telemetry: str, reports: list[dict],
+                            drained: bool, announce) -> None:
+    """Fold every worker's exported metrics into one artifact.
+
+    Counters sum, gauges last-write, histograms fold (count/total/
+    min/max exact; sample caps respected) — exactly the
+    :meth:`~repro.obs.metrics.MetricsRegistry.merge` semantics the
+    parallel-training path already uses.  A worker that died before
+    exporting is skipped with an announcement, never an exception: the
+    merged view must outlive partial failures.
+    """
+    import repro.obs as obs
+    from repro.obs.export import export_telemetry, load_telemetry
+
+    collector = obs.Collector()
+    wall_times = [0.0]
+    merged_from = []
+    # Deterministic merge order regardless of which worker drained
+    # first — the artifact must not depend on shutdown races.
+    for report in sorted(reports, key=lambda r: r["worker"]):
+        worker_path = f"{telemetry}.worker{report['worker']}"
+        try:
+            payload = load_telemetry(worker_path)
+        except Exception as exc:
+            announce(f"telemetry merge: skipping worker "
+                     f"{report['worker']} ({type(exc).__name__}: {exc})",
+                     flush=True)
+            continue
+        collector.metrics.merge(payload.get("metrics", {}))
+        if payload.get("wall_time_s"):
+            wall_times.append(float(payload["wall_time_s"]))
+        merged_from.append(report["worker"])
+    export_telemetry(
+        collector, Path(telemetry),
+        meta={"command": "serve", "fleet": True,
+              "workers": merged_from, "drained": drained},
+        wall_time_s=max(wall_times),
+    )
+
+
+def run_fleet(spec: FleetSpec, workers: int, *,
+              install_signal_handlers: bool = True,
+              announce=print) -> int:
+    """Run ``workers`` shared-nothing server processes on one port.
+
+    Blocks until SIGTERM/SIGINT (or every worker has died), forwards
+    the signal, waits out the drain, merges telemetry.  Returns 0 only
+    when every worker exited 0 (clean drain); 1 otherwise.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    use_reuse_port = spec.reuse_port and reuse_port_supported()
+    context = multiprocessing.get_context("spawn")
+    ready_queue = context.Queue()
+
+    host, port = spec.host, spec.port
+    probe: socket.socket | None = None
+    if use_reuse_port:
+        probe = _probe_socket(host, port)
+        port = probe.getsockname()[1]
+    worker_spec = FleetSpec(
+        suite_dir=spec.suite_dir, registry=spec.registry,
+        registry_key=spec.registry_key,
+        auto_promote=spec.auto_promote, options=spec.options,
+        threads=spec.threads, host=host, port=port,
+        reuse_port=use_reuse_port,
+        poll_interval=spec.poll_interval, telemetry=spec.telemetry,
+    )
+
+    procs: list[multiprocessing.Process] = []
+    front_door: _FrontDoor | None = None
+    stop = threading.Event()
+    previous_handlers = {}
+
+    def _on_signal(signum, frame):  # pragma: no cover - signal path
+        stop.set()
+
+    if install_signal_handlers:
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                previous_handlers[signum] = signal.signal(signum,
+                                                          _on_signal)
+            except (ValueError, OSError):  # non-main thread
+                pass
+
+    failed = False
+    reports: list[dict] = []
+    try:
+        for worker_id in range(workers):
+            proc = context.Process(
+                target=_worker_main,
+                args=(worker_id, worker_spec, ready_queue),
+                name=f"repro-serve-worker-{worker_id}",
+                daemon=False,
+            )
+            proc.start()
+            procs.append(proc)
+
+        # Every worker must report ready (or fail) before the fleet
+        # address is announced — supervisors treat the announcement as
+        # "traffic is safe now".
+        addresses: dict[int, tuple[str, int]] = {}
+        deadline = time.monotonic() + READY_TIMEOUT_SECONDS
+        while len(reports) < workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                announce("fleet startup timed out waiting for workers",
+                         flush=True)
+                return 1
+            try:
+                report = ready_queue.get(timeout=min(remaining, 0.5))
+            except Exception:
+                if any(not proc.is_alive() and proc.exitcode != 0
+                       for proc in procs):
+                    announce("a worker died during startup", flush=True)
+                    return 1
+                continue
+            if "error" in report:
+                announce(f"worker {report['worker']} failed to start: "
+                         f"{report['error']}", flush=True)
+                return 1
+            reports.append(report)
+            addresses[report["worker"]] = (report["host"],
+                                           report["port"])
+            announce(f"worker {report['worker']} ready "
+                     f"(pid {report['pid']}) on "
+                     f"{report['host']}:{report['port']}", flush=True)
+
+        if use_reuse_port:
+            probe.close()
+            probe = None
+            bound_host, bound_port = host, port
+        else:
+            front_door = _FrontDoor(
+                host, port,
+                [(procs[i], addresses[i]) for i in range(workers)],
+                announce,
+            )
+            bound_host, bound_port = front_door.address
+        announce(f"fleet of {workers} worker"
+                 f"{'' if workers == 1 else 's'} "
+                 + ("(SO_REUSEPORT)" if use_reuse_port
+                    else "(front-door fallback)"), flush=True)
+        announce(f"serving on {bound_host}:{bound_port}", flush=True)
+
+        # Supervise: wake on signal, notice dead workers as they go.
+        alive = dict(enumerate(procs))
+        while not stop.wait(0.2):
+            exited = [worker_id for worker_id, proc in alive.items()
+                      if not proc.is_alive()]
+            for worker_id in exited:
+                proc = alive.pop(worker_id)
+                if proc.exitcode != 0:
+                    failed = True
+                # Keep serving on the survivors; the fleet exit code
+                # still flags the casualty.
+                announce(f"worker {worker_id} exited with code "
+                         f"{proc.exitcode}", flush=True)
+            if exited and front_door is not None:
+                front_door.prune_dead()
+            if not alive:
+                announce("all workers exited; shutting down",
+                         flush=True)
+                break
+
+        # Drain: stop routing, forward the signal, wait out the budget.
+        if front_door is not None:
+            front_door.close()
+            front_door = None
+        for proc in procs:
+            if proc.is_alive():
+                proc.terminate()  # SIGTERM → graceful in-worker drain
+        join_budget = (spec.options.drain_seconds
+                       + JOIN_MARGIN_SECONDS)
+        join_deadline = time.monotonic() + join_budget
+        for proc in procs:
+            proc.join(timeout=max(0.1,
+                                  join_deadline - time.monotonic()))
+            if proc.is_alive():
+                announce(f"killing worker {proc.name} (drain budget "
+                         "expired)", flush=True)
+                proc.kill()
+                proc.join(timeout=5.0)
+                failed = True
+            elif proc.exitcode != 0:
+                failed = True
+        if spec.telemetry is not None and reports:
+            _merge_worker_telemetry(spec.telemetry, reports,
+                                    drained=not failed,
+                                    announce=announce)
+        announce("fleet drained cleanly" if not failed
+                 else "fleet shut down with failures", flush=True)
+        return 1 if failed else 0
+    finally:
+        if probe is not None:
+            probe.close()
+        if front_door is not None:
+            front_door.close()
+        for proc in procs:
+            if proc.is_alive():  # pragma: no cover - error paths
+                proc.kill()
+        if install_signal_handlers:
+            for signum, handler in previous_handlers.items():
+                try:
+                    signal.signal(signum, handler)
+                except (ValueError, OSError):  # pragma: no cover
+                    pass

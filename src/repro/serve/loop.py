@@ -24,14 +24,23 @@ behind the four serving guarantees:
   advisor only on success; a corrupt new artifact leaves the
   last-known-good suite serving.
 
+* **Micro-batching** — with ``RunOptions.batch_window_ms`` > 0,
+  concurrent advise requests coalesce per advisor inside
+  :class:`MicroBatcher` and run as one vectorized
+  :meth:`~repro.core.advisor.BrainyAdvisor.advise_traces` pass,
+  fanning back out into byte-identical per-request reports; deadlines,
+  shedding and breakers all keep their per-request semantics.
+
 All service metrics go directly to the service's own collector
 (``serve.requests{status=…}``, ``serve.shed``, ``serve.deadline``,
-``serve.breaker_state{group=…}``, ``serve.latency_ms``), so tests and
-the ``metrics`` op read one coherent registry.
+``serve.breaker_state{group=…}``, ``serve.latency_ms``,
+``serve.batch_size``, ``serve.queue_depth``), so tests and the
+``metrics`` op read one coherent registry.
 """
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import time
@@ -126,6 +135,10 @@ class Dispatcher:
         self._active = 0
         self.workers = workers
         self.queue_depth = queue_depth
+        #: Called (outside the dispatcher lock) each time a worker
+        #: finishes a task and finds the queue empty — the micro-
+        #: batcher's cue to flush what coalesced during the task.
+        self.on_idle: Callable[[], None] | None = None
         for i in range(workers):
             thread = threading.Thread(
                 target=self._run, name=f"repro-serve-worker-{i}",
@@ -168,6 +181,12 @@ class Dispatcher:
                 with self._lock:
                     self._active -= 1
                     self._settled.notify_all()
+                hook = self.on_idle
+                if hook is not None and not self._queue.qsize():
+                    try:
+                        hook()
+                    except Exception:  # pragma: no cover - safety
+                        pass
 
     def quiesce(self, timeout: float,
                 clock: Callable[[], float] = time.monotonic) -> bool:
@@ -180,6 +199,183 @@ class Dispatcher:
                     return False
                 self._settled.wait(min(remaining, 0.05))
             return True
+
+
+class _BatchEntry:
+    """One request waiting inside a micro-batch.
+
+    Same waiting surface as :class:`_Task` (``result`` / ``error`` /
+    ``done`` / ``cancelled``) so the submit tail handles both paths with
+    one piece of code: a deadline timeout sets ``cancelled`` and answers
+    from the baseline, a flush-time shed sets ``cancelled`` *and*
+    ``done`` so the submitter answers ``overloaded``.
+    """
+
+    __slots__ = ("trace", "keyed_contexts", "result", "error", "done",
+                 "cancelled")
+
+    def __init__(self, trace, keyed_contexts) -> None:
+        self.trace = trace
+        self.keyed_contexts = keyed_contexts
+        self.result: object | None = None
+        self.error: BaseException | None = None
+        self.done = threading.Event()
+        self.cancelled = False
+
+
+class _Bucket:
+    """Entries coalescing for one advisor, plus their window timer."""
+
+    __slots__ = ("advisor", "entries", "timer")
+
+    def __init__(self, advisor: BrainyAdvisor) -> None:
+        self.advisor = advisor
+        self.entries: list[_BatchEntry] = []
+        self.timer: threading.Timer | None = None
+
+
+class MicroBatcher:
+    """Coalesces concurrent advise requests into multi-trace batches.
+
+    Requests land in per-advisor buckets (keyed by the advisor object
+    itself, so registry tags and hot-reload generations never mix inside
+    one forward pass).  A bucket flushes when it reaches ``batch_max``
+    or when the ``batch_window_ms`` timer expires, whichever comes
+    first; the flush submits **one** dispatcher task running
+    :meth:`repro.core.advisor.BrainyAdvisor.advise_traces`, whose
+    reports fan back out to the waiting submitters — byte-identical to
+    what each request would have gotten alone.
+
+    The serving guarantees survive coalescing:
+
+    * deadlines stay per-request — every submitter waits on its own
+      entry with its own budget, and an entry whose submitter already
+      gave up is dropped from the batch at flush time;
+    * load shedding stays bounded by ``queue_depth`` — admission counts
+      both queued dispatcher work and not-yet-flushed entries, and a
+      formed batch that meets a full dispatcher queue sheds all of its
+      entries with ``overloaded``;
+    * breakers keep working per group inside the batched pass (the
+      advisor's ``infer`` seam is per model group either way).
+    """
+
+    def __init__(self, dispatcher: Dispatcher, *, window_seconds: float,
+                 batch_max: int, metrics) -> None:
+        self._dispatcher = dispatcher
+        self._window = max(float(window_seconds), 0.0)
+        self._batch_max = max(int(batch_max), 1)
+        self._metrics = metrics
+        self._lock = threading.Lock()
+        self._buckets: dict[int, _Bucket] = {}
+        self._pending = 0
+        # A worker finishing with an empty queue flushes what coalesced
+        # during its pass — back-to-back batches under load, with the
+        # window timer only as the upper bound on waiting.
+        dispatcher.on_idle = self.flush_pending
+
+    @property
+    def pending(self) -> int:
+        """Entries admitted but not yet flushed into the dispatcher."""
+        with self._lock:
+            return self._pending
+
+    def try_submit(self, advisor: BrainyAdvisor, trace,
+                   keyed_contexts) -> _BatchEntry | None:
+        """Admit one request into its advisor's open bucket.
+
+        Returns ``None`` (the shed signal, same as
+        :meth:`Dispatcher.try_submit`) when admission would exceed the
+        ``queue_depth`` bound counting both dispatcher backlog and
+        coalescing entries — batching must never add hidden queueing.
+        """
+        entry = _BatchEntry(trace, keyed_contexts)
+        ready: _Bucket | None = None
+        with self._lock:
+            if (self._pending + self._dispatcher.queued
+                    >= self._dispatcher.queue_depth):
+                return None
+            key = id(advisor)
+            bucket = self._buckets.get(key)
+            if bucket is None:
+                bucket = _Bucket(advisor)
+                self._buckets[key] = bucket
+            bucket.entries.append(entry)
+            self._pending += 1
+            if len(bucket.entries) >= self._batch_max:
+                ready = self._detach_locked(key)
+            elif bucket.timer is None:
+                timer = threading.Timer(self._window,
+                                        self._flush_key, args=(key,))
+                timer.daemon = True
+                bucket.timer = timer
+                timer.start()
+        if ready is not None:
+            self._dispatch(ready)
+        return entry
+
+    def _detach_locked(self, key: int) -> _Bucket | None:
+        bucket = self._buckets.pop(key, None)
+        if bucket is None:
+            return None
+        if bucket.timer is not None:
+            bucket.timer.cancel()
+        self._pending -= len(bucket.entries)
+        return bucket
+
+    def _flush_key(self, key: int) -> None:
+        with self._lock:
+            bucket = self._detach_locked(key)
+        if bucket is not None:
+            self._dispatch(bucket)
+
+    def flush_pending(self) -> None:
+        """Flush every open bucket right now.
+
+        Called on drain (nobody should wait out a window while the
+        drain clock runs) and by the dispatcher's idle hook (a freed
+        worker takes the accumulated batch immediately).
+        """
+        with self._lock:
+            if not self._buckets:
+                return
+            buckets = [self._detach_locked(key)
+                       for key in list(self._buckets)]
+        for bucket in buckets:
+            if bucket is not None:
+                self._dispatch(bucket)
+
+    def _dispatch(self, bucket: _Bucket) -> None:
+        live = []
+        for entry in bucket.entries:
+            if entry.cancelled:
+                # The submitter's deadline expired inside the window;
+                # it already answered from the baseline — don't spend
+                # model time on it.
+                entry.done.set()
+            else:
+                live.append(entry)
+        if not live:
+            return
+        self._metrics.observe("serve.batch_size", len(live))
+        batch = [(entry.trace, entry.keyed_contexts) for entry in live]
+        advisor = bucket.advisor
+
+        def run() -> None:
+            try:
+                reports = advisor.advise_traces(batch)
+            except BaseException as exc:
+                for entry in live:
+                    entry.error = exc
+                    entry.done.set()
+            else:
+                for entry, report in zip(live, reports):
+                    entry.result = report
+                    entry.done.set()
+
+        if self._dispatcher.try_submit(run) is None:
+            for entry in live:
+                entry.cancelled = True
+                entry.done.set()
 
 
 class AdvisorService:
@@ -220,6 +416,10 @@ class AdvisorService:
         Registry mode: let the router promote gate-clearing candidates
         on its own (default); ``False`` restricts promotion to the
         explicit ``promote`` op.
+    worker_id:
+        This process's position in a multi-worker fleet (0-based;
+        always 0 single-process).  Reported by health/ready so
+        multi-worker deployments can tell which process answered.
     """
 
     def __init__(self, suite_dir: str | Path | None = None, *,
@@ -232,7 +432,8 @@ class AdvisorService:
                  fallback=None,
                  registry=None,
                  registry_key: str | None = None,
-                 auto_promote: bool = True) -> None:
+                 auto_promote: bool = True,
+                 worker_id: int = 0) -> None:
         if registry is not None and (suite is not None
                                      or suite_dir is not None):
             raise ValueError(
@@ -270,6 +471,15 @@ class AdvisorService:
             self._advisor = self._make_advisor(suite)
         self._dispatcher = Dispatcher(workers,
                                       self.options.queue_depth)
+        self._batcher: MicroBatcher | None = None
+        if self.options.batch_window_ms > 0:
+            self._batcher = MicroBatcher(
+                self._dispatcher,
+                window_seconds=self.options.batch_window_ms / 1000.0,
+                batch_max=self.options.batch_max,
+                metrics=self.metrics,
+            )
+        self.worker_id = worker_id
         self._draining = threading.Event()
         self._started = self._clock()
 
@@ -377,12 +587,23 @@ class AdvisorService:
         else:
             advisor = self._advisor  # one suite generation per request
         start = self._clock()
-        task = self._dispatcher.try_submit(
-            lambda: advisor.advise_trace(
-                request.trace, request.keyed_contexts,
-                batched=request.batched,
+        if self._batcher is not None and request.batched:
+            # Micro-batched path: coalesce with concurrent requests for
+            # the same advisor; one vectorized pass per flushed batch.
+            task = self._batcher.try_submit(
+                advisor, request.trace, request.keyed_contexts)
+        else:
+            task = self._dispatcher.try_submit(
+                lambda: advisor.advise_trace(
+                    request.trace, request.keyed_contexts,
+                    batched=request.batched,
+                )
             )
-        )
+        self.metrics.gauge(
+            "serve.queue_depth",
+            float(self._dispatcher.queued
+                  + (self._batcher.pending
+                     if self._batcher is not None else 0)))
         if task is None:
             self.metrics.count("serve.shed")
             self.metrics.count("serve.requests",
@@ -465,6 +686,7 @@ class AdvisorService:
         """
         suite = self.suite
         payload = {
+            "worker": self._worker_identity(),
             "uptime_s": self._clock() - self._started,
             "draining": self._draining.is_set(),
             "queued": self._dispatcher.queued,
@@ -496,6 +718,10 @@ class AdvisorService:
                 self._reloader.suite_fingerprint
                 if self._reloader is not None else None)
         return payload
+
+    def _worker_identity(self) -> dict:
+        """Which process is answering (fleet position + pid)."""
+        return {"id": self.worker_id, "pid": os.getpid()}
 
     def ready(self) -> tuple[bool, str | None]:
         """Readiness: can this instance take traffic right now?"""
@@ -560,6 +786,10 @@ class AdvisorService:
         ``serve.drained`` records the outcome for the telemetry
         artifact."""
         self.begin_drain()
+        if self._batcher is not None:
+            # Don't make in-flight requests wait out a coalescing
+            # window while the drain clock runs.
+            self._batcher.flush_pending()
         budget = (drain_seconds if drain_seconds is not None
                   else self.options.drain_seconds)
         drained = self._dispatcher.quiesce(budget)
@@ -606,6 +836,7 @@ class AdvisorService:
                 status=STATUS_OK if ready else STATUS_UNAVAILABLE,
                 request_id=request_id,
                 error=why,
+                detail={"worker": self._worker_identity()},
             ).to_payload()
         if op == OP_RELOAD:
             try:

@@ -69,13 +69,42 @@ class _TCPServer(socketserver.ThreadingTCPServer):
     daemon_threads = True
 
 
+def reuse_port_supported() -> bool:
+    """Does this platform expose ``SO_REUSEPORT`` (the kernel-balanced
+    multi-worker path)?  ``REPRO_SERVE_NO_REUSEPORT=1`` forces the
+    front-door fallback even where the option exists, so the fallback
+    is testable on any platform."""
+    import os
+
+    if os.environ.get("REPRO_SERVE_NO_REUSEPORT"):
+        return False
+    return hasattr(socket, "SO_REUSEPORT")
+
+
 class AdvisorServer:
-    """A bound, running server; the embeddable piece under ``repro serve``."""
+    """A bound, running server; the embeddable piece under ``repro serve``.
+
+    With ``reuse_port=True`` the listening socket is bound with
+    ``SO_REUSEPORT`` so several shared-nothing worker processes can
+    listen on the very same address and let the kernel balance
+    connections between them (see :mod:`repro.serve.fleet`).
+    """
 
     def __init__(self, service: AdvisorService,
-                 host: str = "127.0.0.1", port: int = 0) -> None:
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 reuse_port: bool = False) -> None:
         self.service = service
-        self._tcp = _TCPServer((host, port), _Handler)
+        self._tcp = _TCPServer((host, port), _Handler,
+                               bind_and_activate=not reuse_port)
+        if reuse_port:
+            try:
+                self._tcp.socket.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+                self._tcp.server_bind()
+                self._tcp.server_activate()
+            except BaseException:
+                self._tcp.server_close()
+                raise
         self._tcp.service = service  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
 
@@ -123,6 +152,7 @@ def run_server(service: AdvisorService,
                telemetry: str | Path | None = None,
                poll_interval: float = 1.0,
                install_signal_handlers: bool = True,
+               reuse_port: bool = False,
                announce=print) -> int:
     """Serve until SIGTERM/SIGINT, then drain gracefully.
 
@@ -145,7 +175,8 @@ def run_server(service: AdvisorService,
             except (ValueError, OSError):  # non-main thread
                 pass
 
-    server = AdvisorServer(service, host=host, port=port).start()
+    server = AdvisorServer(service, host=host, port=port,
+                           reuse_port=reuse_port).start()
     bound_host, bound_port = server.address
     announce(f"serving on {bound_host}:{bound_port}", flush=True)
     try:

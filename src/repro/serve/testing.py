@@ -63,6 +63,34 @@ def make_trace(n_records: int = 4, *, kind: DSKind = DSKind.VECTOR,
     return trace
 
 
+def make_mixed_trace(per_group: int = 1, *, seed: int = 0,
+                     keyed: bool = False) -> TraceSet:
+    """An advisable trace spanning every model group.
+
+    ``per_group`` records for each (kind, order-obliviousness)
+    combination — the shape that exercises one vectorized forward pass
+    per group, which is what the serving micro-batcher amortizes across
+    requests.  Mirrors real Brainy traces: a handful of hot containers
+    spread over several kinds, not many records of one kind.
+    """
+    rng = np.random.default_rng(seed)
+    records = []
+    site = 0
+    for kind in (DSKind.VECTOR, DSKind.LIST, DSKind.MAP, DSKind.SET):
+        for order_oblivious in (True, False):
+            for _ in range(per_group):
+                records.append(TraceRecord(
+                    context=f"app:site{site}", kind=kind,
+                    order_oblivious=order_oblivious,
+                    features=rng.normal(size=num_features()),
+                    cycles=100 + site, total_calls=10, keyed=keyed,
+                ))
+                site += 1
+    trace = TraceSet(program_cycles=1000, records=records)
+    trace.sort()
+    return trace
+
+
 def advise_payload(trace: TraceSet, *, request_id: str = "r1",
                    deadline_seconds: float | None = None,
                    batched: bool = True, tag: str = "") -> dict:

