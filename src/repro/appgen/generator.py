@@ -22,6 +22,7 @@ from repro.containers.base import Container
 from repro.containers.registry import DSKind, ModelGroup, make_container
 from repro.instrumentation.profiler import ProfiledContainer
 from repro.machine.configs import CORE2, MachineConfig
+from repro.machine.engine import make_machine
 from repro.machine.machine import Machine
 
 #: Interfaces exercised per model family.  Sequence targets get the full
@@ -132,7 +133,10 @@ class SyntheticApp:
             raise ValueError(
                 f"{kind} is not a legal candidate for group {self.group.name}"
             )
-        machine = Machine(machine_config)
+        # Instrumented runs read counters after every op, so the auto
+        # engine picks the scalar machine for them; plain measurement
+        # runs (the Phase I hot path) get the vector recorder.
+        machine = make_machine(machine_config, instrumented=instrument)
         profile = self.profile
         container: Container = make_container(
             kind, machine, profile.elem_size,

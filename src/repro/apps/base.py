@@ -25,6 +25,7 @@ from repro.containers.registry import (
 from repro.instrumentation.profiler import ProfiledContainer
 from repro.instrumentation.trace import TraceSet
 from repro.machine.configs import MachineConfig
+from repro.machine.engine import make_machine
 from repro.machine.machine import Machine
 
 
@@ -117,7 +118,7 @@ def run_case_study(app: CaseStudyApp,
     site's Table 1 candidate set.
     """
     kinds = dict(kinds or {})
-    machine = Machine(machine_config)
+    machine = make_machine(machine_config, instrumented=instrument)
     containers: dict[str, Container] = {}
     handles: dict[str, Container | ProfiledContainer] = {}
     profiled: dict[str, ProfiledContainer] = {}

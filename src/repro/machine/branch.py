@@ -46,6 +46,12 @@ class BimodalPredictor:
             self._counters[idx] = counter - 1
         return correct
 
+    def reset(self) -> None:
+        """Restore the freshly-constructed state (tables and counters)."""
+        self._counters = bytearray([1] * self.table_size)
+        self.branches = 0
+        self.mispredicts = 0
+
     @property
     def miss_rate(self) -> float:
         if self.branches == 0:
@@ -85,6 +91,14 @@ class GSharePredictor:
             (1 << self.history_bits) - 1
         )
         return correct
+
+    def reset(self) -> None:
+        """Restore the freshly-constructed state (tables, history,
+        counters)."""
+        self._counters = bytearray([1] * self.table_size)
+        self._history = 0
+        self.branches = 0
+        self.mispredicts = 0
 
     @property
     def miss_rate(self) -> float:

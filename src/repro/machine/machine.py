@@ -19,11 +19,23 @@ from repro.machine.tlb import TLB
 
 
 class Machine:
-    """Trace-driven microarchitecture simulator."""
+    """Trace-driven microarchitecture simulator (the scalar engine).
+
+    Cycle accounting is split into two accumulators: ``_cycles_int``
+    collects every integer-valued contribution (cache/TLB/memory
+    latencies, mispredict penalties, division latency), which makes
+    those contributions exact and order-independent, while ``_cycles``
+    collects the inherently fractional ones (CPI multiples, streamed
+    multi-line latencies) in event order.  The observable cycle count
+    is their sum.  The split is what lets the vectorized trace-replay
+    engine (:mod:`repro.machine.vector`) compute the integer part as
+    whole-chunk array sums while still matching this engine bit for
+    bit on the float part.
+    """
 
     __slots__ = (
         "config", "allocator", "l1", "l2", "tlb", "predictor",
-        "_cycles", "instructions",
+        "_cycles", "_cycles_int", "instructions",
         "_line_shift", "_page_shift", "_page_delta", "_cpi",
         "_l1_lat", "_l2_lat",
         "_mem_lat", "_mispredict_penalty", "_tlb_penalty", "_div_latency",
@@ -34,6 +46,9 @@ class Machine:
         "_last_page",
         "prefetcher",
     )
+
+    #: Engine tag surfaced in telemetry (``obs.record_sim_run``).
+    engine = "scalar"
 
     def __init__(self, config: MachineConfig) -> None:
         self.config = config
@@ -48,6 +63,7 @@ class Machine:
         else:
             raise ValueError(f"unknown predictor kind: {config.predictor!r}")
         self._cycles = 0.0
+        self._cycles_int = 0
         self.instructions = 0
         # Hot-path locals.
         self._line_shift = config.line_bytes.bit_length() - 1
@@ -92,7 +108,7 @@ class Machine:
         writeback modelling).
         """
         if nbytes <= 0:
-            raise ValueError(f"access size must be positive: {nbytes}")
+            raise ValueError(f"access: size must be positive: {nbytes}")
         shift = self._line_shift
         first = addr >> shift
         last = (addr + nbytes - 1) >> shift
@@ -106,8 +122,9 @@ class Machine:
         if first == last:
             # Single-line accesses (field reads, node touches) dominate
             # the trace; they need none of the multi-line stream
-            # bookkeeping below.
-            cycles = self._cycles + self._l1_lat
+            # bookkeeping below.  All their cycle costs are integer
+            # latencies, so only the exact accumulator is touched.
+            cycles = self._cycles_int + self._l1_lat
             page = first >> self._page_delta
             if page != self._last_page:
                 self._last_page = page
@@ -168,8 +185,9 @@ class Machine:
                             break
                         del ways2[victim]
                     cycles += self._mem_lat
-            self._cycles = cycles
+            self._cycles_int = cycles
             return
+        cycles_int = self._cycles_int
         cycles = self._cycles
         l1 = self.l1
         l2 = self.l2
@@ -195,8 +213,9 @@ class Machine:
         # Lines after the first in a contiguous access stream are
         # overlapped by the pipeline/prefetcher: their latencies are
         # discounted by the architecture's stream factor.  The first
-        # line pays the full latencies; later lines pay the
-        # pre-multiplied streamed ones.
+        # line pays the full (integer) latencies into the exact
+        # accumulator; later lines pay the pre-multiplied streamed
+        # (fractional) ones in order.  TLB refills are never streamed.
         l1_cost = self._l1_lat
         l2_cost = self._l2_lat
         mem_cost = self._mem_lat
@@ -204,6 +223,7 @@ class Machine:
         l1_cost_streamed = l1_cost * stream
         l2_cost_streamed = l2_cost * stream
         mem_cost_streamed = mem_cost * stream
+        streamed = False
         for line in range(first, last + 1):
             page = line >> page_delta
             if page != last_page:
@@ -219,8 +239,11 @@ class Machine:
                         for victim in tlb_pages:
                             break
                         del tlb_pages[victim]
-                    cycles += tlb_penalty
-            cycles += l1_cost
+                    cycles_int += tlb_penalty
+            if streamed:
+                cycles += l1_cost
+            else:
+                cycles_int += l1_cost
             ways = l1_sets[line & l1_mask]
             if line in ways:
                 del ways[line]
@@ -243,12 +266,15 @@ class Machine:
                                 for victim in target_ways:
                                     break
                                 del target_ways[victim]
-                cycles += l2_cost
                 l2_accesses += 1
                 ways2 = l2_sets[line & l2_mask]
                 if line in ways2:
                     del ways2[line]
                     ways2[line] = None
+                    if streamed:
+                        cycles += l2_cost
+                    else:
+                        cycles_int += l2_cost
                 else:
                     l2_misses += 1
                     ways2[line] = None
@@ -256,10 +282,16 @@ class Machine:
                         for victim in ways2:
                             break
                         del ways2[victim]
-                    cycles += mem_cost
+                    if streamed:
+                        cycles += l2_cost
+                        cycles += mem_cost
+                    else:
+                        cycles_int += l2_cost
+                        cycles_int += mem_cost
             l1_cost = l1_cost_streamed
             l2_cost = l2_cost_streamed
             mem_cost = mem_cost_streamed
+            streamed = True
         if tlb_accesses:
             tlb.accesses += tlb_accesses
             tlb.misses += tlb_misses
@@ -269,6 +301,7 @@ class Machine:
             l2.misses += l2_misses
         self._last_page = last_page
         self._cycles = cycles
+        self._cycles_int = cycles_int
 
     read = access
     write = access
@@ -285,13 +318,13 @@ class Machine:
         self._cycles += self._cpi
         correct = self.predictor.predict_and_update(pc, taken)
         if not correct:
-            self._cycles += self._mispredict_penalty
+            self._cycles_int += self._mispredict_penalty
         return correct
 
     def div(self, count: int = 1) -> None:
         """Execute ``count`` integer divisions (long-latency, unpipelined)."""
         self.instructions += count
-        self._cycles += count * self._div_latency
+        self._cycles_int += count * self._div_latency
 
     def loop_branches(self, pc: int, taken_iterations: int) -> None:
         """Account a counted loop's branches statistically.
@@ -312,7 +345,7 @@ class Machine:
         self._cycles += n * self._cpi
         if taken_iterations > 0:
             pred.mispredicts += 1
-            self._cycles += self._mispredict_penalty
+            self._cycles_int += self._mispredict_penalty
 
     def malloc(self, nbytes: int) -> int:
         """Allocate simulated heap memory (costs allocator instructions
@@ -333,12 +366,12 @@ class Machine:
 
     @property
     def cycles(self) -> int:
-        return int(self._cycles)
+        return int(self._cycles_int + self._cycles)
 
     @property
     def seconds(self) -> float:
         """Simulated wall-clock time at the configured frequency."""
-        return self._cycles / (self.config.freq_ghz * 1e9)
+        return (self._cycles_int + self._cycles) / (self.config.freq_ghz * 1e9)
 
     def attach_prefetcher(self, prefetcher) -> None:
         """Enable an explicit prefetcher (e.g.
@@ -348,7 +381,7 @@ class Machine:
     def counters(self) -> PerfCounters:
         """Snapshot all event counters (the PAPI-read analogue)."""
         return PerfCounters(
-            cycles=int(self._cycles),
+            cycles=int(self._cycles_int + self._cycles),
             instructions=self.instructions,
             l1_accesses=self.l1.accesses,
             l1_misses=self.l1.misses,
@@ -367,7 +400,7 @@ class Machine:
         Field order matches :meth:`counters`.
         """
         return (
-            int(self._cycles),
+            int(self._cycles_int + self._cycles),
             self.instructions,
             self.l1.accesses,
             self.l1.misses,
@@ -381,7 +414,13 @@ class Machine:
         )
 
     def reset(self) -> None:
-        """Reset microarchitectural and counter state, keeping the heap."""
+        """Reset microarchitectural and counter state, keeping the heap.
+
+        The allocator's heap mapping (live blocks, bump pointer, free
+        lists) survives — containers still hold those addresses — but
+        its event counters restart with everything else, and an
+        attached prefetcher drops its stream history and statistics.
+        """
         self.l1.flush()
         self.l2.flush()
         self.tlb.flush()
@@ -389,8 +428,13 @@ class Machine:
         self.l2.accesses = self.l2.misses = 0
         self.tlb.accesses = self.tlb.misses = 0
         self._cycles = 0.0
+        self._cycles_int = 0
         self.instructions = 0
         self._last_page = -1
-        pred = self.predictor
-        pred.branches = 0
-        pred.mispredicts = 0
+        self.predictor.reset()
+        alloc = self.allocator
+        alloc.allocations = 0
+        alloc.frees = 0
+        alloc.allocated_bytes = 0
+        if self.prefetcher is not None:
+            self.prefetcher.reset()

@@ -1,0 +1,60 @@
+"""Cross-engine equivalence helpers.
+
+The vector engine's contract is that every observable measurement is
+*bit*-identical to the scalar engine's — not approximately equal.
+:func:`counters_identical` is the one place that defines "every
+observable": the full :class:`~repro.machine.events.PerfCounters`
+snapshot, the raw ``snapshot_tuple`` used by the instrumentation layer,
+the TLB access count (not part of the public counter snapshot), and
+the float ``seconds`` estimate compared with ``==`` (same bits, since
+both engines must perform the fractional additions in the same order).
+
+Used by the randomized property tests, the Phase I artifact-identity
+test, and the benchmark harness's identity checksums.
+"""
+
+from __future__ import annotations
+
+
+def machine_state(machine) -> tuple:
+    """Every observable measurement of a machine, as a comparable tuple.
+
+    Reading the state drains a recorder's pending events, so two
+    engines fed the same event stream must produce equal tuples at any
+    observation point.
+    """
+    return (
+        machine.counters(),
+        machine.snapshot_tuple(),
+        machine.tlb.accesses,
+        machine.seconds,
+    )
+
+
+def counters_identical(machine_a, machine_b) -> bool:
+    """True when two machines are observationally bit-identical."""
+    return machine_state(machine_a) == machine_state(machine_b)
+
+
+def assert_counters_identical(machine_a, machine_b, context: str = "") -> None:
+    """Assert bit-identical state, reporting the first differing field."""
+    state_a = machine_state(machine_a)
+    state_b = machine_state(machine_b)
+    if state_a == state_b:
+        return
+    details = []
+    counters_a, counters_b = state_a[0], state_b[0]
+    for name, value_a in counters_a.as_dict().items():
+        value_b = getattr(counters_b, name)
+        if value_a != value_b:
+            details.append(f"{name}: {value_a} != {value_b}")
+    if state_a[1] != state_b[1]:
+        details.append(f"snapshot_tuple: {state_a[1]} != {state_b[1]}")
+    if state_a[2] != state_b[2]:
+        details.append(f"tlb.accesses: {state_a[2]} != {state_b[2]}")
+    if state_a[3] != state_b[3]:
+        details.append(f"seconds: {state_a[3]!r} != {state_b[3]!r}")
+    prefix = f"{context}: " if context else ""
+    raise AssertionError(
+        f"{prefix}engines diverged ({machine_a.engine} vs "
+        f"{machine_b.engine}): " + "; ".join(details))
