@@ -22,9 +22,30 @@ DESIGN.md for the system inventory.
 import repro.obs as obs
 from repro.appgen import GeneratorConfig, SyntheticApp, generate_app
 from repro.containers import Container, DSKind, make_container
-from repro.core import BrainyAdvisor, Report, Suggestion
+from repro.core import (
+    BrainyAdvisor,
+    DarwinResult,
+    Report,
+    Suggestion,
+    run_darwin,
+)
 from repro.instrumentation import FEATURE_NAMES, ProfiledContainer
 from repro.machine import ATOM, CORE2, Machine, MachineConfig, PerfCounters
+from repro.ml import (
+    Ancestry,
+    Crossover,
+    Fitness,
+    GaussianMutation,
+    GeneChoiceMutation,
+    GeneticSearch,
+    Mutation,
+    ParetoPoint,
+    ParetoResult,
+    SeededChoiceInit,
+    TournamentAncestry,
+    UniformCrossover,
+    UnitUniformInit,
+)
 from repro.models import BrainyModel, BrainySuite, PerflintModel, oracle_select
 from repro.runtime import (
     ArtifactError,
@@ -44,6 +65,7 @@ from repro.api import (
     UsageError,
     advise,
     census,
+    darwin,
     pipeline,
     registry_status,
     rollback,
@@ -61,6 +83,7 @@ __all__ = [
     "advise",
     "api",
     "census",
+    "darwin",
     "obs",
     "pipeline",
     "registry_status",
@@ -68,30 +91,45 @@ __all__ = [
     "telemetry_summary",
     "train",
     "validate",
+    "Ancestry",
     "BrainyAdvisor",
     "BrainyModel",
     "BrainySuite",
     "CORE2",
     "Container",
+    "Crossover",
     "DSKind",
+    "DarwinResult",
     "FEATURE_NAMES",
     "FaultInjector",
     "FaultPlan",
+    "Fitness",
+    "GaussianMutation",
+    "GeneChoiceMutation",
     "GeneratorConfig",
+    "GeneticSearch",
     "Machine",
     "MachineConfig",
+    "Mutation",
+    "ParetoPoint",
+    "ParetoResult",
     "PerfCounters",
     "PerflintModel",
     "ProfiledContainer",
     "Report",
     "RetryPolicy",
+    "SeededChoiceInit",
     "Suggestion",
     "SyntheticApp",
+    "TournamentAncestry",
     "TrainingInterrupted",
     "TrainingSet",
+    "UniformCrossover",
+    "UnitUniformInit",
     "generate_app",
     "make_container",
     "oracle_select",
+    "run_darwin",
     "run_phase1",
     "run_phase2",
     "__version__",

@@ -40,6 +40,7 @@ from repro.appgen.generator import SyntheticApp, generate_app
 from repro.appgen.workload import best_candidate, measure_candidates
 from repro.containers.registry import DSKind, MODEL_GROUPS, ModelGroup
 from repro.core.advisor import BrainyAdvisor
+from repro.core.darwin import DarwinResult, run_darwin
 from repro.core.report import Report
 from repro.machine.configs import ATOM, CORE2, MachineConfig
 from repro.machine.engine import validate_engine
@@ -282,6 +283,80 @@ def advise(app: str,
         advisor = BrainyAdvisor(suite)
         return advisor.advise_app(app_cls(input_name), machine,
                                   batched=batched)
+
+
+def darwin(app: str,
+           input_name: str | None = None,
+           machine: str | MachineConfig = "core2",
+           scale: str | ScaleParams = "small",
+           *,
+           options: RunOptions | None = None,
+           jobs: int | None = None,
+           generations: int | None = None,
+           population: int | None = None,
+           objectives: tuple[str, ...] | None = None,
+           seed: int = 0,
+           sim_engine: str | None = None,
+           telemetry: str | Path | None = None) -> DarwinResult:
+    """Evolve whole-program container assignments for a case-study app.
+
+    The Darwinian advisor mode: instead of the greedy per-instance
+    suggestions of :func:`advise`, an NSGA-II genetic search evolves one
+    container choice per site, minimising simulated cycles *and*
+    allocator footprint, and returns the Pareto front of non-dominated
+    assignments (:class:`repro.core.darwin.DarwinResult`).  The greedy
+    advisor assignment is measured, seeded into generation zero, and
+    compared against — :meth:`DarwinResult.dominating` lists the evolved
+    assignments that strictly beat it on both objectives.
+
+    ``generations`` / ``population`` / ``objectives`` override the
+    ``darwin_*`` knobs of ``options``
+    (:class:`repro.runtime.options.RunOptions`); all knobs are validated
+    up front (:class:`UsageError`, CLI exit 2).  The front is
+    byte-identical for any ``jobs`` value.
+    """
+    _load_apps()
+    machine = resolve_machine(machine)
+    scale = resolve_scale(scale)
+    options = _resolve_options(options, jobs, sim_engine)
+    if generations is not None:
+        options = options.with_overrides(darwin_generations=generations)
+    if population is not None:
+        options = options.with_overrides(darwin_population=population)
+    if objectives is not None:
+        options = options.with_overrides(
+            darwin_objectives=tuple(objectives))
+    try:
+        options.validate_darwin()
+    except ValueError as exc:
+        raise UsageError(str(exc)) from None
+    machine = _engine_machine(machine, options)
+    try:
+        app_cls, inputs = APPS[app]
+    except KeyError:
+        raise UsageError(
+            f"unknown app {app!r}; choose from {sorted(APPS)}"
+        ) from None
+    input_name = input_name or inputs[0]
+    if input_name not in inputs:
+        raise UsageError(
+            f"unknown input {input_name!r} for {app}; choose from {inputs}"
+        )
+    meta = {"command": "darwin", "app": app, "input": input_name,
+            "machine": machine.name, "scale": scale.name,
+            "generations": options.darwin_generations,
+            "population": options.darwin_population}
+    with _telemetry_run(telemetry, meta):
+        suite = get_or_train_suite(machine, scale, options=options)
+        advisor = BrainyAdvisor(suite)
+        return run_darwin(
+            app_cls(input_name), machine, advisor,
+            generations=options.darwin_generations,
+            population=options.darwin_population,
+            objectives=tuple(options.darwin_objectives),
+            seed=seed, input_name=input_name,
+            jobs=options.jobs, window=options.window,
+        )
 
 
 def validate(group: str | ModelGroup = "vector_oo",
@@ -595,6 +670,7 @@ def telemetry_summary(path: str | Path, top: int = 5) -> str:
 __all__ = [
     "APPS",
     "AppgenProbe",
+    "DarwinResult",
     "MACHINES",
     "Report",
     "RunOptions",
@@ -604,6 +680,7 @@ __all__ = [
     "advise",
     "appgen_probe",
     "census",
+    "darwin",
     "pipeline",
     "registry_status",
     "resolve_config",

@@ -65,6 +65,16 @@ class AppResult:
     profiled: dict[str, ProfiledContainer] = field(default_factory=dict)
     output: object = None
 
+    @property
+    def footprint_bytes(self) -> int:
+        """Peak live heap bytes — the run's allocator footprint.
+
+        The memory objective of the Darwinian search (the time objective
+        is :attr:`cycles`); identical across simulator engines because
+        both run the same :class:`~repro.machine.memory.Allocator`.
+        """
+        return self.machine.allocator.peak_live_bytes
+
     def trace(self) -> TraceSet:
         if not self.profiled:
             raise ValueError("run was not instrumented")

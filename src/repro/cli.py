@@ -4,6 +4,7 @@ The subcommands mirror the tool's lifecycle:
 
 * ``repro train``     — install-time training for a machine (Phase I+II+ANN)
 * ``repro advise``    — profile a case-study app and print the report
+* ``repro darwin``    — evolve whole-program container assignments (NSGA-II)
 * ``repro serve``     — run the resilient advisor service (long-running)
 * ``repro pipeline``  — one unattended retraining cycle into a registry
 * ``repro rollback``  — restore a registry key's previous live version
@@ -67,6 +68,20 @@ def cmd_advise(args: argparse.Namespace) -> int:
         batched=not args.per_record, telemetry=args.telemetry,
     )
     print(report.format())
+    return 0
+
+
+def cmd_darwin(args: argparse.Namespace) -> int:
+    result = api.darwin(
+        args.app, input_name=args.input, machine=args.machine,
+        scale=args.scale, jobs=args.jobs,
+        generations=args.generations, population=args.population,
+        objectives=(tuple(args.objectives.split(","))
+                    if args.objectives else None),
+        seed=args.seed, sim_engine=args.sim_engine,
+        telemetry=args.telemetry,
+    )
+    print(result.format())
     return 0
 
 
@@ -272,6 +287,40 @@ def build_parser() -> argparse.ArgumentParser:
     advise.set_defaults(fn=cmd_advise)
 
     from repro.runtime.options import RunOptions
+
+    darwin_defaults = RunOptions()
+    darwin = sub.add_parser(
+        "darwin",
+        help="evolve whole-program container assignments (NSGA-II "
+             "Pareto front over cycles and memory footprint)",
+    )
+    darwin.add_argument("app", choices=_APP_NAMES)
+    darwin.add_argument("--input", help="application input set")
+    darwin.add_argument("--machine", choices=sorted(_MACHINES),
+                        default="core2")
+    darwin.add_argument("--scale", choices=sorted(SCALES),
+                        default="small")
+    darwin.add_argument("--generations", type=int, metavar="N",
+                        help="NSGA-II generations to evolve (default "
+                             f"{darwin_defaults.darwin_generations})")
+    darwin.add_argument("--population", type=int, metavar="N",
+                        help="chromosomes per generation (default "
+                             f"{darwin_defaults.darwin_population})")
+    darwin.add_argument("--objectives", metavar="LIST",
+                        help="comma-separated objectives to minimise, "
+                             "from: cycles, memory (default "
+                             "cycles,memory; reported points always "
+                             "carry both measurements)")
+    darwin.add_argument("--seed", type=int, default=0,
+                        help="GA random seed (default 0)")
+    darwin.add_argument("--jobs", type=int, metavar="N",
+                        help="fan fitness evaluations out over N "
+                             "worker processes (the front is "
+                             "byte-identical for any N; default: "
+                             "REPRO_JOBS or serial)")
+    _add_sim_engine_arg(darwin)
+    _add_telemetry_arg(darwin)
+    darwin.set_defaults(fn=cmd_darwin)
 
     defaults = RunOptions()
     serve = sub.add_parser(

@@ -1,6 +1,12 @@
 """Brainy's end-to-end advisor: profile → rank → suggest replacements."""
 
 from repro.core.advisor import BrainyAdvisor
+from repro.core.darwin import (
+    AssignmentFitness,
+    AssignmentPoint,
+    DarwinResult,
+    run_darwin,
+)
 from repro.core.evaluation import (
     brainy_selection,
     evaluate_advice,
@@ -11,12 +17,16 @@ from repro.core.evaluation import (
 from repro.core.report import Report, Suggestion
 
 __all__ = [
+    "AssignmentFitness",
+    "AssignmentPoint",
     "BrainyAdvisor",
+    "DarwinResult",
     "Report",
     "Suggestion",
     "brainy_selection",
     "evaluate_advice",
     "improvement",
     "measure_with_selection",
+    "run_darwin",
     "sweep_site",
 ]

@@ -1,0 +1,359 @@
+"""Darwinian whole-program container selection (`repro darwin`).
+
+The Brainy advisor suggests the best replacement for each container
+instance *independently*.  Darwinian Data Structure Selection evolves
+the **whole assignment at once**: a chromosome holds one candidate index
+per container site, and an NSGA-II search
+(:meth:`repro.ml.search.GeneticSearch.pareto`) minimises two objectives
+— simulated cycles and allocator footprint (peak live heap bytes) —
+surfacing the *trade-off front* instead of a single answer.  A cheaper
+container at a cold site can shrink the footprint without measurable
+cycle cost, and interactions between sites (shared caches, allocator
+layout) are captured because every fitness evaluation runs the whole
+program.
+
+Generation zero is seeded with the app's declared defaults and with the
+greedy per-instance advisor picks, so the evolved front starts no worse
+than either; every front point therefore weakly dominates the greedy
+assignment, and on multi-site apps it typically *strictly* dominates it.
+
+:class:`AssignmentFitness` is a plain picklable callable, so chromosome
+evaluation fans out over the ``map_retry`` worker pool; all RNG stays in
+the parent, making the front byte-identical for any ``--jobs`` value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.apps.base import CaseStudyApp, run_case_study
+from repro.containers.registry import DSKind
+from repro.core.advisor import BrainyAdvisor
+from repro.core.report import Report
+from repro.machine.configs import MachineConfig
+from repro.ml.search import GeneticSearch, ParetoResult
+from repro.ml.strategies import (
+    GeneChoiceMutation,
+    SeededChoiceInit,
+    TournamentAncestry,
+    UniformCrossover,
+)
+
+#: Objective name -> how to read it off a finished app run.
+OBJECTIVES: dict[str, str] = {
+    "cycles": "simulated cycles",
+    "memory": "allocator footprint (peak live heap bytes)",
+}
+
+
+def _objective_values(result, objectives: tuple[str, ...]
+                      ) -> tuple[float, ...]:
+    readings = {"cycles": float(result.cycles),
+                "memory": float(result.footprint_bytes)}
+    return tuple(readings[name] for name in objectives)
+
+
+@dataclass(frozen=True)
+class AssignmentFitness:
+    """Score one whole-program container assignment.
+
+    Picklable by construction (plain data fields, module-level class),
+    so the GA can fan evaluations out over worker processes.  Each call
+    runs the *entire* application on a fresh machine with the
+    chromosome's per-site container choices and reads the requested
+    objectives off the finished run — lower is better for every one.
+    """
+
+    app: CaseStudyApp
+    machine_config: MachineConfig
+    site_names: tuple[str, ...]
+    candidates: tuple[tuple[DSKind, ...], ...]
+    objectives: tuple[str, ...] = ("cycles", "memory")
+
+    def kinds_for(self, chromosome) -> dict[str, DSKind]:
+        genes = [int(g) for g in chromosome]
+        return {
+            name: self.candidates[i][genes[i]]
+            for i, name in enumerate(self.site_names)
+        }
+
+    def __call__(self, chromosome) -> tuple[float, ...]:
+        result = run_case_study(self.app, self.machine_config,
+                                kinds=self.kinds_for(chromosome))
+        return _objective_values(result, self.objectives)
+
+
+@dataclass(frozen=True)
+class AssignmentPoint:
+    """One evolved whole-program assignment with both objectives."""
+
+    kinds: tuple[tuple[str, str], ...]  # (site, container-kind value)
+    cycles: int
+    footprint_bytes: int
+
+    def kind_map(self) -> dict[str, DSKind]:
+        return {site: DSKind(kind) for site, kind in self.kinds}
+
+    def dominates(self, other: "AssignmentPoint") -> bool:
+        """Strictly better on at least one of (cycles, footprint) and
+        no worse on the other."""
+        return (self.cycles <= other.cycles
+                and self.footprint_bytes <= other.footprint_bytes
+                and (self.cycles < other.cycles
+                     or self.footprint_bytes < other.footprint_bytes))
+
+    def to_payload(self) -> dict:
+        return {
+            "kinds": {site: kind for site, kind in self.kinds},
+            "cycles": self.cycles,
+            "footprint_bytes": self.footprint_bytes,
+        }
+
+
+@dataclass
+class DarwinResult:
+    """Outcome of one Darwinian whole-program search."""
+
+    app_name: str
+    input_name: str
+    machine_name: str
+    objectives: tuple[str, ...]
+    site_names: tuple[str, ...]
+    candidates: tuple[tuple[DSKind, ...], ...]
+    #: The evolved Pareto front, best cycles first (deterministic).
+    front: list[AssignmentPoint]
+    #: The app's declared per-site defaults, measured.
+    default: AssignmentPoint
+    #: The greedy per-instance advisor assignment, measured (``None``
+    #: when the search ran without an advisor).
+    greedy: AssignmentPoint | None
+    generations: int
+    population: int
+    #: Distinct whole-program assignments simulated by the search.
+    evaluations: int
+    #: Per-generation rank-0 population counts, generation zero first.
+    history: list[int]
+    #: The greedy advisor's per-instance report with the Pareto front
+    #: attached (:attr:`repro.core.report.Report.pareto_front`).
+    report: Report
+
+    def dominating(self) -> list[AssignmentPoint]:
+        """Front points strictly dominating the greedy assignment."""
+        if self.greedy is None:
+            return []
+        return [p for p in self.front if p.dominates(self.greedy)]
+
+    def to_payload(self) -> dict:
+        return {
+            "app": self.app_name,
+            "input": self.input_name,
+            "machine": self.machine_name,
+            "objectives": list(self.objectives),
+            "sites": {
+                name: [kind.value for kind in kinds]
+                for name, kinds in zip(self.site_names, self.candidates)
+            },
+            "front": [p.to_payload() for p in self.front],
+            "default": self.default.to_payload(),
+            "greedy": (self.greedy.to_payload()
+                       if self.greedy is not None else None),
+            "generations": self.generations,
+            "population": self.population,
+            "evaluations": self.evaluations,
+            "history": list(self.history),
+            "report": self.report.to_payload(),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "DarwinResult":
+        def point(p):
+            return AssignmentPoint(
+                kinds=tuple(sorted(p["kinds"].items())),
+                cycles=p["cycles"],
+                footprint_bytes=p["footprint_bytes"],
+            )
+
+        sites = payload["sites"]
+        return cls(
+            app_name=payload["app"],
+            input_name=payload["input"],
+            machine_name=payload["machine"],
+            objectives=tuple(payload["objectives"]),
+            site_names=tuple(sites),
+            candidates=tuple(
+                tuple(DSKind(kind) for kind in kinds)
+                for kinds in sites.values()
+            ),
+            front=[point(p) for p in payload["front"]],
+            default=point(payload["default"]),
+            greedy=(point(payload["greedy"])
+                    if payload.get("greedy") is not None else None),
+            generations=payload["generations"],
+            population=payload["population"],
+            evaluations=payload["evaluations"],
+            history=list(payload["history"]),
+            report=Report.from_payload(payload["report"]),
+        )
+
+    def format(self) -> str:
+        """Human-readable front table (the `repro darwin` output)."""
+        label = self.app_name
+        if self.input_name:
+            label += f"/{self.input_name}"
+        lines = [
+            f"Darwinian search — {label} on {self.machine_name}: "
+            f"{len(self.front)} non-dominated assignment(s) from "
+            f"{self.evaluations} evaluations "
+            f"({self.generations} generations x {self.population})",
+            f"{'assignment':44s} {'cycles':>12s} {'footprint':>10s}",
+        ]
+        dominating = set(id(p) for p in self.dominating())
+
+        def row(point: AssignmentPoint, tag: str) -> str:
+            kinds = ", ".join(
+                f"{site.rsplit(':', 1)[-1]}={kind}"
+                for site, kind in point.kinds
+            )
+            return (f"{kinds[:44]:44s} {point.cycles:>12,} "
+                    f"{point.footprint_bytes:>9,}B{tag}")
+
+        lines.append(row(self.default, "  [default]"))
+        if self.greedy is not None:
+            lines.append(row(self.greedy, "  [greedy advisor]"))
+        for point in self.front:
+            tag = " *" if id(point) in dominating else ""
+            lines.append(row(point, tag))
+        if dominating:
+            lines.append(
+                f"* strictly dominates the greedy per-instance "
+                f"assignment on ({', '.join(OBJECTIVES)})"
+            )
+        return "\n".join(lines)
+
+
+def site_candidates(app: CaseStudyApp
+                    ) -> tuple[tuple[str, ...], tuple[tuple[DSKind, ...], ...]]:
+    """Each site's name and legal candidate set (defaults included)."""
+    names: list[str] = []
+    candidates: list[tuple[DSKind, ...]] = []
+    for site in app.sites():
+        legal = site.legal_candidates()
+        if site.default_kind not in legal:
+            legal = (site.default_kind,) + tuple(legal)
+        names.append(site.name)
+        candidates.append(tuple(legal))
+    return tuple(names), tuple(candidates)
+
+
+def run_darwin(app: CaseStudyApp,
+               machine_config: MachineConfig,
+               advisor: BrainyAdvisor | None = None, *,
+               generations: int = 12,
+               population: int = 16,
+               objectives: tuple[str, ...] = ("cycles", "memory"),
+               seed: int = 0,
+               input_name: str = "",
+               jobs: int | None = None,
+               window: int | None = None,
+               executor=None) -> DarwinResult:
+    """Evolve whole-program container assignments for ``app``.
+
+    With an ``advisor``, the greedy per-instance suggestions are
+    measured, seeded into generation zero, and reported alongside the
+    front (so :meth:`DarwinResult.dominating` can show where whole-
+    program search beats per-instance greed).  Without one, only the
+    app's declared defaults seed the search.
+
+    ``objectives`` picks which axes the GA minimises (any non-empty
+    subset of ``cycles``/``memory``); reported points always carry both
+    measurements.  All randomness stays in the parent process and
+    fitness fans out over the ``map_retry`` pool, so the result is
+    byte-identical for any ``jobs`` value.
+    """
+    unknown = sorted(set(objectives) - set(OBJECTIVES))
+    if unknown:
+        raise ValueError(
+            "unknown objective(s) " + ", ".join(unknown)
+            + "; valid objectives: " + ", ".join(OBJECTIVES)
+        )
+    objectives = tuple(objectives)
+    site_names, candidates = site_candidates(app)
+    choices = tuple(len(kinds) for kinds in candidates)
+
+    fitness = AssignmentFitness(
+        app=app, machine_config=machine_config,
+        site_names=site_names, candidates=candidates,
+        objectives=objectives,
+    )
+
+    def measure(chromosome) -> AssignmentPoint:
+        kinds = fitness.kinds_for(chromosome)
+        result = run_case_study(app, machine_config, kinds=kinds)
+        return AssignmentPoint(
+            kinds=tuple((f"{app.name}:{site}", kinds[site].value)
+                        for site in site_names),
+            cycles=int(result.cycles),
+            footprint_bytes=int(result.footprint_bytes),
+        )
+
+    default_chromosome = tuple(
+        kinds.index(site.default_kind)
+        for site, kinds in zip(app.sites(), candidates)
+    )
+    seeds = [default_chromosome]
+
+    greedy_report: Report | None = None
+    greedy_chromosome: tuple[int, ...] | None = None
+    if advisor is not None:
+        greedy_report = advisor.advise_app(app, machine_config)
+        suggested = {s.context: s.suggested for s in greedy_report}
+        greedy_chromosome = tuple(
+            kinds.index(choice) if (choice := suggested.get(
+                f"{app.name}:{name}")) in kinds
+            else default_chromosome[i]
+            for i, (name, kinds) in enumerate(zip(site_names, candidates))
+        )
+        if greedy_chromosome != default_chromosome:
+            seeds.append(greedy_chromosome)
+
+    search = GeneticSearch(
+        len(site_names),
+        population=population,
+        generations=generations,
+        ancestry=TournamentAncestry(min(3, population)),
+        crossover=UniformCrossover(0.7),
+        mutation=GeneChoiceMutation(choices, rate=0.25),
+        init=SeededChoiceInit(choices, seeds=tuple(seeds)),
+        elitism=0,
+        seed=seed,
+    )
+    result: ParetoResult = search.pareto(
+        fitness, objectives, jobs=jobs, window=window, executor=executor)
+
+    front = [measure(point.genome) for point in result.front]
+    front.sort(key=lambda p: (p.cycles, p.footprint_bytes, p.kinds))
+    default_point = measure(default_chromosome)
+    greedy_point = (measure(greedy_chromosome)
+                    if greedy_chromosome is not None else
+                    default_point if advisor is not None else None)
+
+    report = greedy_report if greedy_report is not None else Report(
+        program_cycles=default_point.cycles)
+    report.pareto_front = [p.to_payload() for p in front]
+
+    return DarwinResult(
+        app_name=app.name,
+        input_name=input_name,
+        machine_name=machine_config.name,
+        objectives=objectives,
+        site_names=site_names,
+        candidates=candidates,
+        front=front,
+        default=default_point,
+        greedy=greedy_point,
+        generations=generations,
+        population=population,
+        evaluations=result.evaluations,
+        history=result.history,
+        report=report,
+    )

@@ -79,6 +79,12 @@ class Report:
     #: ``deadline``).  Populated whenever :attr:`degraded_groups` is —
     #: a baseline answer always carries an explicit reason.
     degraded_reasons: dict[str, str] = field(default_factory=dict)
+    #: Darwinian whole-program search results (``repro darwin``): one
+    #: payload dict per non-dominated assignment, best cycles first —
+    #: ``{"kinds": {site: kind}, "cycles": int, "footprint_bytes": int}``.
+    #: Empty for ordinary per-instance advisor reports, and omitted from
+    #: the wire payload when empty, so the serving protocol is unchanged.
+    pareto_front: list[dict] = field(default_factory=list)
 
     def mark_degraded(self, group_name: str, reason: str) -> None:
         """Record that ``group_name`` answered from the baseline and why."""
@@ -103,7 +109,7 @@ class Report:
 
     def to_payload(self) -> dict:
         """Plain-JSON form, used by the serving protocol."""
-        return {
+        payload = {
             "program_cycles": self.program_cycles,
             "suggestions": [s.to_payload() for s in self.suggestions],
             "degraded_groups": sorted(self.degraded_groups),
@@ -112,6 +118,9 @@ class Report:
                 for name in sorted(self.degraded_reasons)
             },
         }
+        if self.pareto_front:
+            payload["pareto_front"] = [dict(p) for p in self.pareto_front]
+        return payload
 
     @classmethod
     def from_payload(cls, payload: dict) -> "Report":
@@ -121,6 +130,8 @@ class Report:
                          for s in payload["suggestions"]],
             degraded_groups=set(payload.get("degraded_groups", ())),
             degraded_reasons=dict(payload.get("degraded_reasons", {})),
+            pareto_front=[dict(p)
+                          for p in payload.get("pareto_front", ())],
         )
 
     def format(self) -> str:
@@ -151,4 +162,18 @@ class Report:
                 f"WARNING: fell back to the Perflint baseline for "
                 f"group(s) {reasons}"
             )
+        if self.pareto_front:
+            lines.append(
+                f"Pareto front ({len(self.pareto_front)} non-dominated "
+                "whole-program assignments; cycles vs footprint):"
+            )
+            for point in self.pareto_front:
+                kinds = ", ".join(
+                    f"{site.rsplit(':', 1)[-1]}={kind}"
+                    for site, kind in sorted(point["kinds"].items())
+                )
+                lines.append(
+                    f"  {point['cycles']:>12,} cy "
+                    f"{point['footprint_bytes']:>9,}B  {kinds}"
+                )
         return "\n".join(lines)

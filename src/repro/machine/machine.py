@@ -436,5 +436,8 @@ class Machine:
         alloc.allocations = 0
         alloc.frees = 0
         alloc.allocated_bytes = 0
+        # The footprint restarts from what is still live: blocks that
+        # survive the reset keep counting toward the next run's peak.
+        alloc.peak_live_bytes = alloc.live_bytes
         if self.prefetcher is not None:
             self.prefetcher.reset()

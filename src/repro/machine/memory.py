@@ -27,7 +27,8 @@ class Allocator:
     """Bump allocator with per-size-class LIFO free lists."""
 
     __slots__ = ("_brk", "_free_lists", "allocations", "frees",
-                 "allocated_bytes", "live_bytes", "_live")
+                 "allocated_bytes", "live_bytes", "peak_live_bytes",
+                 "_live")
 
     def __init__(self, base: int = 0x1000_0000) -> None:
         self._brk = base
@@ -37,6 +38,9 @@ class Allocator:
         self.frees = 0
         self.allocated_bytes = 0
         self.live_bytes = 0
+        #: High-water mark of :attr:`live_bytes` — the program's heap
+        #: footprint (the memory objective of the Darwinian search).
+        self.peak_live_bytes = 0
 
     def malloc(self, nbytes: int) -> int:
         """Allocate ``nbytes`` and return the payload address."""
@@ -46,6 +50,8 @@ class Allocator:
         self.allocations += 1
         self.allocated_bytes += size
         self.live_bytes += size
+        if self.live_bytes > self.peak_live_bytes:
+            self.peak_live_bytes = self.live_bytes
         free = self._free_lists.get(size)
         if free:
             addr = free.pop()

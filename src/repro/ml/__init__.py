@@ -5,21 +5,68 @@ with back-propagation (§5) and selects features with a genetic algorithm
 using real-valued chromosome weights (§5.1).  This package implements
 both, plus feature standardisation and classification metrics, on top of
 numpy only.
+
+The GA is split declare–interpret style: a generic
+:class:`~repro.ml.search.GeneticSearch` core evolves whatever genome the
+pluggable strategy objects (:mod:`repro.ml.strategies`) understand —
+scalar maximisation for feature selection, NSGA-II Pareto minimisation
+for the Darwinian whole-program container search
+(:mod:`repro.core.darwin`).
 """
 
 from repro.ml.ann import NeuralNetwork
-from repro.ml.genetic import GeneticFeatureSelector, GAResult
+from repro.ml.genetic import GAResult, GeneticFeatureSelector
 from repro.ml.logistic import SoftmaxRegression
 from repro.ml.metrics import accuracy, confusion_matrix, per_class_accuracy
 from repro.ml.scaling import StandardScaler
+from repro.ml.search import (
+    GeneticSearch,
+    ParetoPoint,
+    ParetoResult,
+    SearchResult,
+    crowding_distance,
+    dominates,
+    non_dominated_rank,
+)
+from repro.ml.strategies import (
+    Ancestry,
+    Crossover,
+    Fitness,
+    GaussianMutation,
+    GeneChoiceMutation,
+    Init,
+    Mutation,
+    SeededChoiceInit,
+    TournamentAncestry,
+    UniformCrossover,
+    UnitUniformInit,
+)
 
 __all__ = [
+    "Ancestry",
+    "Crossover",
+    "Fitness",
     "GAResult",
+    "GaussianMutation",
+    "GeneChoiceMutation",
     "GeneticFeatureSelector",
+    "GeneticSearch",
+    "Init",
+    "Mutation",
     "NeuralNetwork",
+    "ParetoPoint",
+    "ParetoResult",
+    "SearchResult",
+    "SeededChoiceInit",
     "SoftmaxRegression",
     "StandardScaler",
+    "TournamentAncestry",
+    "UniformCrossover",
+    "UnitUniformInit",
     "accuracy",
     "confusion_matrix",
+    "crowding_distance",
+    "dominates",
+    "non_dominated_rank",
     "per_class_accuracy",
 ]

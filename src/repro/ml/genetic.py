@@ -8,32 +8,51 @@ trained on the weighted feature matrix; tournament selection, uniform
 crossover and Gaussian mutation evolve the population, mutation keeping
 the search out of local optima.
 
-Fitness evaluation dominates a GA run — each call trains a full model —
-and the population's fitness calls are independent, so :meth:`run` can
-fan each generation out over a worker pool
-(:mod:`repro.runtime.parallel`).  Every RNG draw (initial population,
-tournament picks, crossover masks, mutation noise) happens in the parent
-process, and fitness values are merged back in chromosome order, so the
-chromosomes, the history, and the winning weights are byte-identical to
-a serial run for any ``jobs`` value.
+:class:`GeneticFeatureSelector` is a thin adapter over the generic
+:class:`repro.ml.search.GeneticSearch` core: it fixes the genome to one
+unit-interval weight per feature and defaults the strategy objects
+(:mod:`repro.ml.strategies`) to the paper's configuration.  The adapted
+loop is byte-identical to the historical hard-wired implementation —
+same RNG draw order, same chromosomes, same history — a property the
+test suite pins against a frozen copy of the pre-refactor code.
+
+Strategies are swappable: pass ``ancestry=`` / ``crossover=`` /
+``mutation=`` objects.  The old numeric tuning kwargs (``tournament``,
+``crossover_rate``, ``mutation_rate``, ``mutation_sigma``) keep working
+for one release under a ``DeprecationWarning``; passing a numeric kwarg
+*and* its strategy object is a ``TypeError``, mirroring the
+``resolve_run_options`` contract.
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from typing import Callable
 
 import numpy as np
 
-import repro.obs as obs
-from repro.runtime.parallel import (
-    make_executor,
-    map_retry,
-    resolve_jobs,
-    usable_jobs,
+from repro.ml.search import GeneticSearch
+from repro.ml.strategies import (
+    Ancestry,
+    Crossover,
+    GaussianMutation,
+    Mutation,
+    TournamentAncestry,
+    UniformCrossover,
+    UnitUniformInit,
 )
 
+from typing import Callable
+
 FitnessFn = Callable[[np.ndarray], float]
+
+#: Deprecated numeric kwarg -> the strategy kwarg that replaces it.
+_LEGACY_STRATEGY_KNOBS = {
+    "tournament": "ancestry",
+    "crossover_rate": "crossover",
+    "mutation_rate": "mutation",
+    "mutation_sigma": "mutation",
+}
 
 
 @dataclass
@@ -52,7 +71,16 @@ class GAResult:
                 for i in order]
 
     def top_features(self, k: int = 5) -> list[str]:
-        """The Table 3 view: the ``k`` highest-weighted features."""
+        """The Table 3 view: the ``k`` highest-weighted features.
+
+        ``k`` is clamped to the number of features — asking for more
+        than exist returns every feature, ranked, rather than silently
+        misreporting how many were requested.  A negative ``k`` is an
+        error (a raw slice would silently drop the tail instead).
+        """
+        if k < 0:
+            raise ValueError(f"k must be non-negative, got {k}")
+        k = min(k, len(self.feature_names))
         return [name for name, _ in self.ranked_features()[:k]]
 
 
@@ -61,53 +89,75 @@ class GeneticFeatureSelector:
 
     def __init__(self, n_features: int, feature_names: tuple[str, ...],
                  population: int = 16, generations: int = 12,
-                 tournament: int = 3, crossover_rate: float = 0.7,
-                 mutation_rate: float = 0.15, mutation_sigma: float = 0.25,
-                 elitism: int = 2, seed: int = 0) -> None:
+                 tournament: int | None = None,
+                 crossover_rate: float | None = None,
+                 mutation_rate: float | None = None,
+                 mutation_sigma: float | None = None,
+                 elitism: int = 2, seed: int = 0, *,
+                 ancestry: Ancestry | None = None,
+                 crossover: Crossover | None = None,
+                 mutation: Mutation | None = None) -> None:
         if n_features != len(feature_names):
             raise ValueError("feature_names length must match n_features")
-        if population < 2:
-            raise ValueError("population must be at least 2")
-        if tournament < 1:
-            raise ValueError("tournament size must be at least 1")
-        if tournament > population:
-            # Tournament contenders are drawn without replacement, so an
-            # oversized tournament would only explode generations later
-            # inside rng.choice — reject it up front.
-            raise ValueError(
-                f"tournament size {tournament} exceeds the population "
-                f"size {population}; contenders are drawn without "
-                "replacement"
+        legacy = {"tournament": tournament,
+                  "crossover_rate": crossover_rate,
+                  "mutation_rate": mutation_rate,
+                  "mutation_sigma": mutation_sigma}
+        strategies = {"ancestry": ancestry, "crossover": crossover,
+                      "mutation": mutation}
+        supplied = sorted(k for k, v in legacy.items() if v is not None)
+        conflicts = sorted(
+            k for k in supplied
+            if strategies[_LEGACY_STRATEGY_KNOBS[k]] is not None
+        )
+        if conflicts:
+            raise TypeError(
+                "pass GA tuning either via strategy objects ("
+                + ", ".join(sorted({_LEGACY_STRATEGY_KNOBS[k] + "="
+                                    for k in conflicts}))
+                + ") or via the legacy keywords, not both: "
+                + ", ".join(conflicts)
             )
-        if elitism >= population:
-            raise ValueError("elitism must leave room for offspring")
+        if supplied:
+            warnings.warn(
+                "passing " + ", ".join(supplied) + " directly is "
+                "deprecated; pass strategy objects instead ("
+                "ancestry=TournamentAncestry(size), "
+                "crossover=UniformCrossover(rate), "
+                "mutation=GaussianMutation(rate, sigma))",
+                DeprecationWarning, stacklevel=2,
+            )
+        if ancestry is None:
+            ancestry = TournamentAncestry(
+                3 if tournament is None else tournament)
+        if crossover is None:
+            crossover = UniformCrossover(
+                0.7 if crossover_rate is None else crossover_rate)
+        if mutation is None:
+            mutation = GaussianMutation(
+                rate=0.15 if mutation_rate is None else mutation_rate,
+                sigma=0.25 if mutation_sigma is None else mutation_sigma,
+            )
+        self._search = GeneticSearch(
+            n_features, population=population, generations=generations,
+            ancestry=ancestry, crossover=crossover, mutation=mutation,
+            init=UnitUniformInit(), elitism=elitism, seed=seed,
+        )
         self.n_features = n_features
         self.feature_names = tuple(feature_names)
         self.population_size = population
         self.generations = generations
-        self.tournament = tournament
-        self.crossover_rate = crossover_rate
-        self.mutation_rate = mutation_rate
-        self.mutation_sigma = mutation_sigma
+        self.ancestry = ancestry
+        self.crossover = crossover
+        self.mutation = mutation
+        self.tournament = getattr(ancestry, "size", None)
+        self.crossover_rate = getattr(crossover, "rate", None)
+        self.mutation_rate = getattr(mutation, "rate", None)
+        self.mutation_sigma = getattr(mutation, "sigma", None)
         self.elitism = elitism
-        self.rng = np.random.default_rng(seed)
-
-    def _tournament_pick(self, fitnesses: np.ndarray) -> int:
-        contenders = self.rng.choice(len(fitnesses), size=self.tournament,
-                                     replace=False)
-        return int(contenders[np.argmax(fitnesses[contenders])])
-
-    def _crossover(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        if self.rng.random() >= self.crossover_rate:
-            return a.copy()
-        mask = self.rng.random(self.n_features) < 0.5
-        child = np.where(mask, a, b)
-        return child
-
-    def _mutate(self, chromosome: np.ndarray) -> np.ndarray:
-        mask = self.rng.random(self.n_features) < self.mutation_rate
-        noise = self.rng.normal(0.0, self.mutation_sigma, self.n_features)
-        return np.clip(chromosome + mask * noise, 0.0, 1.0)
+        # The search owns the stream; alias it so callers that reused
+        # ``selector.rng`` across runs keep their draw order.
+        self.rng = self._search.rng
 
     def run(self, fitness_fn: FitnessFn, *,
             jobs: int | None = None,
@@ -126,55 +176,11 @@ class GeneticFeatureSelector:
         in-process executor so stateful fitness seams work under any
         ``jobs``); ``window`` bounds in-flight speculation.
         """
-        jobs = resolve_jobs(jobs)
-        if executor is None:
-            jobs = usable_jobs(fitness_fn, jobs, "the GA fitness function")
-        own_executor = executor is None
-        if own_executor:
-            executor = make_executor(jobs)
-
-        def evaluate(population: np.ndarray) -> np.ndarray:
-            # Dispatch is out-of-order across the pool; the merge is in
-            # chromosome order, so this is exactly the serial
-            # ``[fitness_fn(ch) for ch in population]``.
-            obs.counter("ga.fitness_evals", len(population))
-            return np.array(list(map_retry(
-                fitness_fn, list(population),
-                jobs=jobs, window=window, executor=executor,
-            )), dtype=np.float64)
-
-        with obs.span("ga.run"):
-            try:
-                pop = self.rng.random(
-                    (self.population_size, self.n_features))
-                # Seed one all-ones chromosome so "use everything" is in
-                # the pool.
-                pop[0] = 1.0
-                fitnesses = evaluate(pop)
-                history = [float(fitnesses.max())]
-
-                for _ in range(self.generations):
-                    order = np.argsort(-fitnesses)
-                    next_pop = [pop[i].copy()
-                                for i in order[:self.elitism]]
-                    while len(next_pop) < self.population_size:
-                        a = pop[self._tournament_pick(fitnesses)]
-                        b = pop[self._tournament_pick(fitnesses)]
-                        next_pop.append(
-                            self._mutate(self._crossover(a, b)))
-                    pop = np.asarray(next_pop)
-                    fitnesses = evaluate(pop)
-                    history.append(float(fitnesses.max()))
-                    obs.counter("ga.generations")
-            finally:
-                if own_executor:
-                    executor.shutdown()
-
-            best = int(np.argmax(fitnesses))
-            obs.gauge("ga.best_fitness", float(fitnesses[best]))
-            return GAResult(
-                weights=pop[best].copy(),
-                fitness=float(fitnesses[best]),
-                history=history,
-                feature_names=self.feature_names,
-            )
+        result = self._search.run(fitness_fn, jobs=jobs, window=window,
+                                  executor=executor)
+        return GAResult(
+            weights=result.best,
+            fitness=result.fitness,
+            history=result.history,
+            feature_names=self.feature_names,
+        )

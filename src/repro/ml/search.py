@@ -1,0 +1,407 @@
+"""Generic GA core: scalar evolution and NSGA-II Pareto search.
+
+:class:`GeneticSearch` runs the evolutionary loop over whatever genome
+the pluggable strategies (:mod:`repro.ml.strategies`) understand.  Two
+drivers share it:
+
+* :meth:`GeneticSearch.run` — the classic single-objective maximiser
+  behind :class:`repro.ml.genetic.GeneticFeatureSelector`.  Its loop is
+  byte-identical to the historical hard-wired implementation (elitist
+  copy of the fittest, tournament parents, crossover + mutation), a
+  property the adapter's tests pin down.
+* :meth:`GeneticSearch.pareto` — NSGA-II-style multi-objective
+  *minimisation* for the Darwinian whole-program container search:
+  non-dominated sorting (Deb's fast sort), crowding distance, crowded
+  tournament selection and (mu + lambda) elitist survival.
+
+Fitness evaluation dominates a run — each call simulates a program or
+trains a model — and the population's calls are independent, so both
+drivers fan each generation out over a worker pool
+(:mod:`repro.runtime.parallel`).  Every RNG draw (initial population,
+ancestry declarations, crossover masks, mutation noise) happens in the
+parent process, and fitness values merge back in chromosome order, so
+results are byte-identical to a serial run for any ``jobs`` value and
+any ``PYTHONHASHSEED``.  :meth:`pareto` additionally memoises fitness by
+chromosome bytes in the parent, so revisited assignments cost nothing
+and the final front is drawn from *every* evaluation, not just the last
+generation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+import repro.obs as obs
+from repro.ml.strategies import (
+    Ancestry,
+    Crossover,
+    GaussianMutation,
+    Init,
+    Mutation,
+    TournamentAncestry,
+    UniformCrossover,
+    UnitUniformInit,
+)
+from repro.runtime.parallel import (
+    make_executor,
+    map_retry,
+    resolve_jobs,
+    usable_jobs,
+)
+
+ScalarFitnessFn = Callable[[np.ndarray], float]
+VectorFitnessFn = Callable[[np.ndarray], Sequence[float]]
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a scalar :meth:`GeneticSearch.run`."""
+
+    best: np.ndarray
+    fitness: float
+    history: list[float]
+
+
+@dataclass(frozen=True)
+class ParetoPoint:
+    """One non-dominated chromosome with its objective values."""
+
+    genome: tuple
+    objectives: tuple[float, ...]
+
+    def dominates(self, other: "ParetoPoint") -> bool:
+        """Strict Pareto dominance under minimisation."""
+        return dominates(self.objectives, other.objectives)
+
+
+@dataclass
+class ParetoResult:
+    """Outcome of a :meth:`GeneticSearch.pareto` run."""
+
+    #: The non-dominated set over every chromosome ever evaluated,
+    #: sorted by objective values then genome (deterministic).
+    front: list[ParetoPoint]
+    #: Objective names, in the order fitness tuples carry them.
+    objectives: tuple[str, ...]
+    #: Per-generation size of the population's rank-0 set (generation
+    #: zero first).
+    history: list[int]
+    #: Distinct chromosomes evaluated (memoised revisits excluded).
+    evaluations: int = 0
+    #: Every evaluated chromosome -> objective tuple, in evaluation
+    #: order.  The search's full archive, for reporting.
+    archive: dict[tuple, tuple[float, ...]] = field(default_factory=dict)
+
+
+def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
+    """True when ``a`` strictly Pareto-dominates ``b`` (minimisation):
+    no worse on every objective and strictly better on at least one."""
+    a = np.asarray(a, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    return bool((a <= b).all() and (a < b).any())
+
+
+def non_dominated_rank(objectives: np.ndarray) -> np.ndarray:
+    """Deb's fast non-dominated sort (minimisation).
+
+    Returns each row's front index: 0 for the Pareto front, 1 for the
+    front once rank 0 is removed, and so on.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    n = objectives.shape[0]
+    less_eq = (objectives[:, None, :] <= objectives[None, :, :]).all(-1)
+    less = (objectives[:, None, :] < objectives[None, :, :]).any(-1)
+    dominate = less_eq & less  # [i, j] — i dominates j
+    dominator_count = dominate.sum(axis=0).astype(np.int64)
+    ranks = np.full(n, -1, dtype=np.int64)
+    active = np.ones(n, dtype=bool)
+    rank = 0
+    while active.any():
+        front = active & (dominator_count == 0)
+        ranks[front] = rank
+        active &= ~front
+        dominator_count = dominator_count - dominate[front].sum(axis=0)
+        rank += 1
+    return ranks
+
+
+def crowding_distance(objectives: np.ndarray,
+                      ranks: np.ndarray) -> np.ndarray:
+    """NSGA-II crowding distance, computed within each front.
+
+    Boundary members of a front get ``inf`` (always preferred); inner
+    members sum, per objective, the normalised gap between their
+    neighbours in that objective's sorted order.
+    """
+    objectives = np.asarray(objectives, dtype=np.float64)
+    n, n_obj = objectives.shape
+    crowd = np.zeros(n, dtype=np.float64)
+    for rank in np.unique(ranks):
+        members = np.flatnonzero(ranks == rank)
+        if len(members) <= 2:
+            crowd[members] = np.inf
+            continue
+        for k in range(n_obj):
+            vals = objectives[members, k]
+            order = np.argsort(vals, kind="stable")
+            crowd[members[order[0]]] = np.inf
+            crowd[members[order[-1]]] = np.inf
+            span = vals[order[-1]] - vals[order[0]]
+            if span <= 0:
+                continue
+            inner = members[order[1:-1]]
+            crowd[inner] += (vals[order[2:]] - vals[order[:-2]]) / span
+    return crowd
+
+
+class GeneticSearch:
+    """Evolve chromosomes under pluggable strategy objects.
+
+    Strategies default to the feature-selection configuration
+    (3-way tournament, uniform crossover at 0.7, Gaussian mutation,
+    unit-uniform init); the Darwinian search swaps in categorical
+    init/mutation without touching the core loop.
+    """
+
+    def __init__(self, n_genes: int, *,
+                 population: int = 16, generations: int = 12,
+                 ancestry: Ancestry | None = None,
+                 crossover: Crossover | None = None,
+                 mutation: Mutation | None = None,
+                 init: Init | None = None,
+                 elitism: int = 2, seed: int = 0) -> None:
+        if n_genes < 1:
+            raise ValueError("n_genes must be at least 1")
+        if population < 2:
+            raise ValueError("population must be at least 2")
+        if generations < 0:
+            raise ValueError("generations must be non-negative")
+        if elitism < 0:
+            raise ValueError("elitism must be non-negative")
+        if elitism >= population:
+            # Reject up front, the same way an oversized tournament is:
+            # a full-elite population would re-evaluate itself forever
+            # without ever breeding offspring.
+            raise ValueError(
+                f"elitism {elitism} leaves no room for offspring in a "
+                f"population of {population}; elitism must be smaller "
+                "than the population"
+            )
+        self.n_genes = n_genes
+        self.population_size = population
+        self.generations = generations
+        self.ancestry = ancestry if ancestry is not None \
+            else TournamentAncestry()
+        self.ancestry.validate(population)
+        self.crossover = crossover if crossover is not None \
+            else UniformCrossover()
+        self.mutation = mutation if mutation is not None \
+            else GaussianMutation()
+        self.init = init if init is not None else UnitUniformInit()
+        self.elitism = elitism
+        self.rng = np.random.default_rng(seed)
+
+    # -- shared plumbing -------------------------------------------------
+
+    def _executor(self, fitness_fn, jobs, executor):
+        jobs = resolve_jobs(jobs)
+        if executor is None:
+            jobs = usable_jobs(fitness_fn, jobs, "the GA fitness function")
+        own = executor is None
+        if own:
+            executor = make_executor(jobs)
+        return jobs, executor, own
+
+    def _offspring(self, pop: np.ndarray, keys: np.ndarray,
+                   count: int) -> list[np.ndarray]:
+        """Breed ``count`` children: declare parents, then interpret."""
+        children: list[np.ndarray] = []
+        while len(children) < count:
+            parent_idx = self.ancestry.declare(self.rng, keys)
+            parents = [pop[i] for i in parent_idx]
+            child = self.crossover.combine(self.rng, parents)
+            children.append(self.mutation.mutate(self.rng, child))
+        return children
+
+    # -- scalar maximisation (the legacy GA loop) ------------------------
+
+    def run(self, fitness_fn: ScalarFitnessFn, *,
+            jobs: int | None = None,
+            window: int | None = None,
+            executor=None) -> SearchResult:
+        """Evolve chromosomes maximising ``fitness_fn(chromosome)``.
+
+        ``jobs`` fans each generation's fitness evaluations out over a
+        worker pool (``None`` reads ``REPRO_JOBS``, default serial).
+        The evolutionary loop — and every RNG draw — stays in the
+        parent, so the result is byte-identical for any ``jobs`` value;
+        a worker-side failure is re-evaluated once in the parent before
+        propagating.  ``executor`` overrides the pool (tests pass an
+        in-process executor so stateful fitness seams work under any
+        ``jobs``); ``window`` bounds in-flight speculation.
+        """
+        jobs, executor, own_executor = self._executor(
+            fitness_fn, jobs, executor)
+
+        def evaluate(population: np.ndarray) -> np.ndarray:
+            # Dispatch is out-of-order across the pool; the merge is in
+            # chromosome order, so this is exactly the serial
+            # ``[fitness_fn(ch) for ch in population]``.
+            obs.counter("ga.fitness_evals", len(population))
+            return np.array(list(map_retry(
+                fitness_fn, list(population),
+                jobs=jobs, window=window, executor=executor,
+            )), dtype=np.float64)
+
+        with obs.span("ga.run"):
+            try:
+                pop = self.init.population(
+                    self.rng, self.population_size, self.n_genes)
+                fitnesses = evaluate(pop)
+                history = [float(fitnesses.max())]
+
+                for _ in range(self.generations):
+                    order = np.argsort(-fitnesses)
+                    next_pop = [pop[i].copy()
+                                for i in order[:self.elitism]]
+                    next_pop.extend(self._offspring(
+                        pop, fitnesses,
+                        self.population_size - len(next_pop)))
+                    pop = np.asarray(next_pop)
+                    fitnesses = evaluate(pop)
+                    history.append(float(fitnesses.max()))
+                    obs.counter("ga.generations")
+            finally:
+                if own_executor:
+                    executor.shutdown()
+
+            best = int(np.argmax(fitnesses))
+            obs.gauge("ga.best_fitness", float(fitnesses[best]))
+            return SearchResult(
+                best=pop[best].copy(),
+                fitness=float(fitnesses[best]),
+                history=history,
+            )
+
+    # -- NSGA-II multi-objective minimisation ----------------------------
+
+    def pareto(self, fitness_fn: VectorFitnessFn,
+               objectives: Sequence[str], *,
+               jobs: int | None = None,
+               window: int | None = None,
+               executor=None) -> ParetoResult:
+        """Evolve a Pareto front minimising every objective.
+
+        ``fitness_fn(chromosome)`` must return one value per entry of
+        ``objectives``, lower being better.  Selection keys come from
+        NSGA-II non-dominated rank and crowding distance; survival is
+        (mu + lambda) elitist with crowding truncation.  All ties break
+        on the population index, all RNG stays in the parent, and
+        fitness is memoised by chromosome bytes, so the front is
+        byte-identical for any ``jobs`` value and any
+        ``PYTHONHASHSEED``.
+        """
+        objectives = tuple(objectives)
+        if not objectives:
+            raise ValueError("at least one objective is required")
+        jobs, executor, own_executor = self._executor(
+            fitness_fn, jobs, executor)
+
+        size = self.population_size
+        archive: dict[bytes, tuple[float, ...]] = {}
+        genomes: dict[bytes, tuple] = {}
+
+        def evaluate(population) -> np.ndarray:
+            chromosomes = [np.asarray(ch) for ch in population]
+            fresh: list[np.ndarray] = []
+            pending: set[bytes] = set()
+            for ch in chromosomes:
+                key = ch.tobytes()
+                if key not in archive and key not in pending:
+                    pending.add(key)
+                    fresh.append(ch)
+            if fresh:
+                obs.counter("ga.fitness_evals", len(fresh))
+                values = list(map_retry(
+                    fitness_fn, fresh,
+                    jobs=jobs, window=window, executor=executor,
+                ))
+                for ch, value in zip(fresh, values):
+                    value = tuple(float(v) for v in np.atleast_1d(
+                        np.asarray(value, dtype=np.float64)))
+                    if len(value) != len(objectives):
+                        raise ValueError(
+                            f"fitness returned {len(value)} value(s) "
+                            f"for {len(objectives)} objective(s) "
+                            f"{objectives}"
+                        )
+                    archive[ch.tobytes()] = value
+                    genomes[ch.tobytes()] = tuple(ch.tolist())
+            return np.array([archive[ch.tobytes()]
+                             for ch in chromosomes], dtype=np.float64)
+
+        def selection_keys(ranks: np.ndarray,
+                           crowd: np.ndarray) -> np.ndarray:
+            # Crowded-comparison order: rank ascending, then crowding
+            # descending, then index (a deterministic tie-break).  Keys
+            # are "higher is better" for the ancestry strategy.
+            n = len(ranks)
+            order = np.lexsort((np.arange(n), -crowd, ranks))
+            keys = np.empty(n, dtype=np.float64)
+            keys[order] = np.arange(n, 0, -1, dtype=np.float64)
+            return keys
+
+        with obs.span("ga.pareto"):
+            try:
+                pop = np.asarray(self.init.population(
+                    self.rng, size, self.n_genes))
+                objs = evaluate(pop)
+                history = [int((non_dominated_rank(objs) == 0).sum())]
+
+                for _ in range(self.generations):
+                    ranks = non_dominated_rank(objs)
+                    crowd = crowding_distance(objs, ranks)
+                    keys = selection_keys(ranks, crowd)
+                    offspring = np.asarray(
+                        self._offspring(pop, keys, size))
+                    child_objs = evaluate(offspring)
+
+                    merged = np.concatenate([pop, offspring])
+                    merged_objs = np.concatenate([objs, child_objs])
+                    m_ranks = non_dominated_rank(merged_objs)
+                    m_crowd = crowding_distance(merged_objs, m_ranks)
+                    keep = np.lexsort((np.arange(len(merged)),
+                                       -m_crowd, m_ranks))[:size]
+                    pop = merged[keep].copy()
+                    objs = merged_objs[keep].copy()
+                    history.append(
+                        int((non_dominated_rank(objs) == 0).sum()))
+                    obs.counter("ga.generations")
+            finally:
+                if own_executor:
+                    executor.shutdown()
+
+            # The front over *everything* evaluated — crowding may have
+            # truncated globally non-dominated points out of the final
+            # population, and the memo archive still has them.
+            keys_order = list(archive)
+            values = np.array([archive[k] for k in keys_order],
+                              dtype=np.float64)
+            ranks = non_dominated_rank(values)
+            front = [
+                ParetoPoint(genome=genomes[keys_order[i]],
+                            objectives=archive[keys_order[i]])
+                for i in np.flatnonzero(ranks == 0)
+            ]
+            front.sort(key=lambda p: (p.objectives, p.genome))
+            obs.gauge("ga.front_size", float(len(front)))
+            return ParetoResult(
+                front=front,
+                objectives=objectives,
+                history=history,
+                evaluations=len(archive),
+                archive={genomes[k]: archive[k] for k in keys_order},
+            )

@@ -1,0 +1,258 @@
+"""Pluggable GA strategy objects (declare–interpret decomposition).
+
+The GA core (:class:`repro.ml.search.GeneticSearch`) knows nothing about
+*how* parents are chosen or children are made.  Each concern is a small
+strategy object:
+
+* :class:`Ancestry` **declares** which population members parent each
+  offspring — it returns parent *indices* and never touches genomes;
+* :class:`Crossover` and :class:`Mutation` **interpret** that
+  declaration, combining the chosen parents into a child and perturbing
+  it;
+* :class:`Init` seeds generation zero;
+* :class:`Fitness` scores a chromosome (scalar for :meth:`run`, an
+  objective tuple for :meth:`pareto`).
+
+Because declaration and interpretation are separated, strategies compose
+freely: the same :class:`TournamentAncestry` drives both the real-valued
+feature-selection GA (uniform crossover + Gaussian mutation over unit
+weights) and the Darwinian container-assignment search (uniform
+crossover + per-gene categorical redraw over candidate indices).
+
+Every strategy draws all of its randomness from the ``rng`` handed in by
+the search core — never from module state — so the whole evolution is a
+single deterministic stream: byte-identical for any ``jobs`` value and
+any ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import ClassVar, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+
+@runtime_checkable
+class Ancestry(Protocol):
+    """Declares the parent indices for one offspring.
+
+    ``declare(rng, keys)`` receives the per-member selection keys
+    (scalar fitness, or NSGA-II rank/crowding keys — higher is better)
+    and returns ``arity`` population indices.  It must draw a fixed
+    number of RNG values regardless of the key values, so the stream
+    stays aligned across runs.
+    """
+
+    arity: int
+
+    def declare(self, rng: np.random.Generator,
+                keys: np.ndarray) -> tuple[int, ...]: ...
+
+    def validate(self, population: int) -> None:
+        """Reject configurations that cannot work for ``population``."""
+
+
+@runtime_checkable
+class Crossover(Protocol):
+    """Interprets an ancestry declaration: parents -> one child."""
+
+    def combine(self, rng: np.random.Generator,
+                parents: Sequence[np.ndarray]) -> np.ndarray: ...
+
+
+@runtime_checkable
+class Mutation(Protocol):
+    """Perturbs one child chromosome in place of the search core."""
+
+    def mutate(self, rng: np.random.Generator,
+               chromosome: np.ndarray) -> np.ndarray: ...
+
+
+@runtime_checkable
+class Init(Protocol):
+    """Builds generation zero: a ``(population, n_genes)`` array."""
+
+    def population(self, rng: np.random.Generator, population: int,
+                   n_genes: int) -> np.ndarray: ...
+
+
+class Fitness(Protocol):
+    """A chromosome scorer.
+
+    Scalar-returning callables feed :meth:`GeneticSearch.run`
+    (maximise); objective-tuple-returning ones feed
+    :meth:`GeneticSearch.pareto` (minimise every objective), with
+    :attr:`objectives` naming the tuple's components in order.
+    """
+
+    objectives: tuple[str, ...]
+
+    def __call__(self, chromosome: np.ndarray): ...
+
+
+@dataclass(frozen=True)
+class TournamentAncestry:
+    """Declare two parents by ``size``-way tournaments.
+
+    Contenders are drawn without replacement; the contender with the
+    highest selection key wins (ties break toward the earlier draw,
+    matching ``np.argmax``).
+    """
+
+    size: int = 3
+
+    arity: ClassVar[int] = 2
+
+    def __post_init__(self) -> None:
+        if self.size < 1:
+            raise ValueError("tournament size must be at least 1")
+
+    def validate(self, population: int) -> None:
+        if self.size > population:
+            # Tournament contenders are drawn without replacement, so an
+            # oversized tournament would only explode generations later
+            # inside rng.choice — reject it up front.
+            raise ValueError(
+                f"tournament size {self.size} exceeds the population "
+                f"size {population}; contenders are drawn without "
+                "replacement"
+            )
+
+    def _pick(self, rng: np.random.Generator, keys: np.ndarray) -> int:
+        contenders = rng.choice(len(keys), size=self.size, replace=False)
+        return int(contenders[np.argmax(keys[contenders])])
+
+    def declare(self, rng: np.random.Generator,
+                keys: np.ndarray) -> tuple[int, ...]:
+        return (self._pick(rng, keys), self._pick(rng, keys))
+
+
+@dataclass(frozen=True)
+class UniformCrossover:
+    """With probability ``rate``, mix two parents gene-by-gene.
+
+    Otherwise the child is a copy of the first declared parent.
+    """
+
+    rate: float = 0.7
+
+    def combine(self, rng: np.random.Generator,
+                parents: Sequence[np.ndarray]) -> np.ndarray:
+        a, b = parents[0], parents[1]
+        if rng.random() >= self.rate:
+            return a.copy()
+        mask = rng.random(a.shape[-1]) < 0.5
+        return np.where(mask, a, b)
+
+
+@dataclass(frozen=True)
+class GaussianMutation:
+    """Add clipped Gaussian noise to a ``rate`` fraction of genes.
+
+    The real-valued mutation of the feature-selection GA: weights stay
+    within ``[low, high]``.
+    """
+
+    rate: float = 0.15
+    sigma: float = 0.25
+    low: float = 0.0
+    high: float = 1.0
+
+    def mutate(self, rng: np.random.Generator,
+               chromosome: np.ndarray) -> np.ndarray:
+        n = chromosome.shape[-1]
+        mask = rng.random(n) < self.rate
+        noise = rng.normal(0.0, self.sigma, n)
+        return np.clip(chromosome + mask * noise, self.low, self.high)
+
+
+@dataclass(frozen=True)
+class GeneChoiceMutation:
+    """Redraw a ``rate`` fraction of categorical genes uniformly.
+
+    ``choices[g]`` is the number of legal values for gene ``g`` (the
+    candidate count of a container site).  Both the mask and the redraw
+    are always drawn, so the RNG stream length never depends on which
+    genes mutate.
+    """
+
+    choices: tuple[int, ...]
+    rate: float = 0.2
+
+    def __post_init__(self) -> None:
+        if any(c < 1 for c in self.choices):
+            raise ValueError("every gene needs at least one choice")
+
+    def mutate(self, rng: np.random.Generator,
+               chromosome: np.ndarray) -> np.ndarray:
+        n = chromosome.shape[-1]
+        if n != len(self.choices):
+            raise ValueError(
+                f"chromosome has {n} genes but {len(self.choices)} "
+                "per-gene choice counts were declared"
+            )
+        mask = rng.random(n) < self.rate
+        redraw = rng.integers(0, np.asarray(self.choices))
+        return np.where(mask, redraw, chromosome)
+
+
+@dataclass(frozen=True)
+class UnitUniformInit:
+    """Uniform random weights in ``[0, 1)``.
+
+    With ``seed_ones`` the first chromosome is all-ones, so "use every
+    feature" is always in the pool and the GA can never do worse than no
+    selection.
+    """
+
+    seed_ones: bool = True
+
+    def population(self, rng: np.random.Generator, population: int,
+                   n_genes: int) -> np.ndarray:
+        pop = rng.random((population, n_genes))
+        if self.seed_ones:
+            pop[0] = 1.0
+        return pop
+
+
+@dataclass(frozen=True)
+class SeededChoiceInit:
+    """Uniform random categorical genes, with known-good seeds.
+
+    ``choices[g]`` is gene ``g``'s legal value count; each tuple in
+    ``seeds`` overwrites one leading row of generation zero (e.g. the
+    app's declared defaults and the greedy advisor's per-instance picks,
+    so the evolved front starts no worse than either).
+    """
+
+    choices: tuple[int, ...]
+    seeds: tuple[tuple[int, ...], ...] = ()
+
+    def __post_init__(self) -> None:
+        if any(c < 1 for c in self.choices):
+            raise ValueError("every gene needs at least one choice")
+        for seed in self.seeds:
+            if len(seed) != len(self.choices):
+                raise ValueError(
+                    f"seed chromosome {seed} has {len(seed)} genes; "
+                    f"expected {len(self.choices)}"
+                )
+            if any(not 0 <= g < c for g, c in zip(seed, self.choices)):
+                raise ValueError(
+                    f"seed chromosome {seed} indexes outside its genes' "
+                    "choice counts"
+                )
+
+    def population(self, rng: np.random.Generator, population: int,
+                   n_genes: int) -> np.ndarray:
+        if n_genes != len(self.choices):
+            raise ValueError(
+                f"search has {n_genes} genes but {len(self.choices)} "
+                "per-gene choice counts were declared"
+            )
+        pop = rng.integers(0, np.asarray(self.choices),
+                           size=(population, n_genes))
+        for row, seed in enumerate(self.seeds[:population]):
+            pop[row] = np.asarray(seed)
+        return pop

@@ -99,6 +99,16 @@ class RunOptions:
     post_promote_window:
         Registry serving: how many answered requests after a promotion
         the auto-demote watch covers (0 disables the watch).
+    darwin_generations:
+        Darwinian search (``repro darwin``): NSGA-II generations to
+        evolve whole-program container assignments for.
+    darwin_population:
+        Darwinian search: chromosomes per generation (the mu of the
+        (mu + lambda) elitist survival step).
+    darwin_objectives:
+        Darwinian search: which axes the GA minimises, in order — a
+        non-empty subset of ``("cycles", "memory")``.  Reported Pareto
+        points always carry both measurements regardless.
     """
 
     jobs: int | None = None
@@ -122,6 +132,10 @@ class RunOptions:
     shadow_min_agreement: float = 0.9
     auto_demote_failures: int = 3
     post_promote_window: int = 200
+    # -- Darwinian whole-program search knobs ----------------------------
+    darwin_generations: int = 12
+    darwin_population: int = 16
+    darwin_objectives: tuple[str, ...] = ("cycles", "memory")
 
     def with_overrides(self, **changes: object) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-safe ``replace``)."""
@@ -162,6 +176,35 @@ class RunOptions:
             problems.append("auto_demote_failures must be >= 1")
         if self.post_promote_window < 0:
             problems.append("post_promote_window must be >= 0")
+        if problems:
+            raise ValueError("; ".join(problems))
+        return self
+
+    def validate_darwin(self) -> "RunOptions":
+        """Check the Darwinian-search knobs up front.
+
+        Same contract as :meth:`validate_serving`: a ``ValueError``
+        naming every offending knob, which the API layer converts to
+        ``UsageError`` (CLI exit 2) before any simulation starts.
+        """
+        problems = []
+        if self.darwin_generations < 1:
+            problems.append("darwin_generations must be >= 1")
+        if self.darwin_population < 2:
+            problems.append("darwin_population must be >= 2")
+        objectives = tuple(self.darwin_objectives)
+        if not objectives:
+            problems.append("darwin_objectives must name at least one "
+                            "objective")
+        unknown = sorted(set(objectives) - {"cycles", "memory"})
+        if unknown:
+            problems.append(
+                "unknown darwin objective(s) " + ", ".join(unknown)
+                + "; valid objectives: cycles, memory"
+            )
+        if len(set(objectives)) != len(objectives):
+            problems.append("darwin_objectives must not repeat an "
+                            "objective")
         if problems:
             raise ValueError("; ".join(problems))
         return self

@@ -159,9 +159,13 @@ def _pool_initializer() -> None:
     process spawn order, or which worker executes which seed (each
     task's own RNG is derived from its seed and never touches these).
     SIGINT is ignored so Ctrl-C is handled only by the parent, which
-    owns checkpoint flushing.
+    owns checkpoint flushing.  SIGTERM is restored to the default
+    disposition: forked workers inherit the CLI's SIGTERM-as-interrupt
+    handler, which would turn the pool's own ``terminate()`` into a
+    KeyboardInterrupt traceback from every worker mid-teardown.
     """
     signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
     import random
 
     random.seed(0)

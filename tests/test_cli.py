@@ -26,6 +26,35 @@ class TestParser:
         assert args.seed == 42
         assert args.group == "set"
 
+    def test_darwin_defaults(self):
+        args = build_parser().parse_args(["darwin", "xalan"])
+        assert args.app == "xalan"
+        assert args.input is None
+        assert args.machine == "core2"
+        assert args.generations is None  # defer to RunOptions defaults
+        assert args.population is None
+        assert args.objectives is None
+        assert args.seed == 0
+        assert args.jobs is None
+
+    def test_darwin_accepts_search_knobs(self):
+        args = build_parser().parse_args([
+            "darwin", "chord", "--input", "small", "--scale", "tiny",
+            "--generations", "3", "--population", "8",
+            "--objectives", "cycles,memory", "--seed", "7",
+            "--jobs", "2",
+        ])
+        assert args.generations == 3
+        assert args.population == 8
+        assert args.objectives == "cycles,memory"
+        assert args.seed == 7
+        assert args.jobs == 2
+
+    def test_darwin_validates_app(self):
+        with pytest.raises(SystemExit) as exc_info:
+            build_parser().parse_args(["darwin", "nonexistent"])
+        assert exc_info.value.code == 2
+
 
 class TestErrorPaths:
     def test_unknown_machine_rejected_by_parser(self, capsys):
@@ -89,6 +118,36 @@ class TestErrorPaths:
     def test_missing_telemetry_file_exits_2(self, tmp_path, capsys):
         assert main(["telemetry", str(tmp_path / "nope.json")]) == 2
         assert "no telemetry file" in capsys.readouterr().err
+
+    def test_darwin_bad_generations_exits_2(self, capsys):
+        assert main(["darwin", "xalan", "--generations", "0"]) == 2
+        assert "darwin_generations" in capsys.readouterr().err
+
+    def test_darwin_bad_objectives_exits_2(self, capsys):
+        assert main(["darwin", "xalan", "--objectives", "latency"]) == 2
+        assert "unknown darwin objective" in capsys.readouterr().err
+
+    def test_darwin_command_renders_front(self, monkeypatch, capsys):
+        from repro import api
+
+        class _Stub:
+            def format(self):
+                return "Darwinian search — stub front"
+
+        seen = {}
+
+        def fake_darwin(app, **kwargs):
+            seen["app"] = app
+            seen.update(kwargs)
+            return _Stub()
+
+        monkeypatch.setattr(api, "darwin", fake_darwin)
+        assert main(["darwin", "chord", "--generations", "3",
+                     "--objectives", "memory"]) == 0
+        assert "stub front" in capsys.readouterr().out
+        assert seen["app"] == "chord"
+        assert seen["generations"] == 3
+        assert seen["objectives"] == ("memory",)
 
 
 class _FixedParser:

@@ -1,11 +1,17 @@
 """Unit tests for the GA feature selector."""
 
 import multiprocessing
+import warnings
 
 import numpy as np
 import pytest
 
 from repro.ml.genetic import GAResult, GeneticFeatureSelector
+from repro.ml.strategies import (
+    GaussianMutation,
+    TournamentAncestry,
+    UniformCrossover,
+)
 from repro.runtime.parallel import SerialExecutor
 
 NAMES = ("a", "b", "c", "d", "e", "f")
@@ -188,3 +194,76 @@ class TestGAResult:
         assert [name for name, _ in result.ranked_features()] \
             == ["y", "z", "x"]
         assert result.top_features(1) == ["y"]
+
+    def test_top_features_clamps_oversized_k(self):
+        """Asking for more features than exist returns them all instead
+        of silently truncating at an arbitrary point."""
+        result = GAResult(weights=np.array([0.1, 0.9, 0.5]),
+                          fitness=1.0, history=[],
+                          feature_names=("x", "y", "z"))
+        assert result.top_features(10) == ["y", "z", "x"]
+        assert result.top_features(3) == ["y", "z", "x"]
+
+    def test_top_features_rejects_negative_k(self):
+        result = GAResult(weights=np.array([0.1, 0.9]),
+                          fitness=1.0, history=[],
+                          feature_names=("x", "y"))
+        with pytest.raises(ValueError, match="must be non-negative"):
+            result.top_features(-1)
+        assert result.top_features(0) == []
+
+
+class TestStrategyShim:
+    """The legacy tuning keywords vs the strategy-object spelling."""
+
+    def test_legacy_keywords_warn_with_replacement_hint(self):
+        with pytest.warns(DeprecationWarning,
+                          match="strategy objects") as record:
+            make_selector(mutation_rate=0.5)
+        assert any("GaussianMutation" in str(w.message) for w in record)
+
+    def test_each_legacy_keyword_warns(self):
+        for kwargs in (dict(tournament=4), dict(crossover_rate=0.9),
+                       dict(mutation_rate=0.5),
+                       dict(mutation_sigma=1.0)):
+            with pytest.warns(DeprecationWarning):
+                make_selector(**kwargs)
+
+    def test_strategy_objects_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            make_selector(ancestry=TournamentAncestry(4),
+                          crossover=UniformCrossover(0.9),
+                          mutation=GaussianMutation(rate=0.5, sigma=1.0))
+
+    def test_both_spellings_rejected(self):
+        with pytest.raises(TypeError, match="not both"):
+            make_selector(mutation_rate=0.5,
+                          mutation=GaussianMutation(rate=0.5))
+        with pytest.raises(TypeError, match="not both"):
+            make_selector(tournament=4, ancestry=TournamentAncestry(4))
+        with pytest.raises(TypeError, match="not both"):
+            make_selector(crossover_rate=0.9,
+                          crossover=UniformCrossover(0.9))
+
+    def test_legacy_and_strategy_spellings_agree(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = make_selector(tournament=4, crossover_rate=0.9,
+                                   mutation_rate=0.5, mutation_sigma=1.0)
+        modern = make_selector(ancestry=TournamentAncestry(4),
+                               crossover=UniformCrossover(0.9),
+                               mutation=GaussianMutation(rate=0.5,
+                                                         sigma=1.0))
+        assert _ga_key(legacy.run(_linear_fitness)) \
+            == _ga_key(modern.run(_linear_fitness))
+
+    def test_compat_attributes_mirror_strategies(self):
+        selector = make_selector(ancestry=TournamentAncestry(5),
+                                 crossover=UniformCrossover(0.8),
+                                 mutation=GaussianMutation(rate=0.4,
+                                                           sigma=0.9))
+        assert selector.tournament == 5
+        assert selector.crossover_rate == 0.8
+        assert selector.mutation_rate == 0.4
+        assert selector.mutation_sigma == 0.9
+        assert selector.ancestry.size == 5
