@@ -1,0 +1,131 @@
+#!/usr/bin/env python
+"""CI smoke test for crash-safe resumable Darwinian evolution.
+
+Proves the ``repro darwin`` robustness contract end to end against the
+real CLI, as real processes:
+
+1. a straight (uninterrupted) search writes its result payload;
+2. the same search is started with ``--checkpoint-every 1``, SIGTERMed
+   as soon as the first checkpoint artifact lands, and must exit 143
+   after flushing a resumable :class:`DarwinCheckpoint`;
+3. ``--resume`` continues the interrupted search to completion and the
+   resulting payload must be **byte-identical** to the straight run's;
+4. a second ``--resume`` of the now-complete checkpoint returns the
+   stored result instantly (still byte-identical).
+
+Exits non-zero (with a diagnostic) on the first violated expectation.
+Run from the repo root:
+``PYTHONPATH=src python scripts/darwin_resume_smoke.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+GENERATIONS = "8"
+POPULATION = "8"
+
+
+def fail(message: str) -> None:
+    print(f"darwin-resume-smoke: FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def check(condition: bool, message: str) -> None:
+    if not condition:
+        fail(message)
+    print(f"darwin-resume-smoke: ok: {message}")
+
+
+def darwin_command(*extra: str) -> list[str]:
+    return [sys.executable, "-m", "repro.cli", "darwin", "xalan",
+            "--input", "test", "--scale", "tiny",
+            "--generations", GENERATIONS, "--population", POPULATION,
+            "--seed", "0", "--jobs", "2", *extra]
+
+
+def run(command: list[str], **kwargs) -> subprocess.CompletedProcess:
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"),
+               PYTHONUNBUFFERED="1")
+    return subprocess.run(command, env=env, text=True,
+                          capture_output=True, timeout=600, **kwargs)
+
+
+def main() -> int:
+    tmp = Path(tempfile.mkdtemp(prefix="darwin-resume-smoke-"))
+    straight_out = tmp / "straight.json"
+    resumed_out = tmp / "resumed.json"
+    instant_out = tmp / "instant.json"
+    ckpt = tmp / "darwin.ckpt.json"
+
+    print("darwin-resume-smoke: straight run ...")
+    straight = run(darwin_command("--out", str(straight_out)))
+    check(straight.returncode == 0,
+          f"straight run exited 0 (got {straight.returncode}; "
+          f"stderr: {straight.stderr[-500:]})")
+    check("non-dominated" in straight.stdout,
+          "straight run printed a Pareto front")
+
+    print("darwin-resume-smoke: interrupted run ...")
+    env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"),
+               PYTHONUNBUFFERED="1")
+    proc = subprocess.Popen(
+        darwin_command("--checkpoint", str(ckpt),
+                       "--checkpoint-every", "1"),
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        env=env)
+    try:
+        deadline = time.monotonic() + 300.0
+        while not ckpt.exists() and proc.poll() is None \
+                and time.monotonic() < deadline:
+            time.sleep(0.05)
+        check(ckpt.exists() and proc.poll() is None,
+              "first checkpoint flushed while the search was running")
+        proc.send_signal(signal.SIGTERM)
+        out, err = proc.communicate(timeout=120)
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.communicate()
+    check(proc.returncode == 143,
+          f"SIGTERM exited 143 (got {proc.returncode}; "
+          f"stderr: {err[-500:]})")
+    check("--resume" in err,
+          "interrupt message points at --resume")
+    saved = json.loads(ckpt.read_text())
+    check(saved["payload"]["complete"] is False,
+          "flushed checkpoint is a resumable boundary, not a result")
+
+    print("darwin-resume-smoke: resuming ...")
+    resumed = run(darwin_command("--checkpoint", str(ckpt), "--resume",
+                                 "--out", str(resumed_out)))
+    check(resumed.returncode == 0,
+          f"resumed run exited 0 (got {resumed.returncode}; "
+          f"stderr: {resumed.stderr[-500:]})")
+    check(resumed_out.read_bytes() == straight_out.read_bytes(),
+          "resumed payload is byte-identical to the straight run")
+    check(json.loads(ckpt.read_text())["payload"]["complete"] is True,
+          "finished resume stored a complete checkpoint")
+
+    print("darwin-resume-smoke: resuming the complete checkpoint ...")
+    instant = run(darwin_command("--checkpoint", str(ckpt), "--resume",
+                                 "--out", str(instant_out)))
+    check(instant.returncode == 0
+          and instant_out.read_bytes() == straight_out.read_bytes(),
+          "complete checkpoint resumes to the identical stored result")
+
+    print("darwin-resume-smoke: PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

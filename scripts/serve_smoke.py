@@ -224,8 +224,45 @@ def registry_mode() -> int:
     return 0
 
 
-def fleet_mode(workers: int) -> int:
-    """Multi-process fleet: one port, merged telemetry, clean drain."""
+def kill_and_await_respawn(host: str, port: int) -> None:
+    """SIGKILL one worker and wait for its self-healed replacement.
+
+    The supervisor must respawn the slot within the backoff window;
+    health then reports the replacement's pid and restart count.
+    """
+    victim = request(host, port, {"op": "health"})["detail"]["worker"]
+    check(victim.get("restarts") == 0,
+          f"health reports restart count ({victim})")
+    print(f"serve-smoke: killing worker {victim['id']} "
+          f"(pid {victim['pid']}) ...")
+    os.kill(victim["pid"], signal.SIGKILL)
+
+    deadline = time.monotonic() + 120.0
+    respawned = None
+    while respawned is None and time.monotonic() < deadline:
+        try:
+            worker = request(host, port, {"op": "health"},
+                             timeout=10.0)["detail"]["worker"]
+        except (OSError, ValueError, SystemExit):
+            time.sleep(0.2)  # mid-respawn: retry the probe
+            continue
+        if worker["id"] == victim["id"] and worker["restarts"] >= 1:
+            respawned = worker
+        else:
+            time.sleep(0.2)
+    check(respawned is not None
+          and respawned["pid"] != victim["pid"],
+          f"killed worker respawned with a new pid ({respawned})")
+
+
+def fleet_mode(workers: int, *, kill_worker: bool = False) -> int:
+    """Multi-process fleet: one port, merged telemetry, clean drain.
+
+    With ``kill_worker`` one worker is SIGKILLed mid-serve; the
+    self-healing supervisor must respawn it within the backoff window,
+    the healed fleet must keep answering byte-identically, and the
+    drain must still exit 0.
+    """
     tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-fleet-"))
     suite_dir = tmp / "suite"
     telemetry = tmp / "serve.telemetry.json"
@@ -235,12 +272,15 @@ def fleet_mode(workers: int) -> int:
 
     env = dict(os.environ, PYTHONPATH=str(REPO_ROOT / "src"),
                PYTHONUNBUFFERED="1")
+    command = [sys.executable, "-m", "repro.cli", "serve",
+               "--suite-dir", str(suite_dir), "--port", "0",
+               "--workers", str(workers), "--threads", "2",
+               "--batch-window-ms", "2", "--deadline", "30",
+               "--telemetry", str(telemetry)]
+    if kill_worker:
+        command += ["--max-restarts", "2", "--restart-backoff", "0.1"]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro.cli", "serve",
-         "--suite-dir", str(suite_dir), "--port", "0",
-         "--workers", str(workers), "--threads", "2",
-         "--batch-window-ms", "2", "--deadline", "30",
-         "--telemetry", str(telemetry)],
+        command,
         stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
         env=env,
     )
@@ -255,6 +295,11 @@ def fleet_mode(workers: int) -> int:
 
         burst(host, port)
 
+        if kill_worker:
+            kill_and_await_respawn(host, port)
+            # The healed fleet still answers byte-identically.
+            burst(host, port)
+
         proc.send_signal(signal.SIGTERM)
         out, err = proc.communicate(timeout=120.0)
         check(proc.returncode == 0,
@@ -268,12 +313,23 @@ def fleet_mode(workers: int) -> int:
         check(payload["meta"].get("fleet") is True
               and len(payload["meta"].get("workers", [])) == workers,
               "telemetry meta records the merged fleet view")
+        if kill_worker:
+            check("respawning worker" in out,
+                  "supervisor announced the respawn")
+            restarts = payload["meta"].get("restarts", {})
+            check(sum(restarts.values()) >= 1,
+                  f"telemetry meta records the restart ({restarts})")
+            counters = payload["metrics"]["counters"]
+            check(any(k.startswith("serve.worker_restarts")
+                      for k in counters),
+                  "serve.worker_restarts counted in merged telemetry")
     finally:
         if proc.poll() is None:
             proc.kill()
             proc.communicate()
 
-    print(f"serve-smoke: PASS (fleet mode, {workers} workers)")
+    healed = ", one worker killed and healed" if kill_worker else ""
+    print(f"serve-smoke: PASS (fleet mode, {workers} workers{healed})")
     return 0
 
 
@@ -284,11 +340,16 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=1,
                         help="smoke the multi-process fleet with this "
                              "many workers (default: single process)")
+    parser.add_argument("--kill-worker", action="store_true",
+                        help="fleet mode: SIGKILL one worker mid-serve "
+                             "and require a self-healed respawn")
     args = parser.parse_args()
+    if args.kill_worker and args.workers < 2:
+        parser.error("--kill-worker requires --workers >= 2")
     if args.registry:
         return registry_mode()
     if args.workers > 1:
-        return fleet_mode(args.workers)
+        return fleet_mode(args.workers, kill_worker=args.kill_worker)
 
     tmp = Path(tempfile.mkdtemp(prefix="serve-smoke-"))
     suite_dir = tmp / "suite"

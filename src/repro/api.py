@@ -48,6 +48,7 @@ from repro.models.brainy import BrainySuite
 from repro.models.cache import (
     SCALES,
     ScaleParams,
+    checkpoint_dir,
     get_or_train_suite,
     suite_path,
 )
@@ -297,6 +298,10 @@ def darwin(app: str,
            objectives: tuple[str, ...] | None = None,
            seed: int = 0,
            sim_engine: str | None = None,
+           resume: bool = False,
+           checkpoint: str | Path | None = None,
+           checkpoint_every: int | None = None,
+           budget_seconds: float | None = None,
            telemetry: str | Path | None = None) -> DarwinResult:
     """Evolve whole-program container assignments for a case-study app.
 
@@ -311,9 +316,21 @@ def darwin(app: str,
 
     ``generations`` / ``population`` / ``objectives`` override the
     ``darwin_*`` knobs of ``options``
-    (:class:`repro.runtime.options.RunOptions`); all knobs are validated
-    up front (:class:`UsageError`, CLI exit 2).  The front is
+    (:class:`repro.runtime.options.RunOptions`); so do
+    ``checkpoint_every`` (generation cadence for flushing a
+    :class:`repro.runtime.checkpoint.DarwinCheckpoint`) and
+    ``budget_seconds`` (wall-clock budget — the search stops at a
+    generation boundary flagged ``truncated=budget``).  All knobs are
+    validated up front (:class:`UsageError`, CLI exit 2).  The front is
     byte-identical for any ``jobs`` value.
+
+    ``checkpoint`` names the checkpoint artifact path; when any of
+    ``resume`` / ``checkpoint_every`` / ``budget_seconds`` is set
+    without it, a per-(app, input, machine, scale, seed) default inside
+    the suite cache's checkpoint directory is used.  ``resume=True``
+    continues an interrupted search byte-identically — an interrupted
+    run raises :class:`repro.runtime.checkpoint.TrainingInterrupted`
+    (CLI exit 130/143) after flushing the checkpoint.
     """
     _load_apps()
     machine = resolve_machine(machine)
@@ -326,6 +343,14 @@ def darwin(app: str,
     if objectives is not None:
         options = options.with_overrides(
             darwin_objectives=tuple(objectives))
+    if checkpoint_every is not None:
+        options = options.with_overrides(
+            darwin_checkpoint_every=checkpoint_every)
+    if budget_seconds is not None:
+        options = options.with_overrides(
+            darwin_budget_seconds=budget_seconds)
+    if seed < 0:
+        raise UsageError("seed must be non-negative")
     try:
         options.validate_darwin()
     except ValueError as exc:
@@ -342,6 +367,17 @@ def darwin(app: str,
         raise UsageError(
             f"unknown input {input_name!r} for {app}; choose from {inputs}"
         )
+    checkpoint_path = Path(checkpoint) if checkpoint is not None else None
+    wants_checkpoint = (resume
+                        or options.darwin_checkpoint_every is not None
+                        or options.darwin_budget_seconds is not None)
+    if checkpoint_path is None and wants_checkpoint:
+        checkpoint_path = (
+            checkpoint_dir(machine, scale)
+            / f"darwin-{app}-{input_name}-seed{seed}.json"
+        )
+    if checkpoint_path is not None:
+        checkpoint_path.parent.mkdir(parents=True, exist_ok=True)
     meta = {"command": "darwin", "app": app, "input": input_name,
             "machine": machine.name, "scale": scale.name,
             "generations": options.darwin_generations,
@@ -356,6 +392,10 @@ def darwin(app: str,
             objectives=tuple(options.darwin_objectives),
             seed=seed, input_name=input_name,
             jobs=options.jobs, window=options.window,
+            checkpoint=checkpoint_path, resume=resume,
+            checkpoint_every=options.darwin_checkpoint_every,
+            budget_seconds=options.darwin_budget_seconds,
+            retry_policy=options.retry_policy,
         )
 
 
@@ -400,6 +440,8 @@ def serve(machine: str | MachineConfig = "core2",
           port: int = 0,
           workers: int = 1,
           threads: int = 2,
+          max_restarts: int = 3,
+          restart_backoff: float = 1.0,
           options: RunOptions | None = None,
           jobs: int | None = None,
           poll_interval: float = 1.0,
@@ -425,7 +467,11 @@ def serve(machine: str | MachineConfig = "core2",
     the one port (``SO_REUSEPORT`` kernel balancing, or the front-door
     fallback — see :mod:`repro.serve.fleet`); ``threads`` bounds each
     process's inference concurrency.  With ``workers > 1`` the
-    telemetry artifact merges every worker's ``serve.*`` metrics.
+    telemetry artifact merges every worker's ``serve.*`` metrics, and
+    the fleet is self-healing: a worker that dies outside drain is
+    respawned with exponential backoff starting at ``restart_backoff``
+    seconds, up to ``max_restarts`` times per worker slot
+    (the crash-loop cap; ``0`` disables respawning).
 
     Blocks until the process is signalled, then drains and (with
     ``telemetry=PATH``) exports the serving telemetry artifact; returns
@@ -438,6 +484,10 @@ def serve(machine: str | MachineConfig = "core2",
         raise UsageError("workers must be >= 1")
     if threads < 1:
         raise UsageError("threads must be >= 1")
+    if max_restarts < 0:
+        raise UsageError("max_restarts must be >= 0")
+    if restart_backoff <= 0:
+        raise UsageError("restart_backoff must be positive")
     if poll_interval <= 0:
         raise UsageError("poll_interval must be positive")
     if registry is not None and suite_dir is not None:
@@ -481,6 +531,8 @@ def serve(machine: str | MachineConfig = "core2",
             poll_interval=poll_interval,
             telemetry=(str(telemetry) if telemetry is not None
                        else None),
+            max_restarts=max_restarts,
+            restart_backoff_seconds=restart_backoff,
         )
         return run_fleet(spec, workers)
     try:

@@ -79,8 +79,18 @@ def cmd_darwin(args: argparse.Namespace) -> int:
         objectives=(tuple(args.objectives.split(","))
                     if args.objectives else None),
         seed=args.seed, sim_engine=args.sim_engine,
+        resume=args.resume, checkpoint=args.checkpoint,
+        checkpoint_every=args.checkpoint_every,
+        budget_seconds=args.budget_seconds,
         telemetry=args.telemetry,
     )
+    if args.out:
+        import json
+        from pathlib import Path
+
+        Path(args.out).write_text(
+            json.dumps(result.to_payload(), sort_keys=True, indent=2)
+            + "\n")
     print(result.format())
     return 0
 
@@ -108,7 +118,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         registry_key=args.registry_key,
         auto_promote=not args.no_auto_promote,
         host=args.host, port=args.port,
-        workers=args.workers, threads=args.threads, options=options,
+        workers=args.workers, threads=args.threads,
+        max_restarts=args.max_restarts,
+        restart_backoff=args.restart_backoff,
+        options=options,
         poll_interval=args.poll_interval, telemetry=args.telemetry,
     )
 
@@ -318,6 +331,30 @@ def build_parser() -> argparse.ArgumentParser:
                              "worker processes (the front is "
                              "byte-identical for any N; default: "
                              "REPRO_JOBS or serial)")
+    darwin.add_argument("--checkpoint", metavar="PATH",
+                        help="darwin checkpoint artifact path "
+                             "(default: derived inside the suite "
+                             "cache's checkpoint directory when "
+                             "--resume/--checkpoint-every/"
+                             "--budget-seconds is used)")
+    darwin.add_argument("--checkpoint-every", type=int, metavar="N",
+                        dest="checkpoint_every",
+                        help="flush a checkpoint every N completed "
+                             "generations (interrupts always flush "
+                             "the last generation boundary)")
+    darwin.add_argument("--resume", action="store_true",
+                        help="resume an interrupted search from its "
+                             "checkpoint; the resumed front is "
+                             "byte-identical to an uninterrupted run")
+    darwin.add_argument("--budget-seconds", type=float,
+                        metavar="SECONDS", dest="budget_seconds",
+                        help="wall-clock budget: stop cleanly at the "
+                             "next generation boundary, checkpoint, "
+                             "and report the best front so far "
+                             "flagged truncated=budget")
+    darwin.add_argument("--out", metavar="PATH",
+                        help="also write the full DarwinResult payload "
+                             "as sorted JSON to PATH")
     _add_sim_engine_arg(darwin)
     _add_telemetry_arg(darwin)
     darwin.set_defaults(fn=cmd_darwin)
@@ -385,6 +422,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--threads", type=int, default=2, metavar="N",
                        help="inference worker threads per process "
                             "(bounded concurrency; default 2)")
+    serve.add_argument("--max-restarts", type=int, default=3,
+                       metavar="N", dest="max_restarts",
+                       help="fleet self-healing: respawn a worker that "
+                            "dies outside drain up to N times per "
+                            "worker slot (crash-loop cap; 0 disables "
+                            "respawning; default 3)")
+    serve.add_argument("--restart-backoff", type=float, default=1.0,
+                       metavar="SECONDS", dest="restart_backoff",
+                       help="initial respawn delay, doubled per "
+                            "consecutive restart of the same worker "
+                            "slot (default 1.0)")
     serve.add_argument("--batch-window-ms", type=float,
                        metavar="MILLISECONDS",
                        default=defaults.batch_window_ms,

@@ -18,26 +18,45 @@ than either; every front point therefore weakly dominates the greedy
 assignment, and on multi-site apps it typically *strictly* dominates it.
 
 :class:`AssignmentFitness` is a plain picklable callable, so chromosome
-evaluation fans out over the ``map_retry`` worker pool; all RNG stays in
+evaluation fans out over the parallel worker pool; all RNG stays in
 the parent, making the front byte-identical for any ``--jobs`` value.
+
+The search also carries the repo's crash-safety contract
+(docs/robustness.md): generation-granular
+:class:`~repro.runtime.checkpoint.DarwinCheckpoint` artifacts with
+byte-identical ``--resume``, per-chromosome fault isolation (transient →
+in-parent retry, deterministic → quarantine carried in
+:attr:`DarwinResult.quarantined`), SIGINT/SIGTERM → checkpoint → exit
+130/143, and a wall-clock budget that stops cleanly at a generation
+boundary with the best-front-so-far flagged ``truncated=budget``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
 
 from repro.apps.base import CaseStudyApp, run_case_study
 from repro.containers.registry import DSKind
 from repro.core.advisor import BrainyAdvisor
 from repro.core.report import Report
 from repro.machine.configs import MachineConfig
-from repro.ml.search import GeneticSearch, ParetoResult
+from repro.ml.search import (
+    GeneticSearch,
+    ParetoResult,
+    ParetoState,
+    QuarantinedChromosome,
+)
 from repro.ml.strategies import (
     GeneChoiceMutation,
     SeededChoiceInit,
     TournamentAncestry,
     UniformCrossover,
 )
+from repro.runtime.checkpoint import DarwinCheckpoint, TrainingInterrupted
+from repro.runtime.faults import RetryPolicy
 
 #: Objective name -> how to read it off a finished app run.
 OBJECTIVES: dict[str, str] = {
@@ -136,6 +155,12 @@ class DarwinResult:
     #: The greedy advisor's per-instance report with the Pareto front
     #: attached (:attr:`repro.core.report.Report.pareto_front`).
     report: Report
+    #: Chromosomes the fault boundary quarantined (deterministic or
+    #: retry-exhausted failures), with stage/trace; never in the front.
+    quarantined: list[QuarantinedChromosome] = field(default_factory=list)
+    #: Why the search stopped early (``"budget"``), or ``None`` when it
+    #: ran its full generation budget.
+    truncated: str | None = None
 
     def dominating(self) -> list[AssignmentPoint]:
         """Front points strictly dominating the greedy assignment."""
@@ -162,6 +187,8 @@ class DarwinResult:
             "evaluations": self.evaluations,
             "history": list(self.history),
             "report": self.report.to_payload(),
+            "quarantined": [q.to_payload() for q in self.quarantined],
+            "truncated": self.truncated,
         }
 
     @classmethod
@@ -193,6 +220,9 @@ class DarwinResult:
             evaluations=payload["evaluations"],
             history=list(payload["history"]),
             report=Report.from_payload(payload["report"]),
+            quarantined=[QuarantinedChromosome.from_payload(q)
+                         for q in payload.get("quarantined", [])],
+            truncated=payload.get("truncated"),
         )
 
     def format(self) -> str:
@@ -228,6 +258,17 @@ class DarwinResult:
                 f"* strictly dominates the greedy per-instance "
                 f"assignment on ({', '.join(OBJECTIVES)})"
             )
+        if self.quarantined:
+            lines.append(
+                f"{len(self.quarantined)} chromosome(s) quarantined by "
+                "the fault boundary (search continued without them)"
+            )
+        if self.truncated:
+            lines.append(
+                f"search truncated ({self.truncated}) after "
+                f"{len(self.history) - 1} of {self.generations} "
+                "generation(s); front reflects every evaluation so far"
+            )
         return "\n".join(lines)
 
 
@@ -255,7 +296,14 @@ def run_darwin(app: CaseStudyApp,
                input_name: str = "",
                jobs: int | None = None,
                window: int | None = None,
-               executor=None) -> DarwinResult:
+               executor=None,
+               checkpoint: str | Path | None = None,
+               resume: bool = False,
+               checkpoint_every: int | None = None,
+               budget_seconds: float | None = None,
+               retry_policy: RetryPolicy | None = None,
+               clock: Callable[[], float] = time.monotonic
+               ) -> DarwinResult:
     """Evolve whole-program container assignments for ``app``.
 
     With an ``advisor``, the greedy per-instance suggestions are
@@ -267,8 +315,30 @@ def run_darwin(app: CaseStudyApp,
     ``objectives`` picks which axes the GA minimises (any non-empty
     subset of ``cycles``/``memory``); reported points always carry both
     measurements.  All randomness stays in the parent process and
-    fitness fans out over the ``map_retry`` pool, so the result is
+    fitness fans out over the worker pool, so the result is
     byte-identical for any ``jobs`` value.
+
+    Robustness knobs:
+
+    * ``checkpoint`` — path for the :class:`DarwinCheckpoint` artifact.
+      With ``checkpoint_every=N`` every Nth completed generation is
+      flushed; an interrupt (``KeyboardInterrupt``, i.e. SIGINT, or
+      SIGTERM converted by the CLI) flushes the last generation boundary
+      and raises :class:`TrainingInterrupted`; a finished run stores the
+      final result with ``complete=True``.
+    * ``resume=True`` — load ``checkpoint`` (if it exists) and continue
+      byte-identically from its generation boundary; a ``complete``
+      checkpoint returns the stored result instantly.  The checkpoint's
+      identity fields must match this call's app/input/machine/
+      objectives/seed/generations/population.
+    * ``budget_seconds`` — wall-clock budget (resume-aware: time spent
+      before an interrupt counts); the search stops cleanly at the next
+      generation boundary, checkpoints, and the result comes back
+      flagged ``truncated="budget"``.
+    * ``retry_policy`` — fault-boundary tuning for per-chromosome
+      transient retries; deterministic failures quarantine the
+      chromosome into :attr:`DarwinResult.quarantined` and the search
+      continues.
     """
     unknown = sorted(set(objectives) - set(OBJECTIVES))
     if unknown:
@@ -277,8 +347,43 @@ def run_darwin(app: CaseStudyApp,
             + "; valid objectives: " + ", ".join(OBJECTIVES)
         )
     objectives = tuple(objectives)
+    checkpoint = Path(checkpoint) if checkpoint is not None else None
+    if checkpoint is None:
+        if checkpoint_every is not None:
+            raise ValueError(
+                "checkpoint_every requires a checkpoint path")
+        if resume:
+            raise ValueError("resume requires a checkpoint path")
     site_names, candidates = site_candidates(app)
     choices = tuple(len(kinds) for kinds in candidates)
+
+    resume_state: ParetoState | None = None
+    elapsed_base = 0.0
+    if resume and checkpoint.exists():
+        ckpt = DarwinCheckpoint.load(checkpoint)
+        expected = {
+            "app_name": app.name,
+            "input_name": input_name,
+            "machine_name": machine_config.name,
+            "objectives": list(objectives),
+            "seed": seed,
+            "generations": generations,
+            "population": population,
+        }
+        if ckpt.fingerprint() != expected:
+            mismatched = sorted(
+                k for k, v in expected.items()
+                if ckpt.fingerprint()[k] != v)
+            raise ValueError(
+                f"checkpoint {checkpoint} does not match this darwin "
+                f"run (differs on: {', '.join(mismatched)}); refusing "
+                "to resume someone else's search"
+            )
+        if ckpt.complete and ckpt.result is not None:
+            return DarwinResult.from_payload(ckpt.result)
+        if ckpt.state is not None:
+            resume_state = ParetoState.from_payload(ckpt.state)
+        elapsed_base = ckpt.elapsed_seconds
 
     fitness = AssignmentFitness(
         app=app, machine_config=machine_config,
@@ -327,21 +432,77 @@ def run_darwin(app: CaseStudyApp,
         elitism=0,
         seed=seed,
     )
-    result: ParetoResult = search.pareto(
-        fitness, objectives, jobs=jobs, window=window, executor=executor)
 
-    front = [measure(point.genome) for point in result.front]
-    front.sort(key=lambda p: (p.cycles, p.footprint_bytes, p.kinds))
-    default_point = measure(default_chromosome)
-    greedy_point = (measure(greedy_chromosome)
-                    if greedy_chromosome is not None else
-                    default_point if advisor is not None else None)
+    start = clock()
+
+    def elapsed() -> float:
+        return elapsed_base + (clock() - start)
+
+    last_state: ParetoState | None = resume_state
+
+    def flush(state: ParetoState | None, *,
+              complete: bool = False,
+              result_payload: dict | None = None) -> None:
+        if checkpoint is None:
+            return
+        DarwinCheckpoint(
+            app_name=app.name,
+            input_name=input_name,
+            machine_name=machine_config.name,
+            objectives=objectives,
+            seed=seed,
+            generations=generations,
+            population=population,
+            state=state.to_payload() if state is not None else None,
+            elapsed_seconds=elapsed(),
+            complete=complete,
+            result=result_payload,
+        ).save(checkpoint)
+
+    def on_generation(state: ParetoState) -> None:
+        nonlocal last_state
+        last_state = state
+        if checkpoint is not None and checkpoint_every is not None \
+                and state.generation % checkpoint_every == 0:
+            flush(state)
+
+    stop = None
+    if budget_seconds is not None:
+        def stop(generation: int) -> str | None:
+            return "budget" if elapsed() >= budget_seconds else None
+
+    try:
+        result: ParetoResult = search.pareto(
+            fitness, objectives, jobs=jobs, window=window,
+            executor=executor, resume_state=resume_state,
+            on_generation=on_generation, stop=stop,
+            retry_policy=retry_policy)
+
+        front = [measure(point.genome) for point in result.front]
+        front.sort(key=lambda p: (p.cycles, p.footprint_bytes, p.kinds))
+        default_point = measure(default_chromosome)
+        greedy_point = (measure(greedy_chromosome)
+                        if greedy_chromosome is not None else
+                        default_point if advisor is not None else None)
+    except KeyboardInterrupt:
+        # The loop only hands out states at generation boundaries, so
+        # the flushed checkpoint resumes byte-identically.
+        if checkpoint is not None and last_state is not None:
+            flush(last_state)
+            raise TrainingInterrupted(
+                f"darwin search interrupted after generation "
+                f"{last_state.generation}; checkpoint flushed to "
+                f"{checkpoint}",
+                checkpoint_path=checkpoint,
+            ) from None
+        raise
 
     report = greedy_report if greedy_report is not None else Report(
         program_cycles=default_point.cycles)
     report.pareto_front = [p.to_payload() for p in front]
+    report.pareto_truncated = result.truncated
 
-    return DarwinResult(
+    outcome = DarwinResult(
         app_name=app.name,
         input_name=input_name,
         machine_name=machine_config.name,
@@ -356,4 +517,14 @@ def run_darwin(app: CaseStudyApp,
         evaluations=result.evaluations,
         history=result.history,
         report=report,
+        quarantined=list(result.quarantined),
+        truncated=result.truncated,
     )
+    if checkpoint is not None:
+        if result.truncated:
+            # A budget stop is resumable: keep the boundary state.
+            flush(last_state)
+        else:
+            flush(last_state, complete=True,
+                  result_payload=outcome.to_payload())
+    return outcome

@@ -85,6 +85,10 @@ class Report:
     #: Empty for ordinary per-instance advisor reports, and omitted from
     #: the wire payload when empty, so the serving protocol is unchanged.
     pareto_front: list[dict] = field(default_factory=list)
+    #: Why the darwin search stopped early (``"budget"``) when
+    #: :attr:`pareto_front` came from a truncated run; ``None`` (and
+    #: omitted from the wire payload) otherwise.
+    pareto_truncated: str | None = None
 
     def mark_degraded(self, group_name: str, reason: str) -> None:
         """Record that ``group_name`` answered from the baseline and why."""
@@ -120,6 +124,8 @@ class Report:
         }
         if self.pareto_front:
             payload["pareto_front"] = [dict(p) for p in self.pareto_front]
+        if self.pareto_truncated:
+            payload["pareto_truncated"] = self.pareto_truncated
         return payload
 
     @classmethod
@@ -132,6 +138,7 @@ class Report:
             degraded_reasons=dict(payload.get("degraded_reasons", {})),
             pareto_front=[dict(p)
                           for p in payload.get("pareto_front", ())],
+            pareto_truncated=payload.get("pareto_truncated"),
         )
 
     def format(self) -> str:
@@ -163,9 +170,12 @@ class Report:
                 f"group(s) {reasons}"
             )
         if self.pareto_front:
+            qualifier = (f", truncated ({self.pareto_truncated})"
+                         if self.pareto_truncated else "")
             lines.append(
                 f"Pareto front ({len(self.pareto_front)} non-dominated "
-                "whole-program assignments; cycles vs footprint):"
+                f"whole-program assignments; cycles vs footprint"
+                f"{qualifier}):"
             )
             for point in self.pareto_front:
                 kinds = ", ".join(

@@ -25,6 +25,30 @@ any ``PYTHONHASHSEED``.  :meth:`pareto` additionally memoises fitness by
 chromosome bytes in the parent, so revisited assignments cost nothing
 and the final front is drawn from *every* evaluation, not just the last
 generation.
+
+:meth:`pareto` also carries the repo's robustness contract for
+long-running searches:
+
+* **Generation-granular state.**  After generation zero and after every
+  completed generation the loop emits a :class:`ParetoState` — the full
+  runtime envelope (population, objective rows, parent RNG state, the
+  evaluation archive and quarantine memo in insertion order, history) —
+  through the ``on_generation`` callback.  Feeding a captured state back
+  as ``resume_state`` continues the search *byte-identically*: the
+  interrupted-then-resumed front equals the uninterrupted one for any
+  ``jobs`` value (:mod:`repro.core.darwin` builds checkpoints on top).
+* **Per-candidate fault isolation.**  A fitness evaluation that fails is
+  recovered at the in-order consume point: transient faults retry in the
+  parent with bounded backoff, deterministic ones quarantine the
+  chromosome (:class:`QuarantinedChromosome`, carried in the result) and
+  the search continues on the surviving population.  Quarantined
+  chromosomes score a large *finite* penalty on every objective — real
+  points dominate them, crowding distances stay NaN-free — and never
+  enter the archive, so the final front is drawn from real measurements
+  only.
+* **Clean truncation.**  A ``stop`` hook checked at each generation
+  boundary can end the search early (e.g. a wall-clock budget); the
+  best-front-so-far comes back flagged ``truncated``.
 """
 
 from __future__ import annotations
@@ -45,12 +69,27 @@ from repro.ml.strategies import (
     UniformCrossover,
     UnitUniformInit,
 )
+from repro.runtime.faults import (
+    CATEGORY_TRANSIENT,
+    QuarantineRecord,
+    RetryPolicy,
+    SeedQuarantined,
+    classify,
+    run_guarded,
+)
 from repro.runtime.parallel import (
+    TaskFailure,
     make_executor,
+    map_ordered,
     map_retry,
     resolve_jobs,
     usable_jobs,
 )
+
+#: Objective value assigned to quarantined chromosomes: large enough
+#: that every real measurement dominates them, *finite* so crowding
+#: distances stay NaN-free (``inf - inf`` would poison the sort).
+QUARANTINE_PENALTY = float(2 ** 63)
 
 ScalarFitnessFn = Callable[[np.ndarray], float]
 VectorFitnessFn = Callable[[np.ndarray], Sequence[float]]
@@ -77,6 +116,79 @@ class ParetoPoint:
         return dominates(self.objectives, other.objectives)
 
 
+@dataclass(frozen=True)
+class QuarantinedChromosome:
+    """One chromosome the fitness fault boundary gave up on, and why."""
+
+    genome: tuple
+    record: QuarantineRecord
+
+    def to_payload(self) -> dict:
+        return {"genome": list(self.genome),
+                "record": self.record.to_payload()}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "QuarantinedChromosome":
+        return cls(genome=tuple(payload["genome"]),
+                   record=QuarantineRecord.from_payload(
+                       payload["record"]))
+
+
+@dataclass
+class ParetoState:
+    """Full :meth:`GeneticSearch.pareto` loop state at a generation
+    boundary.
+
+    Captured after generation zero and after every completed generation
+    (the ``on_generation`` hook); feeding it back as ``resume_state``
+    continues the search byte-identically — same RNG stream, same
+    archive insertion order, same front — for any ``jobs`` value.  The
+    payload is plain JSON so checkpoints ride the artifact envelope.
+    """
+
+    #: Fully-completed generations (0 = generation zero evaluated).
+    generation: int
+    #: Current population's genome rows (plain lists).
+    population: list
+    #: Aligned objective rows (quarantine penalties included).
+    pop_objectives: list
+    #: Parent ``np.random.Generator`` bit-generator state.
+    rng_state: dict
+    #: Population array dtype string, so memo keys round-trip exactly.
+    dtype: str
+    #: ``[genome row, objective row]`` pairs in evaluation order.
+    archive: list
+    #: :class:`QuarantinedChromosome` payloads in quarantine order.
+    quarantined: list
+    #: Per-generation rank-0 counts, generation zero first.
+    history: list
+
+    def to_payload(self) -> dict:
+        return {
+            "generation": self.generation,
+            "population": self.population,
+            "pop_objectives": self.pop_objectives,
+            "rng_state": self.rng_state,
+            "dtype": self.dtype,
+            "archive": self.archive,
+            "quarantined": self.quarantined,
+            "history": self.history,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ParetoState":
+        return cls(
+            generation=payload["generation"],
+            population=list(payload["population"]),
+            pop_objectives=list(payload["pop_objectives"]),
+            rng_state=dict(payload["rng_state"]),
+            dtype=payload["dtype"],
+            archive=list(payload["archive"]),
+            quarantined=list(payload["quarantined"]),
+            history=list(payload["history"]),
+        )
+
+
 @dataclass
 class ParetoResult:
     """Outcome of a :meth:`GeneticSearch.pareto` run."""
@@ -94,6 +206,12 @@ class ParetoResult:
     #: Every evaluated chromosome -> objective tuple, in evaluation
     #: order.  The search's full archive, for reporting.
     archive: dict[tuple, tuple[float, ...]] = field(default_factory=dict)
+    #: Chromosomes the fitness fault boundary quarantined (never in
+    #: :attr:`front` or :attr:`archive`), in quarantine order.
+    quarantined: list[QuarantinedChromosome] = field(default_factory=list)
+    #: Why the search stopped before its generation budget (e.g.
+    #: ``"budget"``), or ``None`` when it ran to completion.
+    truncated: str | None = None
 
 
 def dominates(a: Sequence[float], b: Sequence[float]) -> bool:
@@ -292,7 +410,11 @@ class GeneticSearch:
                objectives: Sequence[str], *,
                jobs: int | None = None,
                window: int | None = None,
-               executor=None) -> ParetoResult:
+               executor=None,
+               resume_state: ParetoState | None = None,
+               on_generation: Callable[[ParetoState], None] | None = None,
+               stop: Callable[[int], str | None] | None = None,
+               retry_policy: RetryPolicy | None = None) -> ParetoResult:
         """Evolve a Pareto front minimising every objective.
 
         ``fitness_fn(chromosome)`` must return one value per entry of
@@ -303,16 +425,55 @@ class GeneticSearch:
         fitness is memoised by chromosome bytes, so the front is
         byte-identical for any ``jobs`` value and any
         ``PYTHONHASHSEED``.
+
+        ``on_generation`` receives a :class:`ParetoState` after
+        generation zero and each completed generation; ``resume_state``
+        restores one and continues byte-identically from that boundary.
+        ``stop(generation)`` is consulted at each boundary — a non-None
+        reason ends the search with ``truncated`` set and the
+        best-front-so-far.  A failing fitness evaluation is recovered
+        at its in-order consume point: transient faults retry in the
+        parent under ``retry_policy`` (default
+        :class:`~repro.runtime.faults.RetryPolicy`), everything else
+        quarantines the chromosome with a penalty score and the search
+        continues.  ``KeyboardInterrupt`` always propagates so the
+        caller can flush a checkpoint from the last boundary state.
         """
         objectives = tuple(objectives)
         if not objectives:
             raise ValueError("at least one objective is required")
         jobs, executor, own_executor = self._executor(
             fitness_fn, jobs, executor)
+        policy = retry_policy if retry_policy is not None \
+            else RetryPolicy()
 
         size = self.population_size
         archive: dict[bytes, tuple[float, ...]] = {}
         genomes: dict[bytes, tuple] = {}
+        quarantine: dict[bytes, QuarantinedChromosome] = {}
+
+        def recover(chromosome: np.ndarray, failure: TaskFailure):
+            """In-parent boundary for one failed fitness evaluation:
+            retry transients with backoff, quarantine the rest."""
+            genome = tuple(np.asarray(chromosome).tolist())
+            index = len(archive) + len(quarantine)
+            category = classify(failure.error)
+            if category != CATEGORY_TRANSIENT:
+                return QuarantinedChromosome(
+                    genome=genome,
+                    record=QuarantineRecord(
+                        seed=index, stage="fitness", category=category,
+                        error=(f"{type(failure.error).__name__}: "
+                               f"{failure.error}"),
+                        attempts=1,
+                    ))
+            try:
+                return run_guarded(lambda: fitness_fn(chromosome),
+                                   seed=index, stage="fitness",
+                                   policy=policy)
+            except SeedQuarantined as exc:
+                return QuarantinedChromosome(genome=genome,
+                                             record=exc.record)
 
         def evaluate(population) -> np.ndarray:
             chromosomes = [np.asarray(ch) for ch in population]
@@ -320,27 +481,36 @@ class GeneticSearch:
             pending: set[bytes] = set()
             for ch in chromosomes:
                 key = ch.tobytes()
-                if key not in archive and key not in pending:
+                if key not in archive and key not in quarantine \
+                        and key not in pending:
                     pending.add(key)
                     fresh.append(ch)
             if fresh:
                 obs.counter("ga.fitness_evals", len(fresh))
-                values = list(map_retry(
+                outcomes = map_ordered(
                     fitness_fn, fresh,
                     jobs=jobs, window=window, executor=executor,
-                ))
-                for ch, value in zip(fresh, values):
+                )
+                for ch, outcome in zip(fresh, outcomes):
+                    if isinstance(outcome, TaskFailure):
+                        outcome = recover(ch, outcome)
+                    key = ch.tobytes()
+                    if isinstance(outcome, QuarantinedChromosome):
+                        quarantine[key] = outcome
+                        obs.counter("ga.quarantined")
+                        continue
                     value = tuple(float(v) for v in np.atleast_1d(
-                        np.asarray(value, dtype=np.float64)))
+                        np.asarray(outcome, dtype=np.float64)))
                     if len(value) != len(objectives):
                         raise ValueError(
                             f"fitness returned {len(value)} value(s) "
                             f"for {len(objectives)} objective(s) "
                             f"{objectives}"
                         )
-                    archive[ch.tobytes()] = value
-                    genomes[ch.tobytes()] = tuple(ch.tolist())
-            return np.array([archive[ch.tobytes()]
+                    archive[key] = value
+                    genomes[key] = tuple(ch.tolist())
+            penalty = (QUARANTINE_PENALTY,) * len(objectives)
+            return np.array([archive.get(ch.tobytes(), penalty)
                              for ch in chromosomes], dtype=np.float64)
 
         def selection_keys(ranks: np.ndarray,
@@ -354,32 +524,84 @@ class GeneticSearch:
             keys[order] = np.arange(n, 0, -1, dtype=np.float64)
             return keys
 
+        def snapshot(completed: int, pop: np.ndarray, objs: np.ndarray,
+                     history: list[int]) -> ParetoState:
+            return ParetoState(
+                generation=completed,
+                population=np.asarray(pop).tolist(),
+                pop_objectives=np.asarray(objs).tolist(),
+                rng_state=self.rng.bit_generator.state,
+                dtype=str(np.asarray(pop).dtype),
+                archive=[[list(genomes[k]), list(archive[k])]
+                         for k in archive],
+                quarantined=[q.to_payload()
+                             for q in quarantine.values()],
+                history=list(history),
+            )
+
+        truncated: str | None = None
         with obs.span("ga.pareto"):
             try:
-                pop = np.asarray(self.init.population(
-                    self.rng, size, self.n_genes))
-                objs = evaluate(pop)
-                history = [int((non_dominated_rank(objs) == 0).sum())]
+                if resume_state is not None:
+                    # Restore the envelope exactly: memo insertion
+                    # order, quarantine memo, RNG stream position.
+                    dtype = np.dtype(resume_state.dtype)
+                    for genome, value in resume_state.archive:
+                        ch = np.asarray(genome, dtype=dtype)
+                        key = ch.tobytes()
+                        archive[key] = tuple(float(v) for v in value)
+                        genomes[key] = tuple(ch.tolist())
+                    for payload in resume_state.quarantined:
+                        item = QuarantinedChromosome.from_payload(payload)
+                        quarantine[np.asarray(item.genome,
+                                              dtype=dtype).tobytes()] = item
+                    pop = np.asarray(resume_state.population, dtype=dtype)
+                    objs = np.asarray(resume_state.pop_objectives,
+                                      dtype=np.float64)
+                    history = list(resume_state.history)
+                    self.rng.bit_generator.state = resume_state.rng_state
+                    completed = int(resume_state.generation)
+                else:
+                    pop = np.asarray(self.init.population(
+                        self.rng, size, self.n_genes))
+                    objs = evaluate(pop)
+                    history = [int((non_dominated_rank(objs) == 0).sum())]
+                    completed = 0
+                    obs.gauge("darwin.archive_size", float(len(archive)))
+                    if on_generation is not None:
+                        on_generation(snapshot(0, pop, objs, history))
 
-                for _ in range(self.generations):
-                    ranks = non_dominated_rank(objs)
-                    crowd = crowding_distance(objs, ranks)
-                    keys = selection_keys(ranks, crowd)
-                    offspring = np.asarray(
-                        self._offspring(pop, keys, size))
-                    child_objs = evaluate(offspring)
+                for generation in range(completed + 1,
+                                        self.generations + 1):
+                    if stop is not None:
+                        reason = stop(generation)
+                        if reason:
+                            truncated = reason
+                            break
+                    with obs.span("darwin.generation",
+                                  generation=generation):
+                        ranks = non_dominated_rank(objs)
+                        crowd = crowding_distance(objs, ranks)
+                        keys = selection_keys(ranks, crowd)
+                        offspring = np.asarray(
+                            self._offspring(pop, keys, size))
+                        child_objs = evaluate(offspring)
 
-                    merged = np.concatenate([pop, offspring])
-                    merged_objs = np.concatenate([objs, child_objs])
-                    m_ranks = non_dominated_rank(merged_objs)
-                    m_crowd = crowding_distance(merged_objs, m_ranks)
-                    keep = np.lexsort((np.arange(len(merged)),
-                                       -m_crowd, m_ranks))[:size]
-                    pop = merged[keep].copy()
-                    objs = merged_objs[keep].copy()
-                    history.append(
-                        int((non_dominated_rank(objs) == 0).sum()))
+                        merged = np.concatenate([pop, offspring])
+                        merged_objs = np.concatenate([objs, child_objs])
+                        m_ranks = non_dominated_rank(merged_objs)
+                        m_crowd = crowding_distance(merged_objs, m_ranks)
+                        keep = np.lexsort((np.arange(len(merged)),
+                                           -m_crowd, m_ranks))[:size]
+                        pop = merged[keep].copy()
+                        objs = merged_objs[keep].copy()
+                        history.append(
+                            int((non_dominated_rank(objs) == 0).sum()))
                     obs.counter("ga.generations")
+                    obs.gauge("darwin.archive_size", float(len(archive)))
+                    if on_generation is not None:
+                        on_generation(snapshot(generation, pop, objs,
+                                               history))
             finally:
                 if own_executor:
                     executor.shutdown()
@@ -404,4 +626,6 @@ class GeneticSearch:
                 history=history,
                 evaluations=len(archive),
                 archive={genomes[k]: archive[k] for k in keys_order},
+                quarantined=list(quarantine.values()),
+                truncated=truncated,
             )

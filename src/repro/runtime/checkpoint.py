@@ -1,10 +1,13 @@
-"""Checkpoint/resume state for the two training phases.
+"""Checkpoint/resume state for the training phases and darwin search.
 
 Checkpoints are ordinary artifacts (atomic, versioned, checksummed).
 Phase I processes seed offsets strictly in order and each offset's
 outcome is a pure function of the seed, so a checkpoint taken after the
 last fully-applied seed makes resume deterministic: an interrupted run,
 resumed, produces a byte-identical dataset to an uninterrupted one.
+:class:`DarwinCheckpoint` extends the same contract to the Darwinian
+whole-program search (``repro darwin``): generation-granular state on
+the same envelope, byte-identical resume for any ``--jobs``.
 
 A completed run writes its final checkpoint with ``complete=True`` so a
 suite-level resume can skip finished phases instantly instead of
@@ -21,6 +24,7 @@ from repro.runtime.faults import QuarantineRecord
 
 PHASE1_CHECKPOINT_KIND = "phase1-checkpoint"
 PHASE2_CHECKPOINT_KIND = "phase2-checkpoint"
+DARWIN_CHECKPOINT_KIND = "darwin-checkpoint"
 CHECKPOINT_SCHEMA_VERSION = 1
 
 
@@ -125,3 +129,77 @@ class Phase2Checkpoint:
             seeds=list(payload["seeds"]),
             complete=payload["complete"],
         )
+
+
+@dataclass
+class DarwinCheckpoint:
+    """Darwin search state at the last completed generation boundary.
+
+    ``state`` is a :class:`repro.ml.search.ParetoState` payload — the
+    full loop envelope (population, objective rows, parent RNG state,
+    evaluation archive and quarantine memo in insertion order) — so a
+    resumed search is byte-identical to an uninterrupted one.  The
+    identity fields (app/input/machine/objectives/seed/budgets) guard
+    against resuming someone else's checkpoint.  A finished run stores
+    ``complete=True`` plus the final ``DarwinResult`` payload so a
+    redundant ``--resume`` returns instantly.
+    """
+
+    app_name: str
+    input_name: str
+    machine_name: str
+    objectives: tuple[str, ...]
+    seed: int
+    generations: int
+    population: int
+    state: dict | None = None
+    elapsed_seconds: float = 0.0
+    complete: bool = False
+    result: dict | None = None
+
+    def save(self, path: str | Path) -> None:
+        payload = {
+            "app_name": self.app_name,
+            "input_name": self.input_name,
+            "machine_name": self.machine_name,
+            "objectives": list(self.objectives),
+            "seed": self.seed,
+            "generations": self.generations,
+            "population": self.population,
+            "state": self.state,
+            "elapsed_seconds": self.elapsed_seconds,
+            "complete": self.complete,
+            "result": self.result,
+        }
+        write_artifact(path, payload, kind=DARWIN_CHECKPOINT_KIND,
+                       schema_version=CHECKPOINT_SCHEMA_VERSION)
+
+    @classmethod
+    def load(cls, path: str | Path) -> "DarwinCheckpoint":
+        payload = read_artifact(Path(path), kind=DARWIN_CHECKPOINT_KIND,
+                                schema_version=CHECKPOINT_SCHEMA_VERSION)
+        return cls(
+            app_name=payload["app_name"],
+            input_name=payload["input_name"],
+            machine_name=payload["machine_name"],
+            objectives=tuple(payload["objectives"]),
+            seed=payload["seed"],
+            generations=payload["generations"],
+            population=payload["population"],
+            state=payload["state"],
+            elapsed_seconds=float(payload["elapsed_seconds"]),
+            complete=payload["complete"],
+            result=payload["result"],
+        )
+
+    def fingerprint(self) -> dict:
+        """Identity fields a resume must match exactly."""
+        return {
+            "app_name": self.app_name,
+            "input_name": self.input_name,
+            "machine_name": self.machine_name,
+            "objectives": list(self.objectives),
+            "seed": self.seed,
+            "generations": self.generations,
+            "population": self.population,
+        }

@@ -113,6 +113,100 @@ class FaultInjector:
         return wrapped
 
 
+# -- darwin-side injection -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DarwinFaultPlan:
+    """Scripted per-chromosome faults for the darwin fitness seam.
+
+    Decisions are pure functions of ``(rng_seed, genome)``, so the same
+    plan injects the same faults at the same assignments no matter the
+    generation, ``--jobs`` value, or interrupt point — which is exactly
+    what the resume-identity-under-faults property tests need.  Genomes
+    may also be scripted explicitly (``transient_genomes`` /
+    ``deterministic_genomes``); explicit scripts win over probability
+    rolls.  ``interrupt_at_evaluations`` raises ``KeyboardInterrupt``
+    (once per injector) when the wrapped fitness function's call counter
+    hits a scripted index — a mid-generation kill.
+    """
+
+    rng_seed: int = 0
+    p_transient: float = 0.0
+    p_deterministic: float = 0.0
+    #: Attempts of a transiently-failing genome that fail before it
+    #: succeeds — at or below the retry budget models recoverable,
+    #: above it a persistent fault (quarantined as deterministic).
+    transient_failures: int = 1
+    transient_genomes: frozenset[tuple] = frozenset()
+    deterministic_genomes: frozenset[tuple] = frozenset()
+    #: Zero-based fitness-call indices at which to raise
+    #: ``KeyboardInterrupt`` (each fires once per injector).
+    interrupt_at_evaluations: frozenset[int] = frozenset()
+
+
+class DarwinFaultInjector:
+    """Stateful wrapper applying a :class:`DarwinFaultPlan` to a darwin
+    fitness function.  Stateful (attempt counts, call counter), so runs
+    needing faults visible under ``jobs > 1`` pass a
+    :class:`repro.runtime.parallel.SerialExecutor`."""
+
+    def __init__(self, plan: DarwinFaultPlan) -> None:
+        self.plan = plan
+        self._attempts: dict[tuple, int] = {}
+        self._fired: set[int] = set()
+        #: Fitness calls that reached :meth:`before` so far.
+        self.calls = 0
+
+    def decide(self, genome: tuple) -> str | None:
+        """The fate of a genome: 'transient', 'deterministic', or None.
+        Pure function of the plan and the genome."""
+        if genome in self.plan.deterministic_genomes:
+            return "deterministic"
+        if genome in self.plan.transient_genomes:
+            return "transient"
+        roll = random.Random(
+            f"{self.plan.rng_seed}:{','.join(map(str, genome))}:darwin"
+        ).random()
+        if roll < self.plan.p_transient:
+            return "transient"
+        if roll < self.plan.p_transient + self.plan.p_deterministic:
+            return "deterministic"
+        return None
+
+    def before(self, genome: tuple) -> None:
+        """Raise the planned fault (if any) for this attempt."""
+        call = self.calls
+        self.calls += 1
+        if (call in self.plan.interrupt_at_evaluations
+                and call not in self._fired):
+            self._fired.add(call)
+            raise KeyboardInterrupt(
+                f"injected interrupt at evaluation {call}")
+        attempt = self._attempts.get(genome, 0)
+        self._attempts[genome] = attempt + 1
+        fate = self.decide(genome)
+        if fate == "transient" and attempt < self.plan.transient_failures:
+            raise TransientFault(
+                f"injected transient fault: genome {genome} "
+                f"attempt {attempt + 1}"
+            )
+        if fate == "deterministic":
+            raise DeterministicFault(
+                f"injected deterministic fault: genome {genome}"
+            )
+
+    def wrap_fitness(self, fn: Callable) -> Callable:
+        """A drop-in for a darwin fitness callable ``fn(chromosome)``."""
+
+        def wrapped(chromosome):
+            genome = tuple(int(g) for g in chromosome)
+            self.before(genome)
+            return fn(chromosome)
+
+        return wrapped
+
+
 # -- serving-side injection ------------------------------------------------
 
 

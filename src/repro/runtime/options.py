@@ -109,6 +109,16 @@ class RunOptions:
         Darwinian search: which axes the GA minimises, in order — a
         non-empty subset of ``("cycles", "memory")``.  Reported Pareto
         points always carry both measurements regardless.
+    darwin_checkpoint_every:
+        Darwinian search: checkpoint cadence in *generations* — every
+        Nth completed generation flushes a
+        :class:`repro.runtime.checkpoint.DarwinCheckpoint` so an
+        interrupted search resumes byte-identically with ``--resume``.
+        ``None`` (the default) checkpoints only on interrupt/truncation.
+    darwin_budget_seconds:
+        Darwinian search: wall-clock budget; the search stops cleanly at
+        the next generation boundary once it is exhausted, checkpoints,
+        and returns the best-front-so-far flagged ``truncated=budget``.
     """
 
     jobs: int | None = None
@@ -136,6 +146,8 @@ class RunOptions:
     darwin_generations: int = 12
     darwin_population: int = 16
     darwin_objectives: tuple[str, ...] = ("cycles", "memory")
+    darwin_checkpoint_every: int | None = None
+    darwin_budget_seconds: float | None = None
 
     def with_overrides(self, **changes: object) -> "RunOptions":
         """A copy with ``changes`` applied (frozen-safe ``replace``)."""
@@ -205,6 +217,12 @@ class RunOptions:
         if len(set(objectives)) != len(objectives):
             problems.append("darwin_objectives must not repeat an "
                             "objective")
+        if (self.darwin_checkpoint_every is not None
+                and self.darwin_checkpoint_every < 1):
+            problems.append("darwin_checkpoint_every must be >= 1")
+        if (self.darwin_budget_seconds is not None
+                and self.darwin_budget_seconds <= 0):
+            problems.append("darwin_budget_seconds must be positive")
         if problems:
             raise ValueError("; ".join(problems))
         return self

@@ -31,12 +31,24 @@ only when all workers drained cleanly.  With ``--telemetry PATH`` each
 worker exports ``PATH.workerN`` and the parent merges their ``serve.*``
 metrics (counters summed, histograms folded; spans are per-process and
 stay in the per-worker artifacts) into one artifact at ``PATH``.
+
+The fleet is **self-healing**: a worker that dies outside drain with a
+non-zero exit is respawned with exponential backoff
+(``restart_backoff_seconds`` doubled per consecutive restart of the
+slot) up to ``max_restarts`` times per worker slot — the crash-loop
+cap, after which the slot is abandoned and the fleet exit code flags
+the failure.  Respawned workers re-report ready, re-register their
+socket with the front-door fallback, and carry their restart count in
+health (``worker.restarts``); the merged telemetry counts
+``serve.worker_restarts{worker=}``.  A successfully-healed crash does
+*not* fail the fleet's exit code.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import queue as queue_mod
 import signal
 import socket
 import threading
@@ -51,6 +63,8 @@ from repro.serve.server import reuse_port_supported
 READY_TIMEOUT_SECONDS = 120.0
 #: Slack on top of drain_seconds before stragglers are killed.
 JOIN_MARGIN_SECONDS = 10.0
+#: Ceiling on the exponential respawn backoff.
+MAX_RESTART_BACKOFF_SECONDS = 30.0
 
 
 @dataclass(frozen=True)
@@ -73,9 +87,48 @@ class FleetSpec:
     reuse_port: bool = True
     poll_interval: float = 1.0
     telemetry: str | None = None
+    #: Crash-loop cap: respawns allowed per worker slot (0 disables
+    #: self-healing entirely).
+    max_restarts: int = 3
+    #: Initial respawn delay, doubled per consecutive restart of the
+    #: same slot (capped at :data:`MAX_RESTART_BACKOFF_SECONDS`).
+    restart_backoff_seconds: float = 1.0
 
 
-def _build_service(spec: FleetSpec, worker_id: int):
+class _RestartTracker:
+    """Pure respawn bookkeeping: exponential backoff per worker slot,
+    crash-loop cap.  No clocks, no processes — unit-testable."""
+
+    def __init__(self, max_restarts: int, backoff_seconds: float, *,
+                 max_backoff_seconds: float = MAX_RESTART_BACKOFF_SECONDS
+                 ) -> None:
+        if max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if backoff_seconds <= 0:
+            raise ValueError("backoff_seconds must be positive")
+        self.max_restarts = max_restarts
+        self.backoff_seconds = backoff_seconds
+        self.max_backoff_seconds = max_backoff_seconds
+        #: Worker slot -> respawns performed so far.
+        self.restarts: dict[int, int] = {}
+
+    def delay(self, worker_id: int) -> float | None:
+        """Backoff before the slot's *next* respawn, or ``None`` when
+        the crash-loop cap is exhausted."""
+        used = self.restarts.get(worker_id, 0)
+        if used >= self.max_restarts:
+            return None
+        return min(self.backoff_seconds * (2 ** used),
+                   self.max_backoff_seconds)
+
+    def note_restart(self, worker_id: int) -> int:
+        """Record a respawn; returns the slot's restart count."""
+        self.restarts[worker_id] = self.restarts.get(worker_id, 0) + 1
+        return self.restarts[worker_id]
+
+
+def _build_service(spec: FleetSpec, worker_id: int,
+                   worker_restarts: int = 0):
     from repro.serve.loop import AdvisorService
 
     if spec.registry is not None:
@@ -86,13 +139,15 @@ def _build_service(spec: FleetSpec, worker_id: int):
             registry_key=spec.registry_key,
             auto_promote=spec.auto_promote,
             options=spec.options, workers=spec.threads,
-            worker_id=worker_id,
+            worker_id=worker_id, worker_restarts=worker_restarts,
         )
     return AdvisorService(spec.suite_dir, options=spec.options,
-                          workers=spec.threads, worker_id=worker_id)
+                          workers=spec.threads, worker_id=worker_id,
+                          worker_restarts=worker_restarts)
 
 
-def _worker_main(worker_id: int, spec: FleetSpec, ready_queue) -> None:
+def _worker_main(worker_id: int, spec: FleetSpec, ready_queue,
+                 worker_restarts: int = 0) -> None:
     """Entry point of one worker process: build, announce, serve."""
     from repro.serve.server import run_server
 
@@ -102,12 +157,13 @@ def _worker_main(worker_id: int, spec: FleetSpec, ready_queue) -> None:
         if message.startswith("serving on "):
             host, _, port = message[len("serving on "):].rpartition(":")
             ready_queue.put({"worker": worker_id, "pid": pid,
-                             "host": host, "port": int(port)})
+                             "host": host, "port": int(port),
+                             "restarts": worker_restarts})
             return  # the parent announces the fleet address once
         print(f"[worker {worker_id}] {message}", flush=flush)
 
     try:
-        service = _build_service(spec, worker_id)
+        service = _build_service(spec, worker_id, worker_restarts)
     except Exception as exc:
         ready_queue.put({"worker": worker_id, "pid": pid,
                          "error": f"{type(exc).__name__}: {exc}"})
@@ -214,6 +270,10 @@ class _FrontDoor:
         self._workers = [pair for pair in self._workers
                          if pair[0].is_alive()]
 
+    def add(self, proc, address: tuple[str, int]) -> None:
+        """Register a (re)spawned worker's socket for sharding."""
+        self._workers = self._workers + [(proc, address)]
+
     def close(self) -> None:
         self._closing.set()
         try:
@@ -242,7 +302,9 @@ def _splice(src: socket.socket, dst: socket.socket) -> None:
 
 
 def _merge_worker_telemetry(telemetry: str, reports: list[dict],
-                            drained: bool, announce) -> None:
+                            drained: bool, announce,
+                            restarts: dict[int, int] | None = None
+                            ) -> None:
     """Fold every worker's exported metrics into one artifact.
 
     Counters sum, gauges last-write, histograms fold (count/total/
@@ -250,7 +312,10 @@ def _merge_worker_telemetry(telemetry: str, reports: list[dict],
     :meth:`~repro.obs.metrics.MetricsRegistry.merge` semantics the
     parallel-training path already uses.  A worker that died before
     exporting is skipped with an announcement, never an exception: the
-    merged view must outlive partial failures.
+    merged view must outlive partial failures.  A respawned slot
+    reports ready more than once; only its latest report is merged (the
+    replacement overwrote the slot's ``PATH.workerN`` artifact), and
+    its respawn count lands in ``serve.worker_restarts{worker=}``.
     """
     import repro.obs as obs
     from repro.obs.export import export_telemetry, load_telemetry
@@ -258,25 +323,33 @@ def _merge_worker_telemetry(telemetry: str, reports: list[dict],
     collector = obs.Collector()
     wall_times = [0.0]
     merged_from = []
-    # Deterministic merge order regardless of which worker drained
-    # first — the artifact must not depend on shutdown races.
-    for report in sorted(reports, key=lambda r: r["worker"]):
-        worker_path = f"{telemetry}.worker{report['worker']}"
+    # One report per slot (latest wins) in deterministic order — the
+    # artifact must not depend on shutdown or respawn races.
+    latest = {report["worker"]: report for report in reports}
+    for worker_id in sorted(latest):
+        worker_path = f"{telemetry}.worker{worker_id}"
         try:
             payload = load_telemetry(worker_path)
         except Exception as exc:
             announce(f"telemetry merge: skipping worker "
-                     f"{report['worker']} ({type(exc).__name__}: {exc})",
+                     f"{worker_id} ({type(exc).__name__}: {exc})",
                      flush=True)
             continue
         collector.metrics.merge(payload.get("metrics", {}))
         if payload.get("wall_time_s"):
             wall_times.append(float(payload["wall_time_s"]))
-        merged_from.append(report["worker"])
+        merged_from.append(worker_id)
+    for worker_id in sorted(restarts or {}):
+        count = (restarts or {})[worker_id]
+        if count:
+            collector.metrics.count("serve.worker_restarts", count,
+                                    worker=str(worker_id))
     export_telemetry(
         collector, Path(telemetry),
         meta={"command": "serve", "fleet": True,
-              "workers": merged_from, "drained": drained},
+              "workers": merged_from, "drained": drained,
+              "restarts": {str(worker_id): count for worker_id, count
+                           in sorted((restarts or {}).items())}},
         wall_time_s=max(wall_times),
     )
 
@@ -308,7 +381,11 @@ def run_fleet(spec: FleetSpec, workers: int, *,
         threads=spec.threads, host=host, port=port,
         reuse_port=use_reuse_port,
         poll_interval=spec.poll_interval, telemetry=spec.telemetry,
+        max_restarts=spec.max_restarts,
+        restart_backoff_seconds=spec.restart_backoff_seconds,
     )
+    tracker = _RestartTracker(spec.max_restarts,
+                              spec.restart_backoff_seconds)
 
     procs: list[multiprocessing.Process] = []
     front_door: _FrontDoor | None = None
@@ -386,37 +463,93 @@ def run_fleet(spec: FleetSpec, workers: int, *,
                     else "(front-door fallback)"), flush=True)
         announce(f"serving on {bound_host}:{bound_port}", flush=True)
 
-        # Supervise: wake on signal, notice dead workers as they go.
+        # Supervise: wake on signal, notice dead workers as they go,
+        # respawn crashed slots with exponential backoff (self-heal).
         alive = dict(enumerate(procs))
+        pending_respawn: dict[int, float] = {}  # slot -> due monotonic
         while not stop.wait(0.2):
+            now = time.monotonic()
             exited = [worker_id for worker_id, proc in alive.items()
                       if not proc.is_alive()]
             for worker_id in exited:
                 proc = alive.pop(worker_id)
-                if proc.exitcode != 0:
-                    failed = True
-                # Keep serving on the survivors; the fleet exit code
-                # still flags the casualty.
                 announce(f"worker {worker_id} exited with code "
                          f"{proc.exitcode}", flush=True)
+                if proc.exitcode == 0:
+                    continue  # voluntary clean exit: not respawned
+                delay = tracker.delay(worker_id)
+                if delay is None:
+                    # Crash-loop cap reached: abandon the slot and flag
+                    # the fleet exit code.
+                    failed = True
+                    announce(f"worker {worker_id} crash-looped past "
+                             f"--max-restarts {tracker.max_restarts}; "
+                             "not respawning", flush=True)
+                    continue
+                pending_respawn[worker_id] = now + delay
+                announce(f"respawning worker {worker_id} in "
+                         f"{delay:.1f}s (restart "
+                         f"{tracker.restarts.get(worker_id, 0) + 1}"
+                         f"/{tracker.max_restarts})", flush=True)
             if exited and front_door is not None:
                 front_door.prune_dead()
-            if not alive:
+            for worker_id in [w for w, due in pending_respawn.items()
+                              if due <= now]:
+                del pending_respawn[worker_id]
+                count = tracker.note_restart(worker_id)
+                proc = context.Process(
+                    target=_worker_main,
+                    args=(worker_id, worker_spec, ready_queue, count),
+                    name=f"repro-serve-worker-{worker_id}-r{count}",
+                    daemon=False,
+                )
+                proc.start()
+                procs.append(proc)
+                alive[worker_id] = proc
+            # Pick up respawned workers' ready reports without
+            # blocking the supervise tick.
+            while True:
+                try:
+                    report = ready_queue.get_nowait()
+                except (queue_mod.Empty, OSError):
+                    break
+                if "error" in report:
+                    announce(f"worker {report['worker']} failed to "
+                             f"restart: {report['error']}", flush=True)
+                    continue  # its death is noticed next tick
+                reports.append(report)
+                addresses[report["worker"]] = (report["host"],
+                                               report["port"])
+                announce(f"worker {report['worker']} ready "
+                         f"(pid {report['pid']}) on "
+                         f"{report['host']}:{report['port']} "
+                         f"(restart {report.get('restarts', 0)})",
+                         flush=True)
+                if (front_door is not None
+                        and report["worker"] in alive):
+                    front_door.add(alive[report["worker"]],
+                                   addresses[report["worker"]])
+            if not alive and not pending_respawn:
                 announce("all workers exited; shutting down",
                          flush=True)
                 break
 
         # Drain: stop routing, forward the signal, wait out the budget.
+        # Only the *current* generation of each slot counts toward the
+        # exit code — a crash that was healed by a respawn already
+        # either succeeded (replacement drains below) or set ``failed``
+        # at the crash-loop cap.
         if front_door is not None:
             front_door.close()
             front_door = None
-        for proc in procs:
+        current = list(alive.values())
+        for proc in current:
             if proc.is_alive():
                 proc.terminate()  # SIGTERM → graceful in-worker drain
         join_budget = (spec.options.drain_seconds
                        + JOIN_MARGIN_SECONDS)
         join_deadline = time.monotonic() + join_budget
-        for proc in procs:
+        for proc in current:
             proc.join(timeout=max(0.1,
                                   join_deadline - time.monotonic()))
             if proc.is_alive():
@@ -430,7 +563,8 @@ def run_fleet(spec: FleetSpec, workers: int, *,
         if spec.telemetry is not None and reports:
             _merge_worker_telemetry(spec.telemetry, reports,
                                     drained=not failed,
-                                    announce=announce)
+                                    announce=announce,
+                                    restarts=dict(tracker.restarts))
         announce("fleet drained cleanly" if not failed
                  else "fleet shut down with failures", flush=True)
         return 1 if failed else 0

@@ -420,6 +420,11 @@ class AdvisorService:
         This process's position in a multi-worker fleet (0-based;
         always 0 single-process).  Reported by health/ready so
         multi-worker deployments can tell which process answered.
+    worker_restarts:
+        How many times this worker slot has been respawned by the
+        fleet supervisor (0 for the original process).  Surfaced in
+        health/ready alongside the worker id so operators can spot a
+        flapping slot.
     """
 
     def __init__(self, suite_dir: str | Path | None = None, *,
@@ -433,7 +438,8 @@ class AdvisorService:
                  registry=None,
                  registry_key: str | None = None,
                  auto_promote: bool = True,
-                 worker_id: int = 0) -> None:
+                 worker_id: int = 0,
+                 worker_restarts: int = 0) -> None:
         if registry is not None and (suite is not None
                                      or suite_dir is not None):
             raise ValueError(
@@ -480,6 +486,7 @@ class AdvisorService:
                 metrics=self.metrics,
             )
         self.worker_id = worker_id
+        self.worker_restarts = worker_restarts
         self._draining = threading.Event()
         self._started = self._clock()
 
@@ -720,8 +727,10 @@ class AdvisorService:
         return payload
 
     def _worker_identity(self) -> dict:
-        """Which process is answering (fleet position + pid)."""
-        return {"id": self.worker_id, "pid": os.getpid()}
+        """Which process is answering (fleet position + pid +
+        how many times the supervisor has respawned the slot)."""
+        return {"id": self.worker_id, "pid": os.getpid(),
+                "restarts": self.worker_restarts}
 
     def ready(self) -> tuple[bool, str | None]:
         """Readiness: can this instance take traffic right now?"""

@@ -23,6 +23,7 @@ import pytest
 
 from repro.core.advisor import BrainyAdvisor
 from repro.serve import reuse_port_supported
+from repro.serve.fleet import _RestartTracker
 from repro.serve.protocol import encode
 from repro.serve.testing import (
     advise_payload,
@@ -40,7 +41,8 @@ def suite_dir(tmp_path_factory):
     return directory
 
 
-def _spawn_fleet(suite_dir, telemetry, *, force_fallback=False):
+def _spawn_fleet(suite_dir, telemetry, *, force_fallback=False,
+                 extra=()):
     env = dict(os.environ, PYTHONPATH=REPO_SRC, PYTHONUNBUFFERED="1")
     if force_fallback:
         env["REPRO_SERVE_NO_REUSEPORT"] = "1"
@@ -51,7 +53,7 @@ def _spawn_fleet(suite_dir, telemetry, *, force_fallback=False):
          "--suite-dir", str(suite_dir), "--port", "0",
          "--workers", "2", "--threads", "2",
          "--batch-window-ms", "2",
-         "--telemetry", str(telemetry)],
+         "--telemetry", str(telemetry), *extra],
         stdout=subprocess.PIPE, stderr=subprocess.PIPE,
         text=True, env=env,
     )
@@ -169,6 +171,114 @@ class TestFleet:
         # both workers must have answered.
         spans = payload.get("spans") or {}
         assert isinstance(spans, dict)
+
+
+class TestRestartTracker:
+    """Pure respawn bookkeeping behind the self-healing supervise
+    loop: exponential backoff, ceiling, crash-loop cap."""
+
+    def test_backoff_doubles_until_the_cap_exhausts(self):
+        tracker = _RestartTracker(3, 1.0)
+        delays = []
+        while (delay := tracker.delay(0)) is not None:
+            delays.append(delay)
+            tracker.note_restart(0)
+        assert delays == [1.0, 2.0, 4.0]
+        assert tracker.delay(0) is None
+        assert tracker.restarts == {0: 3}
+
+    def test_backoff_is_ceiled(self):
+        tracker = _RestartTracker(10, 8.0, max_backoff_seconds=20.0)
+        tracker.note_restart(1)
+        tracker.note_restart(1)  # 8 * 2**2 = 32 -> ceiling
+        assert tracker.delay(1) == 20.0
+
+    def test_slots_are_independent(self):
+        tracker = _RestartTracker(2, 0.5)
+        tracker.note_restart(0)
+        assert tracker.delay(0) == 1.0
+        assert tracker.delay(1) == 0.5
+
+    def test_zero_max_restarts_disables_self_healing(self):
+        assert _RestartTracker(0, 1.0).delay(0) is None
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            _RestartTracker(-1, 1.0)
+        with pytest.raises(ValueError, match="backoff"):
+            _RestartTracker(3, 0.0)
+
+
+class TestSelfHealingFleet:
+    def test_killed_worker_is_respawned_and_answers_identically(
+            self, suite_dir, tmp_path):
+        """SIGKILL one worker mid-serve: the supervisor respawns it
+        within the backoff window, re-registers it with the front
+        door, health reports the restart count, answers stay
+        byte-identical, and the drain still exits 0."""
+        telemetry = tmp_path / "heal.telemetry.json"
+        proc = _spawn_fleet(
+            suite_dir, telemetry, force_fallback=True,
+            extra=("--max-restarts", "2", "--restart-backoff", "0.1"))
+        try:
+            host, port, _ = _read_address(proc)
+
+            victim = _request(host, port,
+                              {"op": "health"})["detail"]["worker"]
+            assert victim["restarts"] == 0
+            os.kill(victim["pid"], signal.SIGKILL)
+
+            respawned = None
+            deadline = time.monotonic() + 120.0
+            while respawned is None and time.monotonic() < deadline:
+                try:
+                    worker = _request(
+                        host, port, {"op": "health"},
+                        timeout=10.0)["detail"]["worker"]
+                except (OSError, ValueError):
+                    time.sleep(0.2)  # mid-respawn: retry the probe
+                    continue
+                if worker["id"] == victim["id"]:
+                    if worker["restarts"] >= 1:
+                        respawned = worker
+                    else:
+                        time.sleep(0.2)
+            assert respawned is not None, \
+                "killed worker never came back"
+            assert respawned["pid"] != victim["pid"]
+            assert respawned["restarts"] == 1
+
+            # The healed fleet still answers byte-identically.
+            trace = make_mixed_trace(1, seed=3)
+            expected = json.dumps(
+                BrainyAdvisor(tiny_suite()).advise_trace(
+                    trace).to_payload(), sort_keys=True)
+            for _ in range(4):  # round-robins across both workers
+                answer = _request(host, port,
+                                  advise_payload(trace,
+                                                 request_id="heal"))
+                assert answer["status"] == "ok"
+                assert json.dumps(answer["report"],
+                                  sort_keys=True) == expected
+
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=120.0)
+            assert proc.returncode == 0, (out, err)
+            assert f"respawning worker {victim['id']} in" in out
+            assert "restart 1/2" in out
+            assert "fleet drained cleanly" in out
+
+            payload = json.loads(telemetry.read_text())["payload"]
+            meta = payload["meta"]
+            assert meta["workers"] == [0, 1]
+            assert meta["restarts"] == {str(victim["id"]): 1}
+            counters = payload["metrics"]["counters"]
+            key = f"serve.worker_restarts{{worker={victim['id']}}}"
+            assert counters.get(key) == 1
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+                proc.communicate()
 
 
 class TestReusePortGate:
